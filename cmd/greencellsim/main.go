@@ -1,0 +1,168 @@
+// Command greencellsim runs one simulation of the green multi-hop cellular
+// network and prints its headline metrics.
+//
+// Usage:
+//
+//	greencellsim [flags]
+//
+// Flags select the drift weight V, the horizon, the architecture, and the
+// S1 scheduler. The defaults reproduce the paper's Section VI setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"greencell/internal/core"
+	"greencell/internal/export"
+	"greencell/internal/queueing"
+	"greencell/internal/sched"
+	"greencell/internal/sim"
+	"greencell/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "greencellsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("greencellsim", flag.ContinueOnError)
+	var (
+		v         = fs.Float64("v", 1e5, "drift-plus-penalty weight V")
+		lambda    = fs.Float64("lambda", 0.0006, "admission reward λ")
+		slots     = fs.Int("slots", 100, "number of time slots T")
+		seed      = fs.Int64("seed", 1, "scenario seed")
+		users     = fs.Int("users", 20, "number of mobile users")
+		sessions  = fs.Int("sessions", 4, "number of downlink sessions")
+		neighbors = fs.Int("neighbors", 6, "candidate out-links per node (0 = unlimited)")
+		arch      = fs.String("arch", "proposed", "architecture: proposed | multihop-nr | onehop-r | onehop-nr")
+		preset    = fs.String("preset", "paper", "scenario preset: paper | urban | rural")
+		uplink    = fs.Int("uplink", 0, "additional uplink (user→BS anycast) sessions")
+		scheduler = fs.String("scheduler", "sf", "S1 solver: sf | greedy | exact | relaxed")
+		bounds    = fs.Bool("bounds", false, "also run the relaxed controller and print the Theorem 4/5 bounds")
+		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of text")
+		dotOut    = fs.Bool("dot", false, "emit the topology as Graphviz DOT and exit")
+		traceOut  = fs.String("trace", "", "write per-slot JSON-Lines trace records to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc sim.Scenario
+	switch *preset {
+	case "paper":
+		sc = sim.Paper()
+	case "urban":
+		sc = sim.Urban()
+	case "rural":
+		sc = sim.Rural()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+	sc.UplinkSessions = *uplink
+	sc.V = *v
+	sc.Lambda = *lambda
+	sc.Slots = *slots
+	sc.Seed = *seed
+	sc.NumSessions = *sessions
+	sc.Topology.NumUsers = *users
+	sc.Topology.MaxNeighbors = *neighbors
+
+	switch *arch {
+	case "proposed":
+		sc.Architecture = sim.Proposed
+	case "multihop-nr":
+		sc.Architecture = sim.MultiHopNoRenewable
+	case "onehop-r":
+		sc.Architecture = sim.OneHopRenewable
+	case "onehop-nr":
+		sc.Architecture = sim.OneHopNoRenewable
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	switch *scheduler {
+	case "sf":
+		sc.Scheduler = sched.SequentialFix{}
+	case "greedy":
+		sc.Scheduler = sched.Greedy{}
+	case "exact":
+		sc.Scheduler = sched.Exact{}
+	case "relaxed":
+		sc.Scheduler = sched.Relaxed{}
+	default:
+		return fmt.Errorf("unknown scheduler %q", *scheduler)
+	}
+
+	if *dotOut {
+		_, net, _, err := sim.Build(sc)
+		if err != nil {
+			return err
+		}
+		return export.TopologyDOT(os.Stdout, net)
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw := trace.NewWriter(f)
+		defer tw.Close()
+		sc.SlotHook = func(sr *core.SlotResult) {
+			// Best-effort: a trace write failure should not kill the run.
+			_ = tw.Write(trace.FromSlot(sr))
+		}
+	}
+
+	res, err := sim.Run(sc)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Architecture string
+			V, Lambda    float64
+			Slots        int
+			Seed         int64
+			*sim.Result
+		}{sc.Architecture.String(), sc.V, sc.Lambda, sc.Slots, sc.Seed, res})
+	}
+
+	fmt.Printf("architecture:        %v\n", sc.Architecture)
+	fmt.Printf("V:                   %g   lambda: %g   slots: %d   seed: %d\n", sc.V, sc.Lambda, sc.Slots, sc.Seed)
+	fmt.Printf("avg energy cost:     %.4g  (f(P) per slot)\n", res.AvgEnergyCost)
+	fmt.Printf("avg penalty obj:     %.4g  (f(P) − λ·Σk per slot)\n", res.AvgPenaltyObjective)
+	fmt.Printf("avg grid draw:       %.4g Wh/slot\n", res.AvgGridWh)
+	fmt.Printf("admitted packets:    %.0f\n", res.AdmittedPkts)
+	fmt.Printf("delivered packets:   %.0f\n", res.DeliveredPkts)
+	fmt.Printf("energy deficit:      %.4g Wh\n", res.DeficitWh)
+	fmt.Printf("final backlog (BS):  %.1f pkts   (users): %.1f pkts\n",
+		res.FinalDataBacklogBS, res.FinalDataBacklogUsers)
+	fmt.Printf("final battery (BS):  %.1f Wh     (users): %.1f Wh\n",
+		res.FinalBatteryWhBS, res.FinalBatteryWhUsers)
+	if res.DataBacklogBSTrace != nil {
+		tail := len(res.DataBacklogBSTrace) / 2
+		fmt.Printf("backlog tail slope:  BS %.3f pkts/slot, users %.3f pkts/slot\n",
+			queueing.Slope(res.DataBacklogBSTrace[tail:]),
+			queueing.Slope(res.DataBacklogUsersTrace[tail:]))
+	}
+
+	if *bounds {
+		b, err := sim.BoundsAt(sc, sc.V)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("theorem 4/5 bounds:  lower %.6g <= psi*_P1 <= upper %.6g (B=%.4g, B/V=%.4g)\n",
+			b.Lower, b.Upper, res.B, res.B/sc.V)
+	}
+	return nil
+}

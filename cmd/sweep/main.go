@@ -1,0 +1,124 @@
+// Command sweep runs the paper scenario across a range of one parameter
+// and tabulates the headline metrics, with optional multi-seed replication
+// and 95% confidence intervals.
+//
+// Usage:
+//
+//	sweep -param users -values 10,20,30 [-slots N] [-replications R] [-out file.tsv]
+//
+// Parameters: users | sessions | neighbors | v | lambda.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"greencell"
+	"greencell/internal/export"
+	"greencell/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var (
+		param  = fs.String("param", "v", "parameter to sweep: users | sessions | neighbors | v | lambda")
+		values = fs.String("values", "1e5,5e5,1e6", "comma-separated values")
+		slots  = fs.Int("slots", 100, "slots per run")
+		reps   = fs.Int("replications", 1, "independent seeds per point")
+		seed   = fs.Int64("seed", 1, "base seed")
+		out    = fs.String("out", "", "optional TSV output path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var vals []float64
+	for _, tok := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad value %q: %w", tok, err)
+		}
+		vals = append(vals, v)
+	}
+
+	apply, err := applier(*param)
+	if err != nil {
+		return err
+	}
+
+	header := []string{*param, "cost_mean", "cost_ci", "delivered_mean", "backlog_mean", "grid_mean"}
+	fmt.Printf("%12s %14s %12s %12s %12s %12s\n",
+		*param, "cost", "±95%", "delivered", "backlog", "grid Wh")
+	var rows [][]float64
+	for _, v := range vals {
+		sc := greencell.PaperScenario()
+		sc.Slots = *slots
+		sc.Seed = *seed
+		sc.KeepTraces = false
+		if err := apply(&sc, v); err != nil {
+			return err
+		}
+		rr, err := sim.RunReplicated(sc, sim.Seeds(*seed, *reps))
+		if err != nil {
+			return fmt.Errorf("%s=%g: %w", *param, v, err)
+		}
+		ci := 1.96 * rr.AvgEnergyCost.StdErr()
+		fmt.Printf("%12g %14.6g %12.3g %12.1f %12.1f %12.4f\n",
+			v, rr.AvgEnergyCost.Mean, ci, rr.DeliveredPkts.Mean,
+			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean)
+		rows = append(rows, []float64{
+			v, rr.AvgEnergyCost.Mean, ci, rr.DeliveredPkts.Mean,
+			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean,
+		})
+	}
+	if *out != "" {
+		if err := export.WriteTSVFile(*out, header, rows); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+	}
+	return nil
+}
+
+// applier returns a function installing the swept value into a scenario.
+func applier(param string) (func(*greencell.Scenario, float64) error, error) {
+	switch param {
+	case "users":
+		return func(sc *greencell.Scenario, v float64) error {
+			sc.Topology.NumUsers = int(v)
+			return nil
+		}, nil
+	case "sessions":
+		return func(sc *greencell.Scenario, v float64) error {
+			sc.NumSessions = int(v)
+			return nil
+		}, nil
+	case "neighbors":
+		return func(sc *greencell.Scenario, v float64) error {
+			sc.Topology.MaxNeighbors = int(v)
+			return nil
+		}, nil
+	case "v":
+		return func(sc *greencell.Scenario, v float64) error {
+			sc.V = v
+			return nil
+		}, nil
+	case "lambda":
+		return func(sc *greencell.Scenario, v float64) error {
+			sc.Lambda = v
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown parameter %q", param)
+	}
+}

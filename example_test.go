@@ -1,0 +1,48 @@
+package greencell_test
+
+import (
+	"fmt"
+
+	"greencell"
+)
+
+// Example runs the paper scenario at reduced scale and reports whether the
+// Theorem 4/5 bound sandwich holds.
+func Example() {
+	sc := greencell.PaperScenario()
+	sc.Topology.NumUsers = 8
+	sc.NumSessions = 2
+	sc.Slots = 10
+	sc.KeepTraces = false
+
+	b, err := greencell.BoundsAt(sc, 5e5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("sandwich holds:", b.Lower <= b.Upper)
+	// Output: sandwich holds: true
+}
+
+// ExampleCompareArchitectures reproduces the Fig. 2(f) ordering at reduced
+// scale: renewable integration must beat the grid-only design.
+func ExampleCompareArchitectures() {
+	sc := greencell.PaperScenario()
+	sc.Topology.NumUsers = 8
+	sc.NumSessions = 2
+	sc.Slots = 10
+	sc.KeepTraces = false
+
+	costs, err := greencell.CompareArchitectures(sc, []float64{1e5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	byArch := map[greencell.Architecture]float64{}
+	for _, c := range costs {
+		byArch[c.Architecture] = c.AvgCost
+	}
+	fmt.Println("renewables pay off:",
+		byArch[greencell.Proposed] < byArch[greencell.OneHopNoRenewable])
+	// Output: renewables pay off: true
+}

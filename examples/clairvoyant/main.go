@@ -1,0 +1,150 @@
+// clairvoyant compares the online drift-plus-penalty controller against the
+// true offline (clairvoyant) optimum on a tiny instance where the offline
+// problem — the paper's intractable time-coupled MINLP — can be solved by
+// exhaustive schedule enumeration plus one joint LP per schedule
+// combination. The paper itself never makes this comparison; on toy
+// instances this library can.
+//
+//	go run ./examples/clairvoyant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"greencell/internal/core"
+	"greencell/internal/energy"
+	"greencell/internal/geom"
+	"greencell/internal/offline"
+	"greencell/internal/radio"
+	"greencell/internal/rng"
+	"greencell/internal/spectrum"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+func main() {
+	net, tm := tinyNetwork()
+	const (
+		T      = 4
+		lambda = 0.05
+	)
+	cost := energy.Quadratic{A: 0.5, B: 0.1}
+
+	// One shared realization: the offline solver sees the whole future; the
+	// online controller observes it slot by slot.
+	src := rng.New(7)
+	realization := make([]core.Observation, T)
+	for t := range realization {
+		obs := core.Observation{
+			Widths:    []float64{1e6},
+			RenewWh:   make([]float64, net.NumNodes()),
+			Connected: make([]bool, net.NumNodes()),
+		}
+		for i := range obs.RenewWh {
+			obs.RenewWh[i] = src.Uniform(0, 0.08)
+			obs.Connected[i] = true
+		}
+		realization[t] = obs
+	}
+
+	off, err := offline.Solve(&offline.Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        cost,
+		Lambda:      lambda,
+		Realization: realization,
+		CostCuts:    48,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clairvoyant optimum (T=%d, %d schedule combos over patterns %v):\n",
+		T, off.Combos, off.PatternsPerSlot)
+	fmt.Printf("  objective (cut relaxation):  %.6g\n", off.Objective)
+	fmt.Printf("  objective (exact f):         %.6g\n", off.TrueObjective)
+	fmt.Printf("  admitted packets:            %.1f\n", off.AdmittedPkts)
+
+	fmt.Println("\nonline drift-plus-penalty on the same realization:")
+	fmt.Printf("%10s %14s %14s\n", "V", "online obj", "vs offline")
+	for _, v := range []float64{1e2, 1e3, 1e4} {
+		ctrl, err := core.New(core.Config{
+			Net:         net,
+			Traffic:     tm,
+			V:           v,
+			Lambda:      lambda,
+			SlotSeconds: 60,
+			Cost:        cost,
+			EnergyGate:  true,
+			Env:         core.FixedEnvironment{Slots: realization},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runSrc := rng.New(1)
+		obj := 0.0
+		for t := 0; t < T; t++ {
+			sr, err := ctrl.Step(runSrc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			obj += sr.PenaltyObjective / T
+		}
+		fmt.Printf("%10.0e %14.6g %+13.1f%%\n", v, obj,
+			100*(obj-off.TrueObjective)/max(1e-12, abs(off.TrueObjective)))
+	}
+	fmt.Println("\nthe online controller can never beat the clairvoyant value; the gap")
+	fmt.Println("is the price of causality that Theorem 4's O(B/V) bound quantifies.")
+}
+
+func tinyNetwork() (*topology.Network, *traffic.Model) {
+	sm := &spectrum.Model{Bands: []spectrum.Band{
+		{Name: "cell", Width: spectrum.Constant(1e6), Universal: true},
+	}}
+	spec := func(maxTx float64) topology.NodeSpec {
+		return topology.NodeSpec{
+			MaxTxPowerW: maxTx,
+			RecvPowerW:  0.05,
+			ConstPowerW: 1,
+			IdlePowerW:  0.5,
+			Battery:     energy.BatterySpec{CapacityWh: 10, MaxChargeWh: 0.5, MaxDischargeWh: 0.5},
+			Renewable:   energy.ConstantPower(0.05),
+			Grid:        energy.GridConnection{MaxDrawWh: 50, AlwaysOn: true},
+		}
+	}
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}, Spec: spec(20)},
+		{Kind: topology.User, Pos: geom.Point{X: 400, Y: 0}, Spec: spec(1)},
+		{Kind: topology.User, Pos: geom.Point{X: 800, Y: 0}, Spec: spec(1)},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm := &traffic.Model{
+		PacketBits: 1.2e6,
+		Sessions:   []traffic.Session{{ID: 0, Dest: 2, DemandPkts: 10, MaxAdmission: 10}},
+	}
+	return net, tm
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

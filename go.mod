@@ -1,0 +1,3 @@
+module greencell
+
+go 1.22

@@ -1,0 +1,64 @@
+package greencell_test
+
+import (
+	"testing"
+
+	"greencell"
+)
+
+// TestFacadeQuickstart exercises the public API end to end at reduced
+// scale: the same calls the README's quick start makes.
+func TestFacadeQuickstart(t *testing.T) {
+	sc := greencell.PaperScenario()
+	sc.Topology.NumUsers = 8
+	sc.NumSessions = 2
+	sc.Slots = 20
+	sc.TrackDelay = true
+	sc.AuditDrift = true
+
+	res, err := greencell.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgEnergyCost < 0 || res.DeliveredPkts <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.AuditViolations != 0 {
+		t.Errorf("Lemma 1 audit violations: %d", res.AuditViolations)
+	}
+	if res.ExactDelayMeanSlots < 0 || res.ExactDelayMaxSlots < res.ExactDelayMeanSlots {
+		t.Errorf("delay stats inconsistent: mean %v max %v",
+			res.ExactDelayMeanSlots, res.ExactDelayMaxSlots)
+	}
+}
+
+func TestFacadeBounds(t *testing.T) {
+	sc := greencell.PaperScenario()
+	sc.Topology.NumUsers = 8
+	sc.NumSessions = 2
+	sc.Slots = 15
+	sc.KeepTraces = false
+	b, err := greencell.BoundsAt(sc, 3e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower > b.Upper {
+		t.Errorf("bound sandwich inverted: [%v, %v]", b.Lower, b.Upper)
+	}
+}
+
+func TestFacadeArchitectureConstants(t *testing.T) {
+	archs := []greencell.Architecture{
+		greencell.Proposed,
+		greencell.MultiHopNoRenewable,
+		greencell.OneHopRenewable,
+		greencell.OneHopNoRenewable,
+	}
+	seen := map[greencell.Architecture]bool{}
+	for _, a := range archs {
+		if seen[a] {
+			t.Fatalf("duplicate architecture constant %v", a)
+		}
+		seen[a] = true
+	}
+}

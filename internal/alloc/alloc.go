@@ -1,0 +1,79 @@
+// Package alloc solves the paper's per-slot resource-allocation subproblem
+// S2: for every session s, pick the source base station s_s(t) with the
+// smallest data backlog Q_i^s(t), and admit
+//
+//	k_s(t) = K_s^max  if Q_{s_s}^s(t) − λV < 0,   0 otherwise
+//
+// (Section IV-C2). Ties on backlog are broken deterministically toward the
+// lowest node ID — the paper breaks them randomly; a deterministic rule
+// keeps runs reproducible and is distributionally equivalent here because
+// ties essentially only occur at the all-zeros start.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"greencell/internal/traffic"
+)
+
+// Request is one slot's allocation problem.
+type Request struct {
+	// Sessions are the active sessions.
+	Sessions []traffic.Session
+	// BaseStations lists candidate source nodes.
+	BaseStations []int
+	// Backlog returns Q_i^s(t) for session index s (position in Sessions)
+	// at node i.
+	Backlog func(sessionIdx, node int) float64
+	// LambdaV is the admission threshold λ·V.
+	LambdaV float64
+}
+
+// Decision is the outcome of S2 for one slot.
+type Decision struct {
+	// Source[s] is the chosen source base station for session s.
+	Source []int
+	// Admit[s] is k_s(t), the packets admitted from the Internet.
+	Admit []float64
+}
+
+// ErrRequest reports an invalid allocation request.
+var ErrRequest = errors.New("alloc: invalid request")
+
+// Decide solves S2.
+func Decide(req *Request) (*Decision, error) {
+	if len(req.BaseStations) == 0 {
+		return nil, fmt.Errorf("%w: no base stations", ErrRequest)
+	}
+	if req.Backlog == nil {
+		return nil, fmt.Errorf("%w: nil backlog accessor", ErrRequest)
+	}
+	d := &Decision{
+		Source: make([]int, len(req.Sessions)),
+		Admit:  make([]float64, len(req.Sessions)),
+	}
+	for s, sess := range req.Sessions {
+		if sess.Uplink {
+			// Uplink sessions originate at a fixed user; only the
+			// admission rule applies.
+			d.Source[s] = sess.Source
+			if req.Backlog(s, sess.Source)-req.LambdaV < 0 {
+				d.Admit[s] = sess.MaxAdmission
+			}
+			continue
+		}
+		best := req.BaseStations[0]
+		bestQ := req.Backlog(s, best)
+		for _, b := range req.BaseStations[1:] {
+			if q := req.Backlog(s, b); q < bestQ || (q == bestQ && b < best) {
+				best, bestQ = b, q
+			}
+		}
+		d.Source[s] = best
+		if bestQ-req.LambdaV < 0 {
+			d.Admit[s] = sess.MaxAdmission
+		}
+	}
+	return d, nil
+}

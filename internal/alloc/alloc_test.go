@@ -1,0 +1,97 @@
+package alloc
+
+import (
+	"testing"
+
+	"greencell/internal/traffic"
+)
+
+func req(backlogs map[int]map[int]float64, lambdaV float64, sessions int) *Request {
+	var ss []traffic.Session
+	for i := 0; i < sessions; i++ {
+		ss = append(ss, traffic.Session{ID: i, Dest: 100 + i, DemandPkts: 10, MaxAdmission: 10})
+	}
+	return &Request{
+		Sessions:     ss,
+		BaseStations: []int{0, 1},
+		Backlog: func(s, node int) float64 {
+			return backlogs[s][node]
+		},
+		LambdaV: lambdaV,
+	}
+}
+
+func TestPicksSmallestBacklogSource(t *testing.T) {
+	d, err := Decide(req(map[int]map[int]float64{
+		0: {0: 50, 1: 20},
+		1: {0: 5, 1: 30},
+	}, 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Source[0] != 1 {
+		t.Errorf("session 0 source = %d, want 1", d.Source[0])
+	}
+	if d.Source[1] != 0 {
+		t.Errorf("session 1 source = %d, want 0", d.Source[1])
+	}
+}
+
+func TestAdmissionRule(t *testing.T) {
+	// Session 0: backlog below λV -> admit K_max. Session 1: above -> 0.
+	d, err := Decide(req(map[int]map[int]float64{
+		0: {0: 99, 1: 150},
+		1: {0: 101, 1: 150},
+	}, 100, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admit[0] != 10 {
+		t.Errorf("session 0 admit = %v, want K_max=10", d.Admit[0])
+	}
+	if d.Admit[1] != 0 {
+		t.Errorf("session 1 admit = %v, want 0", d.Admit[1])
+	}
+}
+
+func TestAdmissionBoundary(t *testing.T) {
+	// Q == λV is NOT strictly less: no admission.
+	d, err := Decide(req(map[int]map[int]float64{0: {0: 100, 1: 100}}, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Admit[0] != 0 {
+		t.Errorf("admit at boundary = %v, want 0", d.Admit[0])
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	for i := 0; i < 5; i++ {
+		d, err := Decide(req(map[int]map[int]float64{0: {0: 7, 1: 7}}, 100, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Source[0] != 0 {
+			t.Errorf("tie should break to lowest node ID, got %d", d.Source[0])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Decide(&Request{Backlog: func(int, int) float64 { return 0 }}); err == nil {
+		t.Error("no base stations accepted")
+	}
+	if _, err := Decide(&Request{BaseStations: []int{0}}); err == nil {
+		t.Error("nil backlog accessor accepted")
+	}
+}
+
+func TestNoSessions(t *testing.T) {
+	d, err := Decide(req(nil, 100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Source) != 0 || len(d.Admit) != 0 {
+		t.Error("empty session set should give empty decision")
+	}
+}

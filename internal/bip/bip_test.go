@@ -1,0 +1,199 @@
+package bip
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/lp"
+	"greencell/internal/rng"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 60a + 100b + 120c s.t. 10a + 20b + 30c <= 50, binary.
+	// Optimum: b + c = 220.
+	p := lp.NewProblem(lp.Maximize)
+	a := p.AddVar("a", 0, 1, 60)
+	b := p.AddVar("b", 0, 1, 100)
+	c := p.AddVar("c", 0, 1, 120)
+	p.AddConstraint("w", lp.LE, 50, lp.Term{Var: a, Coef: 10}, lp.Term{Var: b, Coef: 20}, lp.Term{Var: c, Coef: 30})
+	sol, err := Solve(p, []lp.VarID{a, b, c}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-220) > 1e-6 {
+		t.Errorf("objective = %v, want 220", sol.Objective)
+	}
+	if sol.Value(a) != 0 || sol.Value(b) != 1 || sol.Value(c) != 1 {
+		t.Errorf("solution = (%v,%v,%v), want (0,1,1)", sol.Value(a), sol.Value(b), sol.Value(c))
+	}
+}
+
+func TestInfeasibleBinary(t *testing.T) {
+	// a + b = 1.5 has no binary solution but a fractional one, so the root
+	// LP is feasible and both branches die.
+	p := lp.NewProblem(lp.Minimize)
+	a := p.AddVar("a", 0, 1, 1)
+	b := p.AddVar("b", 0, 1, 1)
+	p.AddConstraint("odd", lp.EQ, 1.5,
+		lp.Term{Var: a, Coef: 1}, lp.Term{Var: b, Coef: 0.25})
+	sol, err := Solve(p, []lp.VarID{a, b}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// One binary gate y, one continuous x <= 5y: max x - 3y.
+	// y=1 gives 5-3=2; y=0 gives 0. Optimum 2.
+	p := lp.NewProblem(lp.Maximize)
+	x := p.AddVar("x", 0, math.Inf(1), 1)
+	y := p.AddVar("y", 0, 1, -3)
+	p.AddConstraint("gate", lp.LE, 0, lp.Term{Var: x, Coef: 1}, lp.Term{Var: y, Coef: -5})
+	sol, err := Solve(p, []lp.VarID{y}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestRejectsNonBinaryBounds(t *testing.T) {
+	p := lp.NewProblem(lp.Minimize)
+	x := p.AddVar("x", 0, 3, 1)
+	if _, err := Solve(p, []lp.VarID{x}, Options{}); err == nil {
+		t.Fatal("expected ErrNotBinary")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	p := lp.NewProblem(lp.Maximize)
+	var ids []lp.VarID
+	terms := make([]lp.Term, 0, 12)
+	src := rng.New(5)
+	for i := 0; i < 12; i++ {
+		id := p.AddVar("x", 0, 1, src.Uniform(1, 2))
+		ids = append(ids, id)
+		terms = append(terms, lp.Term{Var: id, Coef: src.Uniform(1, 2)})
+	}
+	p.AddConstraint("w", lp.LE, 6.5, terms...)
+	sol, err := Solve(p, ids, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != NodeLimit {
+		t.Fatalf("status = %v, want node-limit", sol.Status)
+	}
+}
+
+// TestAgainstExhaustive compares branch and bound with full enumeration of
+// all binary assignments on random problems.
+func TestAgainstExhaustive(t *testing.T) {
+	src := rng.New(314)
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + src.Intn(5) // up to 6 binaries
+		m := 1 + src.Intn(3)
+		maximize := src.Bernoulli(0.5)
+		sense := lp.Minimize
+		if maximize {
+			sense = lp.Maximize
+		}
+		p := lp.NewProblem(sense)
+		ids := make([]lp.VarID, n)
+		cost := make([]float64, n)
+		for j := 0; j < n; j++ {
+			cost[j] = src.Uniform(-3, 3)
+			ids[j] = p.AddVar("x", 0, 1, cost[j])
+		}
+		rows := make([][]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rows[i] = make([]float64, n)
+			terms := make([]lp.Term, n)
+			for j := 0; j < n; j++ {
+				rows[i][j] = src.Uniform(-2, 2)
+				terms[j] = lp.Term{Var: ids[j], Coef: rows[i][j]}
+			}
+			rhs[i] = src.Uniform(0, 3) // all-zeros always feasible
+			p.AddConstraint("row", lp.LE, rhs[i], terms...)
+		}
+
+		sol, err := Solve(p, ids, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v (all-zeros is feasible)", trial, sol.Status)
+		}
+
+		best := math.Inf(1)
+		if maximize {
+			best = math.Inf(-1)
+		}
+		for mask := 0; mask < 1<<n; mask++ {
+			feasible := true
+			for i := 0; i < m && feasible; i++ {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					if mask&(1<<j) != 0 {
+						lhs += rows[i][j]
+					}
+				}
+				if lhs > rhs[i]+1e-9 {
+					feasible = false
+				}
+			}
+			if !feasible {
+				continue
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					obj += cost[j]
+				}
+			}
+			if maximize {
+				best = math.Max(best, obj)
+			} else {
+				best = math.Min(best, obj)
+			}
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: bnb %v, exhaustive %v", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestUnboundedRelaxationIsError(t *testing.T) {
+	p := lp.NewProblem(lp.Maximize)
+	y := p.AddVar("y", 0, 1, 1)
+	p.AddVar("x", 0, math.Inf(1), 1) // continuous, unbounded upward
+	if _, err := Solve(p, []lp.VarID{y}, Options{}); err == nil {
+		t.Fatal("unbounded relaxation should surface as an error")
+	}
+}
+
+func TestSolveErrorPropagation(t *testing.T) {
+	p := lp.NewProblem(lp.Minimize)
+	x := p.AddVar("x", 0, 1, 1)
+	p.AddConstraint("bad", lp.LE, 1, lp.Term{Var: lp.VarID(9), Coef: 1})
+	if _, err := Solve(p, []lp.VarID{x}, Options{}); err == nil {
+		t.Fatal("structural LP error should propagate")
+	}
+}
+
+func TestValueOutOfRange(t *testing.T) {
+	s := &Solution{}
+	if s.Value(lp.VarID(3)) != 0 {
+		t.Error("missing incumbent should read 0")
+	}
+}

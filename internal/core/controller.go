@@ -1,0 +1,743 @@
+// Package core implements the paper's online finite-queue-aware energy cost
+// minimization algorithm (Section IV): the drift-plus-penalty controller
+// that each slot observes the random network state, solves the four
+// subproblems S1 (link scheduling), S2 (resource allocation), S3 (routing)
+// and S4 (energy management), and updates the data queues Q_i^s (eq. (15)),
+// the scaled virtual link queues H_ij (eq. (30)) and the battery/shifted
+// energy queues x_i / z_i (eqs. (4), (31)).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"greencell/internal/alloc"
+	"greencell/internal/energy"
+	"greencell/internal/energymgmt"
+	"greencell/internal/lyapunov"
+	"greencell/internal/queueing"
+	"greencell/internal/rng"
+	"greencell/internal/routing"
+	"greencell/internal/sched"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+// Config assembles one controller.
+type Config struct {
+	// Net is the physical network.
+	Net *topology.Network
+	// Traffic is the session set.
+	Traffic *traffic.Model
+	// V is the drift-plus-penalty weight (cost emphasis).
+	V float64
+	// Lambda is the admission reward coefficient λ of the P2 objective.
+	Lambda float64
+	// SlotSeconds is Δt.
+	SlotSeconds float64
+	// Cost is the provider's grid energy cost f.
+	Cost energy.CostFunc
+	// Scheduler solves S1 (nil = the paper's SequentialFix).
+	Scheduler sched.Scheduler
+	// EnergyGate, when set, caps each node's schedulable transmit power by
+	// the energy actually obtainable this slot (renewable + discharge
+	// headroom + grid), keeping S4 deficits out of normal operation.
+	EnergyGate bool
+	// AuditDrift, when set, records a per-slot DriftAudit in every
+	// SlotResult: the realized Lyapunov drift and the Lemma 1 bound it
+	// must satisfy. Used by tests and the validation harness.
+	AuditDrift bool
+	// TrackDelay, when set, shadows every data queue with a FIFO of packet
+	// admission times, yielding exact per-packet delivery delays (see
+	// Controller.SessionDelay) at some memory cost.
+	TrackDelay bool
+	// Env overrides how the per-slot random state is drawn (nil = the
+	// default stochastic environment). Tests and the offline-optimum
+	// comparison inject fixed realizations here.
+	Env Environment
+}
+
+// Observation is the random state revealed at the beginning of a slot:
+// band widths W_m(t), per-node renewable output R_i(t) (Wh), and per-node
+// grid connectivity ω_i(t).
+type Observation struct {
+	Widths    []float64
+	RenewWh   []float64
+	Connected []bool
+}
+
+// Environment produces per-slot observations.
+type Environment interface {
+	// Observe returns the slot's random state. src is the controller's
+	// deterministic randomness stream for the slot.
+	Observe(slot int, src *rng.Source, net *topology.Network) Observation
+}
+
+// DefaultEnvironment samples the paper's processes: band widths from the
+// spectrum model, renewable outputs and grid connectivity per node spec.
+type DefaultEnvironment struct{}
+
+// Observe implements Environment.
+func (DefaultEnvironment) Observe(slot int, src *rng.Source, net *topology.Network) Observation {
+	obs := Observation{
+		Widths:    net.Spectrum.SampleWidths(src.Split(fmt.Sprintf("widths_%d", slot))),
+		RenewWh:   make([]float64, net.NumNodes()),
+		Connected: make([]bool, net.NumNodes()),
+	}
+	envSrc := src.Split(fmt.Sprintf("env_%d", slot))
+	for i, nd := range net.Nodes {
+		obs.RenewWh[i] = nd.Spec.Renewable.Sample(envSrc)
+		obs.Connected[i] = nd.Spec.Grid.SampleConnected(envSrc)
+	}
+	return obs
+}
+
+// FixedEnvironment replays a pre-drawn realization (one Observation per
+// slot, cycling if the run is longer).
+type FixedEnvironment struct {
+	Slots []Observation
+}
+
+// Observe implements Environment.
+func (f FixedEnvironment) Observe(slot int, _ *rng.Source, _ *topology.Network) Observation {
+	return f.Slots[slot%len(f.Slots)]
+}
+
+// ErrConfig reports an invalid controller configuration.
+var ErrConfig = errors.New("core: invalid config")
+
+// SlotResult reports what happened in one slot.
+type SlotResult struct {
+	// Slot is the 0-based slot index.
+	Slot int
+	// GridWh is P(t), the total base-station grid draw.
+	GridWh float64
+	// EnergyCost is f(P(t)).
+	EnergyCost float64
+	// AdmittedPkts is Σ_s k_s(t).
+	AdmittedPkts float64
+	// PenaltyObjective is the per-slot P2 objective f(P(t)) − λ·Σ_s k_s(t);
+	// its time average is the quantity bounded by Theorems 4–5.
+	PenaltyObjective float64
+	// DeliveredPkts[s] is the packets that reached d_s this slot.
+	DeliveredPkts []float64
+	// ScheduledLinks is the number of active links.
+	ScheduledLinks int
+	// TxEnergyWh is the total transmission+reception energy Σ_i E_i^TX.
+	TxEnergyWh float64
+	// DemandWh is the total node energy demand Σ_i E_i(t).
+	DemandWh float64
+	// DeficitWh is unserved energy demand (0 in normal operation).
+	DeficitWh float64
+	// MarginalPriceWh is the S4 shadow price V·f'(P(t)) of grid energy.
+	MarginalPriceWh float64
+	// RenewableWh is the total renewable output this slot.
+	RenewableWh float64
+
+	// Queue aggregates at the END of the slot (what Fig. 2(b)–(e) plot).
+	DataBacklogBS, DataBacklogUsers    float64
+	BatteryWhBS, BatteryWhUsers        float64
+	VirtualBacklogH, ShiftedEnergyAbsZ float64
+
+	// Audit holds the realized Lyapunov drift audit (nil unless
+	// Config.AuditDrift).
+	Audit *DriftAudit
+}
+
+// DriftAudit is the per-slot numerical check of Lemma 1: the realized
+// drift ΔL must not exceed SquareTerms + CrossTerms, and SquareTerms must
+// not exceed the a-priori constant B of eq. (34).
+type DriftAudit struct {
+	// LBefore and LAfter are L(Θ(t)) and L(Θ(t+1)).
+	LBefore, LAfter float64
+	// Drift is LAfter − LBefore.
+	Drift float64
+	// SquareTerms and CrossTerms are the realized right-hand-side pieces
+	// (see package lyapunov).
+	SquareTerms, CrossTerms float64
+	// B is the Lemma 1 constant.
+	B float64
+}
+
+// Holds reports whether both audited inequalities hold (with a relative
+// tolerance for floating-point accumulation).
+func (d *DriftAudit) Holds() bool {
+	tol := 1e-9 * (1 + math.Abs(d.LBefore) + math.Abs(d.LAfter))
+	return d.Drift <= d.SquareTerms+d.CrossTerms+tol && d.SquareTerms <= d.B+tol
+}
+
+// Controller is the online algorithm's mutable state Θ(t) plus the derived
+// Lyapunov constants.
+type Controller struct {
+	cfg   Config
+	sched sched.Scheduler
+
+	// q[s][i] is Q_i^s(t); the destination's entry stays zero.
+	q [][]queueing.Queue
+	// fifos shadows q with packet ages when cfg.TrackDelay.
+	fifos [][]queueing.PacketFIFO
+	// delays accumulates per-session delivery-delay statistics.
+	delays []queueing.DelayStats
+	// h[l] is H_ij(t) per candidate link.
+	h []queueing.Queue
+	// batteries[i] is x_i(t).
+	batteries []*energy.Battery
+
+	// Lyapunov constants.
+	beta     float64 // β = max_ij (1/δ)·c_ij^max·Δt  (packets/slot)
+	gammaMax float64 // γ_max = max f' over the grid-draw domain
+	bConst   float64 // B of eq. (34)
+
+	// capPktsMax[l] is (1/δ)·c_l^max·Δt, link l's best-case packets/slot.
+	capPktsMax []float64
+
+	slot int
+}
+
+// New builds a controller and validates the configuration.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("%w: nil network", ErrConfig)
+	}
+	if cfg.Traffic == nil {
+		return nil, fmt.Errorf("%w: nil traffic", ErrConfig)
+	}
+	if err := cfg.Traffic.Validate(cfg.Net.NumNodes()); err != nil {
+		return nil, err
+	}
+	if cfg.V < 0 || cfg.Lambda < 0 {
+		return nil, fmt.Errorf("%w: negative V or Lambda", ErrConfig)
+	}
+	if cfg.SlotSeconds <= 0 {
+		return nil, fmt.Errorf("%w: SlotSeconds = %v", ErrConfig, cfg.SlotSeconds)
+	}
+	if cfg.Cost == nil {
+		return nil, fmt.Errorf("%w: nil cost function", ErrConfig)
+	}
+	for _, s := range cfg.Traffic.Sessions {
+		if s.Uplink {
+			if cfg.Net.IsBS(s.Source) {
+				return nil, fmt.Errorf("%w: uplink session %d source %d is a base station", ErrConfig, s.ID, s.Source)
+			}
+			continue
+		}
+		if cfg.Net.IsBS(s.Dest) {
+			return nil, fmt.Errorf("%w: session %d destination %d is a base station", ErrConfig, s.ID, s.Dest)
+		}
+	}
+
+	c := &Controller{cfg: cfg, sched: cfg.Scheduler}
+	if c.sched == nil {
+		c.sched = sched.SequentialFix{}
+	}
+
+	net := cfg.Net
+	S := cfg.Traffic.NumSessions()
+	c.q = make([][]queueing.Queue, S)
+	for s := range c.q {
+		c.q[s] = make([]queueing.Queue, net.NumNodes())
+	}
+	if cfg.TrackDelay {
+		c.fifos = make([][]queueing.PacketFIFO, S)
+		for s := range c.fifos {
+			c.fifos[s] = make([]queueing.PacketFIFO, net.NumNodes())
+		}
+		c.delays = make([]queueing.DelayStats, S)
+	}
+	c.h = make([]queueing.Queue, len(net.Links))
+	c.batteries = make([]*energy.Battery, net.NumNodes())
+	for i, nd := range net.Nodes {
+		b, err := energy.NewBattery(nd.Spec.Battery, nd.Spec.BatteryInitWh)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", i, err)
+		}
+		c.batteries[i] = b
+	}
+
+	c.deriveConstants()
+	return c, nil
+}
+
+// deriveConstants computes β, γ_max, the per-link best-case packet
+// capacities, and the drift constant B of eq. (34).
+func (c *Controller) deriveConstants() {
+	net := c.cfg.Net
+	delta := c.cfg.Traffic.PacketBits
+	dtSec := c.cfg.SlotSeconds
+
+	c.capPktsMax = make([]float64, len(net.Links))
+	for l, link := range net.Links {
+		best := 0.0
+		for _, b := range link.Bands {
+			if r := net.Radio.Capacity(net.Spectrum.Bands[b].Width.Max()); r > best {
+				best = r
+			}
+		}
+		c.capPktsMax[l] = best * dtSec / delta
+	}
+	c.beta = 0
+	for _, v := range c.capPktsMax {
+		if v > c.beta {
+			c.beta = v
+		}
+	}
+	if c.beta == 0 {
+		c.beta = 1 // degenerate networks with no links still need β > 0
+	}
+
+	totalPMax := 0.0
+	for _, i := range net.BaseStations() {
+		totalPMax += net.Nodes[i].Spec.Grid.MaxDrawWh
+	}
+	c.gammaMax = c.cfg.Cost.MaxDeriv(totalPMax)
+
+	// B per eq. (34). maxServe/maxArrive are each node's best-case per-slot
+	// packet service / arrival over its single radio.
+	maxServe := make([]float64, net.NumNodes())
+	maxArrive := make([]float64, net.NumNodes())
+	for l, link := range net.Links {
+		if c.capPktsMax[l] > maxServe[link.From] {
+			maxServe[link.From] = c.capPktsMax[l]
+		}
+		if c.capPktsMax[l] > maxArrive[link.To] {
+			maxArrive[link.To] = c.capPktsMax[l]
+		}
+	}
+	b := 0.0
+	for _, sess := range c.cfg.Traffic.Sessions {
+		for i := range net.Nodes {
+			arrive := maxArrive[i]
+			if (!sess.Uplink && net.IsBS(i)) || (sess.Uplink && i == sess.Source) {
+				// Any base station may be chosen as s_s(t) for a downlink
+				// session; an uplink session admits at its fixed user.
+				arrive += sess.MaxAdmission
+			}
+			b += 0.5 * (maxServe[i]*maxServe[i] + arrive*arrive)
+		}
+	}
+	for l := range net.Links {
+		v := c.beta * c.capPktsMax[l]
+		b += v * v
+	}
+	for i := range net.Nodes {
+		spec := net.Nodes[i].Spec.Battery
+		m := spec.MaxChargeWh
+		if spec.MaxDischargeWh > m {
+			m = spec.MaxDischargeWh
+		}
+		b += 0.5 * m * m
+	}
+	c.bConst = b
+}
+
+// Beta returns β.
+func (c *Controller) Beta() float64 { return c.beta }
+
+// GammaMax returns γ_max.
+func (c *Controller) GammaMax() float64 { return c.gammaMax }
+
+// B returns the drift constant of eq. (34); Theorem 5's lower bound is
+// ψ*_P3̄ − B/V.
+func (c *Controller) B() float64 { return c.bConst }
+
+// V returns the configured drift-plus-penalty weight.
+func (c *Controller) V() float64 { return c.cfg.V }
+
+// SessionDelay returns the exact delivered-packet delay statistics of a
+// session: packet-weighted mean and maximum, in slots. It returns zeros
+// unless Config.TrackDelay was set.
+func (c *Controller) SessionDelay(sessionIdx int) (mean, max, delivered float64) {
+	if c.delays == nil {
+		return 0, 0, 0
+	}
+	d := &c.delays[sessionIdx]
+	return d.Mean(), d.Max(), d.Count()
+}
+
+// SessionDelayQuantile returns the q-quantile of a session's delivered-
+// packet delay distribution in slots (0 unless Config.TrackDelay).
+func (c *Controller) SessionDelayQuantile(sessionIdx int, q float64) float64 {
+	if c.delays == nil {
+		return 0
+	}
+	return c.delays[sessionIdx].Quantile(q)
+}
+
+// isSink reports whether node is a delivery point of session s: the fixed
+// destination for downlink, any base station for uplink (anycast).
+func (c *Controller) isSink(s, node int) bool {
+	sess := c.cfg.Traffic.Sessions[s]
+	if sess.Uplink {
+		return c.cfg.Net.IsBS(node)
+	}
+	return node == sess.Dest
+}
+
+// QueueBacklog returns Q_i^s(t).
+func (c *Controller) QueueBacklog(sessionIdx, node int) float64 {
+	return c.q[sessionIdx][node].Backlog()
+}
+
+// VirtualBacklog returns H_ij(t) for candidate link l.
+func (c *Controller) VirtualBacklog(l int) float64 { return c.h[l].Backlog() }
+
+// BatteryLevel returns x_i(t) in Wh.
+func (c *Controller) BatteryLevel(node int) float64 { return c.batteries[node].Level() }
+
+// ShiftedLevel returns z_i(t) = x_i(t) − V·γ_max − d_i^max.
+func (c *Controller) ShiftedLevel(node int) float64 {
+	return c.batteries[node].Level() - c.cfg.V*c.gammaMax -
+		c.cfg.Net.Nodes[node].Spec.Battery.MaxDischargeWh
+}
+
+// snapshot flattens Θ(t) for the Lyapunov audit.
+func (c *Controller) snapshot() lyapunov.State {
+	net := c.cfg.Net
+	S := c.cfg.Traffic.NumSessions()
+	st := lyapunov.State{
+		Q: make([]float64, 0, S*net.NumNodes()),
+		H: make([]float64, 0, len(net.Links)),
+		Z: make([]float64, 0, net.NumNodes()),
+	}
+	for s := 0; s < S; s++ {
+		for i := 0; i < net.NumNodes(); i++ {
+			st.Q = append(st.Q, c.q[s][i].Backlog())
+		}
+	}
+	for l := range net.Links {
+		st.H = append(st.H, c.h[l].Backlog())
+	}
+	for i := 0; i < net.NumNodes(); i++ {
+		st.Z = append(st.Z, c.ShiftedLevel(i))
+	}
+	return st
+}
+
+// Step advances the controller by one slot, drawing all randomness from src.
+func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
+	net := c.cfg.Net
+	S := c.cfg.Traffic.NumSessions()
+	dtH := c.cfg.SlotSeconds / 3600 // hours
+	delta := c.cfg.Traffic.PacketBits
+
+	res := &SlotResult{Slot: c.slot, DeliveredPkts: make([]float64, S)}
+
+	// --- Observe the random state -------------------------------------
+	env := c.cfg.Env
+	if env == nil {
+		env = DefaultEnvironment{}
+	}
+	obs := env.Observe(c.slot, src, net)
+	widths := obs.Widths
+	renewWh := obs.RenewWh
+	connected := obs.Connected
+	for _, r := range renewWh {
+		res.RenewableWh += r
+	}
+
+	// --- S1: link scheduling -------------------------------------------
+	weights := make([]float64, len(net.Links))
+	for l := range net.Links {
+		weights[l] = c.h[l].Backlog()
+	}
+	var txCap []float64
+	if c.cfg.EnergyGate {
+		txCap = make([]float64, net.NumNodes())
+		for i, nd := range net.Nodes {
+			availWh := renewWh[i] + c.batteries[i].DischargeHeadroom()
+			if connected[i] {
+				availWh += nd.Spec.Grid.MaxDrawWh
+			}
+			availWh -= (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW) * dtH
+			capW := availWh / dtH
+			if capW < 0 {
+				capW = 0
+			}
+			if capW > nd.Spec.MaxTxPowerW {
+				capW = nd.Spec.MaxTxPowerW
+			}
+			txCap[i] = capW
+		}
+	}
+	asg, err := c.sched.Schedule(&sched.Request{
+		Net:        net,
+		Widths:     widths,
+		Weights:    weights,
+		TxPowerCap: txCap,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+	// capPkts is the scheduled service of the virtual queues H (eq. (30)).
+	// routeCap is the routing cap per link: the capacity the link would
+	// have on its best currently-available band. The paper's P2 replaces
+	// the per-slot capacity constraint (25) by its time average (27),
+	// which the strong stability of H enforces; routing therefore ships up
+	// to the potential capacity while H accumulates any deficit between
+	// routed load and scheduled service (see DESIGN.md).
+	capPkts := make([]float64, len(net.Links))
+	routeCap := make([]float64, len(net.Links))
+	for l, link := range net.Links {
+		capPkts[l] = asg.RateBits[l] * c.cfg.SlotSeconds / delta
+		if asg.Activity[l] > 0 {
+			res.ScheduledLinks++
+		}
+		best := 0.0
+		for _, b := range link.Bands {
+			if r := net.Radio.Capacity(widths[b]); r > best {
+				best = r
+			}
+		}
+		routeCap[l] = best * c.cfg.SlotSeconds / delta
+	}
+
+	// --- S2: resource allocation ----------------------------------------
+	dec2, err := alloc.Decide(&alloc.Request{
+		Sessions:     c.cfg.Traffic.Sessions,
+		BaseStations: net.BaseStations(),
+		Backlog:      func(s, node int) float64 { return c.q[s][node].Backlog() },
+		LambdaV:      c.cfg.Lambda * c.cfg.V,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+
+	// --- S3: routing ------------------------------------------------------
+	dest := make([]int, S)
+	demand := make([]float64, S)
+	for s, sess := range c.cfg.Traffic.Sessions {
+		dest[s] = sess.Dest
+		demand[s] = sess.DemandAt(c.slot)
+	}
+	hBacklog := make([]float64, len(net.Links))
+	for l := range net.Links {
+		hBacklog[l] = c.h[l].Backlog()
+	}
+	dec3, err := routing.Decide(&routing.Request{
+		Net:         net,
+		NumSessions: S,
+		Backlog: func(s, node int) float64 {
+			if c.isSink(s, node) {
+				return 0
+			}
+			return c.q[s][node].Backlog()
+		},
+		H:            hBacklog,
+		Beta:         c.beta,
+		CapacityPkts: routeCap,
+		Dest:         dest,
+		Source:       dec2.Source,
+		Sink:         c.isSink,
+		DemandPkts:   demand,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+
+	// Execute transfers: ship only packets that exist, decrementing each
+	// upstream backlog as flows are granted so a node's several out-links
+	// cannot ship the same packets twice (see DESIGN.md).
+	actual := make([][]float64, len(net.Links))
+	for l := range net.Links {
+		actual[l] = make([]float64, S)
+	}
+	for s := 0; s < S; s++ {
+		remaining := make([]float64, net.NumNodes())
+		for i := range net.Nodes {
+			remaining[i] = c.q[s][i].Backlog()
+		}
+		// Grant destination-bound flows first: they realize throughput.
+		grant := func(l int, link topology.Link) {
+			f := dec3.Flow[l][s]
+			if f <= 0 {
+				return
+			}
+			if f > remaining[link.From] {
+				f = remaining[link.From]
+			}
+			actual[l][s] = f
+			remaining[link.From] -= f
+		}
+		for l, link := range net.Links {
+			if c.isSink(s, link.To) {
+				grant(l, link)
+			}
+		}
+		for l, link := range net.Links {
+			if !c.isSink(s, link.To) {
+				grant(l, link)
+			}
+		}
+	}
+
+	// --- Queue updates (data + virtual) ----------------------------------
+	var audit *lyapunov.Audit
+	var before lyapunov.State
+	if c.cfg.AuditDrift {
+		audit = &lyapunov.Audit{}
+		before = c.snapshot()
+	}
+	for s := 0; s < S; s++ {
+		arrivals := make([]float64, net.NumNodes())
+		services := make([]float64, net.NumNodes())
+		for l, link := range net.Links {
+			a := actual[l][s]
+			if a == 0 {
+				continue
+			}
+			services[link.From] += a
+			if c.isSink(s, link.To) {
+				res.DeliveredPkts[s] += a
+			} else {
+				arrivals[link.To] += a
+			}
+		}
+		arrivals[dec2.Source[s]] += dec2.Admit[s]
+		res.AdmittedPkts += dec2.Admit[s]
+		if c.fifos != nil {
+			// Move packet ages along the same transfers: pop each link's
+			// shipment from the upstream FIFO, record delays at the
+			// destination, re-queue elsewhere; then add the admissions.
+			for l, link := range net.Links {
+				a := actual[l][s]
+				if a == 0 {
+					continue
+				}
+				batches := c.fifos[s][link.From].Pop(a)
+				if c.isSink(s, link.To) {
+					c.delays[s].Record(c.slot, batches)
+				} else {
+					c.fifos[s][link.To].PushBatches(batches)
+				}
+			}
+			c.fifos[s][dec2.Source[s]].Push(dec2.Admit[s], c.slot)
+		}
+		for i := range net.Nodes {
+			if c.isSink(s, i) {
+				continue
+			}
+			if audit != nil {
+				audit.AddQueue(lyapunov.Flow{
+					Backlog: c.q[s][i].Backlog(),
+					Arrival: arrivals[i],
+					Service: services[i],
+				})
+			}
+			c.q[s][i].Step(arrivals[i], services[i])
+		}
+	}
+	for l := range net.Links {
+		flow := 0.0
+		for s := 0; s < S; s++ {
+			flow += actual[l][s]
+		}
+		if audit != nil {
+			audit.AddQueue(lyapunov.Flow{
+				Backlog: c.h[l].Backlog(),
+				Arrival: c.beta * flow,
+				Service: c.beta * capPkts[l],
+			})
+		}
+		c.h[l].Step(c.beta*flow, c.beta*capPkts[l])
+	}
+
+	// --- Energy accounting: E_i(t) per eqs. (2) and (23) ------------------
+	demandWh := make([]float64, net.NumNodes())
+	for i, nd := range net.Nodes {
+		demandWh[i] = (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW) * dtH
+	}
+	for l, link := range net.Links {
+		if asg.Activity[l] <= 0 {
+			continue
+		}
+		tx := asg.PowerW[l] * dtH
+		rx := asg.Activity[l] * net.Nodes[link.To].Spec.RecvPowerW * dtH
+		demandWh[link.From] += tx
+		demandWh[link.To] += rx
+		res.TxEnergyWh += tx + rx
+	}
+	for _, d := range demandWh {
+		res.DemandWh += d
+	}
+
+	// --- S4: energy management -------------------------------------------
+	inputs := make([]energymgmt.NodeInput, net.NumNodes())
+	for i, nd := range net.Nodes {
+		inputs[i] = energymgmt.NodeInput{
+			Z:                   c.ShiftedLevel(i),
+			DemandWh:            demandWh[i],
+			RenewableWh:         renewWh[i],
+			ChargeHeadroomWh:    c.batteries[i].ChargeHeadroom(),
+			DischargeHeadroomWh: c.batteries[i].DischargeHeadroom(),
+			GridConnected:       connected[i],
+			GridCapWh:           nd.Spec.Grid.MaxDrawWh,
+			IsBS:                net.IsBS(i),
+		}
+	}
+	dec4, err := energymgmt.Solve(&energymgmt.Request{
+		Nodes: inputs,
+		V:     c.cfg.V,
+		Cost:  c.cfg.Cost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+	for i := range net.Nodes {
+		nd := dec4.Nodes[i]
+		zBefore := c.ShiftedLevel(i)
+		lvlBefore := c.batteries[i].Level()
+		if err := c.batteries[i].Step(nd.ChargeWh(), nd.DischargeWh); err != nil {
+			return nil, fmt.Errorf("slot %d node %d: %w", c.slot, i, err)
+		}
+		if audit != nil {
+			// Use the realized level change so storage losses (extension)
+			// stay consistent with z' = z + Δx.
+			audit.AddSigned(zBefore, c.batteries[i].Level()-lvlBefore, 0)
+		}
+	}
+	if audit != nil {
+		after := c.snapshot()
+		res.Audit = &DriftAudit{
+			LBefore:     lyapunov.Value(before),
+			LAfter:      lyapunov.Value(after),
+			Drift:       lyapunov.Drift(before, after),
+			SquareTerms: audit.SquareTerms,
+			CrossTerms:  audit.CrossTerms,
+			B:           c.bConst,
+		}
+	}
+
+	res.GridWh = dec4.GridTotalWh
+	res.EnergyCost = dec4.EnergyCost
+	res.DeficitWh = dec4.TotalDeficitWh
+	res.MarginalPriceWh = dec4.MarginalPriceWh
+	res.PenaltyObjective = res.EnergyCost - c.cfg.Lambda*res.AdmittedPkts
+
+	// --- End-of-slot aggregates -------------------------------------------
+	for s := 0; s < S; s++ {
+		for i := range net.Nodes {
+			b := c.q[s][i].Backlog()
+			if net.IsBS(i) {
+				res.DataBacklogBS += b
+			} else {
+				res.DataBacklogUsers += b
+			}
+		}
+	}
+	for i := range net.Nodes {
+		lvl := c.batteries[i].Level()
+		if net.IsBS(i) {
+			res.BatteryWhBS += lvl
+		} else {
+			res.BatteryWhUsers += lvl
+		}
+		res.ShiftedEnergyAbsZ += math.Abs(c.ShiftedLevel(i))
+	}
+	for l := range net.Links {
+		res.VirtualBacklogH += c.h[l].Backlog()
+	}
+
+	c.slot++
+	return res, nil
+}

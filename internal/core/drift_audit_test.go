@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"greencell/internal/energy"
+	"greencell/internal/rng"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+// TestDriftAuditLemma1 numerically verifies Lemma 1 on live trajectories:
+// every slot's realized Lyapunov drift must respect
+// ΔL ≤ SquareTerms + CrossTerms, and the realized SquareTerms must stay
+// below the a-priori constant B of eq. (34).
+func TestDriftAuditLemma1(t *testing.T) {
+	cfg, _ := smallConfig(t, 11)
+	cfg.AuditDrift = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	maxSquare := 0.0
+	for slot := 0; slot < 60; slot++ {
+		res, err := c.Step(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Audit == nil {
+			t.Fatal("AuditDrift set but no audit recorded")
+		}
+		a := res.Audit
+		if a.Drift > a.SquareTerms+a.CrossTerms+1e-6*(1+a.LBefore+a.LAfter) {
+			t.Fatalf("slot %d: drift %v exceeds realized bound %v",
+				slot, a.Drift, a.SquareTerms+a.CrossTerms)
+		}
+		if a.SquareTerms > maxSquare {
+			maxSquare = a.SquareTerms
+		}
+		if !a.Holds() {
+			t.Fatalf("slot %d: audit does not hold: %+v", slot, a)
+		}
+	}
+	t.Logf("max realized SquareTerms = %.4g vs B = %.4g (ratio %.3g)",
+		maxSquare, c.B(), maxSquare/c.B())
+}
+
+func TestAuditDisabledByDefault(t *testing.T) {
+	cfg, _ := smallConfig(t, 12)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Step(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audit != nil {
+		t.Error("audit recorded without AuditDrift")
+	}
+}
+
+// TestDelayTrackingConsistent verifies the FIFO shadow stays in lockstep
+// with the queue backlogs and produces sane delay statistics.
+func TestDelayTrackingConsistent(t *testing.T) {
+	cfg, net := smallConfig(t, 13)
+	cfg.TrackDelay = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(13)
+	delivered := 0.0
+	for slot := 0; slot < 40; slot++ {
+		res, err := c.Step(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.DeliveredPkts {
+			delivered += d
+		}
+		// FIFO totals must equal the queue backlogs exactly.
+		for s := 0; s < cfg.Traffic.NumSessions(); s++ {
+			for i := range net.Nodes {
+				q := c.q[s][i].Backlog()
+				f := c.fifos[s][i].Total()
+				if diff := q - f; diff > 1e-6 || diff < -1e-6 {
+					t.Fatalf("slot %d: FIFO total %v != backlog %v at (s=%d,i=%d)",
+						slot, f, q, s, i)
+				}
+			}
+		}
+	}
+	totalCounted := 0.0
+	for s := 0; s < cfg.Traffic.NumSessions(); s++ {
+		mean, max, count := c.SessionDelay(s)
+		totalCounted += count
+		if mean < 0 || max < mean {
+			t.Errorf("session %d: delay stats mean=%v max=%v", s, mean, max)
+		}
+	}
+	if diff := totalCounted - delivered; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("delay-tracked deliveries %v != delivered packets %v", totalCounted, delivered)
+	}
+}
+
+func TestSessionDelayWithoutTracking(t *testing.T) {
+	cfg, _ := smallConfig(t, 14)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if mean, max, count := c.SessionDelay(0); mean != 0 || max != 0 || count != 0 {
+		t.Error("delay stats should be zero without TrackDelay")
+	}
+}
+
+// BenchmarkStep measures one controller slot at paper scale with the
+// sequential-fix scheduler — the per-slot cost a deployment would pay.
+func BenchmarkStep(b *testing.B) {
+	src := rng.New(1)
+	net, err := topology.Build(topology.Paper(), src.Split("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tm := traffic.PaperSessions(4, net.Users(), 60, src.Split("traffic"))
+	c, err := New(Config{
+		Net:         net,
+		Traffic:     tm,
+		V:           1e5,
+		Lambda:      0.0006,
+		SlotSeconds: 60,
+		Cost:        energy.PaperCost(),
+		EnergyGate:  true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	stepSrc := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Step(stepSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestUplinkSessions verifies the anycast uplink extension: packets
+// originate at a fixed user, are delivered on reaching any base station,
+// and no base station accumulates a queue for the session.
+func TestUplinkSessions(t *testing.T) {
+	cfg, net := smallConfig(t, 15)
+	up := traffic.UplinkSessions(2, net.Users(), 60, len(cfg.Traffic.Sessions), rng.New(15))
+	cfg.Traffic.Sessions = append(cfg.Traffic.Sessions, up...)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(16)
+	admitted, delivered := 0.0, 0.0
+	for slot := 0; slot < 40; slot++ {
+		res, err := c.Step(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		admitted += res.AdmittedPkts
+		for s := len(cfg.Traffic.Sessions) - 2; s < len(cfg.Traffic.Sessions); s++ {
+			delivered += res.DeliveredPkts[s]
+			for _, b := range net.BaseStations() {
+				if q := c.QueueBacklog(s, b); q != 0 {
+					t.Fatalf("uplink session %d holds %v packets at BS %d", s, q, b)
+				}
+			}
+		}
+	}
+	if delivered <= 0 {
+		t.Error("uplink sessions delivered nothing to the base stations")
+	}
+	if admitted <= 0 {
+		t.Error("nothing admitted")
+	}
+}
+
+// TestUplinkValidation rejects base-station uplink sources.
+func TestUplinkValidation(t *testing.T) {
+	cfg, net := smallConfig(t, 17)
+	cfg.Traffic.Sessions = append(cfg.Traffic.Sessions, traffic.Session{
+		ID: 9, Uplink: true, Source: net.BaseStations()[0], DemandPkts: 1, MaxAdmission: 1,
+	})
+	if _, err := New(cfg); err == nil {
+		t.Error("uplink session sourced at a base station accepted")
+	}
+}

@@ -1,0 +1,364 @@
+// Package energy models the paper's Section II-C/D/E: per-node energy
+// consumption, renewable generation, energy storage (battery) queues with
+// charge/discharge limits and the no-simultaneous-charge-discharge rule,
+// grid connections, and the provider's convex energy generation cost.
+//
+// Units: all energies are watt-hours (Wh) per slot; instantaneous outputs
+// are watts (W); callers convert with the slot duration in hours.
+package energy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"greencell/internal/rng"
+)
+
+// Process is the random renewable output R_i(t), expressed directly as
+// energy per slot (Wh) — the unit every other energy quantity uses.
+type Process interface {
+	// Sample draws the output for one slot, in Wh.
+	Sample(src *rng.Source) float64
+	// Max returns the largest possible output, in Wh (R_i^max).
+	Max() float64
+}
+
+// UniformPower is i.i.d. uniform output in [0, MaxWh] per slot — the
+// paper's model for both solar panels and wind turbines.
+type UniformPower struct {
+	MaxWh float64
+}
+
+// Sample implements Process.
+func (u UniformPower) Sample(src *rng.Source) float64 { return src.Uniform(0, u.MaxWh) }
+
+// Max implements Process.
+func (u UniformPower) Max() float64 { return u.MaxWh }
+
+// ConstantPower is a fixed output every slot, in Wh.
+type ConstantPower float64
+
+// Sample implements Process.
+func (c ConstantPower) Sample(*rng.Source) float64 { return float64(c) }
+
+// Max implements Process.
+func (c ConstantPower) Max() float64 { return float64(c) }
+
+// Off is a renewable source that produces nothing — used by the
+// "without renewable energy" baseline architectures.
+type Off struct{}
+
+// Sample implements Process.
+func (Off) Sample(*rng.Source) float64 { return 0 }
+
+// Max implements Process.
+func (Off) Max() float64 { return 0 }
+
+// BatterySpec describes an energy storage unit.
+type BatterySpec struct {
+	// CapacityWh is x_i^max, the maximum stored energy.
+	CapacityWh float64
+	// MaxChargeWh is c_i^max, the per-slot charging limit.
+	MaxChargeWh float64
+	// MaxDischargeWh is d_i^max, the per-slot discharging limit.
+	MaxDischargeWh float64
+	// ChargeEfficiency and DischargeEfficiency extend the paper's lossless
+	// storage with conversion losses: of c Wh sent to the battery,
+	// η_c·c Wh are stored; delivering d Wh drains d/η_d Wh. Zero means 1
+	// (lossless, the paper's model).
+	ChargeEfficiency, DischargeEfficiency float64
+}
+
+// chargeEff returns the effective charging efficiency.
+func (s BatterySpec) chargeEff() float64 {
+	if s.ChargeEfficiency == 0 {
+		return 1
+	}
+	return s.ChargeEfficiency
+}
+
+// dischargeEff returns the effective discharging efficiency.
+func (s BatterySpec) dischargeEff() float64 {
+	if s.DischargeEfficiency == 0 {
+		return 1
+	}
+	return s.DischargeEfficiency
+}
+
+// ErrBatterySpec reports an invalid battery specification.
+var ErrBatterySpec = errors.New("energy: invalid battery spec")
+
+// Validate checks non-negativity and the paper's constraint (13):
+// c_max + d_max <= x_max.
+func (s BatterySpec) Validate() error {
+	if s.CapacityWh < 0 || s.MaxChargeWh < 0 || s.MaxDischargeWh < 0 {
+		return fmt.Errorf("%w: negative field in %+v", ErrBatterySpec, s)
+	}
+	if s.MaxChargeWh+s.MaxDischargeWh > s.CapacityWh+1e-9 {
+		return fmt.Errorf("%w: c_max (%v) + d_max (%v) exceeds capacity (%v)",
+			ErrBatterySpec, s.MaxChargeWh, s.MaxDischargeWh, s.CapacityWh)
+	}
+	for _, eff := range []float64{s.ChargeEfficiency, s.DischargeEfficiency} {
+		if eff < 0 || eff > 1 {
+			return fmt.Errorf("%w: efficiency %v outside (0,1]", ErrBatterySpec, eff)
+		}
+	}
+	return nil
+}
+
+// Battery is the energy queue x_i(t) of eq. (4), enforcing constraints
+// (9)–(12) on every step.
+type Battery struct {
+	spec  BatterySpec
+	level float64
+}
+
+// NewBattery creates a battery with the given initial level.
+func NewBattery(spec BatterySpec, initialWh float64) (*Battery, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if initialWh < 0 || initialWh > spec.CapacityWh {
+		return nil, fmt.Errorf("%w: initial level %v outside [0,%v]",
+			ErrBatterySpec, initialWh, spec.CapacityWh)
+	}
+	return &Battery{spec: spec, level: initialWh}, nil
+}
+
+// Spec returns the battery's specification.
+func (b *Battery) Spec() BatterySpec { return b.spec }
+
+// Level returns the current stored energy x_i(t) in Wh.
+func (b *Battery) Level() float64 { return b.level }
+
+// ChargeHeadroom returns the largest admissible charge this slot:
+// min(c_max, (x_max − x)/η_c) — paper eq. (11), with losses the stored
+// amount is η_c·c so more input fits.
+func (b *Battery) ChargeHeadroom() float64 {
+	room := (b.spec.CapacityWh - b.level) / b.spec.chargeEff()
+	if room < 0 {
+		room = 0
+	}
+	if b.spec.MaxChargeWh < room {
+		return b.spec.MaxChargeWh
+	}
+	return room
+}
+
+// DischargeHeadroom returns the largest admissible delivered discharge this
+// slot: min(d_max, x·η_d) — paper eq. (12) with losses.
+func (b *Battery) DischargeHeadroom() float64 {
+	avail := b.level * b.spec.dischargeEff()
+	if b.spec.MaxDischargeWh < avail {
+		return b.spec.MaxDischargeWh
+	}
+	return avail
+}
+
+// ErrBatteryStep reports an inadmissible charge/discharge pair.
+var ErrBatteryStep = errors.New("energy: inadmissible battery step")
+
+// Step applies x(t+1) = x(t) + c − d (eq. (4)). It rejects simultaneous
+// charge and discharge (eq. (9)) and violations of the headroom limits
+// (eqs. (11)–(12)), with a small tolerance for solver roundoff; admissible
+// values are clamped exactly onto [0, capacity].
+func (b *Battery) Step(chargeWh, dischargeWh float64) error {
+	const tol = 1e-6
+	if chargeWh < -tol || dischargeWh < -tol {
+		return fmt.Errorf("%w: negative charge %v or discharge %v", ErrBatteryStep, chargeWh, dischargeWh)
+	}
+	if chargeWh > tol && dischargeWh > tol {
+		return fmt.Errorf("%w: simultaneous charge %v and discharge %v", ErrBatteryStep, chargeWh, dischargeWh)
+	}
+	if chargeWh > b.ChargeHeadroom()+tol {
+		return fmt.Errorf("%w: charge %v exceeds headroom %v", ErrBatteryStep, chargeWh, b.ChargeHeadroom())
+	}
+	if dischargeWh > b.DischargeHeadroom()+tol {
+		return fmt.Errorf("%w: discharge %v exceeds headroom %v", ErrBatteryStep, dischargeWh, b.DischargeHeadroom())
+	}
+	b.level += b.spec.chargeEff()*chargeWh - dischargeWh/b.spec.dischargeEff()
+	if b.level < 0 {
+		b.level = 0
+	}
+	if b.level > b.spec.CapacityWh {
+		b.level = b.spec.CapacityWh
+	}
+	return nil
+}
+
+// GridConnection describes a node's link to the power grid (paper eq. (6)
+// and (14)).
+type GridConnection struct {
+	// MaxDrawWh is p_i^max, the per-slot cap on drawn energy. Zero means no
+	// grid access at all.
+	MaxDrawWh float64
+	// AlwaysOn marks base stations, which are permanently connected.
+	AlwaysOn bool
+	// OnProb is the per-slot connection probability ξ_i for mobile users
+	// (ignored when AlwaysOn).
+	OnProb float64
+}
+
+// SampleConnected draws ω_i(t) for one slot.
+func (g GridConnection) SampleConnected(src *rng.Source) bool {
+	if g.MaxDrawWh <= 0 {
+		return false
+	}
+	if g.AlwaysOn {
+		return true
+	}
+	return src.Bernoulli(g.OnProb)
+}
+
+// CostFunc is the provider's energy generation cost f(P): non-negative,
+// non-decreasing, convex (paper Section II-E).
+type CostFunc interface {
+	// Eval returns f(p) for total grid energy p (Wh).
+	Eval(p float64) float64
+	// Deriv returns f'(p).
+	Deriv(p float64) float64
+	// MaxDeriv returns γ_max = max f'(p) over p in [0, pMax]; it sizes the
+	// shifted battery queue z_i(t) = x_i(t) − V γ_max − d_i^max.
+	MaxDeriv(pMax float64) float64
+}
+
+// Quadratic is f(P) = A·P² + B·P + C, the paper's simulated cost
+// (A=0.8, B=0.2, C=0).
+type Quadratic struct {
+	A, B, C float64
+}
+
+// Eval implements CostFunc.
+func (q Quadratic) Eval(p float64) float64 { return q.A*p*p + q.B*p + q.C }
+
+// Deriv implements CostFunc.
+func (q Quadratic) Deriv(p float64) float64 { return 2*q.A*p + q.B }
+
+// MaxDeriv implements CostFunc. For a convex quadratic (A >= 0) the maximum
+// derivative on [0, pMax] is at pMax.
+func (q Quadratic) MaxDeriv(pMax float64) float64 {
+	d0 := q.Deriv(0)
+	d1 := q.Deriv(pMax)
+	if d0 > d1 {
+		return d0
+	}
+	return d1
+}
+
+// Scaled adapts a cost function to a different argument unit:
+// Eval(p) = Inner.Eval(ArgScale·p). The simulator keeps energy in Wh while
+// the paper's f(P) = 0.8P² + 0.2P operates on joules, so PaperCost wraps
+// the quadratic with ArgScale = 3600.
+type Scaled struct {
+	Inner    CostFunc
+	ArgScale float64
+}
+
+// Eval implements CostFunc.
+func (s Scaled) Eval(p float64) float64 { return s.Inner.Eval(s.ArgScale * p) }
+
+// Deriv implements CostFunc.
+func (s Scaled) Deriv(p float64) float64 { return s.ArgScale * s.Inner.Deriv(s.ArgScale*p) }
+
+// MaxDeriv implements CostFunc.
+func (s Scaled) MaxDeriv(pMax float64) float64 {
+	return s.ArgScale * s.Inner.MaxDeriv(s.ArgScale*pMax)
+}
+
+// PaperCost returns the cost function used in the paper's simulations:
+// f(P) = 0.8P² + 0.2P with P in joules (the scale that reproduces the
+// ~1e12 cost magnitudes of the paper's Fig. 2), evaluated on Wh arguments.
+func PaperCost() CostFunc {
+	return Scaled{Inner: Quadratic{A: 0.8, B: 0.2, C: 0}, ArgScale: 3600}
+}
+
+// Linear is f(P) = Rate·P, a simple alternative cost for ablations.
+type Linear struct {
+	Rate float64
+}
+
+// Eval implements CostFunc.
+func (l Linear) Eval(p float64) float64 { return l.Rate * p }
+
+// Deriv implements CostFunc.
+func (l Linear) Deriv(float64) float64 { return l.Rate }
+
+// MaxDeriv implements CostFunc.
+func (l Linear) MaxDeriv(float64) float64 { return l.Rate }
+
+// Interface-compliance checks.
+var (
+	_ Process  = UniformPower{}
+	_ Process  = ConstantPower(0)
+	_ Process  = Off{}
+	_ CostFunc = Quadratic{}
+	_ CostFunc = Linear{}
+	_ CostFunc = Scaled{}
+)
+
+// Cloner is implemented by stateful processes that must not be shared
+// between nodes; topology construction clones them per node.
+type Cloner interface {
+	// CloneProcess returns an independent copy with fresh state.
+	CloneProcess() Process
+}
+
+// Diurnal is a renewable output following a day cycle: the mean output
+// traces a clipped sinusoid over PeriodSlots slots (solar panels peak at
+// midday, produce nothing at night) with multiplicative uniform noise.
+// It extends the paper's i.i.d. uniform processes with the temporal
+// structure real renewable generation has.
+//
+// Diurnal is stateful (it tracks the slot phase); do not share one value
+// across nodes or concurrent simulations.
+type Diurnal struct {
+	// PeakWh is the maximum mean output, reached mid-cycle.
+	PeakWh float64
+	// PeriodSlots is the cycle length (e.g. 1440 one-minute slots per day).
+	PeriodSlots int
+	// NoiseFrac scales multiplicative noise: output is mean·U[1−f, 1+f],
+	// clamped at [0, Max].
+	NoiseFrac float64
+	// PhaseSlots offsets the cycle start.
+	PhaseSlots int
+
+	slot int
+}
+
+// Sample implements Process.
+func (d *Diurnal) Sample(src *rng.Source) float64 {
+	period := d.PeriodSlots
+	if period <= 0 {
+		period = 1
+	}
+	phase := 2 * math.Pi * float64((d.slot+d.PhaseSlots)%period) / float64(period)
+	d.slot++
+	mean := d.PeakWh * math.Sin(phase)
+	if mean <= 0 {
+		return 0 // night
+	}
+	out := mean * src.Uniform(1-d.NoiseFrac, 1+d.NoiseFrac)
+	if out < 0 {
+		out = 0
+	}
+	if out > d.PeakWh*(1+d.NoiseFrac) {
+		out = d.PeakWh * (1 + d.NoiseFrac)
+	}
+	return out
+}
+
+// Max implements Process.
+func (d *Diurnal) Max() float64 { return d.PeakWh * (1 + d.NoiseFrac) }
+
+// CloneProcess implements Cloner: each node gets its own phase counter.
+func (d *Diurnal) CloneProcess() Process {
+	cp := *d
+	cp.slot = 0
+	return &cp
+}
+
+var (
+	_ Process = (*Diurnal)(nil)
+	_ Cloner  = (*Diurnal)(nil)
+)

@@ -1,0 +1,253 @@
+package energy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencell/internal/rng"
+)
+
+func TestBatterySpecValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		spec    BatterySpec
+		wantErr bool
+	}{
+		{"valid", BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}, false},
+		{"paper user", BatterySpec{CapacityWh: 120, MaxChargeWh: 60, MaxDischargeWh: 60}, false},
+		{"violates (13)", BatterySpec{CapacityWh: 100, MaxChargeWh: 60, MaxDischargeWh: 60}, true},
+		{"negative", BatterySpec{CapacityWh: -1}, true},
+		{"zero", BatterySpec{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.spec.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil && !errors.Is(err, ErrBatterySpec) {
+				t.Fatalf("error %v should wrap ErrBatterySpec", err)
+			}
+		})
+	}
+}
+
+func TestNewBatteryRejectsBadInitial(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
+	if _, err := NewBattery(spec, -1); err == nil {
+		t.Error("negative initial level accepted")
+	}
+	if _, err := NewBattery(spec, 101); err == nil {
+		t.Error("initial level above capacity accepted")
+	}
+	if _, err := NewBattery(spec, 50); err != nil {
+		t.Errorf("valid initial level rejected: %v", err)
+	}
+}
+
+func TestBatteryHeadrooms(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
+	b, err := NewBattery(spec, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.ChargeHeadroom(); got != 10 {
+		t.Errorf("ChargeHeadroom = %v, want 10 (capacity-limited)", got)
+	}
+	if got := b.DischargeHeadroom(); got != 60 {
+		t.Errorf("DischargeHeadroom = %v, want 60 (rate-limited)", got)
+	}
+	b2, _ := NewBattery(spec, 5)
+	if got := b2.ChargeHeadroom(); got != 40 {
+		t.Errorf("ChargeHeadroom = %v, want 40 (rate-limited)", got)
+	}
+	if got := b2.DischargeHeadroom(); got != 5 {
+		t.Errorf("DischargeHeadroom = %v, want 5 (level-limited)", got)
+	}
+}
+
+func TestBatteryStepLaw(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
+	b, _ := NewBattery(spec, 50)
+	if err := b.Step(20, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Level() != 70 {
+		t.Fatalf("level = %v, want 70", b.Level())
+	}
+	if err := b.Step(0, 30); err != nil {
+		t.Fatal(err)
+	}
+	if b.Level() != 40 {
+		t.Fatalf("level = %v, want 40", b.Level())
+	}
+}
+
+func TestBatteryStepRejections(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
+	b, _ := NewBattery(spec, 50)
+	if err := b.Step(10, 10); err == nil {
+		t.Error("simultaneous charge and discharge accepted (violates eq. (9))")
+	}
+	if err := b.Step(41, 0); err == nil {
+		t.Error("charge above c_max accepted (violates eq. (11))")
+	}
+	if err := b.Step(0, 61); err == nil {
+		t.Error("discharge above d_max accepted (violates eq. (12))")
+	}
+	if err := b.Step(-5, 0); err == nil {
+		t.Error("negative charge accepted")
+	}
+	b2, _ := NewBattery(spec, 5)
+	if err := b2.Step(0, 10); err == nil {
+		t.Error("discharge below empty accepted (violates eq. (12))")
+	}
+}
+
+// TestBatteryInvariantProperty drives a battery with random admissible
+// actions and checks 0 <= x <= capacity always holds — the paper's (10).
+func TestBatteryInvariantProperty(t *testing.T) {
+	src := rng.New(17)
+	f := func(seedByte uint8) bool {
+		spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
+		b, err := NewBattery(spec, src.Uniform(0, 100))
+		if err != nil {
+			return false
+		}
+		for step := 0; step < 50; step++ {
+			var c, d float64
+			if src.Bernoulli(0.5) {
+				c = src.Uniform(0, b.ChargeHeadroom())
+			} else {
+				d = src.Uniform(0, b.DischargeHeadroom())
+			}
+			if err := b.Step(c, d); err != nil {
+				return false
+			}
+			if b.Level() < 0 || b.Level() > spec.CapacityWh {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProcesses(t *testing.T) {
+	src := rng.New(5)
+	tests := []struct {
+		name string
+		p    Process
+		max  float64
+	}{
+		{"uniform", UniformPower{MaxWh: 15}, 15},
+		{"constant", ConstantPower(3), 3},
+		{"off", Off{}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.p.Max() != tt.max {
+				t.Fatalf("Max = %v, want %v", tt.p.Max(), tt.max)
+			}
+			for i := 0; i < 100; i++ {
+				v := tt.p.Sample(src)
+				if v < 0 || v > tt.max {
+					t.Fatalf("sample %v outside [0,%v]", v, tt.max)
+				}
+			}
+		})
+	}
+}
+
+func TestGridConnection(t *testing.T) {
+	src := rng.New(6)
+	bs := GridConnection{MaxDrawWh: 200, AlwaysOn: true}
+	for i := 0; i < 20; i++ {
+		if !bs.SampleConnected(src) {
+			t.Fatal("always-on connection sampled off")
+		}
+	}
+	none := GridConnection{MaxDrawWh: 0, AlwaysOn: true}
+	if none.SampleConnected(src) {
+		t.Fatal("zero-capacity connection sampled on")
+	}
+	user := GridConnection{MaxDrawWh: 200, OnProb: 0.4}
+	on := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if user.SampleConnected(src) {
+			on++
+		}
+	}
+	freq := float64(on) / n
+	if freq < 0.37 || freq > 0.43 {
+		t.Fatalf("ξ frequency = %v, want ~0.4", freq)
+	}
+}
+
+func TestQuadraticCost(t *testing.T) {
+	q := Quadratic{A: 0.8, B: 0.2} // the paper's f on joule arguments
+	if got := q.Eval(0); got != 0 {
+		t.Errorf("f(0) = %v, want 0", got)
+	}
+	if got := q.Eval(10); math.Abs(got-82) > 1e-12 {
+		t.Errorf("f(10) = %v, want 82", got)
+	}
+	if got := q.Deriv(10); math.Abs(got-16.2) > 1e-12 {
+		t.Errorf("f'(10) = %v, want 16.2", got)
+	}
+	if got := q.MaxDeriv(10); math.Abs(got-16.2) > 1e-12 {
+		t.Errorf("MaxDeriv(10) = %v, want 16.2", got)
+	}
+}
+
+func TestScaledCost(t *testing.T) {
+	s := Scaled{Inner: Quadratic{A: 1}, ArgScale: 2}
+	if got := s.Eval(3); math.Abs(got-36) > 1e-12 { // (2·3)²
+		t.Errorf("Eval(3) = %v, want 36", got)
+	}
+	if got := s.Deriv(3); math.Abs(got-24) > 1e-12 { // 2 · 2·(2·3)
+		t.Errorf("Deriv(3) = %v, want 24", got)
+	}
+	if got := s.MaxDeriv(3); math.Abs(got-24) > 1e-12 {
+		t.Errorf("MaxDeriv(3) = %v, want 24", got)
+	}
+}
+
+func TestPaperCostIsJouleScaled(t *testing.T) {
+	// PaperCost evaluates f(P) = 0.8P² + 0.2P on joules: 1 Wh = 3600 J.
+	f := PaperCost()
+	want := 0.8*3600*3600 + 0.2*3600
+	if got := f.Eval(1); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("PaperCost.Eval(1 Wh) = %v, want %v", got, want)
+	}
+	if f.Deriv(1) <= 0 || f.MaxDeriv(2) < f.Deriv(1) {
+		t.Error("PaperCost derivative inconsistent")
+	}
+}
+
+func TestCostConvexityProperty(t *testing.T) {
+	q := PaperCost()
+	src := rng.New(7)
+	for i := 0; i < 500; i++ {
+		a := src.Uniform(0, 100)
+		b := src.Uniform(0, 100)
+		lam := src.Float64()
+		mid := q.Eval(lam*a + (1-lam)*b)
+		chord := lam*q.Eval(a) + (1-lam)*q.Eval(b)
+		if mid > chord+1e-9 {
+			t.Fatalf("convexity violated at a=%v b=%v λ=%v", a, b, lam)
+		}
+	}
+}
+
+func TestLinearCost(t *testing.T) {
+	l := Linear{Rate: 2}
+	if l.Eval(5) != 10 || l.Deriv(3) != 2 || l.MaxDeriv(100) != 2 {
+		t.Error("linear cost arithmetic wrong")
+	}
+}

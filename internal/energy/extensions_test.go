@@ -1,0 +1,134 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestDiurnalCycle(t *testing.T) {
+	d := &Diurnal{PeakWh: 10, PeriodSlots: 100, NoiseFrac: 0}
+	src := rng.New(1)
+	var samples []float64
+	for i := 0; i < 100; i++ {
+		samples = append(samples, d.Sample(src))
+	}
+	// First half of the cycle (sin > 0) produces energy; second half none.
+	if samples[25] <= 9.9 {
+		t.Errorf("midday output %v, want ~peak 10", samples[25])
+	}
+	for i := 51; i < 100; i++ {
+		if samples[i] != 0 {
+			t.Fatalf("night slot %d produced %v", i, samples[i])
+		}
+	}
+	if d.Max() != 10 {
+		t.Errorf("Max = %v", d.Max())
+	}
+}
+
+func TestDiurnalNoiseBounded(t *testing.T) {
+	d := &Diurnal{PeakWh: 5, PeriodSlots: 40, NoiseFrac: 0.2}
+	src := rng.New(2)
+	for i := 0; i < 400; i++ {
+		v := d.Sample(src)
+		if v < 0 || v > d.Max() {
+			t.Fatalf("sample %v outside [0, %v]", v, d.Max())
+		}
+	}
+}
+
+func TestDiurnalPhase(t *testing.T) {
+	base := &Diurnal{PeakWh: 10, PeriodSlots: 100}
+	shifted := &Diurnal{PeakWh: 10, PeriodSlots: 100, PhaseSlots: 50}
+	src := rng.New(3)
+	// The shifted cycle starts at "night".
+	if base.Sample(src) == 0 {
+		t.Skip("first base sample at phase 0 boundary")
+	}
+	if v := shifted.Sample(src); v != 0 {
+		t.Errorf("phase-shifted first sample = %v, want 0", v)
+	}
+}
+
+func TestBatteryEfficiencyValidate(t *testing.T) {
+	bad := BatterySpec{CapacityWh: 10, MaxChargeWh: 1, MaxDischargeWh: 1, ChargeEfficiency: 1.5}
+	if bad.Validate() == nil {
+		t.Error("efficiency > 1 accepted")
+	}
+	bad.ChargeEfficiency = -0.1
+	if bad.Validate() == nil {
+		t.Error("negative efficiency accepted")
+	}
+	ok := BatterySpec{CapacityWh: 10, MaxChargeWh: 1, MaxDischargeWh: 1, ChargeEfficiency: 0.9, DischargeEfficiency: 0.95}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid efficiencies rejected: %v", err)
+	}
+}
+
+func TestBatteryChargeLosses(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 20, MaxDischargeWh: 20, ChargeEfficiency: 0.5}
+	b, err := NewBattery(spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Step(10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Level()-5) > 1e-12 {
+		t.Errorf("level = %v, want 5 (50%% charge efficiency)", b.Level())
+	}
+}
+
+func TestBatteryDischargeLosses(t *testing.T) {
+	spec := BatterySpec{CapacityWh: 100, MaxDischargeWh: 20, MaxChargeWh: 20, DischargeEfficiency: 0.5}
+	b, err := NewBattery(spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delivering 10 Wh drains 20 Wh of storage.
+	if err := b.Step(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(b.Level()-30) > 1e-12 {
+		t.Errorf("level = %v, want 30", b.Level())
+	}
+	// Headroom: only 30·0.5 = 15 deliverable, below the 20 Wh rate cap.
+	if got := b.DischargeHeadroom(); math.Abs(got-15) > 1e-12 {
+		t.Errorf("DischargeHeadroom = %v, want 15", got)
+	}
+}
+
+func TestBatteryEfficiencyHeadroomConsistent(t *testing.T) {
+	// Property: charging exactly ChargeHeadroom never overfills, and
+	// discharging exactly DischargeHeadroom never underflows.
+	src := rng.New(9)
+	for trial := 0; trial < 200; trial++ {
+		spec := BatterySpec{
+			CapacityWh:          100,
+			MaxChargeWh:         30,
+			MaxDischargeWh:      30,
+			ChargeEfficiency:    src.Uniform(0.5, 1),
+			DischargeEfficiency: src.Uniform(0.5, 1),
+		}
+		b, err := NewBattery(spec, src.Uniform(0, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 20; step++ {
+			if src.Bernoulli(0.5) {
+				if err := b.Step(b.ChargeHeadroom(), 0); err != nil {
+					t.Fatalf("full charge rejected: %v", err)
+				}
+			} else {
+				if err := b.Step(0, b.DischargeHeadroom()); err != nil {
+					t.Fatalf("full discharge rejected: %v", err)
+				}
+			}
+			if b.Level() < 0 || b.Level() > spec.CapacityWh+1e-9 {
+				t.Fatalf("level %v escaped [0, %v]", b.Level(), spec.CapacityWh)
+			}
+		}
+	}
+}

@@ -1,0 +1,356 @@
+// Package energymgmt solves the paper's per-slot energy-management
+// subproblem S4:
+//
+//	min  Σ_i z_i(t)·(c_i − d_i) + V·f(P)
+//	s.t. constraints (9)–(14), with P = Σ_{i∈B} (g_i + c_i^g)
+//
+// The paper hands S4 to CPLEX as a convex program. Here it is solved
+// exactly by structure instead:
+//
+//   - The no-simultaneous-charge-and-discharge constraint (9) is without
+//     loss of generality: any solution with c_i > 0 and d_i > 0 converts to
+//     an equal-objective complementary one by lowering both by min(c_i,d_i)
+//     and redirecting the freed charging source (grid or renewable) to the
+//     demand d_i was serving. Total grid draw, net battery change, and every
+//     constraint are preserved. S4 is therefore jointly convex.
+//   - With (9) relaxed, each node's decision is linear; the only coupling
+//     is the convex f on the total base-station draw P. The solver runs a
+//     golden-section search over the draw budget T, evaluating an inner LP
+//     (on the in-repo simplex) that optimizes all base stations under
+//     Σ(g_i + c_i^g) ≤ T; inner(T) + V·f(T) is convex in T.
+//   - Non-base-station nodes do not appear in f (the paper prices only
+//     base-station energy) and are solved independently.
+//
+// A non-negative "deficit" slack with a dominating penalty keeps the
+// program feasible when a node's battery+renewable+grid cannot cover its
+// demand; deficits are surfaced so the simulator can report them.
+package energymgmt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"greencell/internal/energy"
+	"greencell/internal/lp"
+)
+
+// NodeInput is one node's state for S4.
+type NodeInput struct {
+	// Z is z_i(t) = x_i(t) − V·γmax − d_i^max, the shifted battery level.
+	Z float64
+	// DemandWh is E_i(t), fixed once the slot's schedule is known (eq. (2)).
+	DemandWh float64
+	// RenewableWh is R_i(t) expressed as energy for this slot.
+	RenewableWh float64
+	// ChargeHeadroomWh is min(c_i^max, x_i^max − x_i) — eq. (11).
+	ChargeHeadroomWh float64
+	// DischargeHeadroomWh is min(d_i^max, x_i) — eq. (12).
+	DischargeHeadroomWh float64
+	// GridConnected is ω_i(t).
+	GridConnected bool
+	// GridCapWh is p_i^max — eq. (14).
+	GridCapWh float64
+	// IsBS marks base stations, whose grid draw is priced by f (Section II-E).
+	IsBS bool
+}
+
+// NodeDecision is one node's S4 outcome.
+type NodeDecision struct {
+	// RenewToDemand is r_i; RenewToBattery is c_i^r (eq. (3)).
+	RenewToDemand, RenewToBattery float64
+	// GridToDemand is g_i; GridToBattery is c_i^g (eqs. (5), (14)).
+	GridToDemand, GridToBattery float64
+	// DischargeWh is d_i.
+	DischargeWh float64
+	// DeficitWh is unserved demand (0 in normally-parameterized scenarios).
+	DeficitWh float64
+}
+
+// ChargeWh returns c_i = c_i^r + c_i^g (grid flows are zero when the node
+// is disconnected, so the ω_i gating is already applied).
+func (n NodeDecision) ChargeWh() float64 { return n.RenewToBattery + n.GridToBattery }
+
+// GridDrawWh returns g_i + c_i^g.
+func (n NodeDecision) GridDrawWh() float64 { return n.GridToDemand + n.GridToBattery }
+
+// Decision is the S4 outcome for all nodes.
+type Decision struct {
+	Nodes []NodeDecision
+	// GridTotalWh is P(t), the total base-station grid draw.
+	GridTotalWh float64
+	// EnergyCost is f(P(t)).
+	EnergyCost float64
+	// Objective is Σ z_i(c_i−d_i) + V·f(P) (without deficit penalties).
+	Objective float64
+	// TotalDeficitWh sums unserved demand across nodes.
+	TotalDeficitWh float64
+	// MarginalPriceWh is V·f'(P), the shadow price of one more Wh of grid
+	// energy at the optimum — the signal the decomposition prices nodes
+	// against.
+	MarginalPriceWh float64
+}
+
+// Request is one slot's energy-management problem.
+type Request struct {
+	Nodes []NodeInput
+	// V is the drift-plus-penalty weight.
+	V float64
+	// Cost is f.
+	Cost energy.CostFunc
+	// DeficitPenalty is the per-Wh cost of unserved demand; 0 means an
+	// automatic value that dominates every legitimate marginal cost.
+	DeficitPenalty float64
+}
+
+// ErrRequest reports an invalid request.
+var ErrRequest = errors.New("energymgmt: invalid request")
+
+// Solve computes the S4 decision.
+func Solve(req *Request) (*Decision, error) {
+	if req.Cost == nil {
+		return nil, fmt.Errorf("%w: nil cost function", ErrRequest)
+	}
+	if req.V < 0 {
+		return nil, fmt.Errorf("%w: negative V", ErrRequest)
+	}
+	for i, n := range req.Nodes {
+		if n.DemandWh < 0 || n.RenewableWh < 0 || n.ChargeHeadroomWh < 0 ||
+			n.DischargeHeadroomWh < 0 || n.GridCapWh < 0 {
+			return nil, fmt.Errorf("%w: node %d has negative field: %+v", ErrRequest, i, n)
+		}
+	}
+
+	pMax := 0.0
+	maxAbsZ := 0.0
+	for _, n := range req.Nodes {
+		if n.IsBS && n.GridConnected {
+			pMax += n.GridCapWh
+		}
+		if a := math.Abs(n.Z); a > maxAbsZ {
+			maxAbsZ = a
+		}
+	}
+	pen := req.DeficitPenalty
+	if pen == 0 {
+		pen = 10*(maxAbsZ+req.V*req.Cost.MaxDeriv(pMax)) + 1e6
+	}
+
+	dec := &Decision{Nodes: make([]NodeDecision, len(req.Nodes))}
+
+	// Non-base-station nodes: independent LPs (their grid is outside f).
+	for i, n := range req.Nodes {
+		if n.IsBS {
+			continue
+		}
+		nd, _, err := solveNodes(req, []int{i}, math.Inf(1), pen, false)
+		if err != nil {
+			return nil, err
+		}
+		dec.Nodes[i] = nd[i]
+	}
+
+	// Base stations: golden-section over the total-draw budget T; the inner
+	// LP value is convex non-increasing in T and V·f(T) convex increasing.
+	var bs []int
+	for i, n := range req.Nodes {
+		if n.IsBS {
+			bs = append(bs, i)
+		}
+	}
+	if len(bs) > 0 {
+		value := func(T float64) (float64, error) {
+			_, inner, err := solveNodes(req, bs, T, pen, true)
+			if err != nil {
+				return 0, err
+			}
+			return inner + req.V*req.Cost.Eval(T), nil
+		}
+		tStar, err := goldenSection(value, 0, pMax)
+		if err != nil {
+			return nil, err
+		}
+		nds, _, err := solveNodes(req, bs, tStar, pen, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, i := range bs {
+			dec.Nodes[i] = nds[i]
+		}
+	}
+
+	// Restore complementarity (9) — objective-preserving (see package doc).
+	for i := range dec.Nodes {
+		enforceComplementarity(&dec.Nodes[i])
+	}
+
+	p := 0.0
+	obj := 0.0
+	deficit := 0.0
+	for i, n := range req.Nodes {
+		nd := dec.Nodes[i]
+		if n.IsBS {
+			p += nd.GridDrawWh()
+		}
+		obj += n.Z * (nd.ChargeWh() - nd.DischargeWh)
+		deficit += nd.DeficitWh
+	}
+	dec.GridTotalWh = p
+	dec.EnergyCost = req.Cost.Eval(p)
+	dec.Objective = obj + req.V*dec.EnergyCost
+	dec.TotalDeficitWh = deficit
+	dec.MarginalPriceWh = req.V * req.Cost.Deriv(p)
+	return dec, nil
+}
+
+// solveNodes optimizes the relaxed per-node decisions of the given nodes
+// jointly under an optional total-grid-draw budget (applied when budgeted is
+// true and budget is finite). It returns the decisions (indexed like
+// req.Nodes; untouched entries are zero) and the LP objective value.
+func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) ([]NodeDecision, float64, error) {
+	p := lp.NewProblem(lp.Minimize)
+	inf := math.Inf(1)
+	type varsOf struct{ r, cr, g, cg, d, u lp.VarID }
+	vs := make(map[int]varsOf, len(nodes))
+
+	var budgetTerms []lp.Term
+	for _, i := range nodes {
+		n := req.Nodes[i]
+		gridCap := 0.0
+		if n.GridConnected {
+			gridCap = n.GridCapWh
+		}
+		v := varsOf{
+			r:  p.AddVar("r", 0, inf, 0),
+			cr: p.AddVar("cr", 0, inf, n.Z),
+			g:  p.AddVar("g", 0, inf, 0),
+			cg: p.AddVar("cg", 0, inf, n.Z),
+			d:  p.AddVar("d", 0, n.DischargeHeadroomWh, -n.Z),
+			u:  p.AddVar("u", 0, inf, pen),
+		}
+		vs[i] = v
+		// (3) with spill allowed: r + c^r ≤ R.
+		p.AddConstraint("renew", lp.LE, n.RenewableWh,
+			lp.Term{Var: v.r, Coef: 1}, lp.Term{Var: v.cr, Coef: 1})
+		// (11): c^r + c^g ≤ charge headroom.
+		p.AddConstraint("chargecap", lp.LE, n.ChargeHeadroomWh,
+			lp.Term{Var: v.cr, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+		// (14): g + c^g ≤ p^max (zero when disconnected).
+		p.AddConstraint("gridcap", lp.LE, gridCap,
+			lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+		// Demand balance: g + r + d + u = E.
+		p.AddConstraint("demand", lp.EQ, n.DemandWh,
+			lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.r, Coef: 1},
+			lp.Term{Var: v.d, Coef: 1}, lp.Term{Var: v.u, Coef: 1})
+		if budgeted {
+			budgetTerms = append(budgetTerms,
+				lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+		}
+	}
+	if budgeted && !math.IsInf(budget, 1) {
+		p.AddConstraint("budget", lp.LE, budget, budgetTerms...)
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, 0, fmt.Errorf("energymgmt: node LP: %w", err)
+	}
+	if sol.Status != lp.Optimal {
+		return nil, 0, fmt.Errorf("energymgmt: node LP status %v (deficit slack should make it feasible)", sol.Status)
+	}
+	out := make([]NodeDecision, len(req.Nodes))
+	for _, i := range nodes {
+		v := vs[i]
+		out[i] = NodeDecision{
+			RenewToDemand:  sol.Value(v.r),
+			RenewToBattery: sol.Value(v.cr),
+			GridToDemand:   sol.Value(v.g),
+			GridToBattery:  sol.Value(v.cg),
+			DischargeWh:    sol.Value(v.d),
+			DeficitWh:      sol.Value(v.u),
+		}
+	}
+	return out, sol.Objective, nil
+}
+
+// enforceComplementarity converts a relaxed decision (possibly charging and
+// discharging at once) into the equal-objective complementary form: reduce
+// charge and discharge by m = min(c, d), redirecting the freed grid
+// charging to grid-to-demand and freed renewable charging to
+// renewable-to-demand.
+func enforceComplementarity(nd *NodeDecision) {
+	m := nd.ChargeWh()
+	if nd.DischargeWh < m {
+		m = nd.DischargeWh
+	}
+	if m <= 0 {
+		return
+	}
+	fromGrid := math.Min(nd.GridToBattery, m)
+	nd.GridToBattery -= fromGrid
+	nd.GridToDemand += fromGrid
+	fromRenew := m - fromGrid
+	nd.RenewToBattery -= fromRenew
+	nd.RenewToDemand += fromRenew
+	nd.DischargeWh -= m
+	if nd.DischargeWh < 1e-12 {
+		nd.DischargeWh = 0
+	}
+	if nd.RenewToBattery < 1e-12 {
+		nd.RenewToBattery = 0
+	}
+	if nd.GridToBattery < 1e-12 {
+		nd.GridToBattery = 0
+	}
+}
+
+// goldenSection minimizes a convex function on [lo, hi] to ~1e-10 relative
+// interval width and returns the best point (including the endpoints).
+func goldenSection(f func(float64) (float64, error), lo, hi float64) (float64, error) {
+	if hi <= lo {
+		return lo, nil
+	}
+	const invPhi = 0.6180339887498949
+	a, b := lo, hi
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, err := f(x1)
+	if err != nil {
+		return 0, err
+	}
+	f2, err := f(x2)
+	if err != nil {
+		return 0, err
+	}
+	for it := 0; it < 80 && b-a > 1e-10*(1+hi-lo); it++ {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			if f1, err = f(x1); err != nil {
+				return 0, err
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			if f2, err = f(x2); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// Candidate: interval midpoint and the original endpoints.
+	best := (a + b) / 2
+	fBest, err := f(best)
+	if err != nil {
+		return 0, err
+	}
+	for _, c := range []float64{lo, hi} {
+		fc, err := f(c)
+		if err != nil {
+			return 0, err
+		}
+		if fc < fBest {
+			best, fBest = c, fc
+		}
+	}
+	return best, nil
+}

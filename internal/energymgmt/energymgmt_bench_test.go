@@ -1,0 +1,41 @@
+package energymgmt
+
+import (
+	"testing"
+
+	"greencell/internal/energy"
+	"greencell/internal/rng"
+)
+
+// benchRequest mirrors the paper scenario's S4 instance: 2 base stations
+// and 20 users.
+func benchRequest() *Request {
+	src := rng.New(7)
+	req := &Request{V: 1e5, Cost: energy.PaperCost()}
+	for i := 0; i < 22; i++ {
+		isBS := i < 2
+		req.Nodes = append(req.Nodes, NodeInput{
+			Z:                   -1e5 * src.Uniform(1e3, 1e4),
+			DemandWh:            src.Uniform(0, 0.3),
+			RenewableWh:         src.Uniform(0, 1.5),
+			ChargeHeadroomWh:    src.Uniform(0, 0.4),
+			DischargeHeadroomWh: src.Uniform(0, 0.4),
+			GridConnected:       isBS || src.Bernoulli(0.5),
+			GridCapWh:           200,
+			IsBS:                isBS,
+		})
+	}
+	return req
+}
+
+// BenchmarkSolveS4 measures the per-slot energy-management solve: the
+// golden-section search over the grid budget with inner LPs.
+func BenchmarkSolveS4(b *testing.B) {
+	req := benchRequest()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package export writes simulation artifacts in interchange formats:
+// TSV tables for the figure pipelines and Graphviz DOT for topology
+// inspection.
+package export
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"greencell/internal/topology"
+)
+
+// TSV writes a header row and numeric rows, tab-separated.
+func TSV(w io.Writer, header []string, rows [][]float64) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(header, "\t"))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTSVFile writes a TSV table to path.
+func WriteTSVFile(path string, header []string, rows [][]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := TSV(f, header, rows); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TopologyDOT renders the network as a Graphviz digraph: base stations as
+// boxes, users as circles, candidate links as edges labeled with their
+// length. Positions are embedded (pos attributes, graphviz -Kneato -n
+// renders to scale).
+func TopologyDOT(w io.Writer, net *topology.Network) error {
+	var b strings.Builder
+	b.WriteString("digraph greencell {\n")
+	b.WriteString("  graph [overlap=true splines=line];\n")
+	b.WriteString("  node [fontsize=10];\n")
+	for _, nd := range net.Nodes {
+		shape := "circle"
+		label := fmt.Sprintf("u%d", nd.ID)
+		if nd.Kind == topology.BaseStation {
+			shape = "box"
+			label = fmt.Sprintf("BS%d", nd.ID)
+		}
+		// Graphviz points: scale meters down so the canvas stays sane.
+		fmt.Fprintf(&b, "  n%d [shape=%s label=%q pos=\"%.1f,%.1f!\"];\n",
+			nd.ID, shape, label, nd.Pos.X/10, nd.Pos.Y/10)
+	}
+	for _, l := range net.Links {
+		fmt.Fprintf(&b, "  n%d -> n%d [label=\"%.0fm/%db\" fontsize=8];\n",
+			l.From, l.To, l.Dist, len(l.Bands))
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

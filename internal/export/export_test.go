@@ -1,0 +1,63 @@
+package export
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"greencell/internal/rng"
+	"greencell/internal/topology"
+)
+
+func TestTSV(t *testing.T) {
+	var b strings.Builder
+	err := TSV(&b, []string{"a", "b"}, [][]float64{{1, 2.5}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a\tb\n1\t2.5\n3\t4\n"
+	if b.String() != want {
+		t.Errorf("TSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteTSVFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.tsv")
+	if err := WriteTSVFile(path, []string{"v"}, [][]float64{{7}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v\n7\n" {
+		t.Errorf("file content %q", data)
+	}
+}
+
+func TestTopologyDOT(t *testing.T) {
+	cfg := topology.Paper()
+	cfg.NumUsers = 3
+	net, err := topology.Build(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := TopologyDOT(&b, net); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "digraph greencell {") || !strings.HasSuffix(out, "}\n") {
+		t.Error("malformed DOT envelope")
+	}
+	if !strings.Contains(out, "BS0") || !strings.Contains(out, "shape=box") {
+		t.Error("base stations missing")
+	}
+	if !strings.Contains(out, "shape=circle") {
+		t.Error("users missing")
+	}
+	if strings.Count(out, "->") != len(net.Links) {
+		t.Errorf("edge count %d, want %d", strings.Count(out, "->"), len(net.Links))
+	}
+}

@@ -1,0 +1,58 @@
+// Package geom provides the small amount of planar geometry the network
+// model needs: points, Euclidean distance, and random placement in a
+// rectangular deployment area.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"greencell/internal/rng"
+)
+
+// Point is a location in the deployment plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Distance returns the Euclidean distance between p and q in meters.
+func Distance(p, q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Rect is an axis-aligned rectangle [MinX,MaxX] x [MinY,MaxY] in meters.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Square returns a side x side rectangle anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{MaxX: side, MaxY: side}
+}
+
+// Contains reports whether p lies inside (or on the border of) r.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// UniformPoint draws a point uniformly at random inside r.
+func (r Rect) UniformPoint(src *rng.Source) Point {
+	return Point{
+		X: src.Uniform(r.MinX, r.MaxX),
+		Y: src.Uniform(r.MinY, r.MaxY),
+	}
+}
+
+// UniformPoints draws n i.i.d. uniform points inside r.
+func (r Rect) UniformPoints(src *rng.Source, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = r.UniformPoint(src)
+	}
+	return pts
+}

@@ -1,0 +1,71 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencell/internal/rng"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Point{1, 1}, Point{1, 1}, 0},
+		{"unit x", Point{0, 0}, Point{1, 0}, 1},
+		{"3-4-5", Point{0, 0}, Point{3, 4}, 5},
+		{"negative coords", Point{-1, -1}, Point{2, 3}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(tt.p, tt.q); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return Distance(a, b) == Distance(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	src := rng.New(11)
+	for i := 0; i < 500; i++ {
+		a := Point{src.Uniform(-10, 10), src.Uniform(-10, 10)}
+		b := Point{src.Uniform(-10, 10), src.Uniform(-10, 10)}
+		c := Point{src.Uniform(-10, 10), src.Uniform(-10, 10)}
+		if Distance(a, c) > Distance(a, b)+Distance(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestUniformPointsInside(t *testing.T) {
+	r := Square(2000)
+	src := rng.New(8)
+	for _, p := range r.UniformPoints(src, 1000) {
+		if !r.Contains(p) {
+			t.Fatalf("point %v outside %v", p, r)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 5}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 5}) {
+		t.Error("border points should be contained")
+	}
+	if r.Contains(Point{11, 3}) || r.Contains(Point{5, -1}) {
+		t.Error("outside points should not be contained")
+	}
+}

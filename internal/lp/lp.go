@@ -1,0 +1,317 @@
+// Package lp implements a dense, two-phase, bounded-variable primal simplex
+// solver for linear programs.
+//
+// It exists because the paper's per-slot subproblems (the sequential-fix
+// scheduling heuristic, its exact branch-and-bound counterpart, and the
+// relaxed lower-bound problem P3̄) all reduce to small/medium dense LPs that
+// the original authors solved with CPLEX; this package is the from-scratch,
+// stdlib-only substitute.
+//
+// Scope and guarantees:
+//   - Variables have a finite lower bound and a finite or +Inf upper bound.
+//     (Free variables can be modeled by splitting into two non-negatives.)
+//   - Constraints are <=, >=, or = rows.
+//   - Phase 1 uses artificial variables; Phase 2 optimizes the real
+//     objective. Dantzig pricing with an automatic switch to Bland's rule
+//     guards against cycling.
+//   - Status is one of Optimal, Infeasible, Unbounded, or IterationLimit.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense selects minimization or maximization of the objective.
+type Sense int
+
+// Objective senses.
+const (
+	Minimize Sense = iota + 1
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota + 1 // <=
+	GE                // >=
+	EQ                // =
+)
+
+// String implements fmt.Stringer.
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Rel(%d)", int(r))
+	}
+}
+
+// VarID identifies a variable within a Problem.
+type VarID int
+
+// Term is one coefficient of a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota + 1
+	Infeasible
+	Unbounded
+	IterationLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterationLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem reports a structurally invalid problem (e.g. inconsistent
+// bounds or an unknown variable in a constraint).
+var ErrBadProblem = errors.New("lp: invalid problem")
+
+type variable struct {
+	name string
+	lo   float64
+	hi   float64
+	cost float64
+}
+
+type constraint struct {
+	name  string
+	rel   Rel
+	rhs   float64
+	terms []Term
+}
+
+// Problem is a linear program under construction. The zero value is not
+// usable; create one with NewProblem.
+type Problem struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewProblem returns an empty problem with the given objective sense.
+func NewProblem(sense Sense) *Problem {
+	return &Problem{sense: sense}
+}
+
+// AddVar adds a variable with bounds [lo, hi] and objective coefficient
+// cost, returning its identifier. hi may be math.Inf(1); lo must be finite.
+func (p *Problem) AddVar(name string, lo, hi, cost float64) VarID {
+	p.vars = append(p.vars, variable{name: name, lo: lo, hi: hi, cost: cost})
+	return VarID(len(p.vars) - 1)
+}
+
+// Sense returns the objective sense the problem was created with.
+func (p *Problem) Sense() Sense { return p.sense }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetVarBounds replaces the bounds of v. It panics if v is unknown.
+func (p *Problem) SetVarBounds(v VarID, lo, hi float64) {
+	p.vars[v].lo = lo
+	p.vars[v].hi = hi
+}
+
+// SetVarCost replaces the objective coefficient of v.
+func (p *Problem) SetVarCost(v VarID, cost float64) {
+	p.vars[v].cost = cost
+}
+
+// VarName returns the name given to v at creation.
+func (p *Problem) VarName(v VarID) string { return p.vars[v].name }
+
+// VarBounds returns the current bounds of v.
+func (p *Problem) VarBounds(v VarID) (lo, hi float64) {
+	return p.vars[v].lo, p.vars[v].hi
+}
+
+// AddConstraint adds the row "sum(terms) rel rhs". Duplicate variables in
+// terms are summed. Rows with no terms are allowed and checked for
+// consistency at solve time.
+func (p *Problem) AddConstraint(name string, rel Rel, rhs float64, terms ...Term) {
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.cons = append(p.cons, constraint{name: name, rel: rel, rhs: rhs, terms: cp})
+}
+
+// Clone returns a deep copy of p; bound changes on the clone do not affect
+// the original. Constraint term slices are shared structurally but never
+// mutated by the solver, so cloning copies only the headers.
+func (p *Problem) Clone() *Problem {
+	q := &Problem{sense: p.sense}
+	q.vars = make([]variable, len(p.vars))
+	copy(q.vars, p.vars)
+	q.cons = make([]constraint, len(p.cons))
+	copy(q.cons, p.cons)
+	return q
+}
+
+// Solution holds the result of Solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+
+	x []float64
+	y []float64
+}
+
+// Value returns the optimal value of v. It returns 0 for non-Optimal
+// solutions.
+func (s *Solution) Value(v VarID) float64 {
+	if s.Status != Optimal || int(v) >= len(s.x) {
+		return 0
+	}
+	return s.x[v]
+}
+
+// Dual returns the simplex multiplier of constraint i (in the order
+// constraints were added): the sensitivity ∂Objective/∂rhs_i at the
+// optimum. For degenerate optima the multiplier is one valid member of the
+// dual optimal set. It returns 0 for non-Optimal solutions.
+func (s *Solution) Dual(i int) float64 {
+	if s.Status != Optimal || i < 0 || i >= len(s.y) {
+		return 0
+	}
+	return s.y[i]
+}
+
+// Values returns a copy of the full primal solution vector (structural
+// variables only), or nil for non-Optimal solutions.
+func (s *Solution) Values() []float64 {
+	if s.Status != Optimal {
+		return nil
+	}
+	out := make([]float64, len(s.x))
+	copy(out, s.x)
+	return out
+}
+
+// Engine selects a simplex implementation.
+type Engine int
+
+// Available engines.
+const (
+	// TableauEngine is the dense full-tableau simplex (the default):
+	// simple, O(m·n) per pivot.
+	TableauEngine Engine = iota
+	// RevisedEngine maintains an explicit basis inverse over sparse
+	// columns: O(nnz) pricing + O(m²) updates, faster when n ≫ m.
+	RevisedEngine
+)
+
+// Solve optimizes with the default engine. An error is returned only for
+// structurally invalid input; solver outcomes (infeasible, unbounded,
+// iteration limit) are reported via Solution.Status.
+func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(TableauEngine) }
+
+// SolveWith optimizes the problem with the chosen engine. Both engines
+// implement identical bounded-variable simplex semantics and are
+// cross-validated in the test suite.
+func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
+	for i, v := range p.vars {
+		if math.IsInf(v.lo, 0) || math.IsNaN(v.lo) || math.IsNaN(v.hi) || math.IsInf(v.hi, -1) {
+			return nil, fmt.Errorf("%w: variable %d (%s) has invalid bounds [%v,%v]",
+				ErrBadProblem, i, v.name, v.lo, v.hi)
+		}
+		if v.lo > v.hi {
+			// Inconsistent box: trivially infeasible, but catch the
+			// clearly-bogus construction cases too.
+			if v.lo > v.hi+1e-12 {
+				return &Solution{Status: Infeasible}, nil
+			}
+		}
+	}
+	for _, c := range p.cons {
+		for _, t := range c.terms {
+			if int(t.Var) < 0 || int(t.Var) >= len(p.vars) {
+				return nil, fmt.Errorf("%w: constraint %q references unknown variable %d",
+					ErrBadProblem, c.name, t.Var)
+			}
+			if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+				return nil, fmt.Errorf("%w: constraint %q has non-finite coefficient",
+					ErrBadProblem, c.name)
+			}
+		}
+		if math.IsNaN(c.rhs) || math.IsInf(c.rhs, 0) {
+			return nil, fmt.Errorf("%w: constraint %q has non-finite rhs", ErrBadProblem, c.name)
+		}
+	}
+
+	// Presolve: substitute fixed variables and drop rows that become
+	// empty. The scheduler's sequential-fix loop pins more variables each
+	// round, so this shrinks its LPs substantially.
+	ps := presolve(p)
+	if ps.infeasible {
+		return &Solution{Status: Infeasible}, nil
+	}
+	if !ps.identity {
+		sol, err := ps.reduced.SolveWith(engine)
+		if err != nil {
+			return nil, err
+		}
+		return ps.expand(p, sol), nil
+	}
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+	var (
+		status Status
+		values func() []float64
+		duals  func(float64) []float64
+	)
+	if engine == RevisedEngine {
+		e := newRevised(p)
+		status = e.solve()
+		values, duals = e.structuralValues, e.duals
+	} else {
+		t := newTableau(p)
+		status = t.solve()
+		values, duals = t.structuralValues, t.duals
+	}
+	sol := &Solution{Status: status}
+	if status == Optimal {
+		sol.y = duals(sign)
+		sol.x = values()
+		obj := 0.0
+		for j, v := range p.vars {
+			obj += v.cost * sol.x[j]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}

@@ -1,0 +1,624 @@
+package lp
+
+import "math"
+
+// revisedEngine is the second simplex implementation: a revised simplex
+// with an explicitly maintained dense basis inverse (refactorized
+// periodically) over column-sparse constraint storage.
+//
+// Its purpose in this repository is cross-validation, not speed: the two
+// engines are deliberately independent implementations of the same
+// bounded-variable simplex semantics, and the test suite solves thousands
+// of random LPs with both and requires agreement — the defense against
+// subtle pivoting bugs in either. (On the scheduling-shaped instances the
+// per-iteration O(nnz) pricing is outweighed by the refactorization and
+// relative-tolerance overhead, so the tableau engine stays the default;
+// see the Engine benchmarks.)
+type revisedEngine struct {
+	m    int // rows
+	n    int // structural columns
+	ncol int // total columns (with slacks and artificials)
+
+	// cols[j] is column j of the setup matrix A in sparse form.
+	cols []sparseCol
+	// binv is the dense basis inverse B^{-1}.
+	binv [][]float64
+	// cost is the phase-2 objective (sense-adjusted to minimize).
+	cost []float64
+
+	lo, hi []float64
+	status []colStatus
+	xval   []float64
+	basis  []int
+	xB     []float64
+
+	artStart int
+
+	// rowMult maps final setup rows back to the user's rows for duals.
+	rowMult []float64
+	// bvec is the setup right-hand side (post equilibration and flips),
+	// kept for refactorization.
+	bvec []float64
+
+	// Scratch buffers reused across iterations.
+	y    []float64 // simplex multipliers
+	dir  []float64 // B^{-1} A_q
+	cvec []float64 // active-phase cost vector
+}
+
+type sparseCol struct {
+	idx []int
+	val []float64
+}
+
+func (c *sparseCol) add(row int, v float64) {
+	if v == 0 {
+		return
+	}
+	c.idx = append(c.idx, row)
+	c.val = append(c.val, v)
+}
+
+// newRevised mirrors newTableau's setup: equality form, equilibrated rows,
+// slacks, artificials, initial basis.
+func newRevised(p *Problem) *revisedEngine {
+	m := len(p.cons)
+	n := len(p.vars)
+	e := &revisedEngine{
+		m: m, n: n,
+		rowMult: make([]float64, m),
+	}
+	for i := range e.rowMult {
+		e.rowMult[i] = 1
+	}
+
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+
+	// Dense staging rows for equilibration, then converted to columns.
+	rows := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i, c := range p.cons {
+		rows[i] = make([]float64, n)
+		for _, t := range c.terms {
+			rows[i][t.Var] += t.Coef
+		}
+		rhs[i] = c.rhs
+	}
+	for i := range rows {
+		maxAbs := 0.0
+		for _, v := range rows[i] {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs > 0 && (maxAbs < 1e-3 || maxAbs > 1e3) {
+			inv := 1 / maxAbs
+			for j := range rows[i] {
+				rows[i][j] *= inv
+			}
+			rhs[i] *= inv
+			e.rowMult[i] *= inv
+		}
+	}
+
+	addCol := func(lo, hi, cost float64) int {
+		e.lo = append(e.lo, lo)
+		e.hi = append(e.hi, hi)
+		e.cost = append(e.cost, cost)
+		e.status = append(e.status, atLower)
+		e.xval = append(e.xval, lo)
+		e.cols = append(e.cols, sparseCol{})
+		return len(e.status) - 1
+	}
+	for _, v := range p.vars {
+		lo, hi := v.lo, v.hi
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		addCol(lo, hi, sign*v.cost)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			e.cols[j].add(i, rows[i][j])
+		}
+	}
+
+	// Slack columns. Sign flips below must flip already-placed entries, so
+	// track per-row net flips and apply at the end.
+	slackOf := make([]int, m)
+	flip := make([]bool, m)
+	for i := range slackOf {
+		slackOf[i] = -1
+	}
+	for i, c := range p.cons {
+		switch c.rel {
+		case LE:
+			j := addCol(0, math.Inf(1), 0)
+			e.cols[j].add(i, 1)
+			slackOf[i] = j
+		case GE:
+			j := addCol(0, math.Inf(1), 0)
+			e.cols[j].add(i, -1)
+			slackOf[i] = j
+		}
+	}
+
+	// Initial basis: slack where its value is admissible, else artificial,
+	// flipping rows so basic values are non-negative.
+	e.basis = make([]int, m)
+	e.xB = make([]float64, m)
+	e.bvec = make([]float64, m)
+	copy(e.bvec, rhs)
+	for i, c := range p.cons {
+		r := rhs[i]
+		for j := 0; j < n; j++ {
+			if rows[i][j] != 0 {
+				r -= rows[i][j] * e.xval[j]
+			}
+		}
+		if s := slackOf[i]; s >= 0 {
+			coef := 1.0
+			if c.rel == GE {
+				coef = -1.0
+			}
+			sv := r / coef
+			if sv >= 0 {
+				if coef < 0 {
+					flip[i] = true
+				}
+				e.status[s] = basic
+				e.basis[i] = s
+				e.xB[i] = sv
+				continue
+			}
+		}
+		if r < 0 {
+			flip[i] = !flip[i]
+			r = -r
+		}
+		j := addCol(0, math.Inf(1), 0)
+		// The artificial enters post-flip with +1.
+		e.cols[j].add(i, 1)
+		e.status[j] = basic
+		e.basis[i] = j
+		e.xB[i] = r
+	}
+	// The artificial region starts after structural + slack columns.
+	e.artStart = n
+	for i := range slackOf {
+		if slackOf[i] >= 0 {
+			e.artStart++
+		}
+	}
+	// Apply row flips to structural and slack columns. Artificials were
+	// added with +1 after their row's flip was decided, so they are
+	// excluded.
+	for j := 0; j < e.artStart; j++ {
+		col := &e.cols[j]
+		for k, i := range col.idx {
+			if flip[i] {
+				col.val[k] = -col.val[k]
+			}
+		}
+	}
+	for i, f := range flip {
+		if f {
+			e.rowMult[i] = -e.rowMult[i]
+			e.bvec[i] = -e.bvec[i]
+		}
+	}
+
+	e.ncol = len(e.status)
+
+	// Identity basis inverse: after the row flips every initial basic
+	// column (slack or artificial) carries +1 on its own row, so B = I.
+	e.binv = make([][]float64, m)
+	for i := range e.binv {
+		e.binv[i] = make([]float64, m)
+		e.binv[i][i] = 1
+	}
+
+	e.y = make([]float64, m)
+	e.dir = make([]float64, m)
+	e.cvec = make([]float64, e.ncol)
+	return e
+}
+
+// colDot returns column j dotted with vector v (v indexed by row).
+func (e *revisedEngine) colDot(j int, v []float64) float64 {
+	col := &e.cols[j]
+	sum := 0.0
+	for k, i := range col.idx {
+		sum += col.val[k] * v[i]
+	}
+	return sum
+}
+
+// applyBinv computes dst = B^{-1} A_j.
+func (e *revisedEngine) applyBinv(j int, dst []float64) {
+	col := &e.cols[j]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k, r := range col.idx {
+		v := col.val[k]
+		for i := 0; i < e.m; i++ {
+			if b := e.binv[i][r]; b != 0 {
+				dst[i] += b * v
+			}
+		}
+	}
+}
+
+// solve runs both phases and returns the status.
+func (e *revisedEngine) solve() Status {
+	if e.m == 0 {
+		for j := 0; j < e.n; j++ {
+			if e.cost[j] < 0 {
+				if math.IsInf(e.hi[j], 1) {
+					return Unbounded
+				}
+				e.status[j] = atUpper
+				e.xval[j] = e.hi[j]
+			}
+		}
+		return Optimal
+	}
+	if e.ncol > e.artStart {
+		for j := range e.cvec {
+			e.cvec[j] = 0
+		}
+		for j := e.artStart; j < e.ncol; j++ {
+			e.cvec[j] = 1
+		}
+		st := e.iterate()
+		if st != Optimal {
+			if st == IterationLimit {
+				return st
+			}
+			return Infeasible
+		}
+		res := 0.0
+		for i, b := range e.basis {
+			if b >= e.artStart {
+				res += math.Abs(e.xB[i])
+			}
+		}
+		if res > feasTol {
+			return Infeasible
+		}
+		// Pin artificials.
+		for j := e.artStart; j < e.ncol; j++ {
+			e.hi[j] = 0
+			if e.status[j] != basic {
+				e.status[j] = atLower
+				e.xval[j] = 0
+			}
+		}
+	}
+	copy(e.cvec, e.cost)
+	for j := e.artStart; j < e.ncol; j++ {
+		e.cvec[j] = 0
+	}
+	return e.iterate()
+}
+
+// iterate runs primal simplex with Dantzig pricing and a Bland fallback.
+func (e *revisedEngine) iterate() Status {
+	maxIter := 200*(e.m+e.ncol) + 2000
+	blandAfter := 40 * (e.m + e.ncol)
+
+	pivots := 0
+	fresh := true // binv exactly reflects the basis (no drift yet)
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter >= blandAfter
+		if pivots > 0 && pivots%64 == 0 {
+			e.refactorize()
+			fresh = true
+			pivots++ // avoid refactorizing repeatedly on bound-flip loops
+		}
+		// Multipliers y = c_B^T B^{-1}.
+		for i := range e.y {
+			e.y[i] = 0
+		}
+		for i, b := range e.basis {
+			cb := e.cvec[b]
+			if cb == 0 {
+				continue
+			}
+			row := e.binv[i]
+			for r := 0; r < e.m; r++ {
+				if row[r] != 0 {
+					e.y[r] += cb * row[r]
+				}
+			}
+		}
+		// Price and choose entering. Reduced costs are recomputed from y
+		// every iteration, so the optimality test must be RELATIVE to the
+		// magnitudes involved — with 1e7-scale objective coefficients the
+		// float noise in c_j − y·A_j dwarfs any absolute tolerance.
+		q := -1
+		best := priceTol
+		for j := 0; j < e.ncol; j++ {
+			if e.status[j] == basic || e.hi[j]-e.lo[j] <= boundEps {
+				continue
+			}
+			dot := e.colDot(j, e.y)
+			dj := e.cvec[j] - dot
+			denom := 1 + math.Abs(e.cvec[j]) + math.Abs(dot)
+			var score float64
+			if e.status[j] == atLower {
+				score = -dj / denom
+			} else {
+				score = dj / denom
+			}
+			if score > best {
+				if bland {
+					q = j
+					break
+				}
+				q = j
+				best = score
+			}
+		}
+		if q < 0 {
+			// Optimality under a possibly-drifted inverse: refresh and
+			// re-price once before declaring victory.
+			if !fresh {
+				if e.refactorize() {
+					fresh = true
+					continue
+				}
+			}
+			e.snap()
+			return Optimal
+		}
+
+		sigma := 1.0
+		if e.status[q] == atUpper {
+			sigma = -1.0
+		}
+		e.applyBinv(q, e.dir)
+
+		limit := math.Inf(1)
+		if !math.IsInf(e.hi[q], 1) {
+			limit = e.hi[q] - e.lo[q]
+		}
+		leave := -1
+		leaveToUpper := false
+		for i := 0; i < e.m; i++ {
+			a := sigma * e.dir[i]
+			b := e.basis[i]
+			if a > pivTol {
+				room := e.xB[i] - e.lo[b]
+				if room < 0 {
+					room = 0
+				}
+				if step := room / a; step < limit-boundEps ||
+					(step < limit+boundEps && e.betterLeaving(leave, i, bland)) {
+					if step < limit {
+						limit = step
+					}
+					leave = i
+					leaveToUpper = false
+				}
+			} else if a < -pivTol {
+				if math.IsInf(e.hi[b], 1) {
+					continue
+				}
+				room := e.hi[b] - e.xB[i]
+				if room < 0 {
+					room = 0
+				}
+				if step := room / -a; step < limit-boundEps ||
+					(step < limit+boundEps && e.betterLeaving(leave, i, bland)) {
+					if step < limit {
+						limit = step
+					}
+					leave = i
+					leaveToUpper = true
+				}
+			}
+		}
+		if math.IsInf(limit, 1) {
+			return Unbounded
+		}
+
+		if leave < 0 {
+			// Bound flip.
+			for i := 0; i < e.m; i++ {
+				if e.dir[i] != 0 {
+					e.xB[i] -= sigma * limit * e.dir[i]
+				}
+			}
+			if e.status[q] == atLower {
+				e.status[q] = atUpper
+				e.xval[q] = e.hi[q]
+			} else {
+				e.status[q] = atLower
+				e.xval[q] = e.lo[q]
+			}
+			continue
+		}
+
+		// Pivot: q enters at row leave.
+		enterVal := e.xval[q] + sigma*limit
+		leaveVar := e.basis[leave]
+		for i := 0; i < e.m; i++ {
+			if i != leave && e.dir[i] != 0 {
+				e.xB[i] -= sigma * limit * e.dir[i]
+			}
+		}
+		if leaveToUpper {
+			e.status[leaveVar] = atUpper
+			e.xval[leaveVar] = e.hi[leaveVar]
+		} else {
+			e.status[leaveVar] = atLower
+			e.xval[leaveVar] = e.lo[leaveVar]
+		}
+		// Update B^{-1}: row ops making dir into e_leave.
+		piv := e.dir[leave]
+		inv := 1 / piv
+		rowL := e.binv[leave]
+		for r := 0; r < e.m; r++ {
+			rowL[r] *= inv
+		}
+		for i := 0; i < e.m; i++ {
+			if i == leave {
+				continue
+			}
+			f := e.dir[i]
+			if f == 0 {
+				continue
+			}
+			row := e.binv[i]
+			for r := 0; r < e.m; r++ {
+				if rowL[r] != 0 {
+					row[r] -= f * rowL[r]
+				}
+			}
+		}
+		e.status[q] = basic
+		e.basis[leave] = q
+		e.xB[leave] = enterVal
+		pivots++
+		fresh = false
+	}
+	return IterationLimit
+}
+
+// refactorize rebuilds B^{-1} from the basis columns by Gauss-Jordan
+// elimination and recomputes the basic values, absorbing the numerical
+// drift of long pivot sequences. It reports whether the basis matrix was
+// invertible (it always should be; on failure the previous inverse is
+// kept).
+func (e *revisedEngine) refactorize() bool {
+	m := e.m
+	// Assemble [B | I].
+	work := make([][]float64, m)
+	for i := range work {
+		work[i] = make([]float64, 2*m)
+		work[i][m+i] = 1
+	}
+	for pos, b := range e.basis {
+		col := &e.cols[b]
+		for k, r := range col.idx {
+			work[r][pos] = col.val[k]
+		}
+	}
+	for colIdx := 0; colIdx < m; colIdx++ {
+		piv := colIdx
+		for r := colIdx + 1; r < m; r++ {
+			if math.Abs(work[r][colIdx]) > math.Abs(work[piv][colIdx]) {
+				piv = r
+			}
+		}
+		if math.Abs(work[piv][colIdx]) < 1e-12 {
+			return false
+		}
+		work[colIdx], work[piv] = work[piv], work[colIdx]
+		inv := 1 / work[colIdx][colIdx]
+		for k := 0; k < 2*m; k++ {
+			work[colIdx][k] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == colIdx {
+				continue
+			}
+			f := work[r][colIdx]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < 2*m; k++ {
+				work[r][k] -= f * work[colIdx][k]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(e.binv[i], work[i][m:])
+	}
+	// Recompute basic values: xB = B^{-1} (b − Σ_nonbasic A_j x_j).
+	resid := make([]float64, m)
+	copy(resid, e.bvec)
+	for j := 0; j < e.ncol; j++ {
+		if e.status[j] == basic || e.xval[j] == 0 {
+			continue
+		}
+		col := &e.cols[j]
+		for k, r := range col.idx {
+			resid[r] -= col.val[k] * e.xval[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		row := e.binv[i]
+		for r := 0; r < m; r++ {
+			if row[r] != 0 {
+				sum += row[r] * resid[r]
+			}
+		}
+		e.xB[i] = sum
+	}
+	return true
+}
+
+func (e *revisedEngine) betterLeaving(cur, cand int, bland bool) bool {
+	if cur < 0 {
+		return true
+	}
+	if bland {
+		return e.basis[cand] < e.basis[cur]
+	}
+	return math.Abs(e.dir[cand]) > math.Abs(e.dir[cur])
+}
+
+func (e *revisedEngine) snap() {
+	for i, b := range e.basis {
+		if e.xB[i] < e.lo[b] {
+			e.xB[i] = e.lo[b]
+		}
+		if e.xB[i] > e.hi[b] {
+			e.xB[i] = e.hi[b]
+		}
+	}
+}
+
+func (e *revisedEngine) structuralValues() []float64 {
+	x := make([]float64, e.n)
+	for j := 0; j < e.n; j++ {
+		x[j] = e.xval[j]
+	}
+	for i, b := range e.basis {
+		if b < e.n {
+			x[b] = e.xB[i]
+		}
+	}
+	return x
+}
+
+// duals mirrors the tableau engine's recovery, reading the multipliers
+// directly from y at optimality.
+func (e *revisedEngine) duals(sign float64) []float64 {
+	// Recompute y for the final basis under phase-2 costs.
+	for i := range e.y {
+		e.y[i] = 0
+	}
+	for i, b := range e.basis {
+		cb := e.cvec[b]
+		if cb == 0 {
+			continue
+		}
+		row := e.binv[i]
+		for r := 0; r < e.m; r++ {
+			e.y[r] += cb * row[r]
+		}
+	}
+	out := make([]float64, e.m)
+	for i := 0; i < e.m; i++ {
+		out[i] = sign * e.y[i] * e.rowMult[i]
+	}
+	return out
+}

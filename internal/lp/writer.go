@@ -1,0 +1,69 @@
+package lp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteLP serializes the problem in the human-readable CPLEX-LP text
+// format, so models can be inspected or cross-checked with external
+// solvers. Variables are named x0, x1, … (the user-supplied names may
+// repeat, which the format does not allow).
+func (p *Problem) WriteLP(w io.Writer) error {
+	var b strings.Builder
+	if p.sense == Maximize {
+		b.WriteString("Maximize\n obj:")
+	} else {
+		b.WriteString("Minimize\n obj:")
+	}
+	for j, v := range p.vars {
+		if v.cost != 0 {
+			fmt.Fprintf(&b, " %+g x%d", v.cost, j)
+		}
+	}
+	b.WriteString("\nSubject To\n")
+	for i, c := range p.cons {
+		fmt.Fprintf(&b, " c%d:", i)
+		// Accumulate duplicate terms the way the solver does.
+		coefs := map[VarID]float64{}
+		order := []VarID{}
+		for _, t := range c.terms {
+			if _, seen := coefs[t.Var]; !seen {
+				order = append(order, t.Var)
+			}
+			coefs[t.Var] += t.Coef
+		}
+		for _, v := range order {
+			if coefs[v] != 0 {
+				fmt.Fprintf(&b, " %+g x%d", coefs[v], v)
+			}
+		}
+		if len(order) == 0 {
+			b.WriteString(" 0 x0")
+		}
+		switch c.rel {
+		case LE:
+			fmt.Fprintf(&b, " <= %g\n", c.rhs)
+		case GE:
+			fmt.Fprintf(&b, " >= %g\n", c.rhs)
+		case EQ:
+			fmt.Fprintf(&b, " = %g\n", c.rhs)
+		}
+	}
+	b.WriteString("Bounds\n")
+	for j, v := range p.vars {
+		switch {
+		case math.IsInf(v.hi, 1):
+			fmt.Fprintf(&b, " x%d >= %g\n", j, v.lo)
+		case v.lo == v.hi:
+			fmt.Fprintf(&b, " x%d = %g\n", j, v.lo)
+		default:
+			fmt.Fprintf(&b, " %g <= x%d <= %g\n", v.lo, j, v.hi)
+		}
+	}
+	b.WriteString("End\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,51 @@
+package lp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteLP(t *testing.T) {
+	p := NewProblem(Maximize)
+	x := p.AddVar("x", 0, 40, 3)
+	y := p.AddVar("y", 1, math.Inf(1), -5)
+	z := p.AddVar("z", 2, 2, 0)
+	p.AddConstraint("hours", LE, 120, Term{x, 2}, Term{y, 3})
+	p.AddConstraint("bal", EQ, 7, Term{x, 1}, Term{z, -1})
+	p.AddConstraint("dup", GE, 0, Term{y, 1}, Term{y, 1})
+
+	var b strings.Builder
+	if err := p.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Maximize",
+		"obj: +3 x0 -5 x1",
+		"c0: +2 x0 +3 x1 <= 120",
+		"c1: +1 x0 -1 x2 = 7",
+		"c2: +2 x1 >= 0", // duplicates summed
+		"0 <= x0 <= 40",
+		"x1 >= 1",
+		"x2 = 2",
+		"End",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteLPEmptyRow(t *testing.T) {
+	p := NewProblem(Minimize)
+	p.AddVar("x", 0, 1, 1)
+	p.AddConstraint("empty", LE, 5)
+	var b strings.Builder
+	if err := p.WriteLP(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "c0: 0 x0 <= 5") {
+		t.Errorf("empty row badly rendered:\n%s", b.String())
+	}
+}

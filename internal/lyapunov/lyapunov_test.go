@@ -1,0 +1,123 @@
+package lyapunov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencell/internal/rng"
+)
+
+func TestValue(t *testing.T) {
+	s := State{Q: []float64{3, 4}, H: []float64{1}, Z: []float64{-2}}
+	// ½(9 + 16 + 1 + 4) = 15.
+	if got := Value(s); math.Abs(got-15) > 1e-12 {
+		t.Errorf("Value = %v, want 15", got)
+	}
+	if Value(State{}) != 0 {
+		t.Error("empty state should have zero energy")
+	}
+}
+
+func TestDrift(t *testing.T) {
+	a := State{Q: []float64{1}}
+	b := State{Q: []float64{3}}
+	if got := Drift(a, b); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Drift = %v, want 4", got)
+	}
+}
+
+// TestQueueDriftBoundProperty is the algebra of Lemma 1 per queue:
+// ½(Q'² − Q²) ≤ ½(a²+b²) + Q(a−b) for the max-law dynamics, for any
+// non-negative inputs.
+func TestQueueDriftBoundProperty(t *testing.T) {
+	f := func(q, a, b float64) bool {
+		// Map arbitrary inputs into a sane magnitude range; quick generates
+		// values near ±1e300 whose squares overflow.
+		clamp := func(x float64) float64 {
+			x = math.Abs(x)
+			if !(x < 1e6) { // also catches NaN/Inf
+				x = math.Mod(x, 1e6)
+				if math.IsNaN(x) {
+					x = 0
+				}
+			}
+			return x
+		}
+		q, a, b = clamp(q), clamp(a), clamp(b)
+		qNext := StepMaxLaw(q, a, b)
+		drift := (qNext*qNext - q*q) / 2
+		bound := QueueDriftUpperBound(Flow{Backlog: q, Arrival: a, Service: b})
+		return drift <= bound+1e-6*(1+math.Abs(bound))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueDriftBoundTightWithoutUnderflow: when the service does not
+// overshoot the backlog the bound is exact.
+func TestQueueDriftBoundTightWithoutUnderflow(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		q := src.Uniform(5, 50)
+		b := src.Uniform(0, q) // no underflow
+		a := src.Uniform(0, 10)
+		qNext := StepMaxLaw(q, a, b)
+		drift := (qNext*qNext - q*q) / 2
+		bound := QueueDriftUpperBound(Flow{Backlog: q, Arrival: a, Service: b})
+		// drift = ½((q-b+a)² − q²) = ½(a−b)² + q(a−b) ≤ ½(a²+b²) + q(a−b):
+		// gap is exactly ab ≥ 0.
+		if bound-drift < -1e-9 || bound-drift > a*b+1e-9 {
+			t.Fatalf("gap %v outside [0, ab=%v]", bound-drift, a*b)
+		}
+	}
+}
+
+func TestSignedQueueExactAlgebra(t *testing.T) {
+	src := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		z := src.Uniform(-100, 100)
+		up := src.Uniform(0, 10)
+		down := src.Uniform(0, 10)
+		zNext := z + up - down
+		drift := (zNext*zNext - z*z) / 2
+		var a Audit
+		a.AddSigned(z, up, down)
+		if math.Abs(drift-a.Bound()) > 1e-9 {
+			t.Fatalf("signed drift %v != bound %v (should be exact)", drift, a.Bound())
+		}
+	}
+}
+
+// TestAuditAccumulatesWholeSystem drives a random multi-queue system one
+// slot and checks the aggregated inequality.
+func TestAuditAccumulatesWholeSystem(t *testing.T) {
+	src := rng.New(3)
+	for trial := 0; trial < 200; trial++ {
+		nQ := 1 + src.Intn(10)
+		nZ := src.Intn(5)
+		var before, after State
+		var audit Audit
+		for i := 0; i < nQ; i++ {
+			q := src.Uniform(0, 30)
+			a := src.Uniform(0, 8)
+			b := src.Uniform(0, 8)
+			before.Q = append(before.Q, q)
+			after.Q = append(after.Q, StepMaxLaw(q, a, b))
+			audit.AddQueue(Flow{Backlog: q, Arrival: a, Service: b})
+		}
+		for i := 0; i < nZ; i++ {
+			z := src.Uniform(-50, 50)
+			up := src.Uniform(0, 5)
+			down := src.Uniform(0, 5)
+			before.Z = append(before.Z, z)
+			after.Z = append(after.Z, z+up-down)
+			audit.AddSigned(z, up, down)
+		}
+		drift := Drift(before, after)
+		if drift > audit.Bound()+1e-6*(1+math.Abs(audit.Bound())) {
+			t.Fatalf("trial %d: drift %v exceeds bound %v", trial, drift, audit.Bound())
+		}
+	}
+}

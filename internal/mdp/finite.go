@@ -1,0 +1,99 @@
+package mdp
+
+import (
+	"fmt"
+	"math"
+
+	"greencell/internal/rng"
+)
+
+// FinitePolicy is the exact optimal policy for a T-slot horizon, computed
+// by backward induction. Unlike the average-cost Solution it is
+// time-dependent: early slots invest (charge, admit) differently from the
+// final slots, where there is no future to provision for.
+type FinitePolicy struct {
+	// ExpectedCost is the optimal expected total cost over the horizon
+	// from the zero state.
+	ExpectedCost float64
+	// T is the horizon.
+	T int
+
+	// act[t][state][renewIdx] is the optimal action index at slot t.
+	act [][][]int
+}
+
+// SolveFiniteHorizon computes the optimal T-slot policy and its expected
+// total cost from the zero state.
+func SolveFiniteHorizon(m *Model, T int) (*FinitePolicy, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if T <= 0 {
+		return nil, fmt.Errorf("%w: horizon %d", ErrModel, T)
+	}
+	n := m.NumStates()
+	// value[s] is the cost-to-go AFTER the current slot (terminal: zero —
+	// leftover queue and battery carry no salvage value or penalty).
+	value := make([]float64, n)
+	next := make([]float64, n)
+	fp := &FinitePolicy{T: T, act: make([][][]int, T)}
+
+	for t := T - 1; t >= 0; t-- {
+		fp.act[t] = make([][]int, n)
+		for idx := 0; idx < n; idx++ {
+			s := m.state(idx)
+			fp.act[t][idx] = make([]int, len(m.Renew))
+			exp := 0.0
+			for ri, r := range m.Renew {
+				best := math.Inf(1)
+				bestA := 0
+				for ai, a := range actions {
+					o := m.Step(s, a, r)
+					if !o.Feasible {
+						continue
+					}
+					v := m.Cost(a, o) + value[m.index(o.Next)]
+					if v < best-1e-12 {
+						best = v
+						bestA = ai
+					}
+				}
+				if math.IsInf(best, 1) {
+					return nil, fmt.Errorf("%w: state %+v has no feasible action", ErrModel, s)
+				}
+				fp.act[t][idx][ri] = bestA
+				exp += m.Prob[ri] * best
+			}
+			next[idx] = exp
+		}
+		value, next = next, value
+	}
+	fp.ExpectedCost = value[m.index(State{})]
+	return fp, nil
+}
+
+// SimulateFinite runs the time-dependent policy for its full horizon from
+// the zero state and returns the realized total cost.
+func SimulateFinite(m *Model, fp *FinitePolicy, src *rng.Source) (total float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	s := State{}
+	for t := 0; t < fp.T; t++ {
+		r := m.sampleRenew(src)
+		ri := 0
+		for i, v := range m.Renew {
+			if v == r {
+				ri = i
+			}
+		}
+		a := actions[fp.act[t][m.index(s)][ri]]
+		o := m.Step(s, a, r)
+		if !o.Feasible {
+			return 0, fmt.Errorf("mdp: finite policy chose infeasible action at t=%d %+v", t, s)
+		}
+		total += m.Cost(a, o)
+		s = o.Next
+	}
+	return total, nil
+}

@@ -1,0 +1,92 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestSolveFiniteHorizonValidation(t *testing.T) {
+	m := Reference()
+	if _, err := SolveFiniteHorizon(m, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	bad := *m
+	bad.Prob = []float64{1}
+	if _, err := SolveFiniteHorizon(&bad, 5); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// TestFiniteMatchesSimulation: the backward-induction expected cost must
+// match the Monte-Carlo average of simulating the extracted policy.
+func TestFiniteMatchesSimulation(t *testing.T) {
+	m := Reference()
+	const T = 40
+	fp, err := SolveFiniteHorizon(m, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(33)
+	const reps = 4000
+	sum := 0.0
+	for i := 0; i < reps; i++ {
+		total, err := SimulateFinite(m, fp, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += total
+	}
+	mc := sum / reps
+	if math.Abs(mc-fp.ExpectedCost) > 0.05*(1+math.Abs(fp.ExpectedCost)) {
+		t.Errorf("Monte-Carlo %v vs backward induction %v", mc, fp.ExpectedCost)
+	}
+}
+
+// TestFiniteDominatesStationaryPolicies: the finite-horizon optimum cannot
+// be beaten in expectation by the Lyapunov policy over the same horizon.
+func TestFiniteDominatesStationaryPolicies(t *testing.T) {
+	m := Reference()
+	const T = 40
+	fp, err := SolveFiniteHorizon(m, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(44)
+	const reps = 3000
+	lyapSum := 0.0
+	ly := Lyapunov{V: 10}
+	for i := 0; i < reps; i++ {
+		s := State{}
+		for t2 := 0; t2 < T; t2++ {
+			r := m.sampleRenew(src)
+			a := ly.Act(m, s, r)
+			o := m.Step(s, a, r)
+			lyapSum += m.Cost(a, o)
+			s = o.Next
+		}
+	}
+	lyapAvg := lyapSum / reps
+	if fp.ExpectedCost > lyapAvg+0.05*(1+math.Abs(lyapAvg)) {
+		t.Errorf("finite optimum %v beaten by Lyapunov %v", fp.ExpectedCost, lyapAvg)
+	}
+}
+
+// TestFiniteConvergesToAverageCost: V_T/T approaches the average-cost
+// optimum as the horizon grows.
+func TestFiniteConvergesToAverageCost(t *testing.T) {
+	m := Reference()
+	avg, err := SolveAverageCost(m, 1e-7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := SolveFiniteHorizon(m, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSlot := fp.ExpectedCost / 200
+	if math.Abs(perSlot-avg.AvgCost) > 0.1*(1+math.Abs(avg.AvgCost)) {
+		t.Errorf("finite per-slot %v far from average-cost %v", perSlot, avg.AvgCost)
+	}
+}

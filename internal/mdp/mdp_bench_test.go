@@ -1,0 +1,22 @@
+package mdp
+
+import "testing"
+
+// The curse of dimensionality, measured: value-iteration wall time as each
+// quantization axis doubles (state count roughly quadruples per step).
+func benchSolve(b *testing.B, scale int) {
+	m := Reference()
+	m.QMax *= scale
+	m.BattMax *= scale
+	b.ReportMetric(float64(m.NumStates()), "states")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveAverageCost(m, 1e-6, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueIteration1x(b *testing.B) { benchSolve(b, 1) }
+func BenchmarkValueIteration2x(b *testing.B) { benchSolve(b, 2) }
+func BenchmarkValueIteration4x(b *testing.B) { benchSolve(b, 4) }

@@ -1,0 +1,203 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	m := Reference()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("reference model invalid: %v", err)
+	}
+	bad := *m
+	bad.Prob = []float64{0.5, 0.5, 0.5, 0.5}
+	if bad.Validate() == nil {
+		t.Error("probabilities not summing to 1 accepted")
+	}
+	bad = *m
+	bad.QMax = 0
+	if bad.Validate() == nil {
+		t.Error("zero queue capacity accepted")
+	}
+	bad = *m
+	bad.Renew = nil
+	bad.Prob = nil
+	if bad.Validate() == nil {
+		t.Error("empty renewable distribution accepted")
+	}
+}
+
+func TestStepDynamics(t *testing.T) {
+	m := Reference()
+	s := State{Q: 10, B: 5}
+
+	// Transmit with battery preference and no renewable: demand 3, battery
+	// covers 2 (rate cap), grid 1.
+	o := m.Step(s, Action{Transmit: true, UseBattery: true}, 0)
+	if !o.Feasible {
+		t.Fatal("feasible action reported infeasible")
+	}
+	if o.Served != 4 || o.Next.Q != 6 {
+		t.Errorf("served/Q = %d/%d, want 4/6", o.Served, o.Next.Q)
+	}
+	if o.Next.B != 3 || o.GridUnits != 1 {
+		t.Errorf("B/grid = %d/%d, want 3/1", o.Next.B, o.GridUnits)
+	}
+
+	// Pure grid: demand 3, no battery.
+	o = m.Step(s, Action{Transmit: true}, 0)
+	if o.GridUnits != 3 || o.Next.B != 5 {
+		t.Errorf("grid-only: grid/B = %d/%d, want 3/5", o.GridUnits, o.Next.B)
+	}
+
+	// Renewable covers everything; the spill charges the battery.
+	o = m.Step(s, Action{}, 3)
+	if o.GridUnits != 0 {
+		t.Errorf("grid = %d, want 0 with renewable 3 >= demand 1", o.GridUnits)
+	}
+	if o.Next.B != 7 { // spill 2, within charge rate
+		t.Errorf("B = %d, want 7 (2 units of spill)", o.Next.B)
+	}
+
+	// Grid charging.
+	o = m.Step(s, Action{GridCharge: true}, 0)
+	if o.Next.B != 7 || o.GridUnits != 1+2 {
+		t.Errorf("charge: B/grid = %d/%d, want 7/3", o.Next.B, o.GridUnits)
+	}
+}
+
+func TestStepInfeasibleCases(t *testing.T) {
+	m := Reference()
+	// Queue overflow.
+	o := m.Step(State{Q: m.QMax, B: 0}, Action{Admit: true}, 0)
+	if o.Feasible {
+		t.Error("overflowing admission accepted")
+	}
+	// Grid cap exceeded: huge demand with tiny cap.
+	small := *m
+	small.GridCap = 0
+	o = small.Step(State{Q: 5, B: 0}, Action{Transmit: true}, 0)
+	if o.Feasible {
+		t.Error("demand beyond the grid cap accepted")
+	}
+}
+
+func TestComplementarity(t *testing.T) {
+	m := Reference()
+	// UseBattery discharging blocks grid charging in the same slot.
+	o := m.Step(State{Q: 5, B: 5}, Action{Transmit: true, UseBattery: true, GridCharge: true}, 0)
+	if !o.Feasible {
+		t.Fatal("action infeasible")
+	}
+	// Demand 3: battery gives 2, grid 1; charging must NOT happen.
+	if o.Next.B != 3 {
+		t.Errorf("B = %d, want 3 (no simultaneous charge)", o.Next.B)
+	}
+}
+
+func TestSolveAverageCost(t *testing.T) {
+	m := Reference()
+	sol, err := SolveAverageCost(m, 1e-7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Iterations <= 1 {
+		t.Errorf("suspiciously fast convergence: %d sweeps", sol.Iterations)
+	}
+	// With λ=2 per packet and cheap service, admission should pay: the
+	// optimal average cost must be negative (reward exceeds energy cost).
+	if sol.AvgCost >= 0 {
+		t.Errorf("optimal average cost %v, want negative (profitable admission)", sol.AvgCost)
+	}
+}
+
+// TestDPDominatesLyapunov: the DP policy is optimal for the model, so its
+// simulated long-run cost must not exceed the Lyapunov policy's, and the
+// Lyapunov policy must close most of the gap at large V.
+func TestDPDominatesLyapunov(t *testing.T) {
+	m := Reference()
+	sol, err := SolveAverageCost(m, 1e-7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const T = 60000
+	dpCost, _, err := Simulate(m, sol, T, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulated DP cost ~ solved average cost.
+	if math.Abs(dpCost-sol.AvgCost) > 0.1*(1+math.Abs(sol.AvgCost)) {
+		t.Errorf("simulated DP cost %v far from solved %v", dpCost, sol.AvgCost)
+	}
+
+	for _, v := range []float64{0.5, 2, 10} {
+		lyapCost, _, err := Simulate(m, Lyapunov{V: v}, T, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lyapCost < dpCost-0.05*(1+math.Abs(dpCost)) {
+			t.Errorf("V=%v: Lyapunov %v beats the DP optimum %v", v, lyapCost, dpCost)
+		}
+		t.Logf("V=%-4v lyapunov=%.4f  dp=%.4f  gap=%.1f%%",
+			v, lyapCost, dpCost, 100*(lyapCost-dpCost)/math.Abs(dpCost))
+		if v == 10 {
+			gap := (lyapCost - dpCost) / math.Abs(dpCost)
+			if gap > 0.35 {
+				t.Errorf("V=10 gap %.0f%% too large — drift policy should approach the optimum", 100*gap)
+			}
+		}
+	}
+}
+
+// TestCurseOfDimensionality measures the state-space growth the paper
+// complains about: doubling each quantization axis quadruples the states.
+func TestCurseOfDimensionality(t *testing.T) {
+	m := Reference()
+	base := m.NumStates()
+	big := *m
+	big.QMax = 2 * m.QMax
+	big.BattMax = 2 * m.BattMax
+	if got := big.NumStates(); got < 4*base-2*(m.QMax+m.BattMax)-4 {
+		t.Errorf("states %d -> %d: expected ~4x growth", base, got)
+	}
+}
+
+func TestSimulateRejectsBadModel(t *testing.T) {
+	bad := Reference()
+	bad.Prob = []float64{1}
+	if _, _, err := Simulate(bad, Lyapunov{V: 1}, 10, rng.New(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+// Property: Step keeps the state inside the boxes for any feasible action.
+func TestStepStateBoundsProperty(t *testing.T) {
+	m := Reference()
+	src := rng.New(808)
+	for trial := 0; trial < 5000; trial++ {
+		s := State{Q: src.Intn(m.QMax + 1), B: src.Intn(m.BattMax + 1)}
+		a := Action{
+			Admit:      src.Bernoulli(0.5),
+			Transmit:   src.Bernoulli(0.5),
+			GridCharge: src.Bernoulli(0.5),
+			UseBattery: src.Bernoulli(0.5),
+		}
+		r := m.Renew[src.Intn(len(m.Renew))]
+		o := m.Step(s, a, r)
+		if !o.Feasible {
+			continue
+		}
+		if o.Next.Q < 0 || o.Next.Q > m.QMax {
+			t.Fatalf("queue escaped: %+v -> %+v", s, o.Next)
+		}
+		if o.Next.B < 0 || o.Next.B > m.BattMax {
+			t.Fatalf("battery escaped: %+v -> %+v", s, o.Next)
+		}
+		if o.GridUnits < 0 || o.GridUnits > m.GridCap {
+			t.Fatalf("grid draw %d outside [0,%d]", o.GridUnits, m.GridCap)
+		}
+	}
+}

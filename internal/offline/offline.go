@@ -1,0 +1,510 @@
+// Package offline solves the paper's *offline* problem — the clairvoyant
+// counterpart of P2 — exactly (up to documented relaxations) on small
+// instances, by enumerating the integral link schedules of every slot and
+// solving one joint linear program over flows, admissions, queues, and
+// energy for each schedule combination.
+//
+// The paper never compares its online algorithm against the true offline
+// optimum (it is a time-coupled stochastic MINLP); on toy instances this
+// package makes that comparison possible: the online controller's realized
+// objective on a fixed realization must dominate the clairvoyant optimum
+// computed here.
+//
+// Relaxations (each one only *lowers* the computed optimum, so the value
+// remains a valid lower bound on the true offline optimum):
+//
+//   - flows l_ij^s and admissions k_s are continuous;
+//   - the one-source-per-session constraint (19) is relaxed to admission
+//     split across base stations;
+//   - the convex cost f enters through tangent (supporting-hyperplane)
+//     cuts, an under-approximation that tightens as CostCuts grows.
+//
+// Schedules α stay integral: every per-slot pattern satisfies the
+// single-radio constraint (22) and the SINR constraint (24) at the power
+// caps, with transmission powers minimized by power control.
+package offline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"greencell/internal/core"
+	"greencell/internal/energy"
+	"greencell/internal/lp"
+	"greencell/internal/radio"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+// Instance is one clairvoyant problem.
+type Instance struct {
+	Net         *topology.Network
+	Traffic     *traffic.Model
+	SlotSeconds float64
+	Cost        energy.CostFunc
+	Lambda      float64
+	// Realization is the fixed per-slot random state (widths, renewables,
+	// connectivity); its length is the horizon T.
+	Realization []core.Observation
+	// RequireDrain forces all admitted packets to be delivered by the end
+	// of the horizon (Q(T) = 0) — the "clairvoyant completes the work"
+	// convention. Without it, admission is a free reward and the optimum
+	// degenerates to minimum-energy operation.
+	RequireDrain bool
+	// MaxCombos caps the schedule-combination enumeration (0 = 100000).
+	MaxCombos int
+	// CostCuts is the number of tangent cuts approximating f (0 = 24).
+	CostCuts int
+}
+
+// Solution is the clairvoyant optimum.
+type Solution struct {
+	// Objective is the per-slot average of f̂(P(t)) − λ·Σ k_s(t), where f̂
+	// is the tangent-cut under-approximation of f.
+	Objective float64
+	// TrueObjective re-evaluates the optimal trajectory under the exact f.
+	TrueObjective float64
+	// AvgEnergyCost is the per-slot average of the exact f(P(t)).
+	AvgEnergyCost float64
+	// GridWh[t] is the optimal total base-station draw per slot.
+	GridWh []float64
+	// AdmittedPkts is the total admission over the horizon.
+	AdmittedPkts float64
+	// Combos is the number of schedule combinations whose LP was solved.
+	Combos int
+	// PatternsPerSlot records the per-slot schedule-pattern counts.
+	PatternsPerSlot []int
+}
+
+// ErrInstance reports an unusable instance.
+var ErrInstance = errors.New("offline: invalid instance")
+
+// ErrTooLarge reports that enumeration would exceed MaxCombos.
+var ErrTooLarge = errors.New("offline: instance too large to enumerate")
+
+// pattern is one feasible slot schedule: active links, their bands,
+// minimal powers, rates.
+type pattern struct {
+	links  []int
+	bands  []int
+	powers []float64
+	rates  []float64
+	// txWh[i] is node i's transmit+receive energy under this pattern.
+	txWh []float64
+}
+
+// Solve computes the clairvoyant optimum.
+func Solve(inst *Instance) (*Solution, error) {
+	if inst.Net == nil || inst.Traffic == nil || inst.Cost == nil {
+		return nil, fmt.Errorf("%w: nil component", ErrInstance)
+	}
+	if len(inst.Realization) == 0 {
+		return nil, fmt.Errorf("%w: empty realization", ErrInstance)
+	}
+	if inst.SlotSeconds <= 0 {
+		return nil, fmt.Errorf("%w: SlotSeconds = %v", ErrInstance, inst.SlotSeconds)
+	}
+	maxCombos := inst.MaxCombos
+	if maxCombos == 0 {
+		maxCombos = 100000
+	}
+	cuts := inst.CostCuts
+	if cuts == 0 {
+		cuts = 24
+	}
+
+	T := len(inst.Realization)
+	perSlot := make([][]pattern, T)
+	total := 1
+	sol := &Solution{PatternsPerSlot: make([]int, T)}
+	for t := 0; t < T; t++ {
+		perSlot[t] = enumeratePatterns(inst, inst.Realization[t])
+		sol.PatternsPerSlot[t] = len(perSlot[t])
+		total *= len(perSlot[t])
+		if total > maxCombos {
+			return nil, fmt.Errorf("%w: %d+ schedule combinations (cap %d)", ErrTooLarge, total, maxCombos)
+		}
+	}
+
+	best := math.Inf(1)
+	var bestSol *Solution
+	idx := make([]int, T)
+	for {
+		combo := make([]*pattern, T)
+		for t := range idx {
+			combo[t] = &perSlot[t][idx[t]]
+		}
+		s, feasible, err := solveCombo(inst, combo, cuts)
+		if err != nil {
+			return nil, err
+		}
+		sol.Combos++
+		if feasible && s.Objective < best {
+			best = s.Objective
+			bestSol = s
+		}
+		// Advance the mixed-radix counter.
+		t := 0
+		for ; t < T; t++ {
+			idx[t]++
+			if idx[t] < len(perSlot[t]) {
+				break
+			}
+			idx[t] = 0
+		}
+		if t == T {
+			break
+		}
+	}
+	if bestSol == nil {
+		return nil, fmt.Errorf("%w: no feasible schedule combination", ErrInstance)
+	}
+	bestSol.Combos = sol.Combos
+	bestSol.PatternsPerSlot = sol.PatternsPerSlot
+	return bestSol, nil
+}
+
+// enumeratePatterns lists every schedule feasible under (22) and (24) for
+// the slot's widths, including the empty schedule. Powers are minimized by
+// power control; sets that cannot close at the caps are excluded.
+func enumeratePatterns(inst *Instance, obs core.Observation) []pattern {
+	net := inst.Net
+	type pairT struct{ link, band int }
+	var pairs []pairT
+	for l, link := range net.Links {
+		for _, b := range link.Bands {
+			if obs.Widths[b] <= 0 {
+				continue
+			}
+			s := net.Radio.InterferenceFreeSINR(
+				net.Gains[link.From][link.To], net.MaxTxPower(link.From), obs.Widths[b])
+			if s >= net.Radio.SINRThreshold {
+				pairs = append(pairs, pairT{l, b})
+			}
+		}
+	}
+
+	dtH := inst.SlotSeconds / 3600
+	var out []pattern
+	var rec func(start int, chosen []pairT)
+	build := func(chosen []pairT) (pattern, bool) {
+		p := pattern{txWh: make([]float64, net.NumNodes())}
+		perBand := map[int][]int{} // band -> chosen indices
+		for ci, c := range chosen {
+			perBand[c.band] = append(perBand[c.band], ci)
+		}
+		powers := make([]float64, len(chosen))
+		for band, cis := range perBand {
+			txs := make([]radio.Transmission, len(cis))
+			caps := make([]float64, len(cis))
+			for k, ci := range cis {
+				link := net.Links[chosen[ci].link]
+				txs[k] = radio.Transmission{From: link.From, To: link.To}
+				caps[k] = net.MaxTxPower(link.From)
+			}
+			pw, ok := net.Radio.ControlPowers(net.Gains, txs, obs.Widths[band], caps)
+			if !ok {
+				return pattern{}, false
+			}
+			for k, ci := range cis {
+				powers[ci] = pw[k]
+			}
+		}
+		for ci, c := range chosen {
+			link := net.Links[c.link]
+			p.links = append(p.links, c.link)
+			p.bands = append(p.bands, c.band)
+			p.powers = append(p.powers, powers[ci])
+			p.rates = append(p.rates, net.Radio.Capacity(obs.Widths[c.band]))
+			p.txWh[link.From] += powers[ci] * dtH
+			p.txWh[link.To] += net.Nodes[link.To].Spec.RecvPowerW * dtH
+		}
+		return p, true
+	}
+	rec = func(start int, chosen []pairT) {
+		if p, ok := build(chosen); ok {
+			out = append(out, p)
+		} else {
+			return // supersets of an infeasible set stay infeasible
+		}
+		for i := start; i < len(pairs); i++ {
+			c := pairs[i]
+			link := net.Links[c.link]
+			conflict := false
+			for _, ch := range chosen {
+				l2 := net.Links[ch.link]
+				if l2.From == link.From || l2.From == link.To ||
+					l2.To == link.From || l2.To == link.To {
+					conflict = true // single-radio constraint (22)
+					break
+				}
+			}
+			if conflict {
+				continue
+			}
+			rec(i+1, append(chosen, c))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// solveCombo builds and solves the joint LP for one schedule combination.
+func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, error) {
+	net := inst.Net
+	T := len(combo)
+	S := inst.Traffic.NumSessions()
+	delta := inst.Traffic.PacketBits
+	dtH := inst.SlotSeconds / 3600
+	inf := math.Inf(1)
+
+	prob := lp.NewProblem(lp.Minimize)
+
+	// Per-slot link capacities (packets) under the combo.
+	capPkts := make([][]float64, T)
+	for t, p := range combo {
+		capPkts[t] = make([]float64, len(net.Links))
+		for k, l := range p.links {
+			capPkts[t][l] += p.rates[k] * inst.SlotSeconds / delta
+		}
+	}
+
+	// Flow variables l[t][link][s] and admissions k[t][s][bs].
+	flow := make([][][]lp.VarID, T)
+	admit := make([][][]lp.VarID, T)
+	bss := net.BaseStations()
+	for t := 0; t < T; t++ {
+		flow[t] = make([][]lp.VarID, len(net.Links))
+		for l := range net.Links {
+			if capPkts[t][l] <= 0 {
+				continue
+			}
+			flow[t][l] = make([]lp.VarID, S)
+			for s := 0; s < S; s++ {
+				flow[t][l][s] = prob.AddVar("l", 0, inf, 0)
+			}
+		}
+		admit[t] = make([][]lp.VarID, S)
+		for s := 0; s < S; s++ {
+			admit[t][s] = make([]lp.VarID, len(bss))
+			for b := range bss {
+				admit[t][s][b] = prob.AddVar("k", 0, inst.Traffic.Sessions[s].MaxAdmission,
+					-inst.Lambda)
+			}
+			// Σ_b k ≤ K_max (total admission per session per slot).
+			terms := make([]lp.Term, len(bss))
+			for b := range bss {
+				terms[b] = lp.Term{Var: admit[t][s][b], Coef: 1}
+			}
+			prob.AddConstraint("kcap", lp.LE, inst.Traffic.Sessions[s].MaxAdmission, terms...)
+		}
+		// Capacity rows: δ·Σ_s l ≤ scheduled capacity.
+		for l := range net.Links {
+			if flow[t][l] == nil {
+				continue
+			}
+			terms := make([]lp.Term, S)
+			for s := 0; s < S; s++ {
+				terms[s] = lp.Term{Var: flow[t][l][s], Coef: 1}
+			}
+			prob.AddConstraint("cap", lp.LE, capPkts[t][l], terms...)
+		}
+	}
+
+	// Queue variables Q[t][s][i] for t = 1..T (Q[0] = 0), with
+	// service-limited dynamics and optional terminal drain.
+	queue := make([][][]lp.VarID, T+1)
+	for t := 1; t <= T; t++ {
+		queue[t] = make([][]lp.VarID, S)
+		for s := 0; s < S; s++ {
+			queue[t][s] = make([]lp.VarID, net.NumNodes())
+			for i := range net.Nodes {
+				if i == inst.Traffic.Sessions[s].Dest {
+					continue // destinations keep no queue
+				}
+				hi := inf
+				if inst.RequireDrain && t == T {
+					hi = 0
+				}
+				queue[t][s][i] = prob.AddVar("Q", 0, hi, 0)
+			}
+		}
+	}
+	qAt := func(t, s, i int) (lp.VarID, bool) {
+		if t == 0 || i == inst.Traffic.Sessions[s].Dest {
+			return 0, false
+		}
+		return queue[t][s][i], true
+	}
+	for t := 0; t < T; t++ {
+		for s := 0; s < S; s++ {
+			sess := inst.Traffic.Sessions[s]
+			for i := range net.Nodes {
+				if i == sess.Dest {
+					continue
+				}
+				// Q[t+1][i] = Q[t][i] − out + in + admitted.
+				terms := []lp.Term{{Var: queue[t+1][s][i], Coef: 1}}
+				outTerms := []lp.Term{}
+				for _, l := range net.OutLinks(i) {
+					if flow[t][l] != nil {
+						terms = append(terms, lp.Term{Var: flow[t][l][s], Coef: 1})
+						outTerms = append(outTerms, lp.Term{Var: flow[t][l][s], Coef: 1})
+					}
+				}
+				for _, l := range net.InLinks(i) {
+					if flow[t][l] != nil {
+						terms = append(terms, lp.Term{Var: flow[t][l][s], Coef: -1})
+					}
+				}
+				for b, bsNode := range bss {
+					if bsNode == i {
+						terms = append(terms, lp.Term{Var: admit[t][s][b], Coef: -1})
+					}
+				}
+				if v, ok := qAt(t, s, i); ok {
+					terms = append(terms, lp.Term{Var: v, Coef: -1})
+				}
+				prob.AddConstraint("qdyn", lp.EQ, 0, terms...)
+				// Service limit: out ≤ Q[t][i].
+				if len(outTerms) > 0 {
+					if v, ok := qAt(t, s, i); ok {
+						outTerms = append(outTerms, lp.Term{Var: v, Coef: -1})
+						prob.AddConstraint("qserve", lp.LE, 0, outTerms...)
+					} else {
+						// Q[0] = 0: nothing to ship in slot 0.
+						prob.AddConstraint("qserve0", lp.LE, 0, outTerms...)
+					}
+				}
+			}
+			// Delivery cap at the destination.
+			dest := sess.Dest
+			var inTerms []lp.Term
+			for _, l := range net.InLinks(dest) {
+				if flow[t][l] != nil {
+					inTerms = append(inTerms, lp.Term{Var: flow[t][l][s], Coef: 1})
+				}
+			}
+			if len(inTerms) > 0 {
+				prob.AddConstraint("deliver", lp.LE, sess.DemandAt(t), inTerms...)
+			}
+			// The destination never transmits: outgoing flows of dest = 0.
+			for _, l := range net.OutLinks(dest) {
+				if flow[t][l] != nil {
+					prob.SetVarBounds(flow[t][l][s], 0, 0)
+				}
+			}
+		}
+	}
+
+	// Energy variables per node per slot, battery trajectory, and grid cost.
+	type evars struct{ r, cr, g, cg, d lp.VarID }
+	evs := make([][]evars, T)
+	batt := make([][]lp.VarID, T+1) // x[t][i], t=1..T
+	pTot := make([]lp.VarID, T)
+	yCost := make([]lp.VarID, T)
+	pMaxTotal := 0.0
+	for _, i := range bss {
+		pMaxTotal += net.Nodes[i].Spec.Grid.MaxDrawWh
+	}
+	for t := 1; t <= T; t++ {
+		batt[t] = make([]lp.VarID, net.NumNodes())
+		for i, nd := range net.Nodes {
+			batt[t][i] = prob.AddVar("x", 0, nd.Spec.Battery.CapacityWh, 0)
+		}
+	}
+	for t := 0; t < T; t++ {
+		obs := inst.Realization[t]
+		evs[t] = make([]evars, net.NumNodes())
+		pTot[t] = prob.AddVar("P", 0, pMaxTotal, 0)
+		yCost[t] = prob.AddVar("y", 0, inf, 1.0/float64(T))
+		var pTerms []lp.Term
+		for i, nd := range net.Nodes {
+			spec := nd.Spec
+			gridCap := 0.0
+			if obs.Connected[i] {
+				gridCap = spec.Grid.MaxDrawWh
+			}
+			v := evars{
+				r:  prob.AddVar("r", 0, inf, 0),
+				cr: prob.AddVar("cr", 0, inf, 0),
+				g:  prob.AddVar("g", 0, inf, 0),
+				cg: prob.AddVar("cg", 0, inf, 0),
+				d:  prob.AddVar("d", 0, spec.Battery.MaxDischargeWh, 0),
+			}
+			evs[t][i] = v
+			prob.AddConstraint("renew", lp.LE, obs.RenewWh[i],
+				lp.Term{Var: v.r, Coef: 1}, lp.Term{Var: v.cr, Coef: 1})
+			prob.AddConstraint("chargecap", lp.LE, spec.Battery.MaxChargeWh,
+				lp.Term{Var: v.cr, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+			prob.AddConstraint("gridcap", lp.LE, gridCap,
+				lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+			// Demand balance: g + r + d = E (fixed by the pattern).
+			demand := (spec.ConstPowerW+spec.IdlePowerW)*dtH + combo[t].txWh[i]
+			prob.AddConstraint("demand", lp.EQ, demand,
+				lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.r, Coef: 1},
+				lp.Term{Var: v.d, Coef: 1})
+			// Battery dynamics: x[t+1] = x[t] + cr + cg − d.
+			terms := []lp.Term{
+				{Var: batt[t+1][i], Coef: 1},
+				{Var: v.cr, Coef: -1}, {Var: v.cg, Coef: -1},
+				{Var: v.d, Coef: 1},
+			}
+			rhs := 0.0
+			if t == 0 {
+				rhs = spec.BatteryInitWh
+			} else {
+				terms = append(terms, lp.Term{Var: batt[t][i], Coef: -1})
+			}
+			prob.AddConstraint("battdyn", lp.EQ, rhs, terms...)
+			if net.IsBS(i) {
+				pTerms = append(pTerms, lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
+			}
+		}
+		pTerms = append(pTerms, lp.Term{Var: pTot[t], Coef: -1})
+		prob.AddConstraint("ptot", lp.EQ, 0, pTerms...)
+		// Tangent cuts: y ≥ f(p_k) + f'(p_k)(P − p_k). Quadratic spacing
+		// concentrates cuts near zero, where realistic draws live.
+		for k := 0; k < cuts; k++ {
+			frac := float64(k) / float64(cuts-1)
+			pk := pMaxTotal * frac * frac
+			fp := inst.Cost.Eval(pk)
+			dp := inst.Cost.Deriv(pk)
+			prob.AddConstraint("cut", lp.GE, fp-dp*pk,
+				lp.Term{Var: yCost[t], Coef: 1}, lp.Term{Var: pTot[t], Coef: -dp})
+		}
+	}
+
+	// Scale the admission reward per slot average.
+	for t := 0; t < T; t++ {
+		for s := 0; s < S; s++ {
+			for b := range bss {
+				prob.SetVarCost(admit[t][s][b], -inst.Lambda/float64(T))
+			}
+		}
+	}
+
+	solLP, err := prob.Solve()
+	if err != nil {
+		return nil, false, err
+	}
+	if solLP.Status != lp.Optimal {
+		return nil, false, nil // infeasible combo (e.g. drain impossible)
+	}
+
+	out := &Solution{GridWh: make([]float64, T)}
+	out.Objective = solLP.Objective
+	for t := 0; t < T; t++ {
+		p := solLP.Value(pTot[t])
+		out.GridWh[t] = p
+		out.AvgEnergyCost += inst.Cost.Eval(p) / float64(T)
+		for s := 0; s < S; s++ {
+			for b := range bss {
+				out.AdmittedPkts += solLP.Value(admit[t][s][b])
+			}
+		}
+	}
+	out.TrueObjective = out.AvgEnergyCost - inst.Lambda*out.AdmittedPkts/float64(T)
+	return out, true, nil
+}

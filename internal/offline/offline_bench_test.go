@@ -1,0 +1,27 @@
+package offline
+
+import (
+	"testing"
+
+	"greencell/internal/energy"
+)
+
+// BenchmarkSolve measures the clairvoyant solver on the 3-node, T=3
+// instance (64 schedule combinations, one joint LP each).
+func BenchmarkSolve(b *testing.B) {
+	net, tm := tinySetup(b)
+	inst := &Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        energy.Quadratic{A: 0.5, B: 0.1},
+		Lambda:      0.05,
+		Realization: fixedRealization(net, 3),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

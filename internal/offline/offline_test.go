@@ -1,0 +1,286 @@
+package offline
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"greencell/internal/core"
+	"greencell/internal/energy"
+	"greencell/internal/geom"
+	"greencell/internal/radio"
+	"greencell/internal/rng"
+	"greencell/internal/spectrum"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+// tinySetup builds a 3-node line (BS -> u1 -> u2 plus the direct BS -> u2)
+// on a single band, one session destined to u2.
+func tinySetup(t testing.TB) (*topology.Network, *traffic.Model) {
+	t.Helper()
+	sm := &spectrum.Model{Bands: []spectrum.Band{
+		{Name: "cell", Width: spectrum.Constant(1e6), Universal: true},
+	}}
+	spec := func(maxTx float64) topology.NodeSpec {
+		return topology.NodeSpec{
+			MaxTxPowerW: maxTx,
+			RecvPowerW:  0.05,
+			ConstPowerW: 1,
+			IdlePowerW:  0.5,
+			Battery:     energy.BatterySpec{CapacityWh: 10, MaxChargeWh: 0.5, MaxDischargeWh: 0.5},
+			Renewable:   energy.ConstantPower(0.05),
+			Grid:        energy.GridConnection{MaxDrawWh: 50, AlwaysOn: true},
+		}
+	}
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}, Spec: spec(20)},
+		{Kind: topology.User, Pos: geom.Point{X: 400, Y: 0}, Spec: spec(1)},
+		{Kind: topology.User, Pos: geom.Point{X: 800, Y: 0}, Spec: spec(1)},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &traffic.Model{
+		PacketBits: 1.2e6,
+		Sessions:   []traffic.Session{{ID: 0, Dest: 2, DemandPkts: 10, MaxAdmission: 10}},
+	}
+	return net, tm
+}
+
+func fixedRealization(net *topology.Network, slots int) []core.Observation {
+	out := make([]core.Observation, slots)
+	for t := range out {
+		obs := core.Observation{
+			Widths:    []float64{1e6},
+			RenewWh:   make([]float64, net.NumNodes()),
+			Connected: make([]bool, net.NumNodes()),
+		}
+		for i := range obs.RenewWh {
+			obs.RenewWh[i] = 0.05
+			obs.Connected[i] = true
+		}
+		out[t] = obs
+	}
+	return out
+}
+
+func TestSolveTiny(t *testing.T) {
+	net, tm := tinySetup(t)
+	inst := &Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        energy.Quadratic{A: 0.5, B: 0.1},
+		Lambda:      0.05,
+		Realization: fixedRealization(net, 3),
+	}
+	sol, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Combos == 0 || len(sol.PatternsPerSlot) != 3 {
+		t.Fatalf("bookkeeping wrong: %+v", sol)
+	}
+	// Every slot enumerates at least the empty pattern plus the three
+	// single-link patterns.
+	for t2, n := range sol.PatternsPerSlot {
+		if n < 4 {
+			t.Errorf("slot %d: %d patterns, want >= 4", t2, n)
+		}
+	}
+	// Tangent cuts under-approximate: Objective <= TrueObjective.
+	if sol.Objective > sol.TrueObjective+1e-9 {
+		t.Errorf("cut objective %v above true objective %v", sol.Objective, sol.TrueObjective)
+	}
+	if len(sol.GridWh) != 3 {
+		t.Errorf("grid trace length %d", len(sol.GridWh))
+	}
+	for _, p := range sol.GridWh {
+		if p < -1e-9 {
+			t.Errorf("negative grid draw %v", p)
+		}
+	}
+}
+
+func TestZeroLambdaIsMinimumEnergy(t *testing.T) {
+	net, tm := tinySetup(t)
+	inst := &Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        energy.Quadratic{A: 0.5, B: 0.1},
+		Lambda:      0, // admission worthless: optimum = serve fixed demand only
+		Realization: fixedRealization(net, 2),
+		CostCuts:    48,
+	}
+	sol, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.AdmittedPkts > 1e-6 {
+		t.Errorf("admitted %v packets with zero reward", sol.AdmittedPkts)
+	}
+	// Only the BS counts toward P: its fixed demand is 1.5 W x 1 min =
+	// 0.025 Wh, renewable covers 0.05 Wh, so the grid draw should be zero.
+	for _, p := range sol.GridWh {
+		if p > 1e-6 {
+			t.Errorf("grid draw %v, want 0 (renewable covers the BS idle load)", p)
+		}
+	}
+	if sol.AvgEnergyCost > 1e-6 {
+		t.Errorf("avg cost %v, want ~0", sol.AvgEnergyCost)
+	}
+}
+
+func TestGridNeededWithoutRenewable(t *testing.T) {
+	net, tm := tinySetup(t)
+	real := fixedRealization(net, 2)
+	for t2 := range real {
+		for i := range real[t2].RenewWh {
+			real[t2].RenewWh[i] = 0
+		}
+	}
+	cost := energy.Quadratic{A: 0.5, B: 0.1}
+	inst := &Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        cost,
+		Lambda:      0,
+		Realization: real,
+		CostCuts:    64,
+	}
+	sol, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The BS needs 1.5 W x 1 min = 0.025 Wh per slot with no renewable and
+	// an initially-empty battery, so total grid energy over 2 slots is
+	// exactly 0.05 Wh (the LP may shift energy between slots through the
+	// battery — under the piecewise-linear f̂ such shifts can tie).
+	perSlot := 1.5 * (60.0 / 3600)
+	total := 0.0
+	for _, p := range sol.GridWh {
+		total += p
+	}
+	if math.Abs(total-2*perSlot) > 1e-6 {
+		t.Errorf("total grid draw %v, want %v", total, 2*perSlot)
+	}
+	// The cut objective under-approximates the true convex cost, which in
+	// turn cannot beat the perfectly-balanced schedule... evaluated under f̂.
+	if sol.Objective > sol.TrueObjective+1e-9 {
+		t.Errorf("cut objective %v above true %v", sol.Objective, sol.TrueObjective)
+	}
+	if sol.TrueObjective < cost.Eval(perSlot)-1e-9 {
+		t.Errorf("true cost %v below the balanced lower bound f(%v)=%v (convexity violated?)",
+			sol.TrueObjective, perSlot, cost.Eval(perSlot))
+	}
+}
+
+// TestClairvoyanceDominance: on a common fixed realization, the online
+// controller's realized average penalty objective can never beat the
+// clairvoyant optimum (computed without the drain requirement, which makes
+// the offline strictly more permissive than any online policy).
+func TestClairvoyanceDominance(t *testing.T) {
+	net, tm := tinySetup(t)
+	const T = 3
+	real := fixedRealization(net, T)
+	cost := energy.Quadratic{A: 0.5, B: 0.1}
+	const lambda = 0.05
+
+	inst := &Instance{
+		Net:         net,
+		Traffic:     tm,
+		SlotSeconds: 60,
+		Cost:        cost,
+		Lambda:      lambda,
+		Realization: real,
+		CostCuts:    48,
+	}
+	off, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := core.New(core.Config{
+		Net:         net,
+		Traffic:     tm,
+		V:           1e3,
+		Lambda:      lambda,
+		SlotSeconds: 60,
+		Cost:        cost,
+		EnergyGate:  true,
+		Env:         core.FixedEnvironment{Slots: real},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	onlineObj := 0.0
+	for slot := 0; slot < T; slot++ {
+		sr, err := ctrl.Step(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onlineObj += sr.PenaltyObjective / T
+	}
+	if off.TrueObjective > onlineObj+1e-6*(1+math.Abs(onlineObj)) {
+		t.Errorf("clairvoyant optimum %v worse than online %v", off.TrueObjective, onlineObj)
+	}
+	t.Logf("offline %v <= online %v", off.TrueObjective, onlineObj)
+}
+
+func TestRequireDrainForcesDelivery(t *testing.T) {
+	net, tm := tinySetup(t)
+	inst := &Instance{
+		Net:          net,
+		Traffic:      tm,
+		SlotSeconds:  60,
+		Cost:         energy.Quadratic{A: 0.5, B: 0.1},
+		Lambda:       10, // generous reward: admit as much as deliverable
+		Realization:  fixedRealization(net, 3),
+		RequireDrain: true,
+	}
+	sol, err := Solve(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With drain, admissions are bounded by deliverable capacity: the last
+	// slot cannot admit (no slot remains to deliver), so admissions are
+	// strictly below the 3-slot cap.
+	maxAdmission := 3 * tm.Sessions[0].MaxAdmission
+	if sol.AdmittedPkts >= maxAdmission-1e-9 {
+		t.Errorf("admitted %v with drain, should be < %v", sol.AdmittedPkts, maxAdmission)
+	}
+	if sol.AdmittedPkts <= 0 {
+		t.Error("generous reward should still admit something deliverable")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	net, tm := tinySetup(t)
+	if _, err := Solve(&Instance{}); !errors.Is(err, ErrInstance) {
+		t.Error("nil components accepted")
+	}
+	if _, err := Solve(&Instance{
+		Net: net, Traffic: tm, Cost: energy.Quadratic{A: 1},
+		SlotSeconds: 60,
+	}); !errors.Is(err, ErrInstance) {
+		t.Error("empty realization accepted")
+	}
+	if _, err := Solve(&Instance{
+		Net: net, Traffic: tm, Cost: energy.Quadratic{A: 1},
+		SlotSeconds: 60,
+		Realization: fixedRealization(net, 10),
+		MaxCombos:   10,
+	}); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized instance accepted")
+	}
+}

@@ -1,0 +1,364 @@
+// Package plot renders line and grouped-bar charts as standalone SVG, used
+// by cmd/figures to draw the paper's Figure 2 panels next to their TSV
+// tables.
+//
+// The visual rules follow the repository's data-viz conventions: a fixed,
+// CVD-validated categorical palette assigned in order (never cycled), one
+// y-axis, thin marks (2px lines, 8px markers, 2px gaps between bars),
+// recessive grid and axes, text in text colors (never series colors), a
+// legend whenever there are two or more series, and per-mark <title>
+// tooltips. Numeric tables (TSV) accompany every figure as the relief for
+// low-contrast slots.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// The validated light-mode palette, in its fixed CVD-safe order.
+var seriesColors = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#008300", // green
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+}
+
+const (
+	surfaceColor   = "#fcfcfb"
+	gridColor      = "#e7e6e2"
+	axisColor      = "#c3c2b7"
+	textPrimary    = "#0b0b0b"
+	textSecondary  = "#52514e"
+	defaultWidth   = 680
+	defaultHeight  = 420
+	marginLeft     = 64
+	marginRight    = 16
+	marginTop      = 44
+	marginBottom   = 48
+	legendRowH     = 16
+	maxSeriesSlots = 8
+)
+
+// Series is one named line (X ascending) or bar group member.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart describes one figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height default to 680x420.
+	Width, Height int
+}
+
+// ErrChart reports an unrenderable chart.
+var ErrChart = fmt.Errorf("plot: invalid chart")
+
+func (c *Chart) dims() (w, h int) {
+	w, h = c.Width, c.Height
+	if w == 0 {
+		w = defaultWidth
+	}
+	if h == 0 {
+		h = defaultHeight
+	}
+	return w, h
+}
+
+func (c *Chart) validate(needX bool) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("%w: no series", ErrChart)
+	}
+	if len(c.Series) > maxSeriesSlots {
+		return fmt.Errorf("%w: %d series exceeds the %d palette slots (fold extras into 'other')",
+			ErrChart, len(c.Series), maxSeriesSlots)
+	}
+	for i, s := range c.Series {
+		if len(s.Y) == 0 {
+			return fmt.Errorf("%w: series %d empty", ErrChart, i)
+		}
+		if needX && len(s.X) != len(s.Y) {
+			return fmt.Errorf("%w: series %d has %d x for %d y", ErrChart, i, len(s.X), len(s.Y))
+		}
+		for _, v := range append(append([]float64(nil), s.X...), s.Y...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("%w: series %d contains non-finite values", ErrChart, i)
+			}
+		}
+	}
+	return nil
+}
+
+// niceTicks returns ~n tick positions covering [lo, hi] on a 1/2/5 grid.
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	raw := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	var step float64
+	switch {
+	case raw/mag < 1.5:
+		step = mag
+	case raw/mag < 3.5:
+		step = 2 * mag
+	case raw/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+step*1e-9; v += step {
+		// Snap tiny float noise onto the grid.
+		ticks = append(ticks, math.Round(v/step)*step)
+	}
+	return ticks
+}
+
+// fmtTick renders an axis value compactly (1.2k, 3.5M, 1e+06 fallbacks).
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case a >= 1e6:
+		return strings.Replace(fmt.Sprintf("%.1fM", v/1e6), ".0M", "M", 1)
+	case a >= 1e3:
+		s := fmt.Sprintf("%.1fk", v/1e3)
+		return strings.Replace(s, ".0k", "k", 1)
+	case a >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+type svgBuilder struct {
+	b strings.Builder
+}
+
+func (s *svgBuilder) f(format string, args ...any) {
+	fmt.Fprintf(&s.b, format, args...)
+	s.b.WriteByte('\n')
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// header emits the envelope, surface, title, axis labels, and legend, and
+// returns the plot rectangle.
+func (c *Chart) header(s *svgBuilder) (x0, y0, x1, y1 float64) {
+	w, h := c.dims()
+	s.f(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="Helvetica,Arial,sans-serif">`, w, h, w, h)
+	s.f(`<rect width="%d" height="%d" fill="%s"/>`, w, h, surfaceColor)
+	s.f(`<text x="%d" y="20" font-size="13" font-weight="600" fill="%s">%s</text>`,
+		marginLeft, textPrimary, esc(c.Title))
+	if c.XLabel != "" {
+		s.f(`<text x="%d" y="%d" font-size="11" fill="%s" text-anchor="middle">%s</text>`,
+			(marginLeft+w-marginRight)/2, h-10, textSecondary, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		s.f(`<text x="14" y="%d" font-size="11" fill="%s" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`,
+			(marginTop+h-marginBottom)/2, textSecondary, (marginTop+h-marginBottom)/2, esc(c.YLabel))
+	}
+	// Legend: only for two or more series (a single series is named by the
+	// title). Swatches carry the identity; text stays in text color. Long
+	// names or many series switch to a vertical list and push the plot
+	// region down so the legend never overlaps the marks.
+	top := float64(marginTop)
+	if len(c.Series) >= 2 {
+		maxLen := 0
+		for _, sr := range c.Series {
+			if len(sr.Name) > maxLen {
+				maxLen = len(sr.Name)
+			}
+		}
+		nameW := float64(6*maxLen + 22)
+		if maxLen <= 12 && len(c.Series) <= 4 {
+			// Two-row, multi-column layout beside the title.
+			lx := float64(w-marginRight) - nameW*float64((len(c.Series)+1)/2)
+			for i, sr := range c.Series {
+				yy := 30 + float64(i%2)*legendRowH
+				xx := lx + float64(i/2)*nameW
+				s.f(`<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`,
+					xx, yy-9, seriesColors[i])
+				s.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+					xx+14, yy, textSecondary, esc(sr.Name))
+			}
+			if top < 56 {
+				top = 56
+			}
+		} else {
+			// Vertical list; the plot area starts below it.
+			lx := float64(w-marginRight) - nameW
+			for i, sr := range c.Series {
+				yy := 34 + float64(i)*legendRowH
+				s.f(`<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`,
+					lx, yy-9, seriesColors[i])
+				s.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s">%s</text>`,
+					lx+14, yy, textSecondary, esc(sr.Name))
+			}
+			if bottom := 34 + float64(len(c.Series))*legendRowH + 6; top < bottom {
+				top = bottom
+			}
+		}
+	}
+	return marginLeft, top, float64(w - marginRight), float64(h - marginBottom)
+}
+
+// yAxis draws the grid and y ticks for [lo,hi], returning the scaler.
+func yAxis(s *svgBuilder, x0, y0, x1, y1, lo, hi float64) func(float64) float64 {
+	if hi == lo {
+		hi = lo + 1
+	}
+	scale := func(v float64) float64 { return y1 - (v-lo)/(hi-lo)*(y1-y0) }
+	for _, t := range niceTicks(lo, hi, 5) {
+		y := scale(t)
+		s.f(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			x0, y, x1, y, gridColor)
+		s.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			x0-6, y+3, textSecondary, fmtTick(t))
+	}
+	// Baseline.
+	s.f(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		x0, y1, x1, y1, axisColor)
+	return scale
+}
+
+// LineSVG renders the chart as a multi-series line chart.
+func (c *Chart) LineSVG(w io.Writer) error {
+	if err := c.validate(true); err != nil {
+		return err
+	}
+	var s svgBuilder
+	x0, y0, x1, y1 := c.header(&s)
+
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, sr := range c.Series {
+		for i := range sr.X {
+			xlo, xhi = math.Min(xlo, sr.X[i]), math.Max(xhi, sr.X[i])
+			ylo, yhi = math.Min(ylo, sr.Y[i]), math.Max(yhi, sr.Y[i])
+		}
+	}
+	if ylo > 0 {
+		ylo = 0 // anchor magnitude lines at zero when data is non-negative
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	pad := (yhi - ylo) * 0.05
+	yhi += pad
+	if ylo < 0 {
+		ylo -= pad
+	}
+
+	sy := yAxis(&s, x0, y0, x1, y1, ylo, yhi)
+	sx := func(v float64) float64 { return x0 + (v-xlo)/(xhi-xlo)*(x1-x0) }
+	for _, t := range niceTicks(xlo, xhi, 6) {
+		if t < xlo-1e-9 || t > xhi+1e-9 {
+			continue
+		}
+		s.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			sx(t), y1+16, textSecondary, fmtTick(t))
+	}
+	// Zero line when the range crosses zero.
+	if ylo < 0 && yhi > 0 {
+		s.f(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1" stroke-dasharray="4 3"/>`,
+			x0, sy(0), x1, sy(0), axisColor)
+	}
+
+	for si, sr := range c.Series {
+		color := seriesColors[si]
+		var pts []string
+		for i := range sr.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(sr.X[i]), sy(sr.Y[i])))
+		}
+		s.f(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+			strings.Join(pts, " "), color)
+		// Markers with tooltips — only when sparse enough to stay thin.
+		if len(sr.X) <= 40 {
+			for i := range sr.X {
+				s.f(`<circle cx="%.1f" cy="%.1f" r="4" fill="%s"><title>%s: (%s, %s)</title></circle>`,
+					sx(sr.X[i]), sy(sr.Y[i]), color, esc(sr.Name), fmtTick(sr.X[i]), fmtTick(sr.Y[i]))
+			}
+		}
+	}
+	s.f(`</svg>`)
+	_, err := io.WriteString(w, s.b.String())
+	return err
+}
+
+// BarSVG renders the chart as a grouped bar chart: each series contributes
+// one bar per group; GroupLabels name the groups (len = len(Series[i].Y)).
+func (c *Chart) BarSVG(w io.Writer, groupLabels []string) error {
+	if err := c.validate(false); err != nil {
+		return err
+	}
+	groups := len(c.Series[0].Y)
+	for i, sr := range c.Series {
+		if len(sr.Y) != groups {
+			return fmt.Errorf("%w: series %d has %d values for %d groups", ErrChart, i, len(sr.Y), groups)
+		}
+	}
+	if len(groupLabels) != groups {
+		return fmt.Errorf("%w: %d group labels for %d groups", ErrChart, len(groupLabels), groups)
+	}
+
+	var s svgBuilder
+	x0, y0, x1, y1 := c.header(&s)
+	yhi := math.Inf(-1)
+	for _, sr := range c.Series {
+		for _, v := range sr.Y {
+			if v < 0 {
+				return fmt.Errorf("%w: bar charts require non-negative values", ErrChart)
+			}
+			yhi = math.Max(yhi, v)
+		}
+	}
+	yhi *= 1.05
+	sy := yAxis(&s, x0, y0, x1, y1, 0, yhi)
+
+	groupW := (x1 - x0) / float64(groups)
+	// 2px surface gaps between adjacent bars; bars thin relative to slot.
+	barW := math.Min(28, (groupW-12)/float64(len(c.Series))-2)
+	for g := 0; g < groups; g++ {
+		cx := x0 + (float64(g)+0.5)*groupW
+		total := float64(len(c.Series))*barW + float64(len(c.Series)-1)*2
+		start := cx - total/2
+		for si, sr := range c.Series {
+			x := start + float64(si)*(barW+2)
+			yTop := sy(sr.Y[g])
+			r := math.Min(4, barW/2)
+			// Rounded top corners, square base (data-end rounding anchored
+			// to the baseline).
+			s.f(`<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="%s"><title>%s, %s: %s</title></path>`,
+				x, y1, x, yTop+r, x, yTop, x+r, yTop,
+				x+barW-r, yTop, x+barW, yTop, x+barW, yTop+r,
+				x+barW, y1, seriesColors[si],
+				esc(sr.Name), esc(groupLabels[g]), fmtTick(sr.Y[g]))
+		}
+		s.f(`<text x="%.1f" y="%.1f" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+			cx, y1+16, textSecondary, esc(groupLabels[g]))
+	}
+	s.f(`</svg>`)
+	_, err := io.WriteString(w, s.b.String())
+	return err
+}

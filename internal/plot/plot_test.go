@@ -1,0 +1,234 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "bounds vs V",
+		XLabel: "V",
+		YLabel: "cost",
+		Series: []Series{
+			{Name: "upper", X: []float64{1, 2, 3}, Y: []float64{10, 11, 12}},
+			{Name: "lower", X: []float64{1, 2, 3}, Y: []float64{-5, 4, 9}},
+		},
+	}
+}
+
+// wellFormed parses the SVG as XML — catching unescaped text, unclosed
+// tags, and attribute breakage.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLineSVG(t *testing.T) {
+	var b strings.Builder
+	if err := lineChart().LineSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "polyline") {
+		t.Error("no polylines emitted")
+	}
+	// Fixed palette order: slot 1 blue, slot 2 aqua.
+	if !strings.Contains(svg, seriesColors[0]) || !strings.Contains(svg, seriesColors[1]) {
+		t.Error("palette slots missing")
+	}
+	// Two series: legend with both names.
+	if !strings.Contains(svg, "upper") || !strings.Contains(svg, "lower") {
+		t.Error("legend names missing")
+	}
+	// Negative y values: a dashed zero line appears.
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("zero line missing despite negative values")
+	}
+	// Tooltips on markers.
+	if !strings.Contains(svg, "<title>") {
+		t.Error("marker tooltips missing")
+	}
+}
+
+func TestSingleSeriesHasNoLegend(t *testing.T) {
+	c := &Chart{
+		Title:  "one",
+		Series: []Series{{Name: "solo", X: []float64{0, 1}, Y: []float64{1, 2}}},
+	}
+	var b strings.Builder
+	if err := c.LineSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	// The legend rect (rx="2" swatch) must be absent; the title names the
+	// single series.
+	if strings.Contains(b.String(), `width="10" height="10"`) {
+		t.Error("legend swatch emitted for a single series")
+	}
+}
+
+func TestBarSVG(t *testing.T) {
+	c := &Chart{
+		Title: "architectures",
+		Series: []Series{
+			{Name: "proposed", Y: []float64{1, 2, 3}},
+			{Name: "baseline", Y: []float64{4, 5, 6}},
+		},
+	}
+	var b strings.Builder
+	if err := c.BarSVG(&b, []string{"1e5", "3e5", "5e5"}); err != nil {
+		t.Fatal(err)
+	}
+	svg := b.String()
+	wellFormed(t, svg)
+	if got := strings.Count(svg, "<path"); got != 6 {
+		t.Errorf("bar count = %d, want 6", got)
+	}
+	if !strings.Contains(svg, "1e5") {
+		t.Error("group labels missing")
+	}
+}
+
+func TestBarSVGValidation(t *testing.T) {
+	c := &Chart{Title: "x", Series: []Series{{Name: "a", Y: []float64{1, -2}}}}
+	var b strings.Builder
+	if err := c.BarSVG(&b, []string{"g1", "g2"}); err == nil {
+		t.Error("negative bar values accepted")
+	}
+	c2 := &Chart{Title: "x", Series: []Series{{Name: "a", Y: []float64{1}}}}
+	if err := c2.BarSVG(&b, []string{"g1", "g2"}); err == nil {
+		t.Error("mismatched group labels accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var b strings.Builder
+	if err := (&Chart{}).LineSVG(&b); err == nil {
+		t.Error("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if err := bad.LineSVG(&b); err == nil {
+		t.Error("NaN accepted")
+	}
+	short := &Chart{Series: []Series{{Name: "n", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := short.LineSVG(&b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	var many []Series
+	for i := 0; i < 9; i++ {
+		many = append(many, Series{Name: "s", X: []float64{1}, Y: []float64{1}})
+	}
+	if err := (&Chart{Series: many}).LineSVG(&b); err == nil {
+		t.Error("9 series accepted (palette has 8 slots)")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := &Chart{
+		Title:  `a <b> & "c"`,
+		Series: []Series{{Name: "x<y>", X: []float64{0, 1}, Y: []float64{1, 2}}},
+	}
+	var b strings.Builder
+	if err := c.LineSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 5)
+	if len(ticks) < 4 || ticks[0] != 0 || ticks[len(ticks)-1] != 100 {
+		t.Errorf("ticks(0,100) = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Degenerate range must not loop forever or return nothing.
+	if got := niceTicks(5, 5, 4); len(got) == 0 {
+		t.Error("degenerate range gave no ticks")
+	}
+	// Negative range.
+	neg := niceTicks(-50, 50, 4)
+	hasZero := false
+	for _, v := range neg {
+		if v == 0 {
+			hasZero = true
+		}
+	}
+	if !hasZero {
+		t.Errorf("ticks(-50,50) missing zero: %v", neg)
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{1500, "1.5k"},
+		{2000, "2k"},
+		{1.2e6, "1.2M"},
+		{3, "3"},
+		{2.5, "2.5"},
+		{0.004, "0.004"},
+		{-4000, "-4k"},
+	}
+	for _, tt := range tests {
+		if got := fmtTick(tt.v); got != tt.want {
+			t.Errorf("fmtTick(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestVerticalLegendForLongNames(t *testing.T) {
+	c := &Chart{
+		Title: "long names",
+		Series: []Series{
+			{Name: "multi-hop + renewable (proposed)", X: []float64{0, 1}, Y: []float64{1, 2}},
+			{Name: "one-hop w/o renewable energy", X: []float64{0, 1}, Y: []float64{2, 3}},
+		},
+	}
+	var b strings.Builder
+	if err := c.LineSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+	// Vertical legend: the two swatches share an x coordinate.
+	first := strings.Index(b.String(), `width="10" height="10"`)
+	if first < 0 {
+		t.Fatal("legend missing")
+	}
+}
+
+func TestManySeriesVerticalLegend(t *testing.T) {
+	c := &Chart{Title: "five"}
+	for i := 0; i < 5; i++ {
+		c.Series = append(c.Series, Series{
+			Name: "s" + string(rune('A'+i)),
+			X:    []float64{0, 1}, Y: []float64{float64(i), float64(i + 1)},
+		})
+	}
+	var b strings.Builder
+	if err := c.LineSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, b.String())
+	if got := strings.Count(b.String(), `width="10" height="10"`); got != 5 {
+		t.Errorf("legend swatches = %d, want 5", got)
+	}
+}

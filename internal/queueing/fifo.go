@@ -1,0 +1,148 @@
+package queueing
+
+// Batch is a group of packets that entered the system in the same slot.
+type Batch struct {
+	// Count is the (possibly fractional) number of packets.
+	Count float64
+	// Born is the slot the packets were admitted from the Internet.
+	Born int
+}
+
+// PacketFIFO tracks packet ages through a queue in FIFO order. It shadows a
+// Queue's backlog so the controller can attribute an exact admission-to-
+// delivery delay to every delivered packet (the paper's queue laws only
+// carry counts). The zero value is an empty FIFO ready to use.
+type PacketFIFO struct {
+	batches []Batch
+	head    int
+	total   float64
+}
+
+// Total returns the number of packets in the FIFO.
+func (f *PacketFIFO) Total() float64 { return f.total }
+
+// Push appends count packets born in the given slot.
+func (f *PacketFIFO) Push(count float64, born int) {
+	if count <= 0 {
+		return
+	}
+	// Merge with the tail when the born slot matches (admissions and
+	// arrivals within a slot commonly share it).
+	if n := len(f.batches); n > f.head && f.batches[n-1].Born == born {
+		f.batches[n-1].Count += count
+	} else {
+		f.batches = append(f.batches, Batch{Count: count, Born: born})
+	}
+	f.total += count
+}
+
+// PushBatches appends previously-popped batches, preserving their ages.
+func (f *PacketFIFO) PushBatches(bs []Batch) {
+	for _, b := range bs {
+		f.Push(b.Count, b.Born)
+	}
+}
+
+// Pop removes up to count packets from the head and returns them as
+// batches (oldest first). It returns fewer packets when the FIFO holds
+// fewer than count.
+func (f *PacketFIFO) Pop(count float64) []Batch {
+	var out []Batch
+	for count > 1e-12 && f.head < len(f.batches) {
+		b := &f.batches[f.head]
+		take := b.Count
+		if take > count {
+			take = count
+		}
+		out = append(out, Batch{Count: take, Born: b.Born})
+		b.Count -= take
+		f.total -= take
+		count -= take
+		if b.Count <= 1e-12 {
+			f.total -= b.Count // absorb roundoff residue
+			b.Count = 0
+			f.head++
+		}
+	}
+	if f.total < 0 {
+		f.total = 0
+	}
+	// Compact occasionally so memory stays bounded on long runs.
+	if f.head > 64 && f.head*2 > len(f.batches) {
+		f.batches = append(f.batches[:0], f.batches[f.head:]...)
+		f.head = 0
+	}
+	return out
+}
+
+// DelayStats accumulates delivery-delay statistics, including an exact
+// integer-slot histogram for quantiles (delays are whole slot counts, so
+// the histogram is lossless).
+type DelayStats struct {
+	count    float64
+	sumDelay float64
+	maxDelay float64
+	hist     map[int]float64
+}
+
+// Record accounts delivered batches at the given slot.
+func (d *DelayStats) Record(now int, bs []Batch) {
+	for _, b := range bs {
+		delay := now - b.Born
+		if delay < 0 {
+			delay = 0
+		}
+		d.count += b.Count
+		d.sumDelay += float64(delay) * b.Count
+		if float64(delay) > d.maxDelay {
+			d.maxDelay = float64(delay)
+		}
+		if d.hist == nil {
+			d.hist = make(map[int]float64)
+		}
+		d.hist[delay] += b.Count
+	}
+}
+
+// Quantile returns the q-quantile of the delivered-packet delay
+// distribution (0 ≤ q ≤ 1), in slots. It returns 0 when nothing was
+// delivered.
+func (d *DelayStats) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * d.count
+	// Walk delays in increasing order; delays are small ints.
+	acc := 0.0
+	for delay := 0; delay <= int(d.maxDelay); delay++ {
+		c, ok := d.hist[delay]
+		if !ok {
+			continue
+		}
+		acc += c
+		if acc >= target {
+			return float64(delay)
+		}
+	}
+	return d.maxDelay
+}
+
+// Count returns the delivered packet count.
+func (d *DelayStats) Count() float64 { return d.count }
+
+// Mean returns the packet-weighted mean delivery delay in slots.
+func (d *DelayStats) Mean() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.sumDelay / d.count
+}
+
+// Max returns the largest observed delivery delay in slots.
+func (d *DelayStats) Max() float64 { return d.maxDelay }

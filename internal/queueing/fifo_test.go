@@ -1,0 +1,151 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestPacketFIFOPushPop(t *testing.T) {
+	var f PacketFIFO
+	f.Push(5, 0)
+	f.Push(3, 2)
+	if f.Total() != 8 {
+		t.Fatalf("Total = %v, want 8", f.Total())
+	}
+	got := f.Pop(6)
+	// FIFO: 5 born@0, then 1 born@2.
+	if len(got) != 2 || got[0].Count != 5 || got[0].Born != 0 || got[1].Count != 1 || got[1].Born != 2 {
+		t.Fatalf("Pop = %+v", got)
+	}
+	if math.Abs(f.Total()-2) > 1e-12 {
+		t.Fatalf("Total after pop = %v, want 2", f.Total())
+	}
+}
+
+func TestPacketFIFOPopMoreThanHeld(t *testing.T) {
+	var f PacketFIFO
+	f.Push(2, 1)
+	got := f.Pop(10)
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("Pop = %+v", got)
+	}
+	if f.Total() != 0 {
+		t.Fatalf("Total = %v, want 0", f.Total())
+	}
+	if more := f.Pop(1); len(more) != 0 {
+		t.Fatalf("empty FIFO popped %+v", more)
+	}
+}
+
+func TestPacketFIFOMergesSameBorn(t *testing.T) {
+	var f PacketFIFO
+	f.Push(1, 4)
+	f.Push(2, 4)
+	if len(f.batches) != 1 || f.batches[0].Count != 3 {
+		t.Fatalf("batches = %+v, want merged", f.batches)
+	}
+}
+
+func TestPacketFIFOIgnoresNonPositive(t *testing.T) {
+	var f PacketFIFO
+	f.Push(0, 1)
+	f.Push(-3, 1)
+	if f.Total() != 0 || len(f.batches) != 0 {
+		t.Fatal("non-positive pushes should be ignored")
+	}
+}
+
+func TestPushBatchesPreservesAges(t *testing.T) {
+	var a, b PacketFIFO
+	a.Push(4, 7)
+	bs := a.Pop(4)
+	b.PushBatches(bs)
+	out := b.Pop(4)
+	if len(out) != 1 || out[0].Born != 7 || out[0].Count != 4 {
+		t.Fatalf("ages not preserved: %+v", out)
+	}
+}
+
+// TestPacketFIFOConservationProperty: random pushes and pops conserve
+// totals and never emit more than requested or held.
+func TestPacketFIFOConservationProperty(t *testing.T) {
+	src := rng.New(5)
+	var f PacketFIFO
+	pushed, popped := 0.0, 0.0
+	for step := 0; step < 5000; step++ {
+		if src.Bernoulli(0.6) {
+			c := src.Uniform(0, 5)
+			f.Push(c, step)
+			pushed += c
+		} else {
+			want := src.Uniform(0, 6)
+			got := 0.0
+			for _, b := range f.Pop(want) {
+				got += b.Count
+				if b.Born > step {
+					t.Fatal("batch born in the future")
+				}
+			}
+			if got > want+1e-9 {
+				t.Fatalf("popped %v > requested %v", got, want)
+			}
+			popped += got
+		}
+		if math.Abs(f.Total()-(pushed-popped)) > 1e-6 {
+			t.Fatalf("conservation broken: total %v vs pushed−popped %v",
+				f.Total(), pushed-popped)
+		}
+	}
+}
+
+func TestDelayStats(t *testing.T) {
+	var d DelayStats
+	d.Record(10, []Batch{{Count: 2, Born: 4}, {Count: 1, Born: 10}})
+	// Delays: 6 (x2 packets), 0 (x1): mean = 12/3 = 4, max = 6.
+	if d.Count() != 3 {
+		t.Errorf("Count = %v", d.Count())
+	}
+	if math.Abs(d.Mean()-4) > 1e-12 {
+		t.Errorf("Mean = %v, want 4", d.Mean())
+	}
+	if d.Max() != 6 {
+		t.Errorf("Max = %v, want 6", d.Max())
+	}
+	var empty DelayStats
+	if empty.Mean() != 0 {
+		t.Error("empty stats mean should be 0")
+	}
+}
+
+func TestDelayStatsClampsNegative(t *testing.T) {
+	var d DelayStats
+	d.Record(1, []Batch{{Count: 1, Born: 5}}) // born after delivery: clamp
+	if d.Mean() != 0 || d.Max() != 0 {
+		t.Error("negative delay should clamp to 0")
+	}
+}
+
+func TestDelayQuantiles(t *testing.T) {
+	var d DelayStats
+	// 10 packets with delay 2, 10 with delay 8.
+	d.Record(2, []Batch{{Count: 10, Born: 0}})
+	d.Record(8, []Batch{{Count: 10, Born: 0}})
+	if got := d.Quantile(0.25); got != 2 {
+		t.Errorf("Q25 = %v, want 2", got)
+	}
+	if got := d.Quantile(0.75); got != 8 {
+		t.Errorf("Q75 = %v, want 8", got)
+	}
+	if got := d.Quantile(1); got != 8 {
+		t.Errorf("Q100 = %v, want 8", got)
+	}
+	if got := d.Quantile(-1); got != 2 {
+		t.Errorf("clamped Q = %v, want 2", got)
+	}
+	var empty DelayStats
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}

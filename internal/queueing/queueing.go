@@ -1,0 +1,177 @@
+// Package queueing provides the discrete-time queue dynamics and stability
+// statistics used throughout the controller: the single-server queueing law
+// of the paper's Theorem 1, signed (shifted) queues, and trace/time-average
+// trackers matching Definitions 1–2 (rate stability and strong stability).
+package queueing
+
+// Queue is a non-negative backlog evolving by the law of Theorem 1:
+//
+//	Q(t+1) = max{Q(t) − b(t), 0} + a(t).
+//
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	backlog float64
+}
+
+// Backlog returns the current queue length Q(t).
+func (q *Queue) Backlog() float64 { return q.backlog }
+
+// Step applies one slot of the queueing law with service b(t) and arrival
+// a(t), returning the amount actually drained, min(Q(t), b(t)) — useful for
+// throughput accounting. Negative inputs are treated as zero.
+func (q *Queue) Step(arrival, service float64) (drained float64) {
+	if arrival < 0 {
+		arrival = 0
+	}
+	if service < 0 {
+		service = 0
+	}
+	drained = service
+	if drained > q.backlog {
+		drained = q.backlog
+	}
+	q.backlog -= service
+	if q.backlog < 0 {
+		q.backlog = 0
+	}
+	q.backlog += arrival
+	return drained
+}
+
+// SignedQueue is a real-valued state evolving by z(t+1) = z(t) + c − d,
+// the shifted battery queue of the paper's eq. (31). The zero value starts
+// at level 0; use Reset to move it.
+type SignedQueue struct {
+	level float64
+}
+
+// Level returns z(t).
+func (z *SignedQueue) Level() float64 { return z.level }
+
+// Reset sets z(t) to v.
+func (z *SignedQueue) Reset(v float64) { z.level = v }
+
+// Step applies z(t+1) = z(t) + up − down.
+func (z *SignedQueue) Step(up, down float64) { z.level += up - down }
+
+// Tracker accumulates a scalar time series and its stability statistics.
+type Tracker struct {
+	sum       float64
+	absSum    float64
+	max       float64
+	n         int
+	keepTrace bool
+	trace     []float64
+}
+
+// NewTracker creates a Tracker. If keepTrace, every observation is retained
+// and available via Trace (needed for the time-series figures).
+func NewTracker(keepTrace bool) *Tracker {
+	return &Tracker{keepTrace: keepTrace}
+}
+
+// Observe records one per-slot value.
+func (t *Tracker) Observe(v float64) {
+	t.sum += v
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	t.absSum += av
+	if t.n == 0 || v > t.max {
+		t.max = v
+	}
+	t.n++
+	if t.keepTrace {
+		t.trace = append(t.trace, v)
+	}
+}
+
+// Count returns the number of observations.
+func (t *Tracker) Count() int { return t.n }
+
+// TimeAverage returns (1/T)·Σ v(t) — Definition 1's empirical counterpart.
+func (t *Tracker) TimeAverage() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// TimeAverageAbs returns (1/T)·Σ |v(t)|, the quantity whose boundedness
+// defines strong stability (Definition 2).
+func (t *Tracker) TimeAverageAbs() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.absSum / float64(t.n)
+}
+
+// Max returns the largest observation (0 if none).
+func (t *Tracker) Max() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.max
+}
+
+// Last returns the most recent observation (0 if none or trace disabled).
+func (t *Tracker) Last() float64 {
+	if len(t.trace) == 0 {
+		return 0
+	}
+	return t.trace[len(t.trace)-1]
+}
+
+// Trace returns the retained series (nil when tracing is disabled). The
+// returned slice is owned by the Tracker; callers must not modify it.
+func (t *Tracker) Trace() []float64 { return t.trace }
+
+// Slope returns the least-squares slope of series against slot index. A
+// near-zero slope over the latter part of a backlog series is the empirical
+// signature of strong stability; a positive slope proportional to the
+// arrival excess signals instability.
+func Slope(series []float64) float64 {
+	n := len(series)
+	if n < 2 {
+		return 0
+	}
+	// Slope of ordinary least squares y = a + b·x with x = 0..n-1.
+	meanX := float64(n-1) / 2
+	meanY := 0.0
+	for _, v := range series {
+		meanY += v
+	}
+	meanY /= float64(n)
+	num, den := 0.0, 0.0
+	for i, v := range series {
+		dx := float64(i) - meanX
+		num += dx * (v - meanY)
+		den += dx * dx
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// TailAverage returns the mean of the final frac portion of series
+// (frac in (0,1]); it estimates the steady-state level of a stabilizing
+// backlog while ignoring the transient.
+func TailAverage(series []float64, frac float64) float64 {
+	if len(series) == 0 || frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	start := int(float64(len(series)) * (1 - frac))
+	if start >= len(series) {
+		start = len(series) - 1
+	}
+	sum := 0.0
+	for _, v := range series[start:] {
+		sum += v
+	}
+	return sum / float64(len(series)-start)
+}

@@ -1,0 +1,204 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencell/internal/rng"
+)
+
+func TestQueueLaw(t *testing.T) {
+	tests := []struct {
+		name             string
+		initial          float64
+		arrival, service float64
+		want             float64
+		wantDrained      float64
+	}{
+		{"arrivals only", 0, 5, 0, 5, 0},
+		{"partial service", 10, 2, 4, 8, 4},
+		{"over-service clamps at zero", 3, 1, 10, 1, 3},
+		{"exact drain", 7, 0, 7, 0, 7},
+		{"negative inputs treated as zero", 5, -2, -3, 5, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var q Queue
+			q.Step(tt.initial, 0) // load initial backlog
+			drained := q.Step(tt.arrival, tt.service)
+			if q.Backlog() != tt.want {
+				t.Errorf("backlog = %v, want %v", q.Backlog(), tt.want)
+			}
+			if drained != tt.wantDrained {
+				t.Errorf("drained = %v, want %v", drained, tt.wantDrained)
+			}
+		})
+	}
+}
+
+// TestQueueNonNegativeProperty: the queueing law can never produce a
+// negative backlog, whatever the inputs.
+func TestQueueNonNegativeProperty(t *testing.T) {
+	f := func(ops [20][2]float64) bool {
+		var q Queue
+		for _, op := range ops {
+			q.Step(math.Abs(op[0]), math.Abs(op[1]))
+			if q.Backlog() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQueueRateStability is Theorem 1 empirically: with mean arrival rate
+// below mean service rate, Q(T)/T -> 0; with arrivals above service, it
+// stays bounded away from zero.
+func TestQueueRateStability(t *testing.T) {
+	src := rng.New(12)
+	const T = 50000
+
+	var stable Queue
+	for i := 0; i < T; i++ {
+		stable.Step(src.Uniform(0, 2), src.Uniform(0, 3)) // mean 1 < 1.5
+	}
+	if ratio := stable.Backlog() / T; ratio > 0.01 {
+		t.Errorf("subcritical queue: Q(T)/T = %v, want ~0", ratio)
+	}
+
+	var unstable Queue
+	for i := 0; i < T; i++ {
+		unstable.Step(src.Uniform(0, 3), src.Uniform(0, 2)) // mean 1.5 > 1
+	}
+	if ratio := unstable.Backlog() / T; ratio < 0.3 {
+		t.Errorf("supercritical queue: Q(T)/T = %v, want ~0.5", ratio)
+	}
+}
+
+func TestSignedQueue(t *testing.T) {
+	var z SignedQueue
+	z.Reset(-10)
+	z.Step(4, 1)
+	if z.Level() != -7 {
+		t.Fatalf("level = %v, want -7", z.Level())
+	}
+	z.Step(0, 10)
+	if z.Level() != -17 {
+		t.Fatalf("level = %v, want -17", z.Level())
+	}
+}
+
+func TestTrackerStatistics(t *testing.T) {
+	tr := NewTracker(true)
+	for _, v := range []float64{1, -3, 2} {
+		tr.Observe(v)
+	}
+	if tr.Count() != 3 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+	if got := tr.TimeAverage(); math.Abs(got-0) > 1e-12 {
+		t.Errorf("TimeAverage = %v, want 0", got)
+	}
+	if got := tr.TimeAverageAbs(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("TimeAverageAbs = %v, want 2", got)
+	}
+	if tr.Max() != 2 {
+		t.Errorf("Max = %v, want 2", tr.Max())
+	}
+	if tr.Last() != 2 {
+		t.Errorf("Last = %v, want 2", tr.Last())
+	}
+	if len(tr.Trace()) != 3 {
+		t.Errorf("Trace length = %d, want 3", len(tr.Trace()))
+	}
+}
+
+func TestTrackerNoTrace(t *testing.T) {
+	tr := NewTracker(false)
+	tr.Observe(5)
+	if tr.Trace() != nil {
+		t.Error("trace retained despite keepTrace=false")
+	}
+	if tr.Last() != 0 {
+		t.Error("Last should be 0 without trace")
+	}
+	if tr.TimeAverage() != 5 {
+		t.Error("TimeAverage should still work without trace")
+	}
+}
+
+func TestTrackerEmpty(t *testing.T) {
+	tr := NewTracker(false)
+	if tr.TimeAverage() != 0 || tr.Max() != 0 || tr.TimeAverageAbs() != 0 {
+		t.Error("empty tracker statistics should be zero")
+	}
+}
+
+func TestTrackerMaxWithAllNegative(t *testing.T) {
+	tr := NewTracker(false)
+	tr.Observe(-5)
+	tr.Observe(-2)
+	if tr.Max() != -2 {
+		t.Errorf("Max = %v, want -2", tr.Max())
+	}
+}
+
+func TestSlope(t *testing.T) {
+	tests := []struct {
+		name   string
+		series []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{4}, 0},
+		{"flat", []float64{2, 2, 2, 2}, 0},
+		{"unit ramp", []float64{0, 1, 2, 3, 4}, 1},
+		{"down ramp", []float64{4, 2, 0}, -2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Slope(tt.series); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Slope = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSlopeDetectsBoundedVsGrowing(t *testing.T) {
+	src := rng.New(9)
+	bounded := make([]float64, 1000)
+	growing := make([]float64, 1000)
+	for i := range bounded {
+		bounded[i] = 50 + src.Uniform(-5, 5)
+		growing[i] = 0.5*float64(i) + src.Uniform(-5, 5)
+	}
+	if s := Slope(bounded); math.Abs(s) > 0.05 {
+		t.Errorf("bounded series slope = %v, want ~0", s)
+	}
+	if s := Slope(growing); math.Abs(s-0.5) > 0.05 {
+		t.Errorf("growing series slope = %v, want ~0.5", s)
+	}
+}
+
+func TestTailAverage(t *testing.T) {
+	series := []float64{100, 100, 2, 4}
+	if got := TailAverage(series, 0.5); math.Abs(got-3) > 1e-12 {
+		t.Errorf("TailAverage(0.5) = %v, want 3", got)
+	}
+	if got := TailAverage(series, 1); math.Abs(got-51.5) > 1e-12 {
+		t.Errorf("TailAverage(1) = %v, want 51.5", got)
+	}
+	if got := TailAverage(nil, 0.5); got != 0 {
+		t.Errorf("TailAverage(nil) = %v, want 0", got)
+	}
+	if got := TailAverage(series, 0); got != 0 {
+		t.Errorf("TailAverage(frac=0) = %v, want 0", got)
+	}
+	if got := TailAverage(series, 2); math.Abs(got-51.5) > 1e-12 {
+		t.Errorf("TailAverage(frac>1) = %v, want full mean", got)
+	}
+}

@@ -1,0 +1,165 @@
+// Package radio implements the physical layer of the paper's Section II-B:
+// power-law propagation, the Physical (SINR) interference model, fixed-rate
+// link capacities, and minimal-power computation via Foschini–Miljanic
+// iterative power control.
+package radio
+
+import "math"
+
+// Propagation is the power propagation gain model g = C * d^-gamma
+// (paper Section II-B).
+type Propagation struct {
+	// C is the antenna/wavelength constant.
+	C float64
+	// Gamma is the path-loss exponent.
+	Gamma float64
+	// MinDistance guards the near-field singularity: distances below it are
+	// clamped. Zero means the default of 1 meter.
+	MinDistance float64
+}
+
+// Gain returns the power gain between two nodes d meters apart.
+func (p Propagation) Gain(d float64) float64 {
+	minD := p.MinDistance
+	if minD == 0 {
+		minD = 1
+	}
+	if d < minD {
+		d = minD
+	}
+	return p.C * math.Pow(d, -p.Gamma)
+}
+
+// Params bundles the physical-layer constants.
+type Params struct {
+	Prop Propagation
+	// SINRThreshold is Γ: a transmission succeeds iff its SINR ≥ Γ.
+	SINRThreshold float64
+	// NoiseDensity is η, the thermal noise power density in W/Hz.
+	NoiseDensity float64
+}
+
+// Capacity returns the link capacity in bits/s over a band of the given
+// width (Hz) when the SINR threshold is met: W * log2(1+Γ) — paper eq. (1).
+func (p Params) Capacity(widthHz float64) float64 {
+	return widthHz * math.Log2(1+p.SINRThreshold)
+}
+
+// SINR computes the signal-to-interference-plus-noise ratio of a signal
+// received with the given gain and power against noise power and aggregate
+// interference power (paper Section II-B).
+func SINR(gain, txPower, noisePower, interference float64) float64 {
+	denom := noisePower + interference
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return gain * txPower / denom
+}
+
+// Transmission is one active link on a band: node From transmits to node To
+// with the given power in watts.
+type Transmission struct {
+	From, To int
+	Power    float64
+}
+
+// EvaluateSINR returns the SINR of each transmission in txs when they are
+// simultaneously active on a band of width widthHz. gains[t][r] is the
+// power gain from node t to node r.
+func (p Params) EvaluateSINR(gains [][]float64, txs []Transmission, widthHz float64) []float64 {
+	noise := p.NoiseDensity * widthHz
+	out := make([]float64, len(txs))
+	for l, tx := range txs {
+		interf := 0.0
+		for k, other := range txs {
+			if k == l {
+				continue
+			}
+			interf += gains[other.From][tx.To] * other.Power
+		}
+		out[l] = SINR(gains[tx.From][tx.To], tx.Power, noise, interf)
+	}
+	return out
+}
+
+// AllMeetThreshold reports whether every transmission's SINR is at least Γ
+// (with a small relative tolerance to absorb floating-point noise).
+func (p Params) AllMeetThreshold(gains [][]float64, txs []Transmission, widthHz float64) bool {
+	for _, s := range p.EvaluateSINR(gains, txs, widthHz) {
+		if s < p.SINRThreshold*(1-1e-9) {
+			return false
+		}
+	}
+	return true
+}
+
+// ControlPowers runs Foschini–Miljanic iterative power control to find the
+// minimal power vector under which every transmission in txs meets the SINR
+// threshold on a band of width widthHz, subject to per-transmission caps
+// maxPower. The iteration starts from the caps: if the cap vector itself is
+// feasible, the iteration decreases monotonically to the minimal solution.
+//
+// It returns the resulting powers and whether the targets are met. When the
+// system is infeasible even at the caps, ok is false and the returned
+// powers are the caps.
+func (p Params) ControlPowers(gains [][]float64, txs []Transmission, widthHz float64, maxPower []float64) (powers []float64, ok bool) {
+	n := len(txs)
+	powers = make([]float64, n)
+	for l := range powers {
+		powers[l] = maxPower[l]
+	}
+	if n == 0 {
+		return powers, true
+	}
+	if !p.AllMeetThreshold(gains, withPowers(txs, powers), widthHz) {
+		return powers, false
+	}
+
+	noise := p.NoiseDensity * widthHz
+	const (
+		iters = 200
+		tol   = 1e-10
+	)
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		maxDelta := 0.0
+		for l, tx := range txs {
+			interf := 0.0
+			for k, other := range txs {
+				if k == l {
+					continue
+				}
+				interf += gains[other.From][tx.To] * powers[k]
+			}
+			want := p.SINRThreshold * (noise + interf) / gains[tx.From][tx.To]
+			if want > maxPower[l] {
+				want = maxPower[l]
+			}
+			if d := math.Abs(want - powers[l]); d > maxDelta {
+				maxDelta = d
+			}
+			next[l] = want
+		}
+		copy(powers, next)
+		if maxDelta < tol {
+			break
+		}
+	}
+	return powers, p.AllMeetThreshold(gains, withPowers(txs, powers), widthHz)
+}
+
+func withPowers(txs []Transmission, powers []float64) []Transmission {
+	out := make([]Transmission, len(txs))
+	for i, tx := range txs {
+		tx.Power = powers[i]
+		out[i] = tx
+	}
+	return out
+}
+
+// InterferenceFreeSINR returns the SINR of a single isolated transmission
+// with the given gain and power on a band of width widthHz. It is the
+// feasibility screen for candidate links.
+func (p Params) InterferenceFreeSINR(gain, power, widthHz float64) float64 {
+	return SINR(gain, power, p.NoiseDensity*widthHz, 0)
+}

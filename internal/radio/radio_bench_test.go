@@ -1,0 +1,37 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+// BenchmarkControlPowers measures Foschini–Miljanic power control on a
+// 5-link co-channel layout.
+func BenchmarkControlPowers(b *testing.B) {
+	p := Params{Prop: Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	src := rng.New(3)
+	const n = 10
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{src.Uniform(0, 4000), src.Uniform(0, 4000)}
+	}
+	gains := make([][]float64, n)
+	for i := range gains {
+		gains[i] = make([]float64, n)
+		for j := range gains[i] {
+			if i != j {
+				dx := pts[i][0] - pts[j][0]
+				dy := pts[i][1] - pts[j][1]
+				gains[i][j] = p.Prop.Gain(math.Hypot(dx, dy))
+			}
+		}
+	}
+	txs := []Transmission{{From: 0, To: 1}, {From: 2, To: 3}, {From: 4, To: 5}, {From: 6, To: 7}, {From: 8, To: 9}}
+	caps := []float64{20, 20, 20, 20, 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.ControlPowers(gains, txs, 1.5e6, caps)
+	}
+}

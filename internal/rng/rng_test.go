@@ -1,0 +1,137 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(123)
+	b := New(123)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSplitIsStable(t *testing.T) {
+	a := New(9).Split("renewable")
+	b := New(9).Split("renewable")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same split name produced different streams")
+		}
+	}
+}
+
+func TestSplitNamesDiffer(t *testing.T) {
+	parent := New(9)
+	a := parent.Split("bands")
+	b := parent.Split("traffic")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestSplitOrderIndependent(t *testing.T) {
+	p1 := New(5)
+	_ = p1.Split("first")
+	a := p1.Split("second")
+
+	p2 := New(5)
+	b := p2.Split("second")
+	for i := 0; i < 20; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("split stream depends on sibling split order")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := New(1)
+	f := func(seed int64) bool {
+		v := src.Uniform(2, 5)
+		return v >= 2 && v < 5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 10; i++ {
+		if src.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !src.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	src := New(77)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if src.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / n
+	if freq < 0.27 || freq > 0.33 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", freq)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	src := New(3)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + src.Intn(10)
+		k := src.Intn(n + 1)
+		sub := src.Subset(n, k)
+		if len(sub) != k {
+			t.Fatalf("Subset(%d,%d) returned %d elements", n, k, len(sub))
+		}
+		seen := map[int]bool{}
+		for _, v := range sub {
+			if v < 0 || v >= n {
+				t.Fatalf("Subset element %d out of range [0,%d)", v, n)
+			}
+			if seen[v] {
+				t.Fatalf("Subset returned duplicate %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSubsetPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k > n")
+		}
+	}()
+	New(1).Subset(3, 4)
+}
+
+func TestSubsetAtLeastOne(t *testing.T) {
+	src := New(4)
+	for trial := 0; trial < 200; trial++ {
+		sub := src.SubsetAtLeastOne(5)
+		if len(sub) < 1 || len(sub) > 5 {
+			t.Fatalf("size %d out of [1,5]", len(sub))
+		}
+	}
+	if got := src.SubsetAtLeastOne(0); got != nil {
+		t.Fatalf("SubsetAtLeastOne(0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,302 @@
+package routing
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/geom"
+	"greencell/internal/radio"
+	"greencell/internal/rng"
+	"greencell/internal/spectrum"
+	"greencell/internal/topology"
+)
+
+// lineNet builds 0(BS) -> 1(user) -> 2(user) with an extra direct link
+// 0 -> 2, all on the universal band.
+func lineNet(t *testing.T) *topology.Network {
+	t.Helper()
+	sm := spectrum.Paper()
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}},
+		{Kind: topology.User, Pos: geom.Point{X: 500, Y: 0}},
+		{Kind: topology.User, Pos: geom.Point{X: 1000, Y: 0}},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 1e-20}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// baseReq builds a one-session request over lineNet: session 0 sourced at
+// node 0, destined to node 2.
+func baseReq(net *topology.Network, q map[int]float64, h []float64, caps []float64) *Request {
+	return &Request{
+		Net:         net,
+		NumSessions: 1,
+		Backlog: func(s, node int) float64 {
+			if node == 2 {
+				return 0 // destination keeps no queue
+			}
+			return q[node]
+		},
+		H:            h,
+		Beta:         10,
+		CapacityPkts: caps,
+		Dest:         []int{2},
+		Source:       []int{0},
+		DemandPkts:   []float64{5},
+	}
+}
+
+func TestDestinationRulePullsDemand(t *testing.T) {
+	net := lineNet(t)
+	// Node 1 holds packets; link 1->2 (id 1) has capacity.
+	d, err := Decide(baseReq(net, map[int]float64{0: 0, 1: 100}, []float64{0, 0, 0}, []float64{50, 50, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand 5 should arrive at the destination over the in-link with the
+	// smallest coefficient: link 1->2 has coefficient -100, link 0->2 has 0.
+	if got := d.Flow[1][0]; got < 5 {
+		t.Errorf("flow on 1->2 = %v, want >= demand 5", got)
+	}
+	if got := d.FlowOn(1); got > 50+1e-9 {
+		t.Errorf("flow on 1->2 = %v exceeds capacity", got)
+	}
+}
+
+func TestDestinationRuleCappedByCapacity(t *testing.T) {
+	net := lineNet(t)
+	d, err := Decide(baseReq(net, map[int]float64{0: 0, 1: 100}, []float64{0, 0, 0}, []float64{0, 2, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[1][0]; math.Abs(got-2) > 1e-9 {
+		t.Errorf("flow on 1->2 = %v, want capacity 2 (< demand 5)", got)
+	}
+}
+
+func TestBackpressureShipsOnNegativeCoefficient(t *testing.T) {
+	net := lineNet(t)
+	// Node 0 heavily backlogged; H=0: coefficient of 0->1 is -50+0+0 < 0:
+	// the full capacity goes to session 0.
+	d, err := Decide(baseReq(net, map[int]float64{0: 50, 1: 0}, []float64{0, 0, 0}, []float64{30, 0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[0][0]; math.Abs(got-30) > 1e-9 {
+		t.Errorf("flow on 0->1 = %v, want full capacity 30", got)
+	}
+}
+
+func TestNoShipmentOnNonNegativeCoefficient(t *testing.T) {
+	net := lineNet(t)
+	// Q equal at both ends: coefficient 0, must not ship (paper S3 rule).
+	d, err := Decide(baseReq(net, map[int]float64{0: 10, 1: 10}, []float64{0, 0, 0}, []float64{30, 0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[0][0]; got != 0 {
+		t.Errorf("flow on 0->1 = %v, want 0 for zero coefficient", got)
+	}
+}
+
+func TestVirtualQueuePenaltyBlocksLink(t *testing.T) {
+	net := lineNet(t)
+	// Differential 50, but βH = 10*6 = 60 > 50: link blocked.
+	d, err := Decide(baseReq(net, map[int]float64{0: 50, 1: 0}, []float64{6, 0, 0}, []float64{30, 0, 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[0][0]; got != 0 {
+		t.Errorf("flow on 0->1 = %v, want 0 when βH exceeds differential", got)
+	}
+}
+
+func TestSourceReceivesNothing(t *testing.T) {
+	sm := spectrum.Paper()
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}},
+		{Kind: topology.User, Pos: geom.Point{X: 500, Y: 0}},
+		{Kind: topology.User, Pos: geom.Point{X: 1000, Y: 0}},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 1e-20}
+	// Include a reverse link 1->0 into the source.
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {1, 0}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decide(&Request{
+		Net:         net,
+		NumSessions: 1,
+		Backlog: func(s, node int) float64 {
+			if node == 1 {
+				return 100 // huge backlog at node 1 — would love to dump to 0
+			}
+			return 0
+		},
+		H:            []float64{0, 0, 0},
+		Beta:         10,
+		CapacityPkts: []float64{50, 50, 50},
+		Dest:         []int{2},
+		Source:       []int{0},
+		DemandPkts:   []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[1][0]; got != 0 {
+		t.Errorf("flow into source on 1->0 = %v, want 0 (constraint (16))", got)
+	}
+}
+
+func TestDestinationSendsNothing(t *testing.T) {
+	sm := spectrum.Paper()
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}},
+		{Kind: topology.User, Pos: geom.Point{X: 500, Y: 0}},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 1e-20}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decide(&Request{
+		Net:         net,
+		NumSessions: 1,
+		Backlog:     func(s, node int) float64 { return 0 },
+		H:           []float64{0, 0},
+		Beta:        10,
+		// Both links have capacity; destination is node 1.
+		CapacityPkts: []float64{50, 50},
+		Dest:         []int{1},
+		Source:       []int{0},
+		DemandPkts:   []float64{5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Flow[1][0]; got != 0 {
+		t.Errorf("flow out of destination = %v, want 0 (constraint (17))", got)
+	}
+}
+
+func TestMultiSessionPicksMostNegative(t *testing.T) {
+	net := lineNet(t)
+	// Two sessions; session 1 has the steeper differential on link 0->1.
+	d, err := Decide(&Request{
+		Net:         net,
+		NumSessions: 2,
+		Backlog: func(s, node int) float64 {
+			q := map[int]map[int]float64{
+				0: {0: 20, 1: 0},
+				1: {0: 90, 1: 0},
+			}
+			if node == 2 {
+				return 0
+			}
+			return q[s][node]
+		},
+		H:            []float64{0, 0, 0},
+		Beta:         10,
+		CapacityPkts: []float64{40, 0, 0},
+		Dest:         []int{2, 2},
+		Source:       []int{0, 0},
+		DemandPkts:   []float64{0, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Flow[0][0] != 0 || math.Abs(d.Flow[0][1]-40) > 1e-9 {
+		t.Errorf("link 0->1 flows = (%v, %v), want (0, 40): steeper session wins",
+			d.Flow[0][0], d.Flow[0][1])
+	}
+}
+
+// TestGreedyMatchesBruteForce verifies on random instances that the
+// closed-form per-link rule attains the true S3 optimum (computed by brute
+// force over which session gets each link, plus the forced destination
+// pulls).
+func TestGreedyMatchesBruteForce(t *testing.T) {
+	net := lineNet(t)
+	src := rng.New(33)
+	for trial := 0; trial < 300; trial++ {
+		q := map[int]map[int]float64{}
+		for s := 0; s < 2; s++ {
+			q[s] = map[int]float64{0: src.Uniform(0, 50), 1: src.Uniform(0, 50)}
+		}
+		h := []float64{src.Uniform(0, 3), src.Uniform(0, 3), src.Uniform(0, 3)}
+		caps := []float64{src.Uniform(0, 20), src.Uniform(0, 20), src.Uniform(0, 20)}
+		req := &Request{
+			Net:         net,
+			NumSessions: 2,
+			Backlog: func(s, node int) float64 {
+				if node == 2 {
+					return 0
+				}
+				return q[s][node]
+			},
+			H:            h,
+			Beta:         5,
+			CapacityPkts: caps,
+			Dest:         []int{2, 2},
+			Source:       []int{0, 0},
+			DemandPkts:   []float64{0, 0}, // disable forced pulls: pure S3
+		}
+		d, err := Decide(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Objective(req, d)
+
+		// Brute force: each link independently assigns its full capacity to
+		// one session or ships nothing.
+		want := 0.0
+		for l, link := range net.Links {
+			best := 0.0
+			for s := 0; s < 2; s++ {
+				if !eligible(req, s, link) {
+					continue
+				}
+				if w := coefficient(req, s, link) * caps[l]; w < best {
+					best = w
+				}
+			}
+			want += best
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: objective %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	net := lineNet(t)
+	if _, err := Decide(&Request{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := Decide(&Request{Net: net, H: []float64{1}, CapacityPkts: []float64{1, 2, 3}}); err == nil {
+		t.Error("mismatched H length accepted")
+	}
+	if _, err := Decide(&Request{
+		Net: net, NumSessions: 2,
+		H: []float64{0, 0, 0}, CapacityPkts: []float64{0, 0, 0},
+		Dest: []int{1}, Source: []int{0, 0}, DemandPkts: []float64{1, 1},
+	}); err == nil {
+		t.Error("mismatched per-session slices accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package sched
+
+// EnergyAware is an extension scheduler: it discounts each link's
+// virtual-queue weight by the transmit power the link would need, steering
+// the schedule toward energy-cheap links when several carry comparable
+// backlog. The paper's S1 maximizes Σ H·c alone — transmission energy only
+// enters downstream through S4 — so pure drift-optimal scheduling happily
+// picks power-hungry links; this wrapper trades a little drift for energy,
+// a knob the paper leaves to future work.
+//
+// The effective weight of link l is
+//
+//	H_l / (1 + Kappa · P_req(l) / P_max(l))
+//
+// where P_req is the interference-free minimal power on the link's best
+// band. Kappa = 0 reduces to the wrapped scheduler exactly.
+type EnergyAware struct {
+	// Inner is the underlying solver (nil = SequentialFix).
+	Inner Scheduler
+	// Kappa scales the power discount (≥ 0).
+	Kappa float64
+}
+
+var _ Scheduler = EnergyAware{}
+
+// Schedule implements Scheduler.
+func (e EnergyAware) Schedule(req *Request) (*Assignment, error) {
+	if err := validate(req); err != nil {
+		return nil, err
+	}
+	inner := e.Inner
+	if inner == nil {
+		inner = SequentialFix{}
+	}
+	if e.Kappa <= 0 {
+		return inner.Schedule(req)
+	}
+
+	net := req.Net
+	adjusted := make([]float64, len(req.Weights))
+	for l, link := range net.Links {
+		w := req.Weights[l]
+		if w <= 0 {
+			continue
+		}
+		cap := req.maxPower(link.From)
+		if cap <= 0 {
+			continue
+		}
+		// Cheapest interference-free power over the link's bands.
+		pReq := cap
+		for _, b := range link.Bands {
+			need := net.Radio.SINRThreshold * net.Radio.NoiseDensity * req.Widths[b] /
+				net.Gains[link.From][link.To]
+			if need < pReq {
+				pReq = need
+			}
+		}
+		adjusted[l] = w / (1 + e.Kappa*pReq/cap)
+	}
+	sub := *req
+	sub.Weights = adjusted
+	return inner.Schedule(&sub)
+}

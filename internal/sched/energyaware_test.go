@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"testing"
+
+	"greencell/internal/geom"
+	"greencell/internal/radio"
+	"greencell/internal/spectrum"
+	"greencell/internal/topology"
+)
+
+// contestNet builds a transmitter with two receivers: one near (cheap) and
+// one far (expensive), so exactly one link can be scheduled.
+func contestNet(t *testing.T) *topology.Network {
+	t.Helper()
+	sm := spectrum.Paper()
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}, Spec: topology.NodeSpec{MaxTxPowerW: 20}},
+		{Kind: topology.User, Pos: geom.Point{X: 300, Y: 0}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+		{Kind: topology.User, Pos: geom.Point{X: 1800, Y: 0}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestEnergyAwareZeroKappaIsTransparent(t *testing.T) {
+	net := contestNet(t)
+	widths := fixedWidths(net)
+	weights := []float64{3, 5}
+	req := &Request{Net: net, Widths: widths, Weights: weights}
+	base, err := (SequentialFix{}).Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := (EnergyAware{Kappa: 0}).Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := range net.Links {
+		if base.LinkBand[l] != wrapped.LinkBand[l] {
+			t.Fatalf("Kappa=0 changed the schedule on link %d", l)
+		}
+	}
+}
+
+func TestEnergyAwarePrefersCheapLink(t *testing.T) {
+	net := contestNet(t)
+	widths := fixedWidths(net)
+	// The far link has slightly more backlog: drift-optimal scheduling
+	// picks it; the energy-aware wrapper should flip to the near link.
+	weights := []float64{4, 5}
+	req := &Request{Net: net, Widths: widths, Weights: weights}
+
+	plain, err := (SequentialFix{}).Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Scheduled(1) {
+		t.Fatal("precondition: plain scheduler should pick the heavier far link")
+	}
+
+	aware, err := (EnergyAware{Kappa: 10}).Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aware.Scheduled(0) || aware.Scheduled(1) {
+		t.Fatalf("energy-aware scheduler should pick the near link: %+v", aware.LinkBand)
+	}
+	if aware.PowerW[0] >= plain.PowerW[1] {
+		t.Errorf("near link power %v should be below far link power %v",
+			aware.PowerW[0], plain.PowerW[1])
+	}
+}
+
+func TestEnergyAwareStillFeasible(t *testing.T) {
+	net := contestNet(t)
+	widths := fixedWidths(net)
+	req := &Request{Net: net, Widths: widths, Weights: []float64{4, 5}}
+	asg, err := (EnergyAware{Kappa: 3}).Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAssignmentFeasible(t, req, asg)
+}
+
+func TestEnergyAwareValidates(t *testing.T) {
+	if _, err := (EnergyAware{Kappa: 1}).Schedule(&Request{}); err == nil {
+		t.Error("nil network accepted")
+	}
+}
+
+// multiRadioNet: one 2-radio BS with three single-radio users.
+func multiRadioNet(t *testing.T, radios int) *topology.Network {
+	t.Helper()
+	sm := spectrum.Paper()
+	bs := topology.NodeSpec{MaxTxPowerW: 20, Radios: radios}
+	user := topology.NodeSpec{MaxTxPowerW: 1}
+	nodes := []topology.Node{
+		{Kind: topology.BaseStation, Pos: geom.Point{X: 0, Y: 0}, Spec: bs},
+		{Kind: topology.User, Pos: geom.Point{X: 400, Y: 0}, Spec: user},
+		{Kind: topology.User, Pos: geom.Point{X: 0, Y: 400}, Spec: user},
+		{Kind: topology.User, Pos: geom.Point{X: -400, Y: 0}, Spec: user},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {0, 2}, {0, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestMultiRadioSchedulesMoreLinks: a 2-radio base station can feed two
+// users at once (on different bands); a single radio cannot.
+func TestMultiRadioSchedulesMoreLinks(t *testing.T) {
+	for _, s := range []Scheduler{SequentialFix{}, Greedy{}, Exact{}} {
+		single := multiRadioNet(t, 1)
+		double := multiRadioNet(t, 2)
+		weights := []float64{5, 5, 5}
+		widths := fixedWidths(single)
+
+		count := func(net *topology.Network) int {
+			asg, err := s.Schedule(&Request{Net: net, Widths: widths, Weights: weights})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for l := range net.Links {
+				if asg.Scheduled(l) {
+					n++
+				}
+			}
+			return n
+		}
+		if got := count(single); got != 1 {
+			t.Errorf("%T single radio scheduled %d links, want 1", s, got)
+		}
+		if got := count(double); got < 2 {
+			t.Errorf("%T dual radio scheduled %d links, want >= 2", s, got)
+		}
+	}
+}
+
+// TestMultiRadioOneBandPerLink: even with spare radios a link may use only
+// one band at a time.
+func TestMultiRadioOneBandPerLink(t *testing.T) {
+	net := multiRadioNet(t, 3)
+	weights := []float64{100, 0, 0} // only link 0 is attractive
+	asg, err := (Exact{}).Schedule(&Request{Net: net, Widths: fixedWidths(net), Weights: weights})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !asg.Scheduled(0) {
+		t.Fatal("profitable link unscheduled")
+	}
+	if asg.Activity[0] > 1+1e-9 {
+		t.Errorf("link 0 activity %v: one band per link violated", asg.Activity[0])
+	}
+}

@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"testing"
+
+	"greencell/internal/rng"
+	"greencell/internal/topology"
+)
+
+// benchRequest builds a paper-scale scheduling instance with random
+// positive weights on a third of the links (typical steady-state density).
+func benchRequest(b *testing.B) *Request {
+	b.Helper()
+	src := rng.New(42)
+	net, err := topology.Build(topology.Paper(), src.Split("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := make([]float64, len(net.Links))
+	for l := range weights {
+		if src.Bernoulli(0.35) {
+			weights[l] = src.Uniform(1, 500)
+		}
+	}
+	widths := net.Spectrum.SampleWidths(src.Split("widths"))
+	return &Request{Net: net, Widths: widths, Weights: weights}
+}
+
+func benchScheduler(b *testing.B, s Scheduler) {
+	b.Helper()
+	req := benchRequest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The S1 ablation: the paper's sequential-fix against the greedy heuristic
+// and the fractional relaxation, at paper scale (22 nodes, 5 bands).
+func BenchmarkScheduleSequentialFix(b *testing.B) { benchScheduler(b, SequentialFix{}) }
+func BenchmarkScheduleGreedy(b *testing.B)        { benchScheduler(b, Greedy{}) }
+func BenchmarkScheduleRelaxed(b *testing.B)       { benchScheduler(b, Relaxed{}) }
+
+// BenchmarkScheduleExact runs branch and bound on a reduced instance (the
+// full paper scale is out of reach for exact search in a benchmark loop).
+func BenchmarkScheduleExact(b *testing.B) {
+	src := rng.New(43)
+	cfg := topology.Paper()
+	cfg.NumUsers = 6
+	cfg.MaxNeighbors = 3
+	net, err := topology.Build(cfg, src.Split("topology"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	weights := make([]float64, len(net.Links))
+	for l := range weights {
+		weights[l] = src.Uniform(1, 500)
+	}
+	req := &Request{Net: net, Widths: net.Spectrum.SampleWidths(src.Split("w")), Weights: weights}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Exact{}).Schedule(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

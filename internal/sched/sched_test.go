@@ -1,0 +1,352 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/geom"
+	"greencell/internal/radio"
+	"greencell/internal/rng"
+	"greencell/internal/spectrum"
+	"greencell/internal/topology"
+)
+
+// testNet builds a small all-links network of one BS and n users placed
+// randomly in a 1500m square, with every band granted to every node.
+func testNet(t *testing.T, src *rng.Source, nUsers int) *topology.Network {
+	t.Helper()
+	sm := spectrum.Paper()
+	nodes := []topology.Node{{
+		Kind: topology.BaseStation, Pos: geom.Point{X: 750, Y: 750},
+		Spec: topology.NodeSpec{MaxTxPowerW: 20},
+	}}
+	for i := 0; i < nUsers; i++ {
+		nodes = append(nodes, topology.Node{
+			Kind: topology.User,
+			Pos:  geom.Point{X: src.Uniform(0, 1500), Y: src.Uniform(0, 1500)},
+			Spec: topology.NodeSpec{MaxTxPowerW: 1},
+		})
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	var links [][2]int
+	for i := range nodes {
+		for j := range nodes {
+			if i != j {
+				links = append(links, [2]int{i, j})
+			}
+		}
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func fixedWidths(net *topology.Network) []float64 {
+	w := make([]float64, net.Spectrum.NumBands())
+	for i := range w {
+		w[i] = 1.5e6
+	}
+	w[0] = 1e6
+	return w
+}
+
+// checkAssignmentFeasible verifies the single-radio constraint (22), the
+// SINR threshold at the assigned powers, and the power caps.
+func checkAssignmentFeasible(t *testing.T, req *Request, asg *Assignment) {
+	t.Helper()
+	net := req.Net
+	busy := make([]int, net.NumNodes())
+	perBand := map[int][]radio.Transmission{}
+	for l, band := range asg.LinkBand {
+		if band < 0 {
+			if asg.PowerW[l] != 0 || asg.RateBits[l] != 0 {
+				t.Fatalf("unscheduled link %d has power/rate", l)
+			}
+			continue
+		}
+		link := net.Links[l]
+		busy[link.From]++
+		busy[link.To]++
+		if asg.PowerW[l] > req.maxPower(link.From)+1e-9 {
+			t.Fatalf("link %d power %v exceeds cap %v", l, asg.PowerW[l], req.maxPower(link.From))
+		}
+		if asg.Activity[l] != 1 {
+			t.Fatalf("integral schedule has activity %v on link %d", asg.Activity[l], l)
+		}
+		perBand[band] = append(perBand[band], radio.Transmission{
+			From: link.From, To: link.To, Power: asg.PowerW[l],
+		})
+	}
+	for node, n := range busy {
+		if n > 1 {
+			t.Fatalf("node %d participates in %d active links (violates (22))", node, n)
+		}
+	}
+	for band, txs := range perBand {
+		if !net.Radio.AllMeetThreshold(net.Gains, txs, req.Widths[band]) {
+			t.Fatalf("band %d schedule violates the SINR threshold", band)
+		}
+	}
+}
+
+func schedulers() map[string]Scheduler {
+	return map[string]Scheduler{
+		"sequential-fix": SequentialFix{},
+		"greedy":         Greedy{},
+		"exact":          Exact{},
+	}
+}
+
+func TestSchedulersProduceFeasibleAssignments(t *testing.T) {
+	src := rng.New(5)
+	for name, s := range schedulers() {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				net := testNet(t, src, 5)
+				weights := make([]float64, len(net.Links))
+				for l := range weights {
+					weights[l] = src.Uniform(0, 10)
+				}
+				req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights}
+				asg, err := s.Schedule(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkAssignmentFeasible(t, req, asg)
+			}
+		})
+	}
+}
+
+func TestZeroWeightsScheduleNothing(t *testing.T) {
+	src := rng.New(6)
+	net := testNet(t, src, 4)
+	req := &Request{Net: net, Widths: fixedWidths(net), Weights: make([]float64, len(net.Links))}
+	for name, s := range schedulers() {
+		asg, err := s.Schedule(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l := range net.Links {
+			if asg.Scheduled(l) {
+				t.Fatalf("%s scheduled link %d with zero weight (paper fixes α=0 when H=0)", name, l)
+			}
+		}
+	}
+}
+
+func TestSomethingIsScheduledWhenProfitable(t *testing.T) {
+	src := rng.New(7)
+	net := testNet(t, src, 4)
+	weights := make([]float64, len(net.Links))
+	weights[0] = 5
+	req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights}
+	for name, s := range schedulers() {
+		asg, err := s.Schedule(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !asg.Scheduled(0) {
+			t.Errorf("%s left the only profitable link unscheduled", name)
+		}
+	}
+}
+
+func TestTxPowerCapExcludesNode(t *testing.T) {
+	src := rng.New(8)
+	net := testNet(t, src, 4)
+	weights := make([]float64, len(net.Links))
+	for l := range weights {
+		weights[l] = 1
+	}
+	caps := make([]float64, net.NumNodes())
+	// Only the base station (node 0) may transmit.
+	caps[0] = 20
+	req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights, TxPowerCap: caps}
+	for name, s := range schedulers() {
+		asg, err := s.Schedule(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for l, link := range net.Links {
+			if asg.Scheduled(l) && link.From != 0 {
+				t.Errorf("%s scheduled energy-gated node %d", name, link.From)
+			}
+		}
+		checkAssignmentFeasible(t, req, asg)
+	}
+}
+
+// TestHeuristicsNeverBeatExact: branch-and-bound is the optimum of S1, so
+// both heuristics must come in at or below it, and the relaxed LP at or
+// above it.
+func TestHeuristicsNeverBeatExact(t *testing.T) {
+	src := rng.New(9)
+	for trial := 0; trial < 8; trial++ {
+		net := testNet(t, src, 4)
+		weights := make([]float64, len(net.Links))
+		for l := range weights {
+			if src.Bernoulli(0.6) {
+				weights[l] = src.Uniform(0.1, 10)
+			}
+		}
+		req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights}
+
+		exact, err := Exact{}.Schedule(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := exact.Objective(weights)
+
+		for name, s := range map[string]Scheduler{"sequential-fix": SequentialFix{}, "greedy": Greedy{}} {
+			asg, err := s.Schedule(req)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if got := asg.Objective(weights); got > opt+1e-6*(1+opt) {
+				t.Errorf("trial %d: %s objective %v exceeds exact optimum %v", trial, name, got, opt)
+			}
+		}
+
+		rel, err := Relaxed{}.Schedule(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relObj := 0.0
+		for l := range net.Links {
+			relObj += weights[l] * rel.RateBits[l]
+		}
+		if relObj < opt-1e-6*(1+opt) {
+			t.Errorf("trial %d: relaxed LP value %v below integral optimum %v", trial, relObj, opt)
+		}
+	}
+}
+
+// TestSequentialFixQuality tracks the SF heuristic's gap to the optimum —
+// it should recover a solid fraction of the exact objective on average.
+func TestSequentialFixQuality(t *testing.T) {
+	src := rng.New(10)
+	sumSF, sumOpt := 0.0, 0.0
+	for trial := 0; trial < 8; trial++ {
+		net := testNet(t, src, 4)
+		weights := make([]float64, len(net.Links))
+		for l := range weights {
+			weights[l] = src.Uniform(0, 10)
+		}
+		req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights}
+		sf, err := SequentialFix{}.Schedule(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := Exact{}.Schedule(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumSF += sf.Objective(weights)
+		sumOpt += exact.Objective(weights)
+	}
+	if sumOpt == 0 {
+		t.Skip("degenerate instances")
+	}
+	if ratio := sumSF / sumOpt; ratio < 0.8 {
+		t.Errorf("sequential-fix recovers only %.0f%% of the exact objective", 100*ratio)
+	}
+}
+
+func TestRelaxedActivityBounded(t *testing.T) {
+	src := rng.New(11)
+	net := testNet(t, src, 5)
+	weights := make([]float64, len(net.Links))
+	for l := range weights {
+		weights[l] = src.Uniform(0, 10)
+	}
+	req := &Request{Net: net, Widths: fixedWidths(net), Weights: weights}
+	asg, err := Relaxed{}.Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-node total activity must respect the relaxed (22): Σ ≤ 1.
+	act := make([]float64, net.NumNodes())
+	for l, link := range net.Links {
+		if asg.Activity[l] < -1e-9 || asg.Activity[l] > 1+1e-9 {
+			t.Fatalf("activity %v out of [0,1]", asg.Activity[l])
+		}
+		act[link.From] += asg.Activity[l]
+		act[link.To] += asg.Activity[l]
+	}
+	for node, a := range act {
+		if a > 1+1e-6 {
+			t.Errorf("node %d relaxed activity %v exceeds 1", node, a)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	src := rng.New(12)
+	net := testNet(t, src, 2)
+	if _, err := (SequentialFix{}).Schedule(&Request{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	if _, err := (SequentialFix{}).Schedule(&Request{Net: net, Widths: []float64{1}, Weights: make([]float64, len(net.Links))}); err == nil {
+		t.Error("bad widths length accepted")
+	}
+	if _, err := (SequentialFix{}).Schedule(&Request{Net: net, Widths: fixedWidths(net), Weights: []float64{1}}); err == nil {
+		t.Error("bad weights length accepted")
+	}
+}
+
+func TestObjectiveComputation(t *testing.T) {
+	asg := &Assignment{
+		LinkBand: []int{0, -1, 2},
+		RateBits: []float64{100, 0, 50},
+		PowerW:   []float64{1, 0, 1},
+		Activity: []float64{1, 0, 1},
+	}
+	got := asg.Objective([]float64{2, 3, 4})
+	if math.Abs(got-(2*100+4*50)) > 1e-12 {
+		t.Errorf("Objective = %v, want 400", got)
+	}
+}
+
+// TestFinalizeDropsInfeasibleSet drives finalize directly with a chosen
+// set that violates SINR at the caps: the lowest-weight link must be
+// dropped rather than scheduled in violation.
+func TestFinalizeDropsInfeasibleSet(t *testing.T) {
+	// Two crossing links: each interferer sits closer to the victim
+	// receiver (50 m) than its own transmitter (100 m), so the pair can
+	// never both meet Γ=1 on one band.
+	sm := spectrum.Paper()
+	nodes := []topology.Node{
+		{Kind: topology.User, Pos: geom.Point{X: 0, Y: 0}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+		{Kind: topology.User, Pos: geom.Point{X: 100, Y: 0}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+		{Kind: topology.User, Pos: geom.Point{X: 100, Y: 50}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+		{Kind: topology.User, Pos: geom.Point{X: 0, Y: 50}, Spec: topology.NodeSpec{MaxTxPowerW: 1}},
+	}
+	avail := spectrum.NewAvailability(len(nodes), sm)
+	for i := range nodes {
+		avail.GrantAll(i)
+	}
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 3e-17}
+	net, err := topology.Manual(nodes, sm, avail, rp, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &Request{Net: net, Widths: fixedWidths(net), Weights: []float64{5, 3}}
+	pairs := []pair{
+		{link: 0, band: 0, weight: 5},
+		{link: 1, band: 0, weight: 3},
+	}
+	asg := finalize(req, pairs, []bool{true, true})
+	if !asg.Scheduled(0) {
+		t.Error("higher-weight link should survive the drop")
+	}
+	if asg.Scheduled(1) {
+		t.Error("lower-weight link should be dropped (SINR-infeasible set)")
+	}
+}

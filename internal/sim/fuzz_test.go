@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+
+	"greencell/internal/rng"
+	"greencell/internal/sched"
+)
+
+// TestRandomScenarios drives randomized scenario knobs through short runs
+// and asserts the invariants every configuration must satisfy: no error,
+// packet conservation (delivered ≤ admitted), non-negative metrics, and
+// determinism per seed.
+func TestRandomScenarios(t *testing.T) {
+	src := rng.New(4242)
+	schedulers := []sched.Scheduler{nil, sched.Greedy{}, sched.Relaxed{}, sched.EnergyAware{Kappa: 3}}
+	for trial := 0; trial < 12; trial++ {
+		sc := Paper()
+		sc.Seed = int64(1000 + trial)
+		sc.Slots = 8 + src.Intn(10)
+		sc.Topology.NumUsers = 4 + src.Intn(10)
+		sc.Topology.MaxNeighbors = 2 + src.Intn(5)
+		sc.NumSessions = 1 + src.Intn(3)
+		sc.UplinkSessions = src.Intn(3)
+		sc.V = []float64{1e4, 1e5, 1e6}[src.Intn(3)]
+		sc.Lambda = src.Uniform(0.0001, 0.01)
+		sc.Scheduler = schedulers[src.Intn(len(schedulers))]
+		sc.EnergyGate = src.Bernoulli(0.7)
+		sc.TrackDelay = src.Bernoulli(0.5)
+		sc.AuditDrift = src.Bernoulli(0.5)
+		sc.Architecture = Architecture(src.Intn(4))
+		sc.Topology.ShadowingSigmaDB = src.Uniform(0, 6)
+		if src.Bernoulli(0.3) {
+			sc.Topology.BSSpec.Radios = 2
+		}
+		sc.KeepTraces = true
+
+		a, err := Run(sc)
+		if err != nil {
+			t.Fatalf("trial %d (%+v...): %v", trial, sc.Architecture, err)
+		}
+		if a.DeliveredPkts > a.AdmittedPkts+1e-6 {
+			t.Fatalf("trial %d: delivered %v > admitted %v", trial, a.DeliveredPkts, a.AdmittedPkts)
+		}
+		if a.AvgEnergyCost < 0 || a.AvgGridWh < 0 || a.AvgTxEnergyWh < 0 {
+			t.Fatalf("trial %d: negative metric: %+v", trial, a)
+		}
+		if sc.AuditDrift && a.AuditViolations != 0 {
+			t.Fatalf("trial %d: %d Lemma 1 violations", trial, a.AuditViolations)
+		}
+		b, err := Run(sc)
+		if err != nil {
+			t.Fatalf("trial %d rerun: %v", trial, err)
+		}
+		if a.AvgEnergyCost != b.AvgEnergyCost || a.DeliveredPkts != b.DeliveredPkts {
+			t.Fatalf("trial %d: nondeterministic", trial)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"greencell/internal/energy"
+	"greencell/internal/geom"
+	"greencell/internal/spectrum"
+)
+
+// Urban returns a denser deployment than the paper's: a 2x2 base-station
+// grid over the same area, users clustered in hotspots, log-normal
+// shadowing, and Gilbert-Elliott (Markov) availability on the shared bands
+// — the composition of the repository's realism extensions.
+func Urban() Scenario {
+	sc := Paper()
+	sc.Topology.BSPositions = []geom.Point{
+		{X: 500, Y: 500}, {X: 1500, Y: 500},
+		{X: 500, Y: 1500}, {X: 1500, Y: 1500},
+	}
+	sc.Topology.NumUsers = 30
+	sc.Topology.Hotspots = []geom.Point{
+		{X: 700, Y: 700}, {X: 1300, Y: 700}, {X: 1000, Y: 1400},
+	}
+	sc.Topology.HotspotSigma = 180
+	sc.Topology.ShadowingSigmaDB = 6
+	sm := spectrum.Paper()
+	for i := 1; i < sm.NumBands(); i++ {
+		sm.Bands[i].Width = &spectrum.Markov{
+			On:       spectrum.Uniform{Lo: 1e6, Hi: 2e6},
+			POnToOff: 0.1,
+			POffToOn: 0.4,
+		}
+	}
+	sc.Topology.Spectrum = sm
+	sc.NumSessions = 6
+	return sc
+}
+
+// Rural returns a sparse deployment: one base station in a 4 km area, few
+// far-flung users, diurnal (day-cycle) renewables sized up to compensate
+// the longer links.
+func Rural() Scenario {
+	sc := Paper()
+	sc.Topology.Area = geom.Square(4000)
+	sc.Topology.BSPositions = []geom.Point{{X: 2000, Y: 2000}}
+	sc.Topology.NumUsers = 10
+	sc.Topology.MaxNeighbors = 4
+	sc.Topology.BSSpec.Renewable = &energy.Diurnal{PeakWh: 1.2, PeriodSlots: 100, NoiseFrac: 0.2}
+	sc.Topology.UserSpec.Renewable = &energy.Diurnal{PeakWh: 0.12, PeriodSlots: 100, NoiseFrac: 0.2}
+	sc.NumSessions = 3
+	return sc
+}

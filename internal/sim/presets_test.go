@@ -1,0 +1,58 @@
+package sim
+
+import "testing"
+
+func TestUrbanPresetRuns(t *testing.T) {
+	sc := Urban()
+	sc.Slots = 15
+	sc.KeepTraces = false
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DeliveredPkts <= 0 {
+		t.Error("urban preset delivered nothing")
+	}
+	if res.DeficitWh > 1e-6 {
+		t.Errorf("urban preset has energy deficit %v", res.DeficitWh)
+	}
+}
+
+func TestUrbanPresetDeterministic(t *testing.T) {
+	sc := Urban()
+	sc.Slots = 10
+	sc.KeepTraces = false
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stateful Markov bands and Diurnal processes must be cloned per run:
+	// identical scenarios give identical results.
+	if a.AvgEnergyCost != b.AvgEnergyCost || a.DeliveredPkts != b.DeliveredPkts {
+		t.Error("urban preset not deterministic — stateful processes leaked between runs")
+	}
+}
+
+func TestRuralPresetRuns(t *testing.T) {
+	sc := Rural()
+	sc.Slots = 15
+	sc.KeepTraces = false
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgEnergyCost < 0 {
+		t.Error("negative cost")
+	}
+	_, net, _, err := Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.BaseStations()) != 1 {
+		t.Errorf("rural preset has %d base stations, want 1", len(net.BaseStations()))
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"greencell/internal/stats"
+)
+
+// ReplicatedResult aggregates a scenario across independent seeds. The
+// paper's headline numbers are expectations over the random placement,
+// spectrum, renewable, and grid processes; replication estimates them with
+// confidence intervals.
+type ReplicatedResult struct {
+	// Summaries over the per-replication scalar metrics.
+	AvgEnergyCost       stats.Summary
+	AvgPenaltyObjective stats.Summary
+	AvgGridWh           stats.Summary
+	DeliveredPkts       stats.Summary
+	AdmittedPkts        stats.Summary
+	FinalDataBacklog    stats.Summary
+	FinalBatteryWh      stats.Summary
+
+	// Pointwise-mean traces (nil unless Scenario.KeepTraces).
+	MeanCostTrace          []float64
+	MeanDataBacklogBSTrace []float64
+	MeanDataBacklogUTrace  []float64
+	MeanBatteryWhBSTrace   []float64
+	MeanBatteryWhUTrace    []float64
+}
+
+// RunReplicated runs the scenario once per seed (replications run
+// concurrently — every run is independent and deterministic per seed, so
+// results are identical to a serial sweep) and summarizes.
+func RunReplicated(sc Scenario, seeds []int64) (*ReplicatedResult, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("%w: no seeds", ErrScenario)
+	}
+	results := make([]*Result, len(seeds))
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for idx, seed := range seeds {
+		wg.Add(1)
+		go func(idx int, seed int64) {
+			defer wg.Done()
+			s := sc
+			s.Seed = seed
+			results[idx], errs[idx] = Run(s)
+		}(idx, seed)
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", seeds[idx], err)
+		}
+	}
+
+	var (
+		cost, pen, grid, del, adm, backlog, batt []float64
+		costT, qbsT, quT, bbsT, buT              [][]float64
+	)
+	for _, res := range results {
+		cost = append(cost, res.AvgEnergyCost)
+		pen = append(pen, res.AvgPenaltyObjective)
+		grid = append(grid, res.AvgGridWh)
+		del = append(del, res.DeliveredPkts)
+		adm = append(adm, res.AdmittedPkts)
+		backlog = append(backlog, res.FinalDataBacklogBS+res.FinalDataBacklogUsers)
+		batt = append(batt, res.FinalBatteryWhBS+res.FinalBatteryWhUsers)
+		if sc.KeepTraces {
+			costT = append(costT, res.CostTrace)
+			qbsT = append(qbsT, res.DataBacklogBSTrace)
+			quT = append(quT, res.DataBacklogUsersTrace)
+			bbsT = append(bbsT, res.BatteryWhBSTrace)
+			buT = append(buT, res.BatteryWhUsersTrace)
+		}
+	}
+	out := &ReplicatedResult{
+		AvgEnergyCost:       stats.Summarize(cost),
+		AvgPenaltyObjective: stats.Summarize(pen),
+		AvgGridWh:           stats.Summarize(grid),
+		DeliveredPkts:       stats.Summarize(del),
+		AdmittedPkts:        stats.Summarize(adm),
+		FinalDataBacklog:    stats.Summarize(backlog),
+		FinalBatteryWh:      stats.Summarize(batt),
+	}
+	if sc.KeepTraces {
+		out.MeanCostTrace = stats.MeanSeries(costT)
+		out.MeanDataBacklogBSTrace = stats.MeanSeries(qbsT)
+		out.MeanDataBacklogUTrace = stats.MeanSeries(quT)
+		out.MeanBatteryWhBSTrace = stats.MeanSeries(bbsT)
+		out.MeanBatteryWhUTrace = stats.MeanSeries(buT)
+	}
+	return out, nil
+}
+
+// ReplicatedBounds is the seed-averaged Theorem 4/5 sandwich at one V.
+type ReplicatedBounds struct {
+	V     float64
+	Upper stats.Summary
+	Lower stats.Summary
+}
+
+// BoundsReplicated averages BoundsAt over seeds.
+func BoundsReplicated(sc Scenario, v float64, seeds []int64) (ReplicatedBounds, error) {
+	if len(seeds) == 0 {
+		return ReplicatedBounds{}, fmt.Errorf("%w: no seeds", ErrScenario)
+	}
+	var uppers, lowers []float64
+	for _, seed := range seeds {
+		s := sc
+		s.Seed = seed
+		b, err := BoundsAt(s, v)
+		if err != nil {
+			return ReplicatedBounds{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		uppers = append(uppers, b.Upper)
+		lowers = append(lowers, b.Lower)
+	}
+	return ReplicatedBounds{
+		V:     v,
+		Upper: stats.Summarize(uppers),
+		Lower: stats.Summarize(lowers),
+	}, nil
+}
+
+// Seeds returns n consecutive seeds starting at base — a convenience for
+// replication sweeps.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}

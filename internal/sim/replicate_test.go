@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestRunReplicated(t *testing.T) {
+	sc := fastScenario()
+	sc.Slots = 25
+	rr, err := RunReplicated(sc, Seeds(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.AvgEnergyCost.N != 3 {
+		t.Errorf("N = %d, want 3", rr.AvgEnergyCost.N)
+	}
+	if rr.AvgEnergyCost.Mean < 0 {
+		t.Errorf("negative mean cost %v", rr.AvgEnergyCost.Mean)
+	}
+	if rr.DeliveredPkts.Mean <= 0 {
+		t.Error("no traffic delivered in replications")
+	}
+	// Different topologies per seed should produce spread.
+	if rr.AvgEnergyCost.Std == 0 && rr.DeliveredPkts.Std == 0 {
+		t.Error("replications identical across seeds (suspicious)")
+	}
+	if len(rr.MeanCostTrace) != sc.Slots || len(rr.MeanBatteryWhUTrace) != sc.Slots {
+		t.Errorf("mean traces have wrong length")
+	}
+}
+
+func TestRunReplicatedNoTraces(t *testing.T) {
+	sc := fastScenario()
+	sc.Slots = 10
+	sc.KeepTraces = false
+	rr, err := RunReplicated(sc, Seeds(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.MeanCostTrace != nil {
+		t.Error("traces retained despite KeepTraces=false")
+	}
+}
+
+func TestRunReplicatedNoSeeds(t *testing.T) {
+	if _, err := RunReplicated(fastScenario(), nil); err == nil {
+		t.Error("empty seed list accepted")
+	}
+	if _, err := BoundsReplicated(fastScenario(), 1e5, nil); err == nil {
+		t.Error("empty seed list accepted by BoundsReplicated")
+	}
+}
+
+func TestBoundsReplicated(t *testing.T) {
+	sc := fastScenario()
+	sc.Slots = 20
+	rb, err := BoundsReplicated(sc, 5e5, Seeds(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.V != 5e5 {
+		t.Errorf("V = %v", rb.V)
+	}
+	if rb.Lower.Mean > rb.Upper.Mean {
+		t.Errorf("mean lower %v above mean upper %v", rb.Lower.Mean, rb.Upper.Mean)
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(10, 3)
+	if len(got) != 3 || got[0] != 10 || got[2] != 12 {
+		t.Errorf("Seeds = %v", got)
+	}
+}

@@ -1,0 +1,399 @@
+// Package sim runs end-to-end simulations of the paper's system: it builds
+// a topology and traffic from a seeded scenario, steps the drift-plus-
+// penalty controller for T slots, and collects the metric series behind
+// every panel of the paper's Figure 2. It also implements the baseline
+// architectures of Fig. 2(f) and the relaxed lower-bound run of Theorem 5.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"greencell/internal/core"
+	"greencell/internal/energy"
+	"greencell/internal/queueing"
+	"greencell/internal/rng"
+	"greencell/internal/sched"
+	"greencell/internal/topology"
+	"greencell/internal/traffic"
+)
+
+// Architecture selects one of the four network designs compared in the
+// paper's Fig. 2(f).
+type Architecture int
+
+// Architectures.
+const (
+	// Proposed is the paper's system: multi-hop with renewable energy.
+	Proposed Architecture = iota
+	// MultiHopNoRenewable disables every renewable source.
+	MultiHopNoRenewable
+	// OneHopRenewable restricts links to base-station transmissions.
+	OneHopRenewable
+	// OneHopNoRenewable applies both restrictions.
+	OneHopNoRenewable
+)
+
+// String implements fmt.Stringer.
+func (a Architecture) String() string {
+	switch a {
+	case Proposed:
+		return "multi-hop + renewable (proposed)"
+	case MultiHopNoRenewable:
+		return "multi-hop w/o renewable"
+	case OneHopRenewable:
+		return "one-hop w/ renewable"
+	case OneHopNoRenewable:
+		return "one-hop w/o renewable"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// OneHop reports whether a restricts routing to single-hop.
+func (a Architecture) OneHop() bool {
+	return a == OneHopRenewable || a == OneHopNoRenewable
+}
+
+// Renewable reports whether a keeps renewable sources.
+func (a Architecture) Renewable() bool {
+	return a == Proposed || a == OneHopRenewable
+}
+
+// Scenario fully describes one simulation run.
+type Scenario struct {
+	// Topology is the physical layout blueprint.
+	Topology topology.Config
+	// NumSessions is S; destinations are random distinct users.
+	NumSessions int
+	// UplinkSessions appends this many uplink (user → any BS) sessions —
+	// an extension; the paper models downlink only.
+	UplinkSessions int
+	// V is the drift-plus-penalty weight; Lambda the admission reward λ.
+	V, Lambda float64
+	// SlotSeconds is Δt; Slots is the horizon T.
+	SlotSeconds float64
+	Slots       int
+	// Seed drives all randomness; equal seeds give identical topologies,
+	// traffic, and environment draws across runs (common random numbers).
+	Seed int64
+	// Cost is f (nil = the paper's quadratic).
+	Cost energy.CostFunc
+	// Scheduler solves S1 (nil = the paper's sequential-fix).
+	Scheduler sched.Scheduler
+	// EnergyGate keeps energy-starved nodes out of the schedule.
+	EnergyGate bool
+	// Architecture selects the Fig. 2(f) variant.
+	Architecture Architecture
+	// KeepTraces retains per-slot series for the time-series figures.
+	KeepTraces bool
+	// TrackDelay enables exact per-packet delivery-delay accounting.
+	TrackDelay bool
+	// AuditDrift enables the per-slot Lemma 1 drift audit; violations are
+	// counted in Result.AuditViolations.
+	AuditDrift bool
+	// SlotHook, when non-nil, observes every slot result as the run
+	// progresses (trace recording, live dashboards). The pointee must not
+	// be retained past the call.
+	SlotHook func(*core.SlotResult)
+}
+
+// Paper returns the scenario of the paper's Section VI: its topology and
+// spectrum, 4 sessions of 100 Kbps, V = 1e5, T = 100 one-minute slots.
+func Paper() Scenario {
+	return Scenario{
+		Topology:    topology.Paper(),
+		NumSessions: 4,
+		V:           1e5,
+		Lambda:      0.0006,
+		SlotSeconds: 60,
+		Slots:       100,
+		Seed:        1,
+		Cost:        energy.PaperCost(),
+		EnergyGate:  true,
+		KeepTraces:  true,
+	}
+}
+
+// Result aggregates one run.
+type Result struct {
+	// AvgEnergyCost is the time-averaged f(P(t)) — the headline metric.
+	AvgEnergyCost float64
+	// AvgPenaltyObjective is the time-averaged f(P(t)) − λ·Σ k_s(t), the
+	// quantity the Theorem 4/5 bounds speak about.
+	AvgPenaltyObjective float64
+	// AvgGridWh is the time-averaged total grid draw.
+	AvgGridWh float64
+	// AvgTxEnergyWh is the time-averaged transmission+reception energy.
+	AvgTxEnergyWh float64
+	// DeliveredPkts / AdmittedPkts are totals over the horizon.
+	DeliveredPkts, AdmittedPkts float64
+	// DeficitWh is the total unserved energy (0 in normal operation).
+	DeficitWh float64
+	// AvgDelayEstSlots estimates the mean packet delay in slots via
+	// Little's law: time-averaged total data backlog over the delivery
+	// rate. Together with AvgEnergyCost it traces the paper's O(1/V)-cost
+	// versus O(V)-delay tradeoff.
+	AvgDelayEstSlots float64
+	// ExactDelayMeanSlots and ExactDelayMaxSlots are the packet-weighted
+	// delivery-delay statistics over all sessions (0 unless
+	// Scenario.TrackDelay). ExactDelayP95Slots is the worst per-session
+	// 95th-percentile delay.
+	ExactDelayMeanSlots, ExactDelayMaxSlots float64
+	ExactDelayP95Slots                      float64
+	// AuditViolations counts slots whose Lemma 1 drift audit failed
+	// (0 expected; only populated when Scenario.AuditDrift).
+	AuditViolations int
+	// B is the drift constant; LowerBoundCorrection is B/V.
+	B float64
+	// FinalDataBacklog etc. are end-of-run queue aggregates.
+	FinalDataBacklogBS, FinalDataBacklogUsers float64
+	FinalBatteryWhBS, FinalBatteryWhUsers     float64
+
+	// Per-slot traces (nil unless Scenario.KeepTraces).
+	CostTrace, PenaltyTrace                   []float64
+	DataBacklogBSTrace, DataBacklogUsersTrace []float64
+	BatteryWhBSTrace, BatteryWhUsersTrace     []float64
+	VirtualBacklogTrace                       []float64
+	GridWhTrace                               []float64
+}
+
+// StableDataBacklog reports whether the retained backlog series look
+// strongly stable: the tail slope must be far below one packet per slot of
+// residual growth relative to the demand scale.
+func (r *Result) StableDataBacklog(demandPktsPerSlot float64) bool {
+	if r.DataBacklogBSTrace == nil {
+		return false
+	}
+	n := len(r.DataBacklogBSTrace)
+	tail := n / 2
+	slopeBS := queueing.Slope(r.DataBacklogBSTrace[tail:])
+	slopeU := queueing.Slope(r.DataBacklogUsersTrace[tail:])
+	return slopeBS < demandPktsPerSlot && slopeU < demandPktsPerSlot
+}
+
+// ErrScenario reports an invalid scenario.
+var ErrScenario = errors.New("sim: invalid scenario")
+
+// Build materializes the scenario's network, traffic, and controller so
+// callers (tests, benchmarks) can inspect them before running.
+func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, error) {
+	if sc.Slots <= 0 {
+		return nil, nil, nil, fmt.Errorf("%w: Slots = %d", ErrScenario, sc.Slots)
+	}
+	if sc.NumSessions <= 0 {
+		return nil, nil, nil, fmt.Errorf("%w: NumSessions = %d", ErrScenario, sc.NumSessions)
+	}
+	src := rng.New(sc.Seed)
+
+	tcfg := sc.Topology
+	tcfg.OneHopOnly = tcfg.OneHopOnly || sc.Architecture.OneHop()
+	if !sc.Architecture.Renewable() {
+		tcfg.UserSpec.Renewable = energy.Off{}
+		tcfg.BSSpec.Renewable = energy.Off{}
+	}
+	net, err := topology.Build(tcfg, src.Split("topology"))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tm := traffic.PaperSessions(sc.NumSessions, net.Users(), sc.SlotSeconds, src.Split("traffic"))
+	if sc.UplinkSessions > 0 {
+		tm.Sessions = append(tm.Sessions, traffic.UplinkSessions(
+			sc.UplinkSessions, net.Users(), sc.SlotSeconds, len(tm.Sessions), src.Split("uplink"))...)
+	}
+
+	cost := sc.Cost
+	if cost == nil {
+		cost = energy.PaperCost()
+	}
+	ctrl, err := core.New(core.Config{
+		Net:         net,
+		Traffic:     tm,
+		V:           sc.V,
+		Lambda:      sc.Lambda,
+		SlotSeconds: sc.SlotSeconds,
+		Cost:        cost,
+		Scheduler:   sc.Scheduler,
+		EnergyGate:  sc.EnergyGate,
+		TrackDelay:  sc.TrackDelay,
+		AuditDrift:  sc.AuditDrift,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return ctrl, net, tm, nil
+}
+
+// Run executes the scenario and aggregates its metrics.
+func Run(sc Scenario) (*Result, error) {
+	ctrl, _, _, err := Build(sc)
+	if err != nil {
+		return nil, err
+	}
+	slotSrc := rng.New(sc.Seed).Split("slots")
+
+	res := &Result{B: ctrl.B()}
+	costT := queueing.NewTracker(sc.KeepTraces)
+	penT := queueing.NewTracker(sc.KeepTraces)
+	gridT := queueing.NewTracker(sc.KeepTraces)
+	qbsT := queueing.NewTracker(sc.KeepTraces)
+	quT := queueing.NewTracker(sc.KeepTraces)
+	bbsT := queueing.NewTracker(sc.KeepTraces)
+	buT := queueing.NewTracker(sc.KeepTraces)
+	hT := queueing.NewTracker(sc.KeepTraces)
+
+	var last *core.SlotResult
+	txSum := 0.0
+	for t := 0; t < sc.Slots; t++ {
+		sr, err := ctrl.Step(slotSrc)
+		if err != nil {
+			return nil, err
+		}
+		last = sr
+		if sc.SlotHook != nil {
+			sc.SlotHook(sr)
+		}
+		txSum += sr.TxEnergyWh
+		costT.Observe(sr.EnergyCost)
+		penT.Observe(sr.PenaltyObjective)
+		gridT.Observe(sr.GridWh)
+		qbsT.Observe(sr.DataBacklogBS)
+		quT.Observe(sr.DataBacklogUsers)
+		bbsT.Observe(sr.BatteryWhBS)
+		buT.Observe(sr.BatteryWhUsers)
+		hT.Observe(sr.VirtualBacklogH)
+		for _, d := range sr.DeliveredPkts {
+			res.DeliveredPkts += d
+		}
+		res.AdmittedPkts += sr.AdmittedPkts
+		res.DeficitWh += sr.DeficitWh
+		if sr.Audit != nil && !sr.Audit.Holds() {
+			res.AuditViolations++
+		}
+	}
+
+	res.AvgEnergyCost = costT.TimeAverage()
+	res.AvgPenaltyObjective = penT.TimeAverage()
+	res.AvgGridWh = gridT.TimeAverage()
+	res.AvgTxEnergyWh = txSum / float64(sc.Slots)
+	if rate := res.DeliveredPkts / float64(sc.Slots); rate > 0 {
+		res.AvgDelayEstSlots = (qbsT.TimeAverage() + quT.TimeAverage()) / rate
+	}
+	if sc.TrackDelay {
+		var sumWeighted, count, maxD, maxP95 float64
+		for s := 0; s < sc.NumSessions+sc.UplinkSessions; s++ {
+			mean, max, delivered := ctrl.SessionDelay(s)
+			sumWeighted += mean * delivered
+			count += delivered
+			if max > maxD {
+				maxD = max
+			}
+			if p95 := ctrl.SessionDelayQuantile(s, 0.95); p95 > maxP95 {
+				maxP95 = p95
+			}
+		}
+		if count > 0 {
+			res.ExactDelayMeanSlots = sumWeighted / count
+		}
+		res.ExactDelayMaxSlots = maxD
+		res.ExactDelayP95Slots = maxP95
+	}
+	res.FinalDataBacklogBS = last.DataBacklogBS
+	res.FinalDataBacklogUsers = last.DataBacklogUsers
+	res.FinalBatteryWhBS = last.BatteryWhBS
+	res.FinalBatteryWhUsers = last.BatteryWhUsers
+	if sc.KeepTraces {
+		res.CostTrace = costT.Trace()
+		res.PenaltyTrace = penT.Trace()
+		res.GridWhTrace = gridT.Trace()
+		res.DataBacklogBSTrace = qbsT.Trace()
+		res.DataBacklogUsersTrace = quT.Trace()
+		res.BatteryWhBSTrace = bbsT.Trace()
+		res.BatteryWhUsersTrace = buT.Trace()
+		res.VirtualBacklogTrace = hT.Trace()
+	}
+	return res, nil
+}
+
+// Bounds holds the Theorem 4/5 sandwich for one V.
+type Bounds struct {
+	V float64
+	// Upper is ψ_P3: the proposed algorithm's time-averaged penalty
+	// objective (Theorem 4 upper-bounds ψ*_P1 by it).
+	Upper float64
+	// Lower is ψ*_P3̄ − B/V from the relaxed run (Theorem 5).
+	Lower float64
+	// UpperEnergyCost / LowerEnergyCost are the raw f(P) averages of the
+	// two runs, for reporting.
+	UpperEnergyCost, LowerEnergyCost float64
+}
+
+// BoundsAt runs the proposed controller and the relaxed lower-bound
+// controller with common random numbers and returns the bound pair.
+func BoundsAt(sc Scenario, v float64) (Bounds, error) {
+	sc.V = v
+
+	upper := sc
+	upper.KeepTraces = false
+	ur, err := Run(upper)
+	if err != nil {
+		return Bounds{}, fmt.Errorf("upper bound run: %w", err)
+	}
+
+	lower := sc
+	lower.KeepTraces = false
+	lower.Scheduler = sched.Relaxed{}
+	lr, err := Run(lower)
+	if err != nil {
+		return Bounds{}, fmt.Errorf("lower bound run: %w", err)
+	}
+
+	return Bounds{
+		V:               v,
+		Upper:           ur.AvgPenaltyObjective,
+		Lower:           lr.AvgPenaltyObjective - lr.B/v,
+		UpperEnergyCost: ur.AvgEnergyCost,
+		LowerEnergyCost: lr.AvgEnergyCost,
+	}, nil
+}
+
+// SweepV computes the bound pair for each V — the series of Fig. 2(a).
+func SweepV(sc Scenario, vs []float64) ([]Bounds, error) {
+	out := make([]Bounds, 0, len(vs))
+	for _, v := range vs {
+		b, err := BoundsAt(sc, v)
+		if err != nil {
+			return nil, fmt.Errorf("V=%g: %w", v, err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// ArchitectureCost is one point of Fig. 2(f).
+type ArchitectureCost struct {
+	Architecture Architecture
+	V            float64
+	AvgCost      float64
+}
+
+// CompareArchitectures runs every architecture at every V with common
+// random numbers — the series of Fig. 2(f).
+func CompareArchitectures(sc Scenario, vs []float64) ([]ArchitectureCost, error) {
+	archs := []Architecture{Proposed, MultiHopNoRenewable, OneHopRenewable, OneHopNoRenewable}
+	var out []ArchitectureCost
+	for _, a := range archs {
+		for _, v := range vs {
+			s := sc
+			s.Architecture = a
+			s.V = v
+			s.KeepTraces = false
+			r, err := Run(s)
+			if err != nil {
+				return nil, fmt.Errorf("%v V=%g: %w", a, v, err)
+			}
+			out = append(out, ArchitectureCost{Architecture: a, V: v, AvgCost: r.AvgEnergyCost})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package spectrum
+
+import (
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestMarkovBounds(t *testing.T) {
+	m := &Markov{On: Uniform{Lo: 1e6, Hi: 2e6}, POnToOff: 0.3, POffToOn: 0.3}
+	if m.Max() != 2e6 || m.Min() != 0 {
+		t.Fatalf("Max/Min = %v/%v", m.Max(), m.Min())
+	}
+	src := rng.New(1)
+	for i := 0; i < 500; i++ {
+		w := m.Sample(src)
+		if w != 0 && (w < 1e6 || w > 2e6) {
+			t.Fatalf("sample %v neither OFF nor in ON range", w)
+		}
+	}
+}
+
+func TestMarkovStartState(t *testing.T) {
+	on := &Markov{On: Constant(5), POnToOff: 0, POffToOn: 0}
+	src := rng.New(2)
+	if got := on.Sample(src); got != 5 {
+		t.Errorf("default start should be ON, got %v", got)
+	}
+	off := &Markov{On: Constant(5), POnToOff: 0, POffToOn: 0, StartOff: true}
+	if got := off.Sample(src); got != 0 {
+		t.Errorf("StartOff should begin OFF, got %v", got)
+	}
+	// Zero transition probabilities freeze the chain.
+	for i := 0; i < 20; i++ {
+		if on.Sample(src) != 5 || off.Sample(src) != 0 {
+			t.Fatal("chain moved despite zero transition probabilities")
+		}
+	}
+}
+
+func TestMarkovStationaryFraction(t *testing.T) {
+	// p(on->off)=0.1, p(off->on)=0.3: stationary ON fraction = 0.75.
+	m := &Markov{On: Constant(1), POnToOff: 0.1, POffToOn: 0.3}
+	src := rng.New(3)
+	on := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if m.Sample(src) > 0 {
+			on++
+		}
+	}
+	f := float64(on) / n
+	if f < 0.72 || f > 0.78 {
+		t.Errorf("ON fraction = %v, want ~0.75", f)
+	}
+}
+
+func TestMarkovBurstiness(t *testing.T) {
+	// Sticky chain: consecutive samples should agree far more often than
+	// an i.i.d. process with the same marginal would (0.5²+0.5² = 0.5).
+	m := &Markov{On: Constant(1), POnToOff: 0.05, POffToOn: 0.05}
+	src := rng.New(4)
+	prev := m.Sample(src)
+	agree := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		cur := m.Sample(src)
+		if (cur > 0) == (prev > 0) {
+			agree++
+		}
+		prev = cur
+	}
+	if f := float64(agree) / n; f < 0.85 {
+		t.Errorf("consecutive agreement = %v, want ≫ 0.5 (bursty)", f)
+	}
+}
+
+func TestModelCloneSeparatesMarkovState(t *testing.T) {
+	m := &Model{Bands: []Band{{Name: "m", Width: &Markov{On: Constant(1), POnToOff: 0.5, POffToOn: 0.5}}}}
+	a := m.Clone()
+	b := m.Clone()
+	srcA, srcB := rng.New(1), rng.New(2)
+	// Drive a far ahead; b must be unaffected (fresh chain, same marginals).
+	for i := 0; i < 100; i++ {
+		a.SampleWidths(srcA)
+	}
+	// b's first sample starts from the chain's initial ON state.
+	if w := b.SampleWidths(srcB)[0]; w != 1 {
+		t.Fatalf("clone b did not start fresh: first width %v", w)
+	}
+	// Stateless bands are shared untouched.
+	m2 := Paper()
+	c := m2.Clone()
+	if c.NumBands() != m2.NumBands() {
+		t.Fatal("clone changed band count")
+	}
+}

@@ -1,0 +1,246 @@
+// Package spectrum models the dynamic spectrum environment of the paper's
+// Section II-A: a set of bands M whose per-slot bandwidths {W_m(t)} are
+// random processes observable at the beginning of each slot, and per-node
+// availability sets M_i ⊆ M.
+package spectrum
+
+import (
+	"fmt"
+
+	"greencell/internal/rng"
+)
+
+// WidthDist describes the bandwidth process of a single band, in Hz.
+type WidthDist interface {
+	// Sample draws the band's width for one slot.
+	Sample(src *rng.Source) float64
+	// Max returns the largest width the process can produce; it feeds the
+	// c_ij^max terms of the Lyapunov constant B (paper eq. (34)).
+	Max() float64
+	// Min returns the smallest width the process can produce.
+	Min() float64
+}
+
+// Constant is a band whose width never changes.
+type Constant float64
+
+// Sample implements WidthDist.
+func (c Constant) Sample(*rng.Source) float64 { return float64(c) }
+
+// Max implements WidthDist.
+func (c Constant) Max() float64 { return float64(c) }
+
+// Min implements WidthDist.
+func (c Constant) Min() float64 { return float64(c) }
+
+// Uniform is a band whose width is i.i.d. uniform in [Lo, Hi] each slot.
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample implements WidthDist.
+func (u Uniform) Sample(src *rng.Source) float64 { return src.Uniform(u.Lo, u.Hi) }
+
+// Max implements WidthDist.
+func (u Uniform) Max() float64 { return u.Hi }
+
+// Min implements WidthDist.
+func (u Uniform) Min() float64 { return u.Lo }
+
+// Band is one spectrum band.
+type Band struct {
+	Name  string
+	Width WidthDist
+	// Universal marks a band every node can always access (the licensed
+	// cellular band in the paper's simulation setup).
+	Universal bool
+}
+
+// Model is the set of bands available in the system.
+type Model struct {
+	Bands []Band
+}
+
+// Paper returns the paper's Section VI setup: one 1 MHz cellular band plus
+// four bands i.i.d. uniform in [1, 2] MHz each slot.
+func Paper() *Model {
+	m := &Model{}
+	m.Bands = append(m.Bands, Band{Name: "cellular", Width: Constant(1e6), Universal: true})
+	for i := 1; i <= 4; i++ {
+		m.Bands = append(m.Bands, Band{
+			Name:  fmt.Sprintf("shared-%d", i),
+			Width: Uniform{Lo: 1e6, Hi: 2e6},
+		})
+	}
+	return m
+}
+
+// WidthCloner is implemented by stateful width processes that must not be
+// shared between simulations; Model.Clone duplicates them.
+type WidthCloner interface {
+	// CloneWidth returns an independent copy with fresh state.
+	CloneWidth() WidthDist
+}
+
+// Clone returns a copy of the model whose stateful band processes are
+// duplicated, so two simulations built from the same configuration never
+// share Markov-chain state.
+func (m *Model) Clone() *Model {
+	out := &Model{Bands: make([]Band, len(m.Bands))}
+	copy(out.Bands, m.Bands)
+	for i := range out.Bands {
+		if c, ok := out.Bands[i].Width.(WidthCloner); ok {
+			out.Bands[i].Width = c.CloneWidth()
+		}
+	}
+	return out
+}
+
+// NumBands returns the number of bands.
+func (m *Model) NumBands() int { return len(m.Bands) }
+
+// SampleWidths draws each band's width for one slot, in Hz.
+func (m *Model) SampleWidths(src *rng.Source) []float64 {
+	w := make([]float64, len(m.Bands))
+	for i, b := range m.Bands {
+		w[i] = b.Width.Sample(src)
+	}
+	return w
+}
+
+// MaxWidth returns the largest width any band can take, in Hz.
+func (m *Model) MaxWidth() float64 {
+	mx := 0.0
+	for _, b := range m.Bands {
+		if w := b.Width.Max(); w > mx {
+			mx = w
+		}
+	}
+	return mx
+}
+
+// Availability records which bands each node can access (the sets M_i).
+type Availability struct {
+	numBands int
+	has      [][]bool // [node][band]
+}
+
+// NewAvailability creates an all-false availability table for numNodes
+// nodes and the bands of m.
+func NewAvailability(numNodes int, m *Model) *Availability {
+	a := &Availability{numBands: m.NumBands(), has: make([][]bool, numNodes)}
+	for i := range a.has {
+		a.has[i] = make([]bool, m.NumBands())
+	}
+	return a
+}
+
+// NumNodes returns the number of nodes in the table.
+func (a *Availability) NumNodes() int { return len(a.has) }
+
+// GrantAll gives node access to every band.
+func (a *Availability) GrantAll(node int) {
+	for b := range a.has[node] {
+		a.has[node][b] = true
+	}
+}
+
+// GrantRandomSubset gives node access to every Universal band plus a
+// uniformly random non-empty subset of the remaining bands.
+func (a *Availability) GrantRandomSubset(node int, m *Model, src *rng.Source) {
+	var shared []int
+	for b, band := range m.Bands {
+		if band.Universal {
+			a.has[node][b] = true
+		} else {
+			shared = append(shared, b)
+		}
+	}
+	for _, k := range src.SubsetAtLeastOne(len(shared)) {
+		a.has[node][shared[k]] = true
+	}
+}
+
+// Has reports whether node can access band.
+func (a *Availability) Has(node, band int) bool { return a.has[node][band] }
+
+// Bands returns the sorted list of bands node can access.
+func (a *Availability) Bands(node int) []int {
+	var out []int
+	for b, ok := range a.has[node] {
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Common returns the bands accessible to both i and j (M_i ∩ M_j), the set
+// over which link (i,j) may be scheduled.
+func (a *Availability) Common(i, j int) []int {
+	var out []int
+	for b := 0; b < a.numBands; b++ {
+		if a.has[i][b] && a.has[j][b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// Markov is a Gilbert-Elliott band: a two-state Markov chain toggles the
+// band between ON (width drawn from On) and OFF (width 0) across slots.
+// It extends the paper's i.i.d. bandwidth processes with temporal
+// correlation — primary-user activity on shared spectrum.
+//
+// Markov is stateful: Sample advances the chain, so a Markov value must not
+// be shared between bands or concurrent simulations.
+type Markov struct {
+	// On is the width process while the band is available.
+	On WidthDist
+	// POnToOff and POffToOn are the per-slot transition probabilities.
+	POnToOff, POffToOn float64
+	// StartOff starts the chain in the OFF state.
+	StartOff bool
+
+	started bool
+	off     bool
+}
+
+// Sample implements WidthDist, advancing the chain by one slot.
+func (m *Markov) Sample(src *rng.Source) float64 {
+	if !m.started {
+		m.off = m.StartOff
+		m.started = true
+	} else if m.off {
+		if src.Bernoulli(m.POffToOn) {
+			m.off = false
+		}
+	} else {
+		if src.Bernoulli(m.POnToOff) {
+			m.off = true
+		}
+	}
+	if m.off {
+		return 0
+	}
+	return m.On.Sample(src)
+}
+
+// Max implements WidthDist.
+func (m *Markov) Max() float64 { return m.On.Max() }
+
+// Min implements WidthDist. An OFF slot has zero width.
+func (m *Markov) Min() float64 { return 0 }
+
+// CloneWidth implements WidthCloner: the copy starts a fresh chain.
+func (m *Markov) CloneWidth() WidthDist {
+	cp := *m
+	cp.started = false
+	cp.off = false
+	return &cp
+}
+
+var (
+	_ WidthDist   = (*Markov)(nil)
+	_ WidthCloner = (*Markov)(nil)
+)

@@ -1,0 +1,160 @@
+package spectrum
+
+import (
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+func TestPaperModel(t *testing.T) {
+	m := Paper()
+	if m.NumBands() != 5 {
+		t.Fatalf("NumBands = %d, want 5", m.NumBands())
+	}
+	if !m.Bands[0].Universal {
+		t.Error("cellular band should be universal")
+	}
+	for i := 1; i < 5; i++ {
+		if m.Bands[i].Universal {
+			t.Errorf("shared band %d should not be universal", i)
+		}
+	}
+	if m.MaxWidth() != 2e6 {
+		t.Errorf("MaxWidth = %v, want 2e6", m.MaxWidth())
+	}
+}
+
+func TestSampleWidthsInRange(t *testing.T) {
+	m := Paper()
+	src := rng.New(1)
+	for trial := 0; trial < 200; trial++ {
+		w := m.SampleWidths(src)
+		if len(w) != 5 {
+			t.Fatalf("got %d widths", len(w))
+		}
+		if w[0] != 1e6 {
+			t.Fatalf("cellular width = %v, want constant 1e6", w[0])
+		}
+		for i := 1; i < 5; i++ {
+			if w[i] < 1e6 || w[i] > 2e6 {
+				t.Fatalf("band %d width %v outside [1e6,2e6]", i, w[i])
+			}
+		}
+	}
+}
+
+func TestWidthDistBounds(t *testing.T) {
+	tests := []struct {
+		name     string
+		d        WidthDist
+		min, max float64
+	}{
+		{"constant", Constant(5), 5, 5},
+		{"uniform", Uniform{Lo: 1, Hi: 3}, 1, 3},
+	}
+	src := rng.New(2)
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.d.Min() != tt.min || tt.d.Max() != tt.max {
+				t.Fatalf("Min/Max = %v/%v, want %v/%v", tt.d.Min(), tt.d.Max(), tt.min, tt.max)
+			}
+			for i := 0; i < 100; i++ {
+				v := tt.d.Sample(src)
+				if v < tt.min || v > tt.max {
+					t.Fatalf("sample %v outside [%v,%v]", v, tt.min, tt.max)
+				}
+			}
+		})
+	}
+}
+
+func TestAvailabilityGrantAll(t *testing.T) {
+	m := Paper()
+	a := NewAvailability(3, m)
+	a.GrantAll(1)
+	for b := 0; b < m.NumBands(); b++ {
+		if a.Has(0, b) {
+			t.Error("node 0 should have nothing")
+		}
+		if !a.Has(1, b) {
+			t.Error("node 1 should have everything")
+		}
+	}
+	if got := len(a.Bands(1)); got != 5 {
+		t.Errorf("Bands(1) size = %d, want 5", got)
+	}
+}
+
+func TestGrantRandomSubsetIncludesUniversal(t *testing.T) {
+	m := Paper()
+	src := rng.New(3)
+	for trial := 0; trial < 100; trial++ {
+		a := NewAvailability(1, m)
+		a.GrantRandomSubset(0, m, src)
+		if !a.Has(0, 0) {
+			t.Fatal("universal band missing from random subset")
+		}
+		// Must include at least one shared band too.
+		shared := 0
+		for b := 1; b < m.NumBands(); b++ {
+			if a.Has(0, b) {
+				shared++
+			}
+		}
+		if shared < 1 {
+			t.Fatal("no shared band granted")
+		}
+	}
+}
+
+func TestCommon(t *testing.T) {
+	m := Paper()
+	a := NewAvailability(2, m)
+	a.GrantAll(0)
+	// Node 1 sees only bands 0 and 2.
+	a.has[1][0] = true
+	a.has[1][2] = true
+	got := a.Common(0, 1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Common = %v, want [0 2]", got)
+	}
+	if c := a.Common(1, 1); len(c) != 2 {
+		t.Fatalf("self Common = %v", c)
+	}
+}
+
+// Property: Common(i,j) is exactly the intersection of Bands(i) and
+// Bands(j), for random availability tables.
+func TestCommonIsIntersectionProperty(t *testing.T) {
+	m := Paper()
+	src := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		a := NewAvailability(2, m)
+		for node := 0; node < 2; node++ {
+			for b := 0; b < m.NumBands(); b++ {
+				if src.Bernoulli(0.5) {
+					a.has[node][b] = true
+				}
+			}
+		}
+		want := map[int]bool{}
+		for _, b := range a.Bands(0) {
+			want[b] = true
+		}
+		inter := map[int]bool{}
+		for _, b := range a.Bands(1) {
+			if want[b] {
+				inter[b] = true
+			}
+		}
+		got := a.Common(0, 1)
+		if len(got) != len(inter) {
+			t.Fatalf("Common size %d, want %d", len(got), len(inter))
+		}
+		for _, b := range got {
+			if !inter[b] {
+				t.Fatalf("Common contains %d not in intersection", b)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package stats provides the small estimation toolkit the experiment
+// harness uses to report *expected* values: the paper's metrics are
+// expectations over the random spectrum, renewable, placement, and traffic
+// processes, so headline numbers are means over independent replications
+// with confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N    int
+	Mean float64
+	// Std is the sample standard deviation (n−1 denominator).
+	Std      float64
+	Min, Max float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero value.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// StdErr returns the standard error of the mean.
+func (s Summary) StdErr() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return s.Std / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns a normal-approximation 95% confidence interval for the mean.
+func (s Summary) CI95() (lo, hi float64) {
+	half := 1.96 * s.StdErr()
+	return s.Mean - half, s.Mean + half
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	lo, hi := s.CI95()
+	return fmt.Sprintf("%.6g ±%.3g (95%% CI [%.6g, %.6g], n=%d)",
+		s.Mean, 1.96*s.StdErr(), lo, hi, s.N)
+}
+
+// MeanSeries returns the pointwise mean of equally-long series; shorter
+// series are an error surfaced by panicking early in tests — the harness
+// always passes equal-length traces.
+func MeanSeries(series [][]float64) []float64 {
+	if len(series) == 0 {
+		return nil
+	}
+	n := len(series[0])
+	out := make([]float64, n)
+	for _, s := range series {
+		if len(s) != n {
+			panic(fmt.Sprintf("stats: MeanSeries length mismatch: %d vs %d", len(s), n))
+		}
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	inv := 1.0 / float64(len(series))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	insertionSort(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"greencell/internal/rng"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Errorf("N = %d", s.N)
+	}
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample std with n-1: sqrt(32/7).
+	if want := math.Sqrt(32.0 / 7.0); math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("Std = %v, want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+}
+
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Error("empty sample should be zero")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.StdErr() != 0 {
+		t.Errorf("singleton: %+v", s)
+	}
+}
+
+func TestCI95Coverage(t *testing.T) {
+	// Empirical coverage of the normal CI on uniform samples.
+	src := rng.New(12)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 50)
+		for j := range xs {
+			xs[j] = src.Uniform(0, 1)
+		}
+		lo, hi := Summarize(xs).CI95()
+		if lo <= 0.5 && 0.5 <= hi {
+			covered++
+		}
+	}
+	if f := float64(covered) / trials; f < 0.9 || f > 0.99 {
+		t.Errorf("CI95 coverage = %v, want ~0.95", f)
+	}
+}
+
+func TestMeanSeries(t *testing.T) {
+	got := MeanSeries([][]float64{{1, 2, 3}, {3, 4, 5}})
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MeanSeries = %v, want %v", got, want)
+		}
+	}
+	if MeanSeries(nil) != nil {
+		t.Error("empty input should give nil")
+	}
+}
+
+func TestMeanSeriesPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	MeanSeries([][]float64{{1, 2}, {1}})
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, tt := range tests {
+		if got := Quantile(xs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	// Input unmodified.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2, 3}).String(); s == "" {
+		t.Error("empty String")
+	}
+}
+
+// Property: min <= mean <= max and non-negative std for any sample.
+func TestSummarizeOrderingProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Filter non-finite inputs; Summarize is specified on finite data.
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e100 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9*math.Abs(s.Mean) &&
+			s.Mean <= s.Max+1e-9*math.Abs(s.Mean) && s.Std >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile is monotone non-decreasing in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	src := rng.New(55)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + src.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Uniform(-10, 10)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				t.Fatalf("quantile decreased: q=%v v=%v prev=%v", q, v, prev)
+			}
+			prev = v
+		}
+	}
+}

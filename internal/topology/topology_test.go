@@ -1,0 +1,349 @@
+package topology
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"greencell/internal/energy"
+	"greencell/internal/geom"
+	"greencell/internal/radio"
+	"greencell/internal/rng"
+	"greencell/internal/spectrum"
+)
+
+func TestBuildPaperTopology(t *testing.T) {
+	net, err := Build(Paper(), rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 22 {
+		t.Fatalf("NumNodes = %d, want 22", net.NumNodes())
+	}
+	if len(net.BaseStations()) != 2 || len(net.Users()) != 20 {
+		t.Fatalf("BS/users = %d/%d, want 2/20", len(net.BaseStations()), len(net.Users()))
+	}
+	for _, b := range net.BaseStations() {
+		if !net.IsBS(b) {
+			t.Errorf("node %d should be a base station", b)
+		}
+		// BSs see all bands.
+		if got := len(net.Avail.Bands(b)); got != net.Spectrum.NumBands() {
+			t.Errorf("BS %d sees %d bands, want all %d", b, got, net.Spectrum.NumBands())
+		}
+	}
+	for _, u := range net.Users() {
+		if net.IsBS(u) {
+			t.Errorf("node %d should be a user", u)
+		}
+		if !net.Avail.Has(u, 0) {
+			t.Errorf("user %d missing the universal cellular band", u)
+		}
+		if !Paper().Area.Contains(net.Nodes[u].Pos) {
+			t.Errorf("user %d placed outside the area: %v", u, net.Nodes[u].Pos)
+		}
+	}
+	if len(net.Links) == 0 {
+		t.Fatal("no candidate links")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(Paper(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(Paper(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("same seed, different link counts: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Pos != b.Nodes[i].Pos {
+			t.Fatalf("same seed, different node %d position", i)
+		}
+	}
+}
+
+func TestLinkIndicesConsistent(t *testing.T) {
+	net, err := Build(Paper(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range net.Links {
+		id, ok := net.LinkID(l.From, l.To)
+		if !ok || id != l.ID {
+			t.Fatalf("LinkID(%d,%d) = %d,%v, want %d", l.From, l.To, id, ok, l.ID)
+		}
+		if len(l.Bands) == 0 {
+			t.Fatalf("link %d has no bands", l.ID)
+		}
+		foundOut := false
+		for _, o := range net.OutLinks(l.From) {
+			if o == l.ID {
+				foundOut = true
+			}
+		}
+		foundIn := false
+		for _, o := range net.InLinks(l.To) {
+			if o == l.ID {
+				foundIn = true
+			}
+		}
+		if !foundOut || !foundIn {
+			t.Fatalf("link %d missing from adjacency lists", l.ID)
+		}
+	}
+}
+
+func TestMaxNeighborsPrunesRelays(t *testing.T) {
+	cfg := Paper()
+	cfg.MaxNeighbors = 3
+	net, err := Build(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range net.Users() {
+		if got := len(net.OutLinks(u)); got > 3 {
+			t.Errorf("user %d has %d out-links, want <= 3", u, got)
+		}
+	}
+	// Multi-hop mode prunes base stations too.
+	for _, b := range net.BaseStations() {
+		if got := len(net.OutLinks(b)); got > 3 {
+			t.Errorf("BS %d has %d out-links, want <= 3 in multi-hop mode", b, got)
+		}
+	}
+}
+
+func TestOneHopOnly(t *testing.T) {
+	cfg := Paper()
+	cfg.OneHopOnly = true
+	cfg.MaxNeighbors = 3
+	net, err := Build(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range net.Links {
+		if !net.IsBS(l.From) {
+			t.Fatalf("one-hop network has user-originated link %d->%d", l.From, l.To)
+		}
+	}
+	// One-hop BSs keep all feasible receivers despite MaxNeighbors.
+	for _, b := range net.BaseStations() {
+		if got := len(net.OutLinks(b)); got <= 3 {
+			t.Errorf("one-hop BS %d has only %d out-links; pruning should not apply", b, got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	src := rng.New(1)
+	cfg := Paper()
+	cfg.BSPositions = nil
+	if _, err := Build(cfg, src); !errors.Is(err, ErrConfig) {
+		t.Errorf("no base stations: err = %v", err)
+	}
+	cfg = Paper()
+	cfg.NumUsers = -1
+	if _, err := Build(cfg, src); !errors.Is(err, ErrConfig) {
+		t.Errorf("negative users: err = %v", err)
+	}
+	cfg = Paper()
+	cfg.Spectrum = nil
+	if _, err := Build(cfg, src); !errors.Is(err, ErrConfig) {
+		t.Errorf("nil spectrum: err = %v", err)
+	}
+	cfg = Paper()
+	cfg.UserSpec.Battery.MaxChargeWh = 1e9
+	if _, err := Build(cfg, src); err == nil {
+		t.Error("invalid battery spec accepted")
+	}
+}
+
+func TestGainMatrixSymmetricGeometry(t *testing.T) {
+	net, err := Build(Paper(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range net.Nodes {
+		if net.Gains[i][i] != 0 {
+			t.Errorf("self-gain should be zero")
+		}
+		for j := range net.Nodes {
+			// Equal C and gamma for all nodes -> symmetric gains.
+			if net.Gains[i][j] != net.Gains[j][i] {
+				t.Errorf("gain asymmetry between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestManual(t *testing.T) {
+	sm := spectrum.Paper()
+	ns := []Node{
+		{Kind: BaseStation, Pos: geom.Point{X: 0, Y: 0}},
+		{Kind: User, Pos: geom.Point{X: 100, Y: 0}},
+	}
+	avail := spectrum.NewAvailability(2, sm)
+	avail.GrantAll(0)
+	avail.GrantAll(1)
+	rp := radio.Params{Prop: radio.Propagation{C: 62.5, Gamma: 4}, SINRThreshold: 1, NoiseDensity: 1e-20}
+	net, err := Manual(ns, sm, avail, rp, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Links) != 1 || net.Links[0].Dist != 100 {
+		t.Fatalf("manual link wrong: %+v", net.Links)
+	}
+	if _, err := Manual(ns, sm, avail, rp, [][2]int{{0, 0}}); err == nil {
+		t.Error("self-link accepted")
+	}
+	if _, err := Manual(ns, sm, avail, rp, [][2]int{{0, 5}}); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	small := spectrum.NewAvailability(1, sm)
+	if _, err := Manual(ns, sm, small, rp, nil); err == nil {
+		t.Error("availability size mismatch accepted")
+	}
+}
+
+func TestPaperSpecSanity(t *testing.T) {
+	cfg := Paper()
+	if err := cfg.UserSpec.Battery.Validate(); err != nil {
+		t.Errorf("user battery spec: %v", err)
+	}
+	if err := cfg.BSSpec.Battery.Validate(); err != nil {
+		t.Errorf("BS battery spec: %v", err)
+	}
+	if cfg.BSSpec.MaxTxPowerW != 20 || cfg.UserSpec.MaxTxPowerW != 1 {
+		t.Error("paper transmit powers wrong")
+	}
+	if _, ok := cfg.UserSpec.Renewable.(energy.UniformPower); !ok {
+		t.Error("user renewable should be uniform")
+	}
+	if cfg.UserSpec.Grid.AlwaysOn || !cfg.BSSpec.Grid.AlwaysOn {
+		t.Error("grid connectivity roles wrong")
+	}
+}
+
+func TestHotspotPlacementClusters(t *testing.T) {
+	base := Paper()
+	base.NumUsers = 40
+
+	clustered := base
+	clustered.Hotspots = []geom.Point{{X: 500, Y: 500}, {X: 1500, Y: 1500}}
+	clustered.HotspotSigma = 100
+
+	uniNet, err := Build(base, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotNet, err := Build(clustered, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	meanMinDist := func(net *Network, pts []geom.Point) float64 {
+		sum := 0.0
+		for _, u := range net.Users() {
+			best := math.Inf(1)
+			for _, h := range pts {
+				if d := geom.Distance(net.Nodes[u].Pos, h); d < best {
+					best = d
+				}
+			}
+			sum += best
+		}
+		return sum / float64(len(net.Users()))
+	}
+	pts := clustered.Hotspots
+	hot := meanMinDist(hotNet, pts)
+	uni := meanMinDist(uniNet, pts)
+	if hot >= uni/2 {
+		t.Errorf("hotspot users not clustered: mean dist %v vs uniform %v", hot, uni)
+	}
+	// All placements stay inside the area.
+	for _, u := range hotNet.Users() {
+		if !clustered.Area.Contains(hotNet.Nodes[u].Pos) {
+			t.Fatalf("user %d outside area: %v", u, hotNet.Nodes[u].Pos)
+		}
+	}
+}
+
+func TestHotspotSigmaDefault(t *testing.T) {
+	cfg := Paper()
+	cfg.NumUsers = 10
+	cfg.Hotspots = []geom.Point{{X: 1000, Y: 1000}}
+	net, err := Build(cfg, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range net.Users() {
+		if d := geom.Distance(net.Nodes[u].Pos, cfg.Hotspots[0]); d > 1000 {
+			t.Errorf("user %d suspiciously far (%vm) for default sigma", u, d)
+		}
+	}
+}
+
+func TestShadowing(t *testing.T) {
+	base := Paper()
+	base.NumUsers = 6
+	plain, err := Build(base, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed := base
+	shadowed.ShadowingSigmaDB = 8
+	net, err := Build(shadowed, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same placement (same seed), different gains; still symmetric and
+	// positive, and the log-ratio spread matches the requested sigma's
+	// order of magnitude.
+	differs := 0
+	for i := 0; i < net.NumNodes(); i++ {
+		for j := i + 1; j < net.NumNodes(); j++ {
+			if net.Gains[i][j] != net.Gains[j][i] {
+				t.Fatalf("shadowed gains asymmetric at (%d,%d)", i, j)
+			}
+			if net.Gains[i][j] <= 0 {
+				t.Fatalf("non-positive shadowed gain at (%d,%d)", i, j)
+			}
+			ratio := net.Gains[i][j] / plain.Gains[i][j]
+			if math.Abs(ratio-1) > 1e-12 {
+				differs++
+			}
+			if db := 10 * math.Log10(ratio); math.Abs(db) > 5*8 {
+				t.Fatalf("shadowing of %.1f dB is implausible for sigma=8", db)
+			}
+		}
+	}
+	if differs == 0 {
+		t.Fatal("shadowing changed no gains")
+	}
+}
+
+func TestShadowingDeterministic(t *testing.T) {
+	cfg := Paper()
+	cfg.NumUsers = 4
+	cfg.ShadowingSigmaDB = 6
+	a, err := Build(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Gains {
+		for j := range a.Gains[i] {
+			if a.Gains[i][j] != b.Gains[i][j] {
+				t.Fatal("shadowing not deterministic per seed")
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Package trace records structured per-slot simulation events as JSON
+// Lines, for offline analysis and debugging (cmd/greencellsim -trace).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"greencell/internal/core"
+)
+
+// Record is one slot's structured event summary.
+type Record struct {
+	Slot             int       `json:"slot"`
+	EnergyCost       float64   `json:"energy_cost"`
+	GridWh           float64   `json:"grid_wh"`
+	AdmittedPkts     float64   `json:"admitted_pkts"`
+	DeliveredPkts    []float64 `json:"delivered_pkts"`
+	ScheduledLinks   int       `json:"scheduled_links"`
+	TxEnergyWh       float64   `json:"tx_energy_wh"`
+	DemandWh         float64   `json:"demand_wh"`
+	RenewableWh      float64   `json:"renewable_wh"`
+	DeficitWh        float64   `json:"deficit_wh"`
+	DataBacklogBS    float64   `json:"data_backlog_bs"`
+	DataBacklogUsers float64   `json:"data_backlog_users"`
+	BatteryWhBS      float64   `json:"battery_wh_bs"`
+	BatteryWhUsers   float64   `json:"battery_wh_users"`
+	DriftHolds       *bool     `json:"drift_holds,omitempty"`
+}
+
+// FromSlot converts a controller slot result.
+func FromSlot(sr *core.SlotResult) Record {
+	r := Record{
+		Slot:             sr.Slot,
+		EnergyCost:       sr.EnergyCost,
+		GridWh:           sr.GridWh,
+		AdmittedPkts:     sr.AdmittedPkts,
+		DeliveredPkts:    append([]float64(nil), sr.DeliveredPkts...),
+		ScheduledLinks:   sr.ScheduledLinks,
+		TxEnergyWh:       sr.TxEnergyWh,
+		DemandWh:         sr.DemandWh,
+		RenewableWh:      sr.RenewableWh,
+		DeficitWh:        sr.DeficitWh,
+		DataBacklogBS:    sr.DataBacklogBS,
+		DataBacklogUsers: sr.DataBacklogUsers,
+		BatteryWhBS:      sr.BatteryWhBS,
+		BatteryWhUsers:   sr.BatteryWhUsers,
+	}
+	if sr.Audit != nil {
+		holds := sr.Audit.Holds()
+		r.DriftHolds = &holds
+	}
+	return r
+}
+
+// Writer emits Records as JSON Lines. Close flushes buffered output.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record.
+func (w *Writer) Write(r Record) error { return w.enc.Encode(r) }
+
+// Close flushes the writer (it does not close the underlying stream).
+func (w *Writer) Close() error { return w.bw.Flush() }
+
+// ReadAll parses a JSON-Lines trace back into records.
+func ReadAll(r io.Reader) ([]Record, error) {
+	dec := json.NewDecoder(r)
+	var out []Record
+	for dec.More() {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"greencell/internal/core"
+)
+
+func TestRoundTrip(t *testing.T) {
+	holds := true
+	recs := []Record{
+		{Slot: 0, EnergyCost: 1.5, DeliveredPkts: []float64{1, 2}},
+		{Slot: 1, GridWh: 0.5, DriftHolds: &holds},
+	}
+	var b strings.Builder
+	w := NewWriter(&b)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].EnergyCost != 1.5 || got[1].GridWh != 0.5 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got[1].DriftHolds == nil || !*got[1].DriftHolds {
+		t.Error("DriftHolds lost in round trip")
+	}
+	if got[0].DriftHolds != nil {
+		t.Error("absent DriftHolds should stay nil")
+	}
+}
+
+func TestFromSlot(t *testing.T) {
+	sr := &core.SlotResult{
+		Slot:          3,
+		EnergyCost:    9,
+		DeliveredPkts: []float64{4},
+		Audit:         &core.DriftAudit{B: 1, SquareTerms: 0.5},
+	}
+	r := FromSlot(sr)
+	if r.Slot != 3 || r.EnergyCost != 9 || len(r.DeliveredPkts) != 1 {
+		t.Fatalf("FromSlot = %+v", r)
+	}
+	if r.DriftHolds == nil || !*r.DriftHolds {
+		t.Error("audit verdict missing")
+	}
+	// The copy must be independent of the source slice.
+	sr.DeliveredPkts[0] = 99
+	if r.DeliveredPkts[0] == 99 {
+		t.Error("DeliveredPkts aliased")
+	}
+}
+
+func TestReadAllBadInput(t *testing.T) {
+	if _, err := ReadAll(strings.NewReader("{\"slot\": }")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}

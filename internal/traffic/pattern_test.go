@@ -1,0 +1,76 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSinusoidFactor(t *testing.T) {
+	p := Sinusoid{Amplitude: 0.5, PeriodSlots: 100}
+	if got := p.Factor(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Factor(0) = %v, want 1", got)
+	}
+	if got := p.Factor(25); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Factor(quarter) = %v, want 1.5", got)
+	}
+	if got := p.Factor(75); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Factor(three-quarter) = %v, want 0.5", got)
+	}
+	if p.MaxFactor() != 1.5 {
+		t.Errorf("MaxFactor = %v", p.MaxFactor())
+	}
+}
+
+func TestSinusoidClampsAtZero(t *testing.T) {
+	p := Sinusoid{Amplitude: 2, PeriodSlots: 4}
+	for slot := 0; slot < 8; slot++ {
+		if p.Factor(slot) < 0 {
+			t.Fatalf("negative factor at slot %d", slot)
+		}
+	}
+}
+
+func TestSinusoidZeroPeriod(t *testing.T) {
+	p := Sinusoid{Amplitude: 0.5}
+	if got := p.Factor(7); math.Abs(got-1) > 1e-12 {
+		t.Errorf("degenerate period Factor = %v, want 1", got)
+	}
+}
+
+func TestSessionDemandAt(t *testing.T) {
+	s := Session{DemandPkts: 10}
+	if s.DemandAt(5) != 10 || s.PeakDemand() != 10 {
+		t.Error("constant session demand wrong")
+	}
+	s.Pattern = Sinusoid{Amplitude: 0.4, PeriodSlots: 8}
+	if got := s.DemandAt(2); math.Abs(got-14) > 1e-9 {
+		t.Errorf("DemandAt(peak) = %v, want 14", got)
+	}
+	if got := s.PeakDemand(); math.Abs(got-14) > 1e-9 {
+		t.Errorf("PeakDemand = %v, want 14", got)
+	}
+}
+
+func TestBurstPattern(t *testing.T) {
+	b := Burst{PeriodSlots: 10, DutyFrac: 0.3, OnFactor: 2}
+	on, off := 0, 0
+	for slot := 0; slot < 100; slot++ {
+		switch b.Factor(slot) {
+		case 2:
+			on++
+		case 0:
+			off++
+		default:
+			t.Fatalf("unexpected factor %v", b.Factor(slot))
+		}
+	}
+	if on != 30 || off != 70 {
+		t.Errorf("on/off = %d/%d, want 30/70", on, off)
+	}
+	if b.MaxFactor() != 2 {
+		t.Errorf("MaxFactor = %v", b.MaxFactor())
+	}
+	if (Burst{DutyFrac: 1, OnFactor: 1}).Factor(5) != 1 {
+		t.Error("degenerate period should be always-on")
+	}
+}
