@@ -1,0 +1,34 @@
+# Development targets. `make check` is the gate every change must pass:
+# it builds all packages, vets them, and runs the tests under the race
+# detector (the sim package replicates runs on concurrent goroutines, so
+# -race is load-bearing, not ceremonial).
+
+GO ?= go
+
+.PHONY: check build vet test race bench fmt figures clean
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fmt:
+	gofmt -l -w .
+
+figures:
+	$(GO) run ./cmd/figures -out out
+
+clean:
+	rm -rf out

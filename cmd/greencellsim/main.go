@@ -17,6 +17,7 @@ import (
 
 	"greencell/internal/core"
 	"greencell/internal/export"
+	"greencell/internal/metrics"
 	"greencell/internal/queueing"
 	"greencell/internal/sched"
 	"greencell/internal/sim"
@@ -33,21 +34,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("greencellsim", flag.ContinueOnError)
 	var (
-		v         = fs.Float64("v", 1e5, "drift-plus-penalty weight V")
-		lambda    = fs.Float64("lambda", 0.0006, "admission reward λ")
-		slots     = fs.Int("slots", 100, "number of time slots T")
-		seed      = fs.Int64("seed", 1, "scenario seed")
-		users     = fs.Int("users", 20, "number of mobile users")
-		sessions  = fs.Int("sessions", 4, "number of downlink sessions")
-		neighbors = fs.Int("neighbors", 6, "candidate out-links per node (0 = unlimited)")
-		arch      = fs.String("arch", "proposed", "architecture: proposed | multihop-nr | onehop-r | onehop-nr")
-		preset    = fs.String("preset", "paper", "scenario preset: paper | urban | rural")
-		uplink    = fs.Int("uplink", 0, "additional uplink (user→BS anycast) sessions")
-		scheduler = fs.String("scheduler", "sf", "S1 solver: sf | greedy | exact | relaxed")
-		bounds    = fs.Bool("bounds", false, "also run the relaxed controller and print the Theorem 4/5 bounds")
-		jsonOut   = fs.Bool("json", false, "emit the result as JSON instead of text")
-		dotOut    = fs.Bool("dot", false, "emit the topology as Graphviz DOT and exit")
-		traceOut  = fs.String("trace", "", "write per-slot JSON-Lines trace records to this file")
+		v          = fs.Float64("v", 1e5, "drift-plus-penalty weight V")
+		lambda     = fs.Float64("lambda", 0.0006, "admission reward λ")
+		slots      = fs.Int("slots", 100, "number of time slots T")
+		seed       = fs.Int64("seed", 1, "scenario seed")
+		users      = fs.Int("users", 20, "number of mobile users")
+		sessions   = fs.Int("sessions", 4, "number of downlink sessions")
+		neighbors  = fs.Int("neighbors", 6, "candidate out-links per node (0 = unlimited)")
+		arch       = fs.String("arch", "proposed", "architecture: proposed | multihop-nr | onehop-r | onehop-nr")
+		preset     = fs.String("preset", "paper", "scenario preset: paper | urban | rural")
+		uplink     = fs.Int("uplink", 0, "additional uplink (user→BS anycast) sessions")
+		scheduler  = fs.String("scheduler", "sf", "S1 solver: sf | greedy | exact | relaxed")
+		bounds     = fs.Bool("bounds", false, "also run the relaxed controller and print the Theorem 4/5 bounds")
+		jsonOut    = fs.Bool("json", false, "emit the result as JSON instead of text")
+		dotOut     = fs.Bool("dot", false, "emit the topology as Graphviz DOT and exit")
+		traceOut   = fs.String("trace", "", "write per-slot JSON-Lines trace records to this file")
+		metricsOut = fs.String("metrics", "", "write the per-slot metrics stream (JSON Lines, docs/METRICS.md) to this file")
+		metricsCSV = fs.String("metrics-csv", "", "also write the metrics stream as CSV to this file (requires -metrics)")
+		metricsGap = fs.Bool("metrics-gap", false, "record the S1 heuristic-vs-LP-relaxation optimality gap each slot (roughly doubles S1 work)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,9 +124,41 @@ func run(args []string) error {
 		}
 	}
 
+	var rec *sim.Recorder
+	var detach func()
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		var mw metrics.RecordWriter = metrics.NewJSONLWriter(f)
+		if *metricsCSV != "" {
+			cf, err := os.Create(*metricsCSV)
+			if err != nil {
+				return err
+			}
+			defer cf.Close()
+			mw = metrics.MultiWriter{mw, metrics.NewCSVWriter(cf)}
+		}
+		rec = sim.NewRecorder(mw, sim.HeaderFor(sc, *preset))
+		origSched, origHook := sc.Scheduler, sc.SlotHook
+		rec.Attach(&sc, *metricsGap)
+		detach = func() { sc.Scheduler, sc.SlotHook = origSched, origHook }
+	} else if *metricsCSV != "" || *metricsGap {
+		return fmt.Errorf("-metrics-csv and -metrics-gap require -metrics")
+	}
+
 	res, err := sim.Run(sc)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+		// The later -bounds runs must not feed the closed stream.
+		detach()
 	}
 
 	if *jsonOut {

@@ -18,6 +18,7 @@ import (
 
 	"greencell"
 	"greencell/internal/export"
+	"greencell/internal/metrics"
 	"greencell/internal/sim"
 )
 
@@ -31,12 +32,13 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		param  = fs.String("param", "v", "parameter to sweep: users | sessions | neighbors | v | lambda")
-		values = fs.String("values", "1e5,5e5,1e6", "comma-separated values")
-		slots  = fs.Int("slots", 100, "slots per run")
-		reps   = fs.Int("replications", 1, "independent seeds per point")
-		seed   = fs.Int64("seed", 1, "base seed")
-		out    = fs.String("out", "", "optional TSV output path")
+		param      = fs.String("param", "v", "parameter to sweep: users | sessions | neighbors | v | lambda")
+		values     = fs.String("values", "1e5,5e5,1e6", "comma-separated values")
+		slots      = fs.Int("slots", 100, "slots per run")
+		reps       = fs.Int("replications", 1, "independent seeds per point")
+		seed       = fs.Int64("seed", 1, "base seed")
+		out        = fs.String("out", "", "optional TSV output path")
+		metricsPfx = fs.String("metrics", "", "per-point metrics stream prefix: writes <prefix>_<param>_<value>.jsonl (docs/METRICS.md) from one instrumented run per point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +74,15 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s=%g: %w", *param, v, err)
 		}
+		if *metricsPfx != "" {
+			// One extra instrumented, single-seed run per point: the
+			// Recorder is single-run and must stay out of the concurrent
+			// replications above.
+			path := fmt.Sprintf("%s_%s_%g.jsonl", *metricsPfx, *param, v)
+			if err := writeMetrics(sc, path); err != nil {
+				return fmt.Errorf("%s=%g: metrics: %w", *param, v, err)
+			}
+		}
 		ci := 1.96 * rr.AvgEnergyCost.StdErr()
 		fmt.Printf("%12g %14.6g %12.3g %12.1f %12.1f %12.4f\n",
 			v, rr.AvgEnergyCost.Mean, ci, rr.DeliveredPkts.Mean,
@@ -88,6 +99,22 @@ func run(args []string) error {
 		fmt.Println("wrote", *out)
 	}
 	return nil
+}
+
+// writeMetrics re-runs one instrumented copy of the scenario and streams
+// its per-slot metrics records to path.
+func writeMetrics(sc greencell.Scenario, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec := sim.NewRecorder(metrics.NewJSONLWriter(f), sim.HeaderFor(sc, "paper"))
+	rec.Attach(&sc, false)
+	if _, err := sim.Run(sc); err != nil {
+		return err
+	}
+	return rec.Close()
 }
 
 // applier returns a function installing the swept value into a scenario.

@@ -67,8 +67,12 @@ func (o Options) withDefaults() Options {
 type Solution struct {
 	Status    Status
 	Objective float64
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored (each node
+	// solves one LP relaxation).
 	Nodes int
+	// LPIterations is the total simplex iterations across all relaxation
+	// solves — the work measure surfaced by the metrics layer.
+	LPIterations int
 
 	values []float64
 }
@@ -137,6 +141,7 @@ func Solve(p *lp.Problem, binaries []lp.VarID, opts Options) (*Solution, error) 
 		if err != nil {
 			return nil, err
 		}
+		sol.LPIterations += rel.Iterations
 		switch rel.Status {
 		case lp.Infeasible:
 			continue

@@ -5,12 +5,32 @@
 // and S4 (energy management), and updates the data queues Q_i^s (eq. (15)),
 // the scaled virtual link queues H_ij (eq. (30)) and the battery/shifted
 // energy queues x_i / z_i (eqs. (4), (31)).
+//
+// The paper's problem chain, and where each transformation lives:
+//
+//	P1 (min time-avg energy cost, per-slot constraints)
+//	 → P2: admission reward −λ·Σ k_s added so strong stability implies
+//	   near-optimal admission (the λV term read by internal/alloc);
+//	 → P3: the per-slot capacity constraint (25) replaced by its time
+//	   average (27), enforced through the virtual queues H_ij that this
+//	   package maintains; Theorems 4–5 sandwich ψ*_P1 between the
+//	   controller's achieved penalty objective and the relaxed bound
+//	   ψ*_P3̄ − B/V computed by internal/sim.BoundsAt.
+//
+// Minimizing the drift-plus-penalty bound (Lemma 1, constant B of
+// eq. (34)) decouples P3 into S1–S4, dispatched to internal/sched,
+// internal/alloc, internal/routing, and internal/energymgmt respectively.
+//
+// With Config.Instrument set, every Step reports a StageBreakdown (wall
+// time and LP work per subproblem) consumed by the metrics layer
+// (internal/metrics, docs/METRICS.md).
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"greencell/internal/alloc"
 	"greencell/internal/energy"
@@ -52,6 +72,11 @@ type Config struct {
 	// admission times, yielding exact per-packet delivery delays (see
 	// Controller.SessionDelay) at some memory cost.
 	TrackDelay bool
+	// Instrument, when set, fills SlotResult.Stages with per-stage wall
+	// times and LP work counts for the metrics layer (docs/METRICS.md).
+	// Off by default: no clock reads or extra allocations happen on the
+	// control path when disabled.
+	Instrument bool
 	// Env overrides how the per-slot random state is drawn (nil = the
 	// default stochastic environment). Tests and the offline-optimum
 	// comparison inject fixed realizations here.
@@ -134,6 +159,12 @@ type SlotResult struct {
 	MarginalPriceWh float64
 	// RenewableWh is the total renewable output this slot.
 	RenewableWh float64
+	// OfferedPkts is Σ_s K_s^max, the traffic the sessions offered for
+	// admission this slot (the upper limit of the S2 decision k_s(t)).
+	OfferedPkts float64
+	// DroppedPkts is OfferedPkts − AdmittedPkts: traffic the admission
+	// control turned away because the source backlog exceeded λV.
+	DroppedPkts float64
 
 	// Queue aggregates at the END of the slot (what Fig. 2(b)–(e) plot).
 	DataBacklogBS, DataBacklogUsers    float64
@@ -143,6 +174,33 @@ type SlotResult struct {
 	// Audit holds the realized Lyapunov drift audit (nil unless
 	// Config.AuditDrift).
 	Audit *DriftAudit
+	// Stages holds the per-stage timing and solver-work breakdown (nil
+	// unless Config.Instrument).
+	Stages *StageBreakdown
+}
+
+// StageBreakdown records how one Step spent its time across the paper's
+// per-slot subproblems, plus the LP work of the solver-backed stages.
+// Wall-clock fields are nanoseconds and map to the *_ns fields of the
+// metrics schema — the only fields of a fixed-seed run that are not
+// deterministic (metrics.CanonicalizeJSONL zeroes them for comparisons).
+type StageBreakdown struct {
+	// S1NS times link scheduling (weight/power-cap prep + the solve).
+	// S2NS times resource allocation, S3NS routing, S4NS energy
+	// management including the battery updates. QueueNS covers the work
+	// between S3 and S4: executing transfers and stepping the data and
+	// virtual queues.
+	S1NS, S2NS, S3NS, QueueNS, S4NS int64
+	// TotalNS is the whole Step, including observation and end-of-slot
+	// aggregation (so it exceeds the sum of the stage fields).
+	TotalNS int64
+	// SchedLPSolves / SchedLPIterations are S1's LP work: solve count and
+	// total simplex iterations (zero for LP-free schedulers like Greedy).
+	SchedLPSolves, SchedLPIterations int
+	// S4LPSolves / S4LPIterations are the energy-management LP work.
+	S4LPSolves, S4LPIterations int
+	// SchedObjective is Ψ̂1 = Σ_l H_l·c_l achieved by the S1 assignment.
+	SchedObjective float64
 }
 
 // DriftAudit is the per-slot numerical check of Lemma 1: the realized
@@ -423,6 +481,17 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 
 	res := &SlotResult{Slot: c.slot, DeliveredPkts: make([]float64, S)}
 
+	// Instrumentation is branch-only when off: st stays nil and no clock
+	// is read, keeping the uninstrumented control path allocation-free.
+	var st *StageBreakdown
+	var t0, mark time.Time
+	if c.cfg.Instrument {
+		st = &StageBreakdown{}
+		res.Stages = st
+		t0 = time.Now()
+		mark = t0
+	}
+
 	// --- Observe the random state -------------------------------------
 	env := c.cfg.Env
 	if env == nil {
@@ -434,6 +503,9 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	connected := obs.Connected
 	for _, r := range renewWh {
 		res.RenewableWh += r
+	}
+	if st != nil {
+		mark = time.Now() // exclude observation from the S1 timing
 	}
 
 	// --- S1: link scheduling -------------------------------------------
@@ -491,6 +563,14 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		}
 		routeCap[l] = best * c.cfg.SlotSeconds / delta
 	}
+	if st != nil {
+		now := time.Now()
+		st.S1NS = now.Sub(mark).Nanoseconds()
+		mark = now
+		st.SchedLPSolves = asg.Stats.LPSolves
+		st.SchedLPIterations = asg.Stats.LPIterations
+		st.SchedObjective = asg.Objective(weights)
+	}
 
 	// --- S2: resource allocation ----------------------------------------
 	dec2, err := alloc.Decide(&alloc.Request{
@@ -501,6 +581,11 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+	if st != nil {
+		now := time.Now()
+		st.S2NS = now.Sub(mark).Nanoseconds()
+		mark = now
 	}
 
 	// --- S3: routing ------------------------------------------------------
@@ -533,6 +618,11 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	}
+	if st != nil {
+		now := time.Now()
+		st.S3NS = now.Sub(mark).Nanoseconds()
+		mark = now
 	}
 
 	// Execute transfers: ship only packets that exist, decrementing each
@@ -641,6 +731,11 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		}
 		c.h[l].Step(c.beta*flow, c.beta*capPkts[l])
 	}
+	if st != nil {
+		now := time.Now()
+		st.QueueNS = now.Sub(mark).Nanoseconds()
+		mark = now
+	}
 
 	// --- Energy accounting: E_i(t) per eqs. (2) and (23) ------------------
 	demandWh := make([]float64, net.NumNodes())
@@ -696,6 +791,11 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 			audit.AddSigned(zBefore, c.batteries[i].Level()-lvlBefore, 0)
 		}
 	}
+	if st != nil {
+		st.S4NS = time.Since(mark).Nanoseconds()
+		st.S4LPSolves = dec4.LPSolves
+		st.S4LPIterations = dec4.LPIterations
+	}
 	if audit != nil {
 		after := c.snapshot()
 		res.Audit = &DriftAudit{
@@ -713,6 +813,10 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	res.DeficitWh = dec4.TotalDeficitWh
 	res.MarginalPriceWh = dec4.MarginalPriceWh
 	res.PenaltyObjective = res.EnergyCost - c.cfg.Lambda*res.AdmittedPkts
+	for _, sess := range c.cfg.Traffic.Sessions {
+		res.OfferedPkts += sess.MaxAdmission
+	}
+	res.DroppedPkts = res.OfferedPkts - res.AdmittedPkts
 
 	// --- End-of-slot aggregates -------------------------------------------
 	for s := 0; s < S; s++ {
@@ -736,6 +840,9 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	}
 	for l := range net.Links {
 		res.VirtualBacklogH += c.h[l].Backlog()
+	}
+	if st != nil {
+		st.TotalNS = time.Since(t0).Nanoseconds()
 	}
 
 	c.slot++

@@ -89,6 +89,11 @@ type Decision struct {
 	// energy at the optimum — the signal the decomposition prices nodes
 	// against.
 	MarginalPriceWh float64
+	// LPSolves / LPIterations report the optimization work behind this
+	// decision (per-node LPs plus every golden-section probe), for the
+	// metrics layer (docs/METRICS.md).
+	LPSolves     int
+	LPIterations int
 }
 
 // Request is one slot's energy-management problem.
@@ -143,10 +148,12 @@ func Solve(req *Request) (*Decision, error) {
 		if n.IsBS {
 			continue
 		}
-		nd, _, err := solveNodes(req, []int{i}, math.Inf(1), pen, false)
+		nd, _, iters, err := solveNodes(req, []int{i}, math.Inf(1), pen, false)
 		if err != nil {
 			return nil, err
 		}
+		dec.LPSolves++
+		dec.LPIterations += iters
 		dec.Nodes[i] = nd[i]
 	}
 
@@ -160,20 +167,24 @@ func Solve(req *Request) (*Decision, error) {
 	}
 	if len(bs) > 0 {
 		value := func(T float64) (float64, error) {
-			_, inner, err := solveNodes(req, bs, T, pen, true)
+			_, inner, iters, err := solveNodes(req, bs, T, pen, true)
 			if err != nil {
 				return 0, err
 			}
+			dec.LPSolves++
+			dec.LPIterations += iters
 			return inner + req.V*req.Cost.Eval(T), nil
 		}
 		tStar, err := goldenSection(value, 0, pMax)
 		if err != nil {
 			return nil, err
 		}
-		nds, _, err := solveNodes(req, bs, tStar, pen, true)
+		nds, _, iters, err := solveNodes(req, bs, tStar, pen, true)
 		if err != nil {
 			return nil, err
 		}
+		dec.LPSolves++
+		dec.LPIterations += iters
 		for _, i := range bs {
 			dec.Nodes[i] = nds[i]
 		}
@@ -206,8 +217,9 @@ func Solve(req *Request) (*Decision, error) {
 // solveNodes optimizes the relaxed per-node decisions of the given nodes
 // jointly under an optional total-grid-draw budget (applied when budgeted is
 // true and budget is finite). It returns the decisions (indexed like
-// req.Nodes; untouched entries are zero) and the LP objective value.
-func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) ([]NodeDecision, float64, error) {
+// req.Nodes; untouched entries are zero), the LP objective value, and the
+// simplex iterations spent.
+func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) ([]NodeDecision, float64, int, error) {
 	p := lp.NewProblem(lp.Minimize)
 	inf := math.Inf(1)
 	type varsOf struct{ r, cr, g, cg, d, u lp.VarID }
@@ -253,10 +265,10 @@ func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) (
 
 	sol, err := p.Solve()
 	if err != nil {
-		return nil, 0, fmt.Errorf("energymgmt: node LP: %w", err)
+		return nil, 0, 0, fmt.Errorf("energymgmt: node LP: %w", err)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, 0, fmt.Errorf("energymgmt: node LP status %v (deficit slack should make it feasible)", sol.Status)
+		return nil, 0, sol.Iterations, fmt.Errorf("energymgmt: node LP status %v (deficit slack should make it feasible)", sol.Status)
 	}
 	out := make([]NodeDecision, len(req.Nodes))
 	for _, i := range nodes {
@@ -270,7 +282,7 @@ func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) (
 			DeficitWh:      sol.Value(v.u),
 		}
 	}
-	return out, sol.Objective, nil
+	return out, sol.Objective, sol.Iterations, nil
 }
 
 // enforceComplementarity converts a relaxed decision (possibly charging and

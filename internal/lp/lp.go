@@ -1,11 +1,13 @@
 // Package lp implements a dense, two-phase, bounded-variable primal simplex
 // solver for linear programs.
 //
-// It exists because the paper's per-slot subproblems (the sequential-fix
-// scheduling heuristic, its exact branch-and-bound counterpart, and the
-// relaxed lower-bound problem P3̄) all reduce to small/medium dense LPs that
-// the original authors solved with CPLEX; this package is the from-scratch,
-// stdlib-only substitute.
+// It exists because the paper's per-slot subproblems (the S1 sequential-
+// fix scheduling heuristic, its exact branch-and-bound counterpart, the
+// relaxed lower-bound problem P3̄, and the inner programs of the S4 energy
+// management in internal/energymgmt) all reduce to small/medium dense LPs
+// that the original authors solved with CPLEX; this package is the
+// from-scratch, stdlib-only substitute. Solution.Iterations exposes each
+// solve's simplex work to the metrics layer (docs/METRICS.md).
 //
 // Scope and guarantees:
 //   - Variables have a finite lower bound and a finite or +Inf upper bound.
@@ -183,6 +185,10 @@ func (p *Problem) Clone() *Problem {
 type Solution struct {
 	Status    Status
 	Objective float64
+	// Iterations is the total number of simplex iterations (pivots and
+	// bound flips, phases 1 and 2) the engine spent on this solve — the
+	// work measure surfaced by the metrics layer (docs/METRICS.md).
+	Iterations int
 
 	x []float64
 	y []float64
@@ -291,19 +297,22 @@ func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
 	}
 	var (
 		status Status
+		iters  int
 		values func() []float64
 		duals  func(float64) []float64
 	)
 	if engine == RevisedEngine {
 		e := newRevised(p)
 		status = e.solve()
+		iters = e.iters
 		values, duals = e.structuralValues, e.duals
 	} else {
 		t := newTableau(p)
 		status = t.solve()
+		iters = t.iters
 		values, duals = t.structuralValues, t.duals
 	}
-	sol := &Solution{Status: status}
+	sol := &Solution{Status: status, Iterations: iters}
 	if status == Optimal {
 		sol.y = duals(sign)
 		sol.x = values()

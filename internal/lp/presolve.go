@@ -91,7 +91,7 @@ func presolve(p *Problem) *presolved {
 
 // expand maps a reduced solution back onto the original problem.
 func (ps *presolved) expand(p *Problem, sol *Solution) *Solution {
-	out := &Solution{Status: sol.Status}
+	out := &Solution{Status: sol.Status, Iterations: sol.Iterations}
 	if sol.Status != Optimal {
 		return out
 	}

@@ -34,6 +34,10 @@ type revisedEngine struct {
 
 	artStart int
 
+	// iters counts simplex iterations (pivots + bound flips) across both
+	// phases, reported on Solution.Iterations.
+	iters int
+
 	// rowMult maps final setup rows back to the user's rows for duals.
 	rowMult []float64
 	// bvec is the setup right-hand side (post equilibration and flips),
@@ -376,6 +380,7 @@ func (e *revisedEngine) iterate() Status {
 			e.snap()
 			return Optimal
 		}
+		e.iters++
 
 		sigma := 1.0
 		if e.status[q] == atUpper {

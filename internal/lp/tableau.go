@@ -43,6 +43,10 @@ type tableau struct {
 	nart     int // number of artificial columns (they occupy the tail)
 	artStart int
 
+	// iters counts simplex iterations (pivots + bound flips) across both
+	// phases, reported on Solution.Iterations.
+	iters int
+
 	// Dual recovery bookkeeping. rowMult[i] is the net multiplier taking
 	// the user's original row i to the final setup row (equilibration and
 	// sign flips). dualCol[i]/dualCoef[i] identify a column whose setup
@@ -361,6 +365,7 @@ func (t *tableau) iterate() Status {
 			t.snapBasics()
 			return Optimal
 		}
+		t.iters++
 		// sigma: +1 entering increases from lower, -1 decreases from upper.
 		sigma := 1.0
 		if t.status[q] == atUpper {

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RecordWriter receives the three record kinds of a metrics stream, in
+// order: exactly one Header, then SlotRecords, then exactly one Summary.
+// Close flushes buffered output (it does not close the underlying stream).
+type RecordWriter interface {
+	WriteHeader(Header) error
+	WriteSlot(*SlotRecord) error
+	WriteSummary(Summary) error
+	Close() error
+}
+
+// JSONLWriter emits the stream as JSON Lines: one self-describing JSON
+// object per line, discriminated by its "type" field.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	bw := bufio.NewWriter(w)
+	return &JSONLWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteHeader implements RecordWriter.
+func (w *JSONLWriter) WriteHeader(h Header) error { return w.enc.Encode(NewHeader(h)) }
+
+// WriteSlot implements RecordWriter.
+func (w *JSONLWriter) WriteSlot(r *SlotRecord) error {
+	r.Type = "slot"
+	return w.enc.Encode(r)
+}
+
+// WriteSummary implements RecordWriter.
+func (w *JSONLWriter) WriteSummary(s Summary) error {
+	s.Type = "summary"
+	return w.enc.Encode(s)
+}
+
+// Close implements RecordWriter.
+func (w *JSONLWriter) Close() error { return w.bw.Flush() }
+
+// CSVWriter emits slot records as comma-separated rows under a fixed
+// column header (SlotFieldNames order). The stream header and summary are
+// written as "# key=value" comment lines so the file stays loadable by
+// comment-aware CSV readers (pandas: comment='#').
+type CSVWriter struct {
+	bw          *bufio.Writer
+	wroteHeader bool
+}
+
+// NewCSVWriter wraps w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteHeader implements RecordWriter.
+func (w *CSVWriter) WriteHeader(h Header) error {
+	h = NewHeader(h)
+	_, err := fmt.Fprintf(w.bw,
+		"# schema=%s version=%d scenario=%s architecture=%q scheduler=%s v=%g lambda=%g slot_seconds=%g slots=%d seed=%d sessions=%d users=%d\n",
+		h.Schema, h.Version, h.Scenario, h.Architecture, h.Scheduler,
+		h.V, h.Lambda, h.SlotSeconds, h.Slots, h.Seed, h.Sessions, h.Users)
+	return err
+}
+
+// WriteSlot implements RecordWriter.
+func (w *CSVWriter) WriteSlot(r *SlotRecord) error {
+	if !w.wroteHeader {
+		if _, err := fmt.Fprintln(w.bw, strings.Join(SlotFieldNames(), ",")); err != nil {
+			return err
+		}
+		w.wroteHeader = true
+	}
+	for i, c := range slotColumns {
+		if i > 0 {
+			if err := w.bw.WriteByte(','); err != nil {
+				return err
+			}
+		}
+		if _, err := w.bw.WriteString(c.get(r)); err != nil {
+			return err
+		}
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// WriteSummary implements RecordWriter. Keys are emitted sorted (one
+// comment line per metric) for deterministic output.
+func (w *CSVWriter) WriteSummary(s Summary) error {
+	if _, err := fmt.Fprintf(w.bw, "# summary slots=%d\n", s.Slots); err != nil {
+		return err
+	}
+	enc, err := json.Marshal(s.Metrics) // sorted keys
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w.bw, "# summary_metrics=%s\n", enc)
+	return err
+}
+
+// Close implements RecordWriter.
+func (w *CSVWriter) Close() error { return w.bw.Flush() }
+
+// MultiWriter fans records out to several writers (e.g. JSONL + CSV).
+type MultiWriter []RecordWriter
+
+// WriteHeader implements RecordWriter.
+func (m MultiWriter) WriteHeader(h Header) error {
+	for _, w := range m {
+		if err := w.WriteHeader(h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSlot implements RecordWriter.
+func (m MultiWriter) WriteSlot(r *SlotRecord) error {
+	for _, w := range m {
+		if err := w.WriteSlot(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary implements RecordWriter.
+func (m MultiWriter) WriteSummary(s Summary) error {
+	for _, w := range m {
+		if err := w.WriteSummary(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close implements RecordWriter, closing every writer and returning the
+// first error.
+func (m MultiWriter) Close() error {
+	var first error
+	for _, w := range m {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ReadAllSlots parses a JSONL metrics stream and returns its slot records,
+// skipping header and summary lines — the offline-analysis counterpart of
+// JSONLWriter.
+func ReadAllSlots(r io.Reader) ([]SlotRecord, error) {
+	dec := json.NewDecoder(r)
+	var out []SlotRecord
+	for dec.More() {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		raw := json.RawMessage{}
+		if err := dec.Decode(&raw); err != nil {
+			return nil, fmt.Errorf("metrics: record %d: %w", len(out), err)
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("metrics: record %d: %w", len(out), err)
+		}
+		if probe.Type != "slot" {
+			continue
+		}
+		var rec SlotRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("metrics: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

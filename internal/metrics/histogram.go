@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Histogram is a fixed-bucket streaming histogram: O(#buckets) memory,
+// O(log #buckets) per observation, no allocation after construction, and
+// deterministic (unlike reservoir sampling) — the property the
+// byte-identical-emission regression test depends on. Quantiles are
+// estimated by linear interpolation inside the owning bucket, so their
+// error is bounded by the bucket width at that rank; with the default
+// log-spaced timing buckets (×1.5 growth) relative error stays under ~25%,
+// ample for "where does slot time go" questions.
+type Histogram struct {
+	// bounds are strictly increasing bucket upper bounds; an implicit
+	// overflow bucket catches values above the last bound.
+	bounds []float64
+	counts []uint64
+
+	n        uint64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram builds a histogram over the given strictly increasing
+// bucket upper bounds. The slice is copied. Panics on empty or unsorted
+// bounds (a programming error).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]uint64, len(bounds)+1), // +1 overflow
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+	}
+}
+
+// ExpBuckets returns n upper bounds starting at lo and growing by the
+// given factor: lo, lo·growth, lo·growth², …
+func ExpBuckets(lo, growth float64, n int) []float64 {
+	if lo <= 0 || growth <= 1 || n <= 0 {
+		panic("metrics: ExpBuckets needs lo > 0, growth > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= growth
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds lo, lo+step, lo+2·step, …
+func LinearBuckets(lo, step float64, n int) []float64 {
+	if step <= 0 || n <= 0 {
+		panic("metrics: LinearBuckets needs step > 0, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// TimingBuckets returns the default duration buckets in nanoseconds:
+// 1µs·1.5^k for 40 buckets, covering ~1µs to ~17s.
+func TimingBuckets() []float64 { return ExpBuckets(1e3, 1.5, 40) }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// holding the target rank and interpolating linearly inside it. The
+// overflow bucket reports the exact observed maximum; q outside [0,1] is
+// clamped. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.Max()
+	}
+	rank := q * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			lo, hi := h.bucketRange(i)
+			// Clamp interpolation to the observed extremes so sparse
+			// tails don't report values outside the data.
+			frac := (rank - cum) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.Max()
+}
+
+// bucketRange returns bucket i's [lo, hi] value range, using observed
+// extremes for the open-ended first and overflow buckets.
+func (h *Histogram) bucketRange(i int) (lo, hi float64) {
+	switch {
+	case i == 0:
+		return math.Min(h.min, h.bounds[0]), h.bounds[0]
+	case i == len(h.bounds):
+		return h.bounds[len(h.bounds)-1], h.max
+	default:
+		return h.bounds[i-1], h.bounds[i]
+	}
+}

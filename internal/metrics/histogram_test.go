@@ -1,0 +1,108 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantileAccuracy checks the interpolated quantiles against
+// the exact order statistics of a known sample: 10_000 evenly spaced
+// values observed in a scrambled order. With linear buckets of width 100
+// over [0, 10_000], interpolation error must stay below one bucket width.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const n = 10000
+	const bucketWidth = 100.0
+	h := NewHistogram(LinearBuckets(bucketWidth, bucketWidth, 100))
+
+	// Deterministic scramble: stride through the range with a coprime step.
+	for i := 0; i < n; i++ {
+		v := float64((i*7919)%n) + 0.5 // 0.5, 1.5, …, 9999.5 in scrambled order
+		h.Observe(v)
+	}
+
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.95, 0.99} {
+		exact := q * n // the q-quantile of uniform 0.5..n-0.5 is ~q·n
+		got := h.Quantile(q)
+		if d := math.Abs(got - exact); d > bucketWidth {
+			t.Errorf("Quantile(%.2f) = %.1f, want %.1f ± %.0f (off by %.1f)",
+				q, got, exact, bucketWidth, d)
+		}
+	}
+	if got := h.Quantile(0); got != h.Min() {
+		t.Errorf("Quantile(0) = %g, want min %g", got, h.Min())
+	}
+	if got := h.Quantile(1); got != h.Max() {
+		t.Errorf("Quantile(1) = %g, want max %g", got, h.Max())
+	}
+	if mean := h.Mean(); math.Abs(mean-n/2) > 1 {
+		t.Errorf("Mean = %g, want ~%d", mean, n/2)
+	}
+}
+
+// TestHistogramQuantileExponentialBuckets checks relative accuracy on the
+// log-spaced timing buckets: quantile estimates of a known geometric
+// sample must stay within one bucket growth factor of the truth.
+func TestHistogramQuantileExponentialBuckets(t *testing.T) {
+	h := NewHistogram(TimingBuckets())
+	// 1000 log-uniform values between 10µs and 100ms (in ns).
+	const n = 1000
+	lo, hi := math.Log(1e4), math.Log(1e8)
+	for i := 0; i < n; i++ {
+		u := float64((i*389)%n) / float64(n)
+		h.Observe(math.Exp(lo + u*(hi-lo)))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		exact := math.Exp(lo + q*(hi-lo))
+		got := h.Quantile(q)
+		if got < exact/1.5 || got > exact*1.5 {
+			t.Errorf("Quantile(%.2f) = %.3g, want %.3g within ×1.5", q, got, exact)
+		}
+	}
+}
+
+func TestHistogramEmptyAndSingle(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(3)
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("single-observation p50 = %g, want 3 (clamped to observed range)", got)
+	}
+	if h.Count() != 1 || h.Min() != 3 || h.Max() != 3 {
+		t.Errorf("count/min/max = %d/%g/%g, want 1/3/3", h.Count(), h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{10})
+	h.Observe(5)
+	h.Observe(1e6) // overflow
+	if got := h.Quantile(1); got != 1e6 {
+		t.Errorf("max quantile = %g, want exact observed max 1e6", got)
+	}
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2", h.Count())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	wantLin := []float64{10, 15, 20}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets = %v, want %v", lin, wantLin)
+		}
+	}
+	tb := TimingBuckets()
+	if len(tb) != 40 || tb[0] != 1e3 {
+		t.Fatalf("TimingBuckets: len %d first %g", len(tb), tb[0])
+	}
+}

@@ -1,0 +1,216 @@
+// Package metrics is the per-slot observability layer of the drift-plus-
+// penalty control loop: a lightweight, allocation-conscious registry of
+// counters, gauges, and streaming histograms (p50/p95/p99 over fixed
+// buckets), plus the versioned record schema (Header, SlotRecord, Summary)
+// that the simulator emits as JSON Lines or CSV.
+//
+// Design constraints, in order:
+//
+//  1. Zero overhead when off: nothing in this package is consulted unless
+//     the caller opted in (core.Config.Instrument, cmd -metrics flags).
+//  2. No allocation on the hot path: metric handles are obtained once at
+//     registration; Observe/Add/Set touch only pre-sized arrays.
+//  3. Deterministic emission: records serialize with a fixed field order,
+//     and every wall-clock-dependent field name contains "_ns" so
+//     CanonicalizeJSONL can zero them for byte-identical-by-seed
+//     comparisons (the regression test in internal/sim relies on this).
+//
+// The full schema is documented in docs/METRICS.md; SchemaVersion tracks
+// it and must be bumped whenever a field is added, removed, or reunited.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Counter is a monotonically accumulating value (packets, solves, …).
+// Not safe for concurrent use; each simulation run owns its registry.
+type Counter struct {
+	v float64
+}
+
+// Add accumulates d (negative deltas are permitted but unconventional).
+func (c *Counter) Add(d float64) { c.v += d }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Value returns the accumulated total.
+func (c *Counter) Value() float64 { return c.v }
+
+// Gauge is a last-value-wins instantaneous measurement (a queue backlog,
+// a battery level).
+type Gauge struct {
+	v   float64
+	set bool
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v float64) { g.v, g.set = v, true }
+
+// Value returns the last recorded value (0 before any Set).
+func (g *Gauge) Value() float64 { return g.v }
+
+// Timer records durations into a histogram, in nanoseconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(float64(d.Nanoseconds())) }
+
+// ObserveNS records one duration given in nanoseconds.
+func (t *Timer) ObserveNS(ns int64) { t.h.Observe(float64(ns)) }
+
+// Histogram exposes the timer's underlying distribution.
+func (t *Timer) Histogram() *Histogram { return t.h }
+
+// kind discriminates registered metrics in snapshots.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindTimer
+)
+
+type entry struct {
+	name string
+	unit string
+	help string
+	kind kind
+
+	c *Counter
+	g *Gauge
+	h *Histogram
+	t *Timer
+}
+
+// Registry holds named metrics in registration order. Handles returned by
+// the registration methods are stable for the registry's lifetime, so hot
+// paths never look anything up by name. Registering a name twice returns
+// the existing handle (the kind must match; mismatches panic, as they are
+// programming errors).
+type Registry struct {
+	entries []entry
+	index   map[string]int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]int)}
+}
+
+func (r *Registry) lookup(name string, k kind) (int, bool) {
+	i, ok := r.index[name]
+	if !ok {
+		return -1, false
+	}
+	if r.entries[i].kind != k {
+		panic(fmt.Sprintf("metrics: %q re-registered as a different kind", name))
+	}
+	return i, true
+}
+
+// Counter registers (or retrieves) a counter.
+func (r *Registry) Counter(name, unit, help string) *Counter {
+	if i, ok := r.lookup(name, kindCounter); ok {
+		return r.entries[i].c
+	}
+	c := &Counter{}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, unit: unit, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (r *Registry) Gauge(name, unit, help string) *Gauge {
+	if i, ok := r.lookup(name, kindGauge); ok {
+		return r.entries[i].g
+	}
+	g := &Gauge{}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, unit: unit, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram registers (or retrieves) a histogram over the given bucket
+// upper bounds (see NewHistogram for the bound contract).
+func (r *Registry) Histogram(name, unit, help string, bounds []float64) *Histogram {
+	if i, ok := r.lookup(name, kindHistogram); ok {
+		return r.entries[i].h
+	}
+	h := NewHistogram(bounds)
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, unit: unit, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// Timer registers (or retrieves) a per-stage timer: a histogram of
+// nanosecond durations over log-spaced buckets from 1µs to ~17s.
+func (r *Registry) Timer(name, help string) *Timer {
+	if i, ok := r.lookup(name, kindTimer); ok {
+		return r.entries[i].t
+	}
+	t := &Timer{h: NewHistogram(TimingBuckets())}
+	r.index[name] = len(r.entries)
+	r.entries = append(r.entries, entry{name: name, unit: "ns", help: help, kind: kindTimer, t: t})
+	return t
+}
+
+// Snapshot flattens every registered metric into a name → value map with
+// the conventions of docs/METRICS.md: counters and gauges map to their
+// name; histograms and timers expand into <name>_count, <name>_mean,
+// <name>_p50, <name>_p95, <name>_p99, and <name>_max. Map emission is
+// deterministic because JSON marshalling sorts keys.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(r.entries)*6)
+	for _, e := range r.entries {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindHistogram, kindTimer:
+			h := e.h
+			if e.kind == kindTimer {
+				h = e.t.h
+			}
+			out[e.name+"_count"] = float64(h.Count())
+			out[e.name+"_mean"] = h.Mean()
+			out[e.name+"_p50"] = h.Quantile(0.50)
+			out[e.name+"_p95"] = h.Quantile(0.95)
+			out[e.name+"_p99"] = h.Quantile(0.99)
+			out[e.name+"_max"] = h.Max()
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.name
+	}
+	return out
+}
+
+// Describe returns "name (unit): help" lines sorted by name — the
+// self-documentation hook behind `greencellsim -metrics-help`-style
+// tooling and the docs/METRICS.md cross-check test.
+func (r *Registry) Describe() []string {
+	out := make([]string, 0, len(r.entries))
+	for _, e := range r.entries {
+		unit := e.unit
+		if unit == "" {
+			unit = "1"
+		}
+		out = append(out, fmt.Sprintf("%s (%s): %s", e.name, unit, e.help))
+	}
+	sort.Strings(out)
+	return out
+}

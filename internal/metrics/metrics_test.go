@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryHandlesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("admitted_pkts_total", "packets", "total admitted")
+	g := r.Gauge("battery_wh", "Wh", "battery level")
+	h := r.Histogram("backlog", "packets", "per-slot backlog", LinearBuckets(10, 10, 10))
+	tm := r.Timer("stage_s1_ns", "S1 solve time")
+
+	c.Add(3)
+	c.Inc()
+	g.Set(7.5)
+	h.Observe(25)
+	tm.Observe(2 * time.Millisecond)
+	tm.ObserveNS(3e6)
+
+	// Re-registration returns the same handle.
+	if r.Counter("admitted_pkts_total", "packets", "total admitted") != c {
+		t.Error("re-registering a counter must return the existing handle")
+	}
+
+	snap := r.Snapshot()
+	if snap["admitted_pkts_total"] != 4 {
+		t.Errorf("counter = %g, want 4", snap["admitted_pkts_total"])
+	}
+	if snap["battery_wh"] != 7.5 {
+		t.Errorf("gauge = %g, want 7.5", snap["battery_wh"])
+	}
+	if snap["backlog_count"] != 1 {
+		t.Errorf("histogram count = %g, want 1", snap["backlog_count"])
+	}
+	if snap["stage_s1_ns_count"] != 2 {
+		t.Errorf("timer count = %g, want 2", snap["stage_s1_ns_count"])
+	}
+	if p99 := snap["stage_s1_ns_p99"]; p99 < 2e6 || p99 > 4e6 {
+		t.Errorf("timer p99 = %g, want within [2e6, 4e6]", p99)
+	}
+
+	names := r.Names()
+	wantOrder := []string{"admitted_pkts_total", "battery_wh", "backlog", "stage_s1_ns"}
+	for i, w := range wantOrder {
+		if names[i] != w {
+			t.Fatalf("Names() = %v, want prefix %v", names, wantOrder)
+		}
+	}
+	if len(r.Describe()) != 4 {
+		t.Errorf("Describe() has %d lines, want 4", len(r.Describe()))
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "", "")
+	r.Gauge("x", "", "")
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	if err := w.WriteHeader(Header{Scenario: "paper", Seed: 1, Slots: 2, V: 1e5}); err != nil {
+		t.Fatal(err)
+	}
+	relaxed := 123.0
+	for i := 0; i < 2; i++ {
+		rec := &SlotRecord{Slot: i, S1NS: 5000, AdmittedPkts: 100, GridWh: 1.5}
+		if i == 1 {
+			rec.S1RelaxedObjective = &relaxed
+		}
+		if err := w.WriteSlot(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteSummary(Summary{Slots: 2, Metrics: map[string]float64{"stage_s1_ns_p50": 5000}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, `"schema":"greencell.metrics"`) ||
+		!strings.Contains(out, `"version":1`) {
+		t.Errorf("header line missing schema identity:\n%s", out)
+	}
+	slots, err := ReadAllSlots(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 {
+		t.Fatalf("ReadAllSlots returned %d records, want 2", len(slots))
+	}
+	if slots[0].AdmittedPkts != 100 || slots[1].S1RelaxedObjective == nil ||
+		*slots[1].S1RelaxedObjective != 123 {
+		t.Errorf("round-trip mismatch: %+v", slots)
+	}
+}
+
+func TestCSVWriterShape(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewCSVWriter(&buf)
+	if err := w.WriteHeader(Header{Scenario: "paper"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSlot(&SlotRecord{Slot: 0, GridWh: 2.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSummary(Summary{Slots: 1, Metrics: map[string]float64{"a": 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// comment header, column header, 1 row, 2 summary comments.
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	cols := strings.Split(lines[1], ",")
+	if len(cols) != len(SlotFieldNames()) {
+		t.Errorf("column header has %d fields, want %d", len(cols), len(SlotFieldNames()))
+	}
+	row := strings.Split(lines[2], ",")
+	if len(row) != len(cols) {
+		t.Errorf("data row has %d fields, want %d", len(row), len(cols))
+	}
+}
+
+func TestCanonicalizeJSONLZeroesTimings(t *testing.T) {
+	in := []byte(`{"type":"slot","slot":0,"s1_ns":12345,"grid_wh":1.5}
+{"type":"summary","metrics":{"stage_s1_ns_p95":777,"admitted_pkts_total":4}}
+`)
+	got, err := CanonicalizeJSONL(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if strings.Contains(s, "12345") || strings.Contains(s, "777") {
+		t.Errorf("timing values survived canonicalization:\n%s", s)
+	}
+	if !strings.Contains(s, "1.5") || !strings.Contains(s, `"admitted_pkts_total":4`) {
+		t.Errorf("non-timing values must survive:\n%s", s)
+	}
+
+	// Canonical form is independent of timing values.
+	in2 := []byte(`{"type":"slot","slot":0,"s1_ns":999,"grid_wh":1.5}
+{"type":"summary","metrics":{"stage_s1_ns_p95":1,"admitted_pkts_total":4}}
+`)
+	got2, err := CanonicalizeJSONL(in2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Errorf("canonical forms differ:\n%s\nvs\n%s", got, got2)
+	}
+}

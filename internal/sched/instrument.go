@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// SolveRecord is one Schedule call as observed by Instrumented: wall
+// time, achieved objective, LP work, and (when enabled) the LP-relaxation
+// upper bound the heuristic is measured against. The metrics layer
+// (internal/sim.Recorder) aggregates these into per-strategy histograms
+// and the heuristic-vs-relaxation gap series of docs/METRICS.md.
+type SolveRecord struct {
+	// Strategy is the inner solver's short name (see StrategyName).
+	Strategy string
+	// NS is the wall-clock time of the inner Schedule call, nanoseconds
+	// (the relaxed comparison solve is not included).
+	NS int64
+	// Objective is the weighted service Σ_l H_l·c_l the assignment
+	// achieves — the value of the paper's Ψ̂1.
+	Objective float64
+	// RelaxedObjective is the LP relaxation's objective, an upper bound on
+	// any integral schedule. Valid only when HasRelaxed.
+	RelaxedObjective float64
+	// HasRelaxed marks records carrying a relaxation comparison.
+	HasRelaxed bool
+	// LPSolves / LPIterations mirror Assignment.Stats.
+	LPSolves, LPIterations int
+}
+
+// Gap returns RelaxedObjective − Objective, the absolute optimality gap
+// certificate (0 when no comparison ran). Non-negative up to LP tolerance.
+func (r SolveRecord) Gap() float64 {
+	if !r.HasRelaxed {
+		return 0
+	}
+	return r.RelaxedObjective - r.Objective
+}
+
+// Instrumented wraps a Scheduler with observability: it times every
+// Schedule call and reports a SolveRecord to OnSolve. With CompareRelaxed
+// it additionally solves the LP relaxation of the same request, yielding a
+// per-slot certificate of how far the heuristic sits from the S1 optimum
+// (the relaxation bounds the integral optimum from above). The comparison
+// roughly doubles the slot's scheduling work, so it is opt-in
+// (greencellsim -metrics-gap).
+type Instrumented struct {
+	Inner Scheduler
+	// CompareRelaxed also solves the LP relaxation each slot and records
+	// its objective in the SolveRecord.
+	CompareRelaxed bool
+	// OnSolve receives one record per successful Schedule call. Nil is
+	// allowed (timing only, useful in tests).
+	OnSolve func(SolveRecord)
+}
+
+var _ Scheduler = Instrumented{}
+
+// Schedule implements Scheduler.
+func (s Instrumented) Schedule(req *Request) (*Assignment, error) {
+	inner := s.Inner
+	if inner == nil {
+		inner = SequentialFix{}
+	}
+	start := time.Now()
+	asg, err := inner.Schedule(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	rec := SolveRecord{
+		Strategy:     StrategyName(inner),
+		NS:           elapsed.Nanoseconds(),
+		Objective:    asg.Objective(req.Weights),
+		LPSolves:     asg.Stats.LPSolves,
+		LPIterations: asg.Stats.LPIterations,
+	}
+	if s.CompareRelaxed {
+		rel, err := (Relaxed{}).Schedule(req)
+		if err != nil {
+			return nil, fmt.Errorf("sched: instrumented relaxed comparison: %w", err)
+		}
+		rec.RelaxedObjective = rel.Objective(req.Weights)
+		rec.HasRelaxed = true
+	}
+	if s.OnSolve != nil {
+		s.OnSolve(rec)
+	}
+	return asg, nil
+}
+
+// StrategyName returns a stable short name for a scheduler, used as the
+// metrics label ("sf", "greedy", "exact", "relaxed", …).
+func StrategyName(s Scheduler) string {
+	switch v := s.(type) {
+	case SequentialFix:
+		return "sf"
+	case Greedy:
+		return "greedy"
+	case Exact:
+		return "exact"
+	case Relaxed:
+		return "relaxed"
+	case EnergyAware:
+		return "energyaware"
+	case Instrumented:
+		return StrategyName(v.Inner)
+	case nil:
+		return "sf" // the controller's default
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}

@@ -16,6 +16,12 @@
 // Physical Model: transmission powers are finalized by Foschini–Miljanic
 // power control, dropping links (lowest weight first) in the rare case the
 // fixed schedule turns out SINR-infeasible.
+//
+// A fourth solver, Relaxed, returns the fractional LP optimum directly:
+// it is the scheduling stage of the relaxed problem P3̄ behind the
+// Theorem 5 lower bound, and doubles as the per-slot optimality
+// certificate of the metrics layer (Instrumented.CompareRelaxed records
+// relaxation − heuristic gaps; see docs/METRICS.md).
 package sched
 
 import (
@@ -53,6 +59,16 @@ func (r *Request) maxPower(node int) float64 {
 	return p
 }
 
+// SolveStats reports the optimization work behind one assignment, for the
+// metrics layer (docs/METRICS.md): how many simplex solves the strategy
+// issued and how many simplex iterations they took in total. Greedy issues
+// none; SequentialFix one LP per fixing round; Exact one per
+// branch-and-bound node; Relaxed exactly one.
+type SolveStats struct {
+	LPSolves     int
+	LPIterations int
+}
+
 // Assignment is the outcome of scheduling one slot.
 type Assignment struct {
 	// LinkBand[l] is the band link l transmits on, -1 if unscheduled or
@@ -67,6 +83,8 @@ type Assignment struct {
 	// schedulers produce exactly 0 or 1; the Relaxed scheduler fractions.
 	// It weights the receiver's energy draw in eq. (23).
 	Activity []float64
+	// Stats reports the LP work spent producing this assignment.
+	Stats SolveStats
 }
 
 // Scheduled reports whether link l is active.
@@ -74,13 +92,13 @@ func (a *Assignment) Scheduled(l int) bool { return a.LinkBand[l] >= 0 }
 
 // Objective returns Σ_l weight_l · rate_l, the (scaled) value of the
 // paper's Ψ̂1 that all three solvers maximize. It is the comparison metric
-// used by tests and ablations.
+// used by tests, ablations, and the metrics layer. RateBits is already
+// activity-weighted, so the sum is valid for fractional (Relaxed)
+// schedules too, whose LinkBand entries are all -1.
 func (a *Assignment) Objective(weights []float64) float64 {
 	sum := 0.0
-	for l, b := range a.LinkBand {
-		if b >= 0 {
-			sum += weights[l] * a.RateBits[l]
-		}
+	for l, r := range a.RateBits {
+		sum += weights[l] * r
 	}
 	return sum
 }
@@ -316,6 +334,7 @@ func (SequentialFix) Schedule(req *Request) (*Assignment, error) {
 	prob, ids := buildLP(req, pairs)
 	chosen := make([]bool, len(pairs))
 	fixedZero := make([]bool, len(pairs))
+	var stats SolveStats
 
 	// nodeBusy counts the radio slots claimed by fixed-to-one pairs;
 	// constraint (22) forces pairs touching exhausted nodes to zero.
@@ -391,6 +410,8 @@ func (SequentialFix) Schedule(req *Request) (*Assignment, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sched: sequential-fix LP: %w", err)
 		}
+		stats.LPSolves++
+		stats.LPIterations += sol.Iterations
 		if sol.Status != lp.Optimal {
 			// The pinned partial schedule plus all-zeros is always feasible,
 			// so anything else is a solver failure worth surfacing.
@@ -445,7 +466,9 @@ func (SequentialFix) Schedule(req *Request) (*Assignment, error) {
 			}
 		}
 	}
-	return finalize(req, pairs, chosen), nil
+	asg := finalize(req, pairs, chosen)
+	asg.Stats = stats
+	return asg, nil
 }
 
 // Greedy inserts (link, band) pairs in descending weight order, keeping an
@@ -540,7 +563,9 @@ func (e Exact) Schedule(req *Request) (*Assignment, error) {
 			chosen[k] = true
 		}
 	}
-	return finalize(req, pairs, chosen), nil
+	asg := finalize(req, pairs, chosen)
+	asg.Stats = SolveStats{LPSolves: sol.Nodes, LPIterations: sol.LPIterations}
+	return asg, nil
 }
 
 // Relaxed solves the LP relaxation of S1 once and returns the fractional
@@ -576,6 +601,7 @@ func (Relaxed) Schedule(req *Request) (*Assignment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sched: relaxed LP: %w", err)
 	}
+	asg.Stats = SolveStats{LPSolves: 1, LPIterations: sol.Iterations}
 	if sol.Status != lp.Optimal {
 		return nil, fmt.Errorf("sched: relaxed LP status %v", sol.Status)
 	}

@@ -2,7 +2,10 @@
 // a topology and traffic from a seeded scenario, steps the drift-plus-
 // penalty controller for T slots, and collects the metric series behind
 // every panel of the paper's Figure 2. It also implements the baseline
-// architectures of Fig. 2(f) and the relaxed lower-bound run of Theorem 5.
+// architectures of Fig. 2(f), the relaxed lower-bound run of Theorem 5
+// (BoundsAt computes the ψ*_P3̄ − B/V sandwich on ψ*_P1), multi-seed
+// replication with confidence intervals, and the Recorder that streams
+// the per-slot metrics schema of docs/METRICS.md.
 package sim
 
 import (
@@ -92,6 +95,10 @@ type Scenario struct {
 	// AuditDrift enables the per-slot Lemma 1 drift audit; violations are
 	// counted in Result.AuditViolations.
 	AuditDrift bool
+	// Instrument fills SlotResult.Stages with per-stage wall times and LP
+	// work counts each slot (see core.Config.Instrument). Recorder.Attach
+	// sets it; SlotHook consumers read the breakdown.
+	Instrument bool
 	// SlotHook, when non-nil, observes every slot result as the run
 	// progresses (trace recording, live dashboards). The pointee must not
 	// be retained past the call.
@@ -217,6 +224,7 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 		EnergyGate:  sc.EnergyGate,
 		TrackDelay:  sc.TrackDelay,
 		AuditDrift:  sc.AuditDrift,
+		Instrument:  sc.Instrument,
 	})
 	if err != nil {
 		return nil, nil, nil, err

@@ -28,6 +28,15 @@ type Record struct {
 	BatteryWhBS      float64   `json:"battery_wh_bs"`
 	BatteryWhUsers   float64   `json:"battery_wh_users"`
 	DriftHolds       *bool     `json:"drift_holds,omitempty"`
+	// Stage timings (nanoseconds), present only on instrumented runs
+	// (core.Config.Instrument). The field names carry the _ns marker of
+	// the metrics determinism convention (see internal/metrics).
+	S1NS    int64 `json:"s1_ns,omitempty"`
+	S2NS    int64 `json:"s2_ns,omitempty"`
+	S3NS    int64 `json:"s3_ns,omitempty"`
+	QueueNS int64 `json:"queue_ns,omitempty"`
+	S4NS    int64 `json:"s4_ns,omitempty"`
+	TotalNS int64 `json:"total_ns,omitempty"`
 }
 
 // FromSlot converts a controller slot result.
@@ -51,6 +60,10 @@ func FromSlot(sr *core.SlotResult) Record {
 	if sr.Audit != nil {
 		holds := sr.Audit.Holds()
 		r.DriftHolds = &holds
+	}
+	if st := sr.Stages; st != nil {
+		r.S1NS, r.S2NS, r.S3NS = st.S1NS, st.S2NS, st.S3NS
+		r.QueueNS, r.S4NS, r.TotalNS = st.QueueNS, st.S4NS, st.TotalNS
 	}
 	return r
 }
