@@ -1,13 +1,18 @@
 # Development targets. `make check` is the gate every change must pass:
-# it builds all packages, vets them, and runs the tests under the race
-# detector (the sim package replicates runs on concurrent goroutines, so
-# -race is load-bearing, not ceremonial).
+# it builds all packages, vets them, lints them with the project analyzers
+# (docs/ANALYSIS.md), and runs the tests under the race detector (the sim
+# package replicates runs on concurrent goroutines, so -race is
+# load-bearing, not ceremonial). `make ci` is the stricter batch gate:
+# check plus a gofmt diff check and a short fuzz smoke.
 
 GO ?= go
+FUZZTIME ?= 15s
 
-.PHONY: check build vet test race bench fmt figures clean
+.PHONY: check ci build vet lint test race fuzz bench fmt fmtcheck figures clean
 
-check: build vet race
+check: build vet lint race
+
+ci: fmtcheck check fuzz
 
 build:
 	$(GO) build ./...
@@ -15,17 +20,26 @@ build:
 vet:
 	$(GO) vet ./...
 
+lint:
+	$(GO) run ./cmd/greencell-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+fuzz:
+	$(GO) test -run=FuzzScenario -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/sim
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 fmt:
 	gofmt -l -w .
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 figures:
 	$(GO) run ./cmd/figures -out out

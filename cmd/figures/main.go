@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -131,8 +132,7 @@ func writeSVG(dir, name string, render func(w *os.File) error) error {
 		return err
 	}
 	if err := render(f); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	if err := f.Close(); err != nil {
 		return err

@@ -1,0 +1,98 @@
+// Command greencell-lint runs the project's static analyzers
+// (internal/analysis, documented in docs/ANALYSIS.md) over the module.
+//
+// Usage:
+//
+//	greencell-lint [-json] [-no-tests] [patterns ...]
+//
+// Patterns are package directories, "/..."-suffixed for recursion; the
+// default "./..." walks the whole module. Findings print as
+// file:line:col: analyzer: message (or as a JSON array with -json) and any
+// finding makes the exit status 1. Suppress an intentional violation with
+// an inline "//lint:allow <analyzer> -- reason" comment.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"greencell/internal/analysis"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "greencell-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	jsonOut := false
+	includeTests := true
+	var patterns []string
+	for _, a := range args {
+		switch a {
+		case "-json", "--json":
+			jsonOut = true
+		case "-no-tests", "--no-tests":
+			includeTests = false
+		case "-h", "-help", "--help":
+			fmt.Println("usage: greencell-lint [-json] [-no-tests] [patterns ...]")
+			for _, an := range analysis.All() {
+				fmt.Printf("  %-12s %s\n", an.Name(), an.Doc())
+			}
+			return 0, nil
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return 0, err
+	}
+	loader.IncludeTests = includeTests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings := analysis.Run(pkgs, analysis.All())
+
+	// Report module-relative paths so output is stable across checkouts.
+	for i := range findings {
+		if rel, err := filepath.Rel(loader.ModuleRoot(), findings[i].File); err == nil {
+			findings[i].File = rel
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			return 0, err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("greencell-lint: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +32,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("greencellsim", flag.ContinueOnError)
 	var (
 		v          = fs.Float64("v", 1e5, "drift-plus-penalty weight V")
@@ -110,35 +111,40 @@ func run(args []string) error {
 		return export.TopologyDOT(os.Stdout, net)
 	}
 
+	var traceErr error
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*traceOut)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
 		tw := trace.NewWriter(f)
-		defer tw.Close()
+		// Close flushes the buffered trace; its error carries the final
+		// write and must reach the caller.
+		defer func() { err = errors.Join(err, tw.Close(), f.Close()) }()
 		sc.SlotHook = func(sr *core.SlotResult) {
-			// Best-effort: a trace write failure should not kill the run.
-			_ = tw.Write(trace.FromSlot(sr))
+			// A write failure must not kill the run mid-slot; keep the
+			// first one and report it after the horizon completes.
+			if werr := tw.Write(trace.FromSlot(sr)); werr != nil && traceErr == nil {
+				traceErr = werr
+			}
 		}
 	}
 
 	var rec *sim.Recorder
 	var detach func()
 	if *metricsOut != "" {
-		f, err := os.Create(*metricsOut)
-		if err != nil {
-			return err
+		f, ferr := os.Create(*metricsOut)
+		if ferr != nil {
+			return ferr
 		}
-		defer f.Close()
+		defer func() { err = errors.Join(err, f.Close()) }()
 		var mw metrics.RecordWriter = metrics.NewJSONLWriter(f)
 		if *metricsCSV != "" {
-			cf, err := os.Create(*metricsCSV)
-			if err != nil {
-				return err
+			cf, cerr := os.Create(*metricsCSV)
+			if cerr != nil {
+				return cerr
 			}
-			defer cf.Close()
+			defer func() { err = errors.Join(err, cf.Close()) }()
 			mw = metrics.MultiWriter{mw, metrics.NewCSVWriter(cf)}
 		}
 		rec = sim.NewRecorder(mw, sim.HeaderFor(sc, *preset))
@@ -152,6 +158,9 @@ func run(args []string) error {
 	res, err := sim.Run(sc)
 	if err != nil {
 		return err
+	}
+	if traceErr != nil {
+		return fmt.Errorf("trace: %w", traceErr)
 	}
 	if rec != nil {
 		if err := rec.Close(); err != nil {

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"html/template"
@@ -198,8 +199,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if err := page.Execute(f, data); err != nil {
+		return errors.Join(err, f.Close())
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	fmt.Println("wrote", *out)

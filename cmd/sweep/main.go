@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -103,12 +104,13 @@ func run(args []string) error {
 
 // writeMetrics re-runs one instrumented copy of the scenario and streams
 // its per-slot metrics records to path.
-func writeMetrics(sc greencell.Scenario, path string) error {
+func writeMetrics(sc greencell.Scenario, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	// The close error carries the final flush on a full disk.
+	defer func() { err = errors.Join(err, f.Close()) }()
 	rec := sim.NewRecorder(metrics.NewJSONLWriter(f), sim.HeaderFor(sc, "paper"))
 	rec.Attach(&sc, false)
 	if _, err := sim.Run(sc); err != nil {

@@ -66,6 +66,7 @@ func Decide(req *Request) (*Decision, error) {
 		best := req.BaseStations[0]
 		bestQ := req.Backlog(s, best)
 		for _, b := range req.BaseStations[1:] {
+			//lint:allow nofloateq -- deterministic tie-break: equal backlogs must pick the lower node ID
 			if q := req.Backlog(s, b); q < bestQ || (q == bestQ && b < best) {
 				best, bestQ = b, q
 			}

@@ -1,0 +1,153 @@
+// Package analysis implements the project's custom static analyzers: the
+// discipline rules this codebase depends on but the compiler cannot see.
+// All randomness must flow through internal/rng (same-seed runs are
+// byte-identical, docs/METRICS.md), floating-point comparisons in the
+// LP/simplex layers must go through explicit tolerances, dropped errors on
+// output writers silently truncate results, and goroutine fan-outs must
+// follow the internal/sim/replicate.go pattern (loop state passed as
+// arguments, results written to distinct indices).
+//
+// The suite is built only on the standard library (go/ast, go/parser,
+// go/types): Load type-checks every package of the module with a
+// module-aware importer, each Analyzer walks the typed syntax, and
+// findings carry file:line:col positions. cmd/greencell-lint is the
+// driver; docs/ANALYSIS.md documents each rule and the inline
+// "//lint:allow <analyzer>" suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the violation.
+	Pos token.Position `json:"-"`
+	// File, Line, Col serialize Pos for the machine-readable output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation.
+	Message string `json:"message"`
+}
+
+// String formats the finding the way compilers do: file:line:col: message.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer checks one rule over a type-checked package.
+type Analyzer interface {
+	// Name is the identifier used in reports and //lint:allow comments.
+	Name() string
+	// Doc is a one-line description of the rule.
+	Doc() string
+	// Check reports the rule's violations in pkg.
+	Check(pkg *Package) []Finding
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []Analyzer {
+	return []Analyzer{NoRawRand{}, NoFloatEq{}, DroppedErr{}, UnguardedGo{}}
+}
+
+// Run applies every analyzer to every package, drops findings suppressed by
+// //lint:allow comments, and returns the rest sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		allow := allowedLines(pkg)
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				f.File = f.Pos.Filename
+				f.Line = f.Pos.Line
+				f.Col = f.Pos.Column
+				if allow[allowKey{f.File, f.Line, a.Name()}] {
+					continue
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// allowKey identifies one (file, line, analyzer) suppression.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// allowedLines collects the //lint:allow suppressions of a package. A
+// comment "//lint:allow name1,name2 -- reason" suppresses findings from the
+// named analyzers on its own line and, when it stands alone on a line, on
+// the line below it.
+func allowedLines(pkg *Package) map[allowKey]bool {
+	allow := make(map[allowKey]bool)
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, n := range names {
+					allow[allowKey{pos.Filename, pos.Line, n}] = true
+					allow[allowKey{pos.Filename, pos.Line + 1, n}] = true
+				}
+			}
+		}
+	}
+	return allow
+}
+
+// parseAllow extracts the analyzer names of a //lint:allow comment.
+func parseAllow(text string) ([]string, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, prefix))
+	// Everything after " -- " (or the first space-separated field) is an
+	// optional free-form justification.
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	} else if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return nil, false
+	}
+	names := strings.Split(rest, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+	}
+	return names, true
+}
+
+// inspect walks every file of the package.
+func inspect(pkg *Package, fn func(ast.Node) bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, fn)
+	}
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// wantMarkers scans the fixture sources of dir for "// want <analyzer>"
+// comments and returns the expected findings as "file:line" keys (base
+// filename, so the result is independent of where the repo is checked out).
+func wantMarkers(t *testing.T, dir, analyzer string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixture dir: %v", err)
+	}
+	marker := "// want " + analyzer
+	var want []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if strings.HasSuffix(strings.TrimRight(line, " \t"), marker) {
+				want = append(want, fmt.Sprintf("%s:%d", e.Name(), i+1))
+			}
+		}
+	}
+	sort.Strings(want)
+	return want
+}
+
+// findingKeys reduces findings to sorted "file:line" keys.
+func findingKeys(findings []Finding) []string {
+	var got []string
+	for _, f := range findings {
+		got = append(got, fmt.Sprintf("%s:%d", filepath.Base(f.File), f.Line))
+	}
+	sort.Strings(got)
+	return got
+}
+
+// TestAnalyzersOnFixtures runs each analyzer over its known-bad fixture
+// package under testdata/src and demands the findings match the "// want"
+// markers exactly — same files, same lines, nothing extra.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, a := range All() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name())
+			pkgs, err := loader.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			got := findingKeys(Run(pkgs, []Analyzer{a}))
+			want := wantMarkers(t, dir, a.Name())
+			if len(want) == 0 {
+				t.Fatalf("fixture %s has no // want markers", dir)
+			}
+			if !slicesEqual(got, want) {
+				t.Errorf("findings mismatch\n got: %v\nwant: %v", got, want)
+			}
+		})
+	}
+}
+
+// TestFixturesAreIsolated makes sure each fixture only trips its own
+// analyzer: running the full suite over a fixture package must not add
+// findings beyond that package's own markers.
+func TestFixturesAreIsolated(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	for _, a := range All() {
+		dir := filepath.Join("testdata", "src", a.Name())
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("LoadDir(%s): %v", dir, err)
+		}
+		for _, f := range Run(pkgs, All()) {
+			if f.Analyzer != a.Name() {
+				t.Errorf("fixture %s trips foreign analyzer: %s", dir, f)
+			}
+		}
+	}
+}
+
+// TestRepoIsFindingFree loads the whole module, tests included, and runs
+// the full suite: the codebase itself must stay clean so `make lint` keeps
+// meaning something.
+func TestRepoIsFindingFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	loader.IncludeTests = true
+	pkgs, err := loader.Load(filepath.Join(loader.ModuleRoot(), "..."))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("repo finding: %s", f)
+	}
+}
+
+// TestParseAllow pins the suppression comment grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+		ok   bool
+	}{
+		{"//lint:allow nofloateq -- tie-break needs exactness", []string{"nofloateq"}, true},
+		{"//lint:allow norawrand,droppederr -- both", []string{"norawrand", "droppederr"}, true},
+		{"//lint:allow nofloateq", []string{"nofloateq"}, true},
+		{"//lint:allow", nil, false},
+		{"// lint:allow nofloateq", nil, false},
+		{"// plain comment", nil, false},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.text)
+		if ok != c.ok || !slicesEqual(got, c.want) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

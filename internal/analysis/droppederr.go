@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DroppedErr reports silently discarded errors, the failure mode that let a
+// full disk truncate metrics output with exit code 0:
+//
+//   - assignments that discard an error-typed result with every
+//     left-hand side blank ("_ = f()", "_, _ = f()"); a partial discard
+//     like "v, _ := f()" keeps the value on record and is left to review;
+//   - expression statements calling a function that returns an error
+//     (fmt's Print/Printf/Println to stdout are exempt: their errors are
+//     conventionally unactionable);
+//   - "defer f.Close()" where f came from os.Create or os.OpenFile in the
+//     same function: close errors on writable files carry the final flush
+//     and must be checked.
+//
+// Calls on strings.Builder and bytes.Buffer (and fmt.Fprint* into them)
+// are exempt everywhere: their Write methods are documented to never
+// return a non-nil error.
+type DroppedErr struct{}
+
+// Name implements Analyzer.
+func (DroppedErr) Name() string { return "droppederr" }
+
+// Doc implements Analyzer.
+func (DroppedErr) Doc() string {
+	return "discarded error results (_ =, bare calls, deferred Close of writable files)"
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// Check implements Analyzer.
+func (d DroppedErr) Check(pkg *Package) []Finding {
+	var out []Finding
+	report := func(pos ast.Node, msg string) {
+		out = append(out, Finding{
+			Analyzer: d.Name(),
+			Pos:      pkg.Fset.Position(pos.Pos()),
+			Message:  msg,
+		})
+	}
+	inspect(pkg, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			d.checkAssign(pkg, st, report)
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && returnsError(pkg, call) && !exemptBareCall(pkg, call) {
+				report(st, "call result includes an error that is discarded")
+			}
+		case *ast.FuncDecl:
+			if st.Body != nil {
+				d.checkDeferredCloses(pkg, st.Body, report)
+			}
+		case *ast.FuncLit:
+			d.checkDeferredCloses(pkg, st.Body, report)
+		}
+		return true
+	})
+	return out
+}
+
+// checkAssign flags error-typed results assigned to the blank identifier
+// when the whole statement discards everything it received.
+func (DroppedErr) checkAssign(pkg *Package, st *ast.AssignStmt, report func(ast.Node, string)) {
+	for _, lhs := range st.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return // some result is kept; a partial discard is reviewable
+		}
+	}
+	if len(st.Rhs) == 1 {
+		if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok && exemptBareCall(pkg, call) {
+			return
+		}
+	}
+	// Positional result types: for "a, b = f()" use f's tuple; for
+	// "a, b = x, y" each RHS maps to its LHS.
+	typeAt := func(i int) types.Type {
+		if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+			tv, ok := pkg.Info.Types[st.Rhs[0]]
+			if !ok {
+				return nil
+			}
+			tuple, ok := tv.Type.(*types.Tuple)
+			if !ok || i >= tuple.Len() {
+				return nil
+			}
+			return tuple.At(i).Type()
+		}
+		if i < len(st.Rhs) {
+			if tv, ok := pkg.Info.Types[st.Rhs[i]]; ok {
+				return tv.Type
+			}
+		}
+		return nil
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if t := typeAt(i); t != nil && types.Identical(t, errorType) {
+			report(id, "error result assigned to _; handle or annotate it")
+		}
+	}
+}
+
+// checkDeferredCloses flags "defer v.Close()" when v was opened writable
+// (os.Create / os.OpenFile) in the same function body.
+func (d DroppedErr) checkDeferredCloses(pkg *Package, body *ast.BlockStmt, report func(ast.Node, string)) {
+	writable := make(map[types.Object]bool)
+	for _, stmt := range body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			continue
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if !isStdFunc(pkg, call.Fun, "os", "Create") && !isStdFunc(pkg, call.Fun, "os", "OpenFile") {
+			continue
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				writable[obj] = true
+			} else if obj := pkg.Info.Uses[id]; obj != nil {
+				writable[obj] = true
+			}
+		}
+	}
+	if len(writable) == 0 {
+		return
+	}
+	for _, stmt := range body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			continue
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !writable[pkg.Info.Uses[id]] {
+			continue
+		}
+		report(def, "deferred Close on a writable file discards the flush error; check it")
+	}
+}
+
+// returnsError reports whether a call yields an error in any result
+// position.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+	default:
+		return types.Identical(t, errorType)
+	}
+	return false
+}
+
+// exemptBareCall allowlists bare calls whose error is conventionally
+// ignored: fmt.Print/Printf/Println (stdout) and fmt.Fprint* to
+// os.Stdout/os.Stderr.
+func exemptBareCall(pkg *Package, call *ast.CallExpr) bool {
+	if infallibleWriter(pkg, call) {
+		return true
+	}
+	for _, name := range []string{"Print", "Printf", "Println"} {
+		if isStdFunc(pkg, call.Fun, "fmt", name) {
+			return true
+		}
+	}
+	for _, name := range []string{"Fprint", "Fprintf", "Fprintln"} {
+		if isStdFunc(pkg, call.Fun, "fmt", name) && len(call.Args) > 0 {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				obj := pkg.Info.Uses[sel.Sel]
+				if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+					(obj.Name() == "Stdout" || obj.Name() == "Stderr") {
+					return true
+				}
+			}
+			if tv, ok := pkg.Info.Types[call.Args[0]]; ok && isBuilderOrBuffer(tv.Type) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether call is a method call on strings.Builder
+// or bytes.Buffer, whose Write-family methods are documented never to
+// return a non-nil error.
+func infallibleWriter(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := pkg.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return isBuilderOrBuffer(s.Recv())
+}
+
+// isBuilderOrBuffer reports whether t is strings.Builder or bytes.Buffer,
+// possibly behind pointers.
+func isBuilderOrBuffer(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}

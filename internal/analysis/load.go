@@ -1,0 +1,356 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("greencell/internal/lp"); external test
+	// packages get a " [test]" suffix.
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files are the parsed sources that were analyzed (including _test.go
+	// files when the loader includes them).
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks the packages of one module using only the
+// standard library: module-internal imports resolve to the module's own
+// directories, everything else to GOROOT source via go/importer.
+type Loader struct {
+	// IncludeTests adds _test.go files (both in-package and external test
+	// packages) to the analyzed set.
+	IncludeTests bool
+
+	fset       *token.FileSet
+	moduleRoot string
+	modulePath string
+	std        types.Importer
+	// cache holds import-variants (no test files), keyed by import path.
+	cache map[string]*types.Package
+	// loading detects import cycles.
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir (dir or any
+// parent must hold a go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		moduleRoot: root,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath reads the "module" directive of a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+// ModuleRoot returns the module's root directory.
+func (l *Loader) ModuleRoot() string { return l.moduleRoot }
+
+// ModulePath returns the module's import path prefix.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// Load type-checks every package under each pattern. A pattern is a
+// directory path, optionally ending in "/..." for a recursive walk.
+// Directories named testdata (and hidden directories) are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	var dirs []string
+	seen := make(map[string]bool)
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" || pat == "." {
+				pat = l.moduleRoot
+			}
+		}
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			add(abs)
+			continue
+		}
+		err = filepath.WalkDir(abs, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != abs && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if gofiles, err := goFilesIn(path, false); err == nil && len(gofiles) > 0 {
+				add(path)
+			} else if err != nil {
+				return err
+			} else if l.IncludeTests {
+				if tests, err := goFilesIn(path, true); err == nil && len(tests) > 0 {
+					add(path)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		got, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, got...)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the package in one directory. With IncludeTests it
+// returns up to two packages: the package with its in-package test files,
+// and any external _test package.
+func (l *Loader) LoadDir(dir string) ([]*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := l.pathForDir(abs)
+
+	prim, err := goFilesIn(abs, false)
+	if err != nil {
+		return nil, err
+	}
+	var tests []string
+	if l.IncludeTests {
+		if tests, err = goFilesIn(abs, true); err != nil {
+			return nil, err
+		}
+	}
+	if len(prim)+len(tests) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", abs)
+	}
+
+	files, err := l.parse(prim)
+	if err != nil {
+		return nil, err
+	}
+	testFiles, err := l.parse(tests)
+	if err != nil {
+		return nil, err
+	}
+	var primName string
+	if len(files) > 0 {
+		primName = files[0].Name.Name
+	} else {
+		primName = strings.TrimSuffix(testFiles[0].Name.Name, "_test")
+	}
+	var inPkg, external []*ast.File
+	for _, f := range testFiles {
+		if f.Name.Name == primName {
+			inPkg = append(inPkg, f)
+		} else {
+			external = append(external, f)
+		}
+	}
+
+	var out []*Package
+	if len(files)+len(inPkg) > 0 {
+		pkg, err := l.check(pkgPath, abs, append(append([]*ast.File{}, files...), inPkg...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	if len(external) > 0 {
+		pkg, err := l.check(pkgPath+" [test]", abs, external)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check runs go/types over one file set.
+func (l *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    l.fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// importModule type-checks a module-internal package (without test files)
+// for use as an import dependency.
+func (l *Loader) importModule(path string) (*types.Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.moduleRoot
+	if path != l.modulePath {
+		dir = filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
+	}
+	names, err := goFilesIn(dir, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files for import %q in %s", path, dir)
+	}
+	files, err := l.parse(names)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking import %s: %w", path, err)
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parse parses source files into the loader's FileSet.
+func (l *Loader) parse(names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// pathForDir maps a module directory to its import path. Directories
+// outside the module (fixtures under testdata are still inside it) fall
+// back to a synthetic path derived from the directory name.
+func (l *Loader) pathForDir(dir string) string {
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "external/" + filepath.Base(dir)
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel)
+}
+
+// goFilesIn lists a directory's .go files: test files when tests is true,
+// non-test files otherwise.
+func goFilesIn(dir string, tests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") != tests {
+			continue
+		}
+		names = append(names, filepath.Join(dir, name))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// loaderImporter adapts Loader to types.Importer: module-internal paths
+// are loaded from the module tree, everything else from GOROOT source.
+type loaderImporter Loader
+
+// Import implements types.Importer.
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		return l.importModule(path)
+	}
+	return l.std.Import(path)
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// NoRawRand enforces the determinism discipline: every stochastic draw must
+// flow through internal/rng so that equal seeds reproduce byte-identical
+// runs (the metrics determinism regression test depends on it). It reports:
+//
+//   - any import of math/rand or math/rand/v2 outside internal/rng itself
+//     (an ad-hoc generator forks the random stream and breaks common random
+//     numbers across scenarios);
+//   - any rng.New seed derived from time.Now (a wall-clock seed makes runs
+//     unreproducible — thread a scenario seed instead).
+type NoRawRand struct{}
+
+// Name implements Analyzer.
+func (NoRawRand) Name() string { return "norawrand" }
+
+// Doc implements Analyzer.
+func (NoRawRand) Doc() string {
+	return "math/rand imports or time.Now-derived seeds outside internal/rng"
+}
+
+// Check implements Analyzer.
+func (n NoRawRand) Check(pkg *Package) []Finding {
+	var out []Finding
+	exempt := strings.HasSuffix(strings.TrimSuffix(pkg.PkgPath, " [test]"), "internal/rng")
+	for _, file := range pkg.Files {
+		if !exempt {
+			for _, imp := range file.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					out = append(out, Finding{
+						Analyzer: n.Name(),
+						Pos:      pkg.Fset.Position(imp.Pos()),
+						Message:  "import of " + path + " outside internal/rng; draw from an rng.Source instead",
+					})
+				}
+			}
+		}
+	}
+	inspect(pkg, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isPkgFunc(pkg, call.Fun, "internal/rng", "New") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if tn := findTimeNow(pkg, arg); tn != nil {
+				out = append(out, Finding{
+					Analyzer: n.Name(),
+					Pos:      pkg.Fset.Position(tn.Pos()),
+					Message:  "rng.New seeded from time.Now; wall-clock seeds break reproducibility",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// findTimeNow returns the first time.Now call inside expr, if any.
+func findTimeNow(pkg *Package, expr ast.Expr) ast.Node {
+	var found ast.Node
+	ast.Inspect(expr, func(node ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && isStdFunc(pkg, call.Fun, "time", "Now") {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPkgFunc reports whether fun resolves to the named function of a package
+// whose import path ends in pathSuffix (a module-internal package).
+func isPkgFunc(pkg *Package, fun ast.Expr, pathSuffix, name string) bool {
+	obj := calleeObject(pkg, fun)
+	if obj == nil || obj.Pkg() == nil || obj.Name() != name {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), pathSuffix)
+}
+
+// isStdFunc reports whether fun resolves to the named function of the
+// standard-library package with exactly the given import path.
+func isStdFunc(pkg *Package, fun ast.Expr, path, name string) bool {
+	obj := calleeObject(pkg, fun)
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+// calleeObject resolves a call's function expression to its object.
+func calleeObject(pkg *Package, fun ast.Expr) types.Object {
+	switch f := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[f]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[f.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,35 @@
+// Package droppederr is an analyzer fixture: every line marked
+// "// want droppederr" must be reported, and no other line may be.
+package droppederr
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// WriteLog drops errors three distinct ways.
+func WriteLog(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()                // want droppederr
+	_ = f.Sync()                   // want droppederr
+	fmt.Errorf("silent: %s", path) // want droppederr
+}
+
+// PartialDiscard keeps the value on record: left to review, not reported.
+func PartialDiscard(path string) *os.File {
+	f, _ := os.Create(path)
+	return f
+}
+
+// Infallible writers and stdout prints are exempt.
+func Infallible() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, " %d", 1)
+	fmt.Println("done")
+	return b.String()
+}

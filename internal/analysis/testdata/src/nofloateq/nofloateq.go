@@ -1,0 +1,25 @@
+// Package nofloateq is an analyzer fixture: every line marked
+// "// want nofloateq" must be reported, and no other line may be.
+package nofloateq
+
+// Equal compares computed floats exactly.
+func Equal(a, b float64) bool {
+	return a == b // want nofloateq
+}
+
+// NotEqual compares computed floats exactly.
+func NotEqual(a, b float64) bool {
+	return a != b // want nofloateq
+}
+
+// Sentinel compares against a constant: exempt.
+func Sentinel(a float64) bool { return a == 0 }
+
+// Suppressed carries a justification: exempt.
+func Suppressed(a, b float64) bool {
+	//lint:allow nofloateq -- fixture: the inline suppression must silence this
+	return a == b
+}
+
+// Ints are not floats: exempt.
+func Ints(a, b int) bool { return a == b }

@@ -1,0 +1,21 @@
+// Package norawrand is an analyzer fixture: every line marked
+// "// want norawrand" must be reported, and no other line may be.
+package norawrand
+
+import (
+	"math/rand" // want norawrand
+	"time"
+
+	"greencell/internal/rng"
+)
+
+// Draw keeps the raw import live.
+func Draw() int { return rand.Int() }
+
+// WallClockSeed derives a seed from the wall clock.
+func WallClockSeed() *rng.Source {
+	return rng.New(time.Now().UnixNano()) // want norawrand
+}
+
+// GoodSeed threads an explicit seed: not reported.
+func GoodSeed(seed int64) *rng.Source { return rng.New(seed) }

@@ -1,0 +1,52 @@
+// Package unguardedgo is an analyzer fixture: every line marked
+// "// want unguardedgo" must be reported, and no other line may be.
+package unguardedgo
+
+import "sync"
+
+// LoopCapture closes over the loop variables instead of receiving them as
+// arguments.
+func LoopCapture(items []int) {
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = i // want unguardedgo
+			_ = v // want unguardedgo
+		}()
+	}
+	wg.Wait()
+}
+
+// SharedCounter mutates a captured variable without synchronization. The
+// loop variable itself is passed as an argument, so only the write trips.
+func SharedCounter(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			total += j // want unguardedgo
+		}(j)
+	}
+	wg.Wait()
+	return total
+}
+
+// Blessed is the fan-out idiom of internal/sim/replicate.go: loop state
+// passed as arguments, each goroutine writing its own slice index.
+func Blessed(items []int) []int {
+	out := make([]int, len(items))
+	var wg sync.WaitGroup
+	for i, v := range items {
+		wg.Add(1)
+		go func(idx, val int) {
+			defer wg.Done()
+			out[idx] = val * 2
+		}(i, v)
+	}
+	wg.Wait()
+	return out
+}

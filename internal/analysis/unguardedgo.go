@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UnguardedGo reports goroutine launches that do not follow the project's
+// blessed fan-out pattern (internal/sim/replicate.go: loop state passed as
+// arguments, each goroutine writing its own slice index):
+//
+//   - a "go func(){...}()" inside a loop whose body captures the loop
+//     variables instead of receiving them as arguments. Go 1.22 made the
+//     capture race-free, but the explicit-argument form keeps the data flow
+//     reviewable and survives refactors that hoist the closure;
+//   - a goroutine body that assigns directly to a variable captured from
+//     the enclosing function without a synchronization primitive in the
+//     body (mutex, channel operation, sync/atomic, or WaitGroup other than
+//     Done). Writes through an index expression are allowed — that is the
+//     distinct-slot pattern — as are deferred wg.Done calls.
+type UnguardedGo struct{}
+
+// Name implements Analyzer.
+func (UnguardedGo) Name() string { return "unguardedgo" }
+
+// Doc implements Analyzer.
+func (UnguardedGo) Doc() string {
+	return "goroutines capturing loop variables or mutating shared state unsynchronized"
+}
+
+// Check implements Analyzer.
+func (u UnguardedGo) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		// loopVars maps each active loop's variable objects while walking.
+		var walk func(node ast.Node, loopVars map[types.Object]bool)
+		walk = func(node ast.Node, loopVars map[types.Object]bool) {
+			switch n := node.(type) {
+			case nil:
+				return
+			case *ast.RangeStmt:
+				inner := extend(loopVars, pkg, n.Key, n.Value)
+				walkChildren(n.Body, func(c ast.Node) { walk(c, inner) })
+				return
+			case *ast.ForStmt:
+				inner := loopVars
+				if init, ok := n.Init.(*ast.AssignStmt); ok {
+					exprs := make([]ast.Expr, len(init.Lhs))
+					copy(exprs, init.Lhs)
+					inner = extend(loopVars, pkg, exprs...)
+				}
+				if n.Body != nil {
+					walkChildren(n.Body, func(c ast.Node) { walk(c, inner) })
+				}
+				return
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					out = append(out, u.checkGoroutine(pkg, n, lit, loopVars)...)
+				}
+			case *ast.FuncLit:
+				// A nested non-go closure resets nothing; keep walking with
+				// the same loop variables (it may itself contain loops).
+			}
+			walkChildren(node, func(c ast.Node) { walk(c, loopVars) })
+		}
+		walk(file, nil)
+	}
+	return out
+}
+
+// checkGoroutine inspects one "go func(){...}(...)" launch.
+func (u UnguardedGo) checkGoroutine(pkg *Package, g *ast.GoStmt, lit *ast.FuncLit, loopVars map[types.Object]bool) []Finding {
+	var out []Finding
+
+	// Rule 1: loop-variable capture. Any use inside the literal of an
+	// object that is a loop variable of an enclosing loop is a capture —
+	// arguments passed at the call site are evaluated outside the literal,
+	// so they do not trip this.
+	if len(loopVars) > 0 {
+		reported := make(map[types.Object]bool)
+		ast.Inspect(lit.Body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil || !loopVars[obj] || reported[obj] {
+				return true
+			}
+			reported[obj] = true
+			out = append(out, Finding{
+				Analyzer: u.Name(),
+				Pos:      pkg.Fset.Position(id.Pos()),
+				Message:  "goroutine captures loop variable " + obj.Name() + "; pass it as an argument (see internal/sim/replicate.go)",
+			})
+			return true
+		})
+	}
+
+	// Rule 2: unsynchronized writes to captured variables.
+	if usesSyncPrimitive(pkg, lit.Body) {
+		return out
+	}
+	params := make(map[types.Object]bool)
+	if lit.Type.Params != nil {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pkg.Info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	local := func(obj types.Object) bool {
+		return obj == nil || params[obj] ||
+			(lit.Pos() <= obj.Pos() && obj.Pos() <= lit.End())
+	}
+	checkTarget := func(expr ast.Expr) {
+		id, ok := ast.Unparen(expr).(*ast.Ident)
+		if !ok {
+			return // index/selector/deref targets are the blessed patterns
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil || local(obj) {
+			return
+		}
+		if _, isVar := obj.(*types.Var); !isVar {
+			return
+		}
+		out = append(out, Finding{
+			Analyzer: u.Name(),
+			Pos:      pkg.Fset.Position(id.Pos()),
+			Message:  "goroutine writes captured variable " + obj.Name() + " without synchronization",
+		})
+	}
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			checkTarget(st.X)
+		case *ast.FuncLit:
+			return false // nested goroutine bodies are visited separately
+		}
+		return true
+	})
+	return out
+}
+
+// usesSyncPrimitive reports whether a goroutine body contains a recognized
+// synchronization: sync.Mutex/RWMutex Lock, channel send/receive/select,
+// or a sync/atomic call.
+func usesSyncPrimitive(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := node.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// Channel receive used as an expression.
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if s, ok := pkg.Info.Selections[sel]; ok && isSyncType(s.Recv()) {
+						found = true
+					}
+				}
+				if obj := pkg.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSyncType reports whether t belongs to package sync (Mutex, RWMutex, …).
+func isSyncType(t types.Type) bool {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// extend copies a loop-variable set and adds the objects defined by exprs.
+func extend(base map[types.Object]bool, pkg *Package, exprs ...ast.Expr) map[types.Object]bool {
+	inner := make(map[types.Object]bool, len(base)+2)
+	for k, v := range base {
+		inner[k] = v
+	}
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+	}
+	return inner
+}
+
+// walkChildren visits a node's immediate children.
+func walkChildren(node ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(node, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}

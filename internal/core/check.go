@@ -1,0 +1,64 @@
+package core
+
+import (
+	"greencell/internal/energymgmt"
+	"greencell/internal/sched"
+	"greencell/internal/topology"
+)
+
+// SlotCheck carries one slot's raw decisions and state transitions for
+// external validation through Config.Check. It exposes what SlotResult's
+// aggregates hide: the per-link schedule and flows, the per-node energy
+// decision, and the queue/battery state on both sides of the update — the
+// quantities the paper's per-slot constraints (9)–(14), (16)–(19), (22)
+// and (25) are written against. It is built only when the hook is set, so
+// ordinary runs pay nothing for it.
+//
+// Slices are the controller's working storage, valid only for the duration
+// of the callback; a hook that retains them must copy.
+type SlotCheck struct {
+	// Slot is the 0-based slot index.
+	Slot int
+	// Net is the physical network (node specs, links, radio counts).
+	Net *topology.Network
+	// Obs is the slot's revealed random state: band widths, renewable
+	// outputs R_i(t), and grid connectivity ω_i(t).
+	Obs Observation
+
+	// QBefore[s][i] is Q_i^s(t) before this slot's transfers and
+	// admissions.
+	QBefore [][]float64
+
+	// Assignment is the S1 schedule (activities α, powers, rates).
+	Assignment *sched.Assignment
+	// RouteCapPkts[l] is the capacity cap handed to S3 for link l, in
+	// packets (the best-available-band potential capacity; see the
+	// controller's routeCap discussion).
+	RouteCapPkts []float64
+
+	// Admit[s] is the S2 admission k_s(t); Source[s] is the chosen source
+	// node s_s(t); DemandPkts[s] is the destination demand v_s(t).
+	Admit      []float64
+	Source     []int
+	DemandPkts []float64
+	// IsSink reports whether a node is a delivery point of session s (the
+	// fixed destination for downlink, any base station for uplink).
+	IsSink func(s, node int) bool
+
+	// Flow[l][s] is the S3 routing decision l_ij^s; Actual[l][s] is the
+	// executed transfer after the ship-only-what-exists rule (invariant I2
+	// of DESIGN.md), so Actual ≤ Flow elementwise.
+	Flow, Actual [][]float64
+
+	// DemandWh[i] is the node energy demand E_i(t) of eq. (2) handed to S4.
+	DemandWh []float64
+	// Energy is the S4 decision (per-node r, c^r, g, c^g, d, u).
+	Energy *energymgmt.Decision
+	// BatteryBeforeWh and BatteryAfterWh bracket the battery update:
+	// x_i(t) when S4 decided, and x_i(t+1) after the step.
+	BatteryBeforeWh, BatteryAfterWh []float64
+	// ChargeHeadroomWh and DischargeHeadroomWh are the pre-step
+	// right-hand sides of eqs. (11) and (12) that the S4 decision had to
+	// respect.
+	ChargeHeadroomWh, DischargeHeadroomWh []float64
+}

@@ -81,6 +81,12 @@ type Config struct {
 	// default stochastic environment). Tests and the offline-optimum
 	// comparison inject fixed realizations here.
 	Env Environment
+	// Check, when set, receives every slot's raw decisions and state
+	// transitions (SlotCheck) after the slot completes; a non-nil return
+	// aborts the run. internal/invariant wires the paper-constraint
+	// checker here (enabled via sim.Scenario.CheckInvariants). Nil keeps
+	// the control path free of the extra snapshots.
+	Check func(*SlotCheck) error
 }
 
 // Observation is the random state revealed at the beginning of a slot:
@@ -481,6 +487,13 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 
 	res := &SlotResult{Slot: c.slot, DeliveredPkts: make([]float64, S)}
 
+	// chk accumulates the slot's raw decisions for Config.Check; nil keeps
+	// the snapshots off the control path.
+	var chk *SlotCheck
+	if c.cfg.Check != nil {
+		chk = &SlotCheck{Slot: c.slot, Net: net, IsSink: c.isSink}
+	}
+
 	// Instrumentation is branch-only when off: st stays nil and no clock
 	// is read, keeping the uninstrumented control path allocation-free.
 	var st *StageBreakdown
@@ -503,6 +516,9 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	connected := obs.Connected
 	for _, r := range renewWh {
 		res.RenewableWh += r
+	}
+	if chk != nil {
+		chk.Obs = obs
 	}
 	if st != nil {
 		mark = time.Now() // exclude observation from the S1 timing
@@ -623,6 +639,21 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		now := time.Now()
 		st.S3NS = now.Sub(mark).Nanoseconds()
 		mark = now
+	}
+	if chk != nil {
+		chk.Assignment = asg
+		chk.RouteCapPkts = routeCap
+		chk.Admit = dec2.Admit
+		chk.Source = dec2.Source
+		chk.DemandPkts = demand
+		chk.Flow = dec3.Flow
+		chk.QBefore = make([][]float64, S)
+		for s := 0; s < S; s++ {
+			chk.QBefore[s] = make([]float64, net.NumNodes())
+			for i := range net.Nodes {
+				chk.QBefore[s][i] = c.q[s][i].Backlog()
+			}
+		}
 	}
 
 	// Execute transfers: ship only packets that exist, decrementing each
@@ -778,6 +809,19 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
 	}
+	if chk != nil {
+		chk.Actual = actual
+		chk.DemandWh = demandWh
+		chk.Energy = dec4
+		chk.BatteryBeforeWh = make([]float64, net.NumNodes())
+		chk.ChargeHeadroomWh = make([]float64, net.NumNodes())
+		chk.DischargeHeadroomWh = make([]float64, net.NumNodes())
+		for i := range net.Nodes {
+			chk.BatteryBeforeWh[i] = c.batteries[i].Level()
+			chk.ChargeHeadroomWh[i] = c.batteries[i].ChargeHeadroom()
+			chk.DischargeHeadroomWh[i] = c.batteries[i].DischargeHeadroom()
+		}
+	}
 	for i := range net.Nodes {
 		nd := dec4.Nodes[i]
 		zBefore := c.ShiftedLevel(i)
@@ -843,6 +887,15 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	}
 	if st != nil {
 		st.TotalNS = time.Since(t0).Nanoseconds()
+	}
+	if chk != nil {
+		chk.BatteryAfterWh = make([]float64, net.NumNodes())
+		for i := range net.Nodes {
+			chk.BatteryAfterWh[i] = c.batteries[i].Level()
+		}
+		if err := c.cfg.Check(chk); err != nil {
+			return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+		}
 	}
 
 	c.slot++

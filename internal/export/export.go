@@ -4,6 +4,7 @@
 package export
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -37,8 +38,7 @@ func WriteTSVFile(path string, header []string, rows [][]float64) error {
 		return err
 	}
 	if err := TSV(f, header, rows); err != nil {
-		f.Close()
-		return err
+		return errors.Join(err, f.Close())
 	}
 	return f.Close()
 }

@@ -1,0 +1,277 @@
+// Package invariant validates every controller slot against the paper's
+// per-slot constraints. It plugs into the control loop through
+// core.Config.Check (enabled by sim.Scenario.CheckInvariants) and examines
+// the raw decisions of each slot — the S1 schedule, the S3 flows and their
+// execution, and the S4 energy split — rather than the aggregated
+// SlotResult, so a violation cannot hide inside a sum.
+//
+// Checked constraints, by the paper's equation numbers (docs/ANALYSIS.md
+// documents each in prose):
+//
+//	 (2)  per-node energy balance: r + g + d + u covers the demand E_i(t)
+//	 (3)  renewable split: r + c^r ≤ R_i(t), both parts non-negative
+//	 (5)  grid split non-negative (g, c^g ≥ 0)
+//	 (9)  no simultaneous charge and discharge
+//	(10)  battery level stays within [0, x_i^max]
+//	(11)  charge within the pre-step headroom min(c^max, (x^max−x)/η_c)
+//	(12)  discharge within the pre-step headroom min(d^max, x·η_d)
+//	(13)  battery spec feasibility (checked once, on the first slot)
+//	(14)  grid draw g + c^g ≤ ω_i(t)·p_i^max
+//	(16)  no flow into the slot's session source s_s(t)
+//	(17)  no flow out of a session's delivery point
+//	(18)  destination demand rule, in its achievable time-average form:
+//	      cumulative delivery never exceeds cumulative admission
+//	      (THEORY.md §7 — the literal per-slot form is infeasible)
+//	(19)  flow sanity: non-negative, executed ≤ routed, and the DESIGN.md
+//	      I2 rule that a node ships no more than its pre-slot backlog
+//	(22)  per-node radio limit: Σ activities ≤ Radios(i), each α ∈ [0,1]
+//	(25)  per-link capacity: Σ_s flow ≤ the slot's routing cap
+//
+// A failed check returns a *Violation naming the slot, the node (or link
+// endpoint) and the equation, and aborts the run — tests and fuzzing treat
+// any violation as fatal.
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"greencell/internal/core"
+)
+
+// Violation is one constraint breach.
+type Violation struct {
+	// Slot is the 0-based slot index.
+	Slot int
+	// Node is the offending node, or -1 when the constraint is not
+	// node-specific (session-level checks).
+	Node int
+	// Eq is the paper's equation number, e.g. "(9)".
+	Eq string
+	// Msg states the breach with the offending values.
+	Msg string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	if v.Node >= 0 {
+		return fmt.Sprintf("invariant: slot %d node %d: eq %s: %s", v.Slot, v.Node, v.Eq, v.Msg)
+	}
+	return fmt.Sprintf("invariant: slot %d: eq %s: %s", v.Slot, v.Eq, v.Msg)
+}
+
+// Checker validates SlotChecks for one run. It is stateful — the
+// time-average form of (18) needs cumulative admission and delivery — so
+// use a fresh Checker per controller; it is not safe for concurrent use.
+type Checker struct {
+	// Tol is the comparison slack: a ≤ b is accepted up to
+	// Tol·(1 + |b|), absorbing float accumulation on both small packet
+	// counts and large battery levels. Zero means the 1e-6 default.
+	Tol float64
+
+	specChecked bool
+	// admitted/delivered accumulate Σ_t k_s and Σ_t deliveries per
+	// session for the (18) time-average check.
+	admitted, delivered []float64
+}
+
+// New returns a Checker with the default tolerance.
+func New() *Checker { return &Checker{} }
+
+// tol returns the effective tolerance scaled to b's magnitude.
+func (c *Checker) tol(b float64) float64 {
+	t := c.Tol
+	if t == 0 {
+		t = 1e-6
+	}
+	return t * (1 + math.Abs(b))
+}
+
+// le reports a ≤ b within tolerance.
+func (c *Checker) le(a, b float64) bool { return a <= b+c.tol(b) }
+
+// Check validates one slot; wire it as core.Config.Check.
+func (c *Checker) Check(sc *core.SlotCheck) error {
+	if err := c.checkEnergy(sc); err != nil {
+		return err
+	}
+	if err := c.checkSchedule(sc); err != nil {
+		return err
+	}
+	if err := c.checkFlows(sc); err != nil {
+		return err
+	}
+	return c.checkSessions(sc)
+}
+
+// checkEnergy validates the S4 decision and battery step: eqs. (2), (3),
+// (5), (9)–(14).
+func (c *Checker) checkEnergy(sc *core.SlotCheck) error {
+	v := func(node int, eq, format string, args ...any) error {
+		return &Violation{Slot: sc.Slot, Node: node, Eq: eq, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i := range sc.Net.Nodes {
+		nd := sc.Energy.Nodes[i]
+		spec := sc.Net.Nodes[i].Spec
+		if !c.specChecked {
+			if err := spec.Battery.Validate(); err != nil {
+				return v(i, "(13)", "battery spec infeasible: %v", err)
+			}
+		}
+		for _, part := range []struct {
+			eq   string
+			name string
+			val  float64
+		}{
+			{"(3)", "renewable→demand r", nd.RenewToDemand},
+			{"(3)", "renewable→battery c^r", nd.RenewToBattery},
+			{"(5)", "grid→demand g", nd.GridToDemand},
+			{"(5)", "grid→battery c^g", nd.GridToBattery},
+			{"(12)", "discharge d", nd.DischargeWh},
+			{"(2)", "deficit u", nd.DeficitWh},
+		} {
+			if !c.le(0, part.val) {
+				return v(i, part.eq, "%s = %g is negative", part.name, part.val)
+			}
+		}
+		if !c.le(nd.RenewToDemand+nd.RenewToBattery, sc.Obs.RenewWh[i]) {
+			return v(i, "(3)", "renewable use r+c^r = %g exceeds output R = %g",
+				nd.RenewToDemand+nd.RenewToBattery, sc.Obs.RenewWh[i])
+		}
+		if nd.ChargeWh() > c.tol(0) && nd.DischargeWh > c.tol(0) {
+			return v(i, "(9)", "simultaneous charge c = %g and discharge d = %g",
+				nd.ChargeWh(), nd.DischargeWh)
+		}
+		if !c.le(0, sc.BatteryAfterWh[i]) || !c.le(sc.BatteryAfterWh[i], spec.Battery.CapacityWh) {
+			return v(i, "(10)", "battery level %g outside [0, %g]",
+				sc.BatteryAfterWh[i], spec.Battery.CapacityWh)
+		}
+		if !c.le(nd.ChargeWh(), sc.ChargeHeadroomWh[i]) {
+			return v(i, "(11)", "charge c = %g exceeds headroom %g",
+				nd.ChargeWh(), sc.ChargeHeadroomWh[i])
+		}
+		if !c.le(nd.DischargeWh, sc.DischargeHeadroomWh[i]) {
+			return v(i, "(12)", "discharge d = %g exceeds headroom %g",
+				nd.DischargeWh, sc.DischargeHeadroomWh[i])
+		}
+		gridCap := 0.0
+		if sc.Obs.Connected[i] {
+			gridCap = spec.Grid.MaxDrawWh
+		}
+		if !c.le(nd.GridDrawWh(), gridCap) {
+			return v(i, "(14)", "grid draw g+c^g = %g exceeds ω·p^max = %g",
+				nd.GridDrawWh(), gridCap)
+		}
+		supply := nd.RenewToDemand + nd.GridToDemand + nd.DischargeWh + nd.DeficitWh
+		if !c.le(sc.DemandWh[i], supply) {
+			return v(i, "(2)", "supply r+g+d+u = %g short of demand E = %g",
+				supply, sc.DemandWh[i])
+		}
+	}
+	c.specChecked = true
+	return nil
+}
+
+// checkSchedule validates the S1 assignment against the per-node radio
+// limit (22).
+func (c *Checker) checkSchedule(sc *core.SlotCheck) error {
+	radioUse := make([]float64, sc.Net.NumNodes())
+	for l, link := range sc.Net.Links {
+		a := sc.Assignment.Activity[l]
+		if !c.le(0, a) || !c.le(a, 1) {
+			return &Violation{Slot: sc.Slot, Node: link.From, Eq: "(22)",
+				Msg: fmt.Sprintf("link %d→%d activity %g outside [0,1]", link.From, link.To, a)}
+		}
+		radioUse[link.From] += a
+		radioUse[link.To] += a
+	}
+	for i := range sc.Net.Nodes {
+		if limit := float64(sc.Net.Radios(i)); !c.le(radioUse[i], limit) {
+			return &Violation{Slot: sc.Slot, Node: i, Eq: "(22)",
+				Msg: fmt.Sprintf("radio use Σα = %g exceeds %g radios", radioUse[i], limit)}
+		}
+	}
+	return nil
+}
+
+// checkFlows validates the S3 decision and its execution: source and
+// delivery-point rules (16)–(17), flow sanity and the I2 backlog rule
+// (19), and link capacity (25).
+func (c *Checker) checkFlows(sc *core.SlotCheck) error {
+	S := len(sc.Admit)
+	// shipped[s·N+i] sums session s's executed outflow at node i for the
+	// I2 backlog rule.
+	N := sc.Net.NumNodes()
+	shipped := make([]float64, S*N)
+	for l, link := range sc.Net.Links {
+		total := 0.0
+		for s := 0; s < S; s++ {
+			f, a := sc.Flow[l][s], sc.Actual[l][s]
+			if !c.le(0, f) || !c.le(0, a) {
+				return &Violation{Slot: sc.Slot, Node: link.From, Eq: "(19)",
+					Msg: fmt.Sprintf("session %d link %d→%d negative flow (routed %g, executed %g)",
+						s, link.From, link.To, f, a)}
+			}
+			if !c.le(a, f) {
+				return &Violation{Slot: sc.Slot, Node: link.From, Eq: "(19)",
+					Msg: fmt.Sprintf("session %d link %d→%d executed %g exceeds routed %g",
+						s, link.From, link.To, a, f)}
+			}
+			if f > c.tol(0) && link.To == sc.Source[s] {
+				return &Violation{Slot: sc.Slot, Node: link.To, Eq: "(16)",
+					Msg: fmt.Sprintf("session %d routes %g into its source via link %d→%d",
+						s, f, link.From, link.To)}
+			}
+			if f > c.tol(0) && sc.IsSink(s, link.From) {
+				return &Violation{Slot: sc.Slot, Node: link.From, Eq: "(17)",
+					Msg: fmt.Sprintf("session %d routes %g out of a delivery point via link %d→%d",
+						s, f, link.From, link.To)}
+			}
+			total += f
+			shipped[s*N+link.From] += a
+		}
+		if !c.le(total, sc.RouteCapPkts[l]) {
+			return &Violation{Slot: sc.Slot, Node: link.From, Eq: "(25)",
+				Msg: fmt.Sprintf("link %d→%d total flow %g exceeds capacity %g",
+					link.From, link.To, total, sc.RouteCapPkts[l])}
+		}
+	}
+	for s := 0; s < S; s++ {
+		for i := 0; i < N; i++ {
+			if !c.le(shipped[s*N+i], sc.QBefore[s][i]) {
+				return &Violation{Slot: sc.Slot, Node: i, Eq: "(19)",
+					Msg: fmt.Sprintf("session %d ships %g packets against backlog %g (I2)",
+						s, shipped[s*N+i], sc.QBefore[s][i])}
+			}
+		}
+	}
+	return nil
+}
+
+// checkSessions validates the session-level admission/delivery ledger:
+// the time-average form of the destination rule (18).
+func (c *Checker) checkSessions(sc *core.SlotCheck) error {
+	S := len(sc.Admit)
+	if c.admitted == nil {
+		c.admitted = make([]float64, S)
+		c.delivered = make([]float64, S)
+	}
+	for s := 0; s < S; s++ {
+		if sc.Admit[s] < -c.tol(0) {
+			return &Violation{Slot: sc.Slot, Node: sc.Source[s], Eq: "(19)",
+				Msg: fmt.Sprintf("session %d negative admission %g", s, sc.Admit[s])}
+		}
+		c.admitted[s] += sc.Admit[s]
+		for l, link := range sc.Net.Links {
+			if sc.IsSink(s, link.To) {
+				c.delivered[s] += sc.Actual[l][s]
+			}
+		}
+		if !c.le(c.delivered[s], c.admitted[s]) {
+			return &Violation{Slot: sc.Slot, Node: -1, Eq: "(18)",
+				Msg: fmt.Sprintf("session %d cumulative delivery %g exceeds cumulative admission %g",
+					s, c.delivered[s], c.admitted[s])}
+		}
+	}
+	return nil
+}

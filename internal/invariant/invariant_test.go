@@ -1,0 +1,235 @@
+package invariant_test
+
+import (
+	"errors"
+	"testing"
+
+	"greencell/internal/core"
+	"greencell/internal/energy"
+	"greencell/internal/invariant"
+	"greencell/internal/rng"
+	"greencell/internal/sim"
+)
+
+// runWithTamper executes a fresh small paper scenario whose Check hook
+// first applies tamper to the slot record, then runs a fresh Checker.
+// It returns the first Step error (nil if the horizon completes).
+func runWithTamper(t *testing.T, tamper func(*core.SlotCheck)) error {
+	t.Helper()
+	sc := sim.Paper()
+	sc.Slots = 5
+	_, net, tm, err := sim.Build(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New()
+	ctrl, err := core.New(core.Config{
+		Net:         net,
+		Traffic:     tm,
+		V:           sc.V,
+		Lambda:      sc.Lambda,
+		SlotSeconds: sc.SlotSeconds,
+		Cost:        energy.PaperCost(),
+		EnergyGate:  true,
+		Check: func(s *core.SlotCheck) error {
+			if tamper != nil {
+				tamper(s)
+			}
+			return chk.Check(s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(sc.Seed).Split("slots")
+	for slot := 0; slot < sc.Slots; slot++ {
+		if _, err := ctrl.Step(src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wantViolation asserts err wraps a *Violation with the given equation.
+func wantViolation(t *testing.T, err error, eq string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected a violation of eq %s, run passed", eq)
+	}
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("expected *invariant.Violation, got %v", err)
+	}
+	if v.Eq != eq {
+		t.Fatalf("expected eq %s, got %s (%v)", eq, v.Eq, v)
+	}
+	if v.Slot < 0 {
+		t.Fatalf("violation missing slot: %v", v)
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	if err := runWithTamper(t, nil); err != nil {
+		t.Fatalf("untampered paper run violated an invariant: %v", err)
+	}
+}
+
+func TestPaperRunCheckInvariants(t *testing.T) {
+	sc := sim.Paper()
+	sc.Slots = 30
+	sc.CheckInvariants = true
+	if _, err := sim.Run(sc); err != nil {
+		t.Fatalf("paper preset with CheckInvariants: %v", err)
+	}
+}
+
+func TestEnergyViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		eq   string
+		tamp func(*core.SlotCheck)
+	}{
+		{"simultaneous charge and discharge", "(9)", func(s *core.SlotCheck) {
+			s.Energy.Nodes[0].GridToBattery = 1
+			s.Energy.Nodes[0].DischargeWh = 1
+			// Keep the prior checks satisfied while (9) breaks.
+			s.Obs.Connected[0] = true
+			s.ChargeHeadroomWh[0] = 10
+			s.DischargeHeadroomWh[0] = 10
+		}},
+		{"battery below zero", "(10)", func(s *core.SlotCheck) {
+			s.BatteryAfterWh[0] = -5
+		}},
+		{"charge beyond headroom", "(11)", func(s *core.SlotCheck) {
+			s.ChargeHeadroomWh[0] = -1
+		}},
+		{"discharge beyond headroom", "(12)", func(s *core.SlotCheck) {
+			s.DischargeHeadroomWh[0] = -1
+		}},
+		{"grid draw while disconnected", "(14)", func(s *core.SlotCheck) {
+			s.Obs.Connected[0] = false
+			s.Energy.Nodes[0].GridToDemand = 1
+			// The extra grid supply cannot trip the balance check (2),
+			// which only catches under-supply.
+		}},
+		{"unserved demand", "(2)", func(s *core.SlotCheck) {
+			n := s.Energy.Nodes[0]
+			s.DemandWh[0] = n.RenewToDemand + n.GridToDemand + n.DischargeWh + n.DeficitWh + 100
+		}},
+		{"infeasible battery spec", "(13)", func(s *core.SlotCheck) {
+			spec := &s.Net.Nodes[0].Spec.Battery
+			spec.MaxChargeWh = spec.CapacityWh + 1
+			spec.MaxDischargeWh = spec.CapacityWh + 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantViolation(t, runWithTamper(t, tc.tamp), tc.eq)
+		})
+	}
+}
+
+func TestScheduleViolation(t *testing.T) {
+	err := runWithTamper(t, func(s *core.SlotCheck) {
+		s.Assignment.Activity[0] = 5 // outside [0,1], and over any radio count
+	})
+	wantViolation(t, err, "(22)")
+}
+
+func TestFlowViolations(t *testing.T) {
+	t.Run("flow into the source", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			in := s.Net.InLinks(s.Source[0])
+			if len(in) == 0 {
+				t.Skip("source has no incoming candidate links")
+			}
+			l := in[0]
+			s.Flow[l][0] = 1
+			s.RouteCapPkts[l] = 10
+		})
+		wantViolation(t, err, "(16)")
+	})
+	t.Run("flow out of a delivery point", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			for s2 := range s.Admit {
+				for _, l := range s.Net.OutLinks(findSink(s, s2)) {
+					if s.Net.Links[l].To != s.Source[s2] {
+						s.Flow[l][s2] = 1
+						s.RouteCapPkts[l] = 10
+						return
+					}
+				}
+			}
+			t.Skip("no out-link from any delivery point")
+		})
+		wantViolation(t, err, "(17)")
+	})
+	t.Run("executed exceeds routed", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			s.Actual[0][0] = s.Flow[0][0] + 5
+		})
+		wantViolation(t, err, "(19)")
+	})
+	t.Run("ship beyond backlog", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			l, ok := neutralLink(s)
+			if !ok {
+				t.Skip("no link free of source/sink rules")
+			}
+			from := s.Net.Links[l].From
+			s.Flow[l][0] = s.QBefore[0][from] + 7
+			s.Actual[l][0] = s.QBefore[0][from] + 7
+			s.RouteCapPkts[l] = s.QBefore[0][from] + 100
+		})
+		wantViolation(t, err, "(19)")
+	})
+	t.Run("flow beyond link capacity", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			l, ok := neutralLink(s)
+			if !ok {
+				t.Skip("no link free of source/sink rules")
+			}
+			s.Flow[l][0] = s.RouteCapPkts[l] + 5
+		})
+		wantViolation(t, err, "(25)")
+	})
+	t.Run("delivery beyond admission", func(t *testing.T) {
+		err := runWithTamper(t, func(s *core.SlotCheck) {
+			sink := findSink(s, 0)
+			in := s.Net.InLinks(sink)
+			if len(in) == 0 {
+				t.Skip("delivery point has no incoming candidate links")
+			}
+			l := in[0]
+			from := s.Net.Links[l].From
+			// Satisfy the per-slot flow checks so only the cumulative
+			// session ledger (18) can object.
+			s.Flow[l][0] = 50
+			s.Actual[l][0] = 50
+			s.RouteCapPkts[l] = 100
+			s.QBefore[0][from] = 100
+		})
+		wantViolation(t, err, "(18)")
+	})
+}
+
+// findSink returns a delivery point of session s.
+func findSink(s *core.SlotCheck, session int) int {
+	for i := 0; i < s.Net.NumNodes(); i++ {
+		if s.IsSink(session, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// neutralLink finds a link session 0 may legally use: not into its source,
+// not out of any of its delivery points.
+func neutralLink(s *core.SlotCheck) (int, bool) {
+	for l, link := range s.Net.Links {
+		if link.To != s.Source[0] && !s.IsSink(0, link.From) && link.To != findSink(s, 0) {
+			return l, true
+		}
+	}
+	return 0, false
+}

@@ -57,6 +57,7 @@ func (p *Problem) WriteLP(w io.Writer) error {
 		switch {
 		case math.IsInf(v.hi, 1):
 			fmt.Fprintf(&b, " x%d >= %g\n", j, v.lo)
+		//lint:allow nofloateq -- fixed bounds are assigned, not computed; exact match selects the "=" form
 		case v.lo == v.hi:
 			fmt.Fprintf(&b, " x%d = %g\n", j, v.lo)
 		default:

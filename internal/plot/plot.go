@@ -105,6 +105,7 @@ func niceTicks(lo, hi float64, n int) []float64 {
 	if hi < lo {
 		lo, hi = hi, lo
 	}
+	//lint:allow nofloateq -- degenerate-range guard: only an exactly empty range needs widening
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -225,6 +226,7 @@ func (c *Chart) header(s *svgBuilder) (x0, y0, x1, y1 float64) {
 
 // yAxis draws the grid and y ticks for [lo,hi], returning the scaler.
 func yAxis(s *svgBuilder, x0, y0, x1, y1, lo, hi float64) func(float64) float64 {
+	//lint:allow nofloateq -- degenerate-range guard: only an exactly empty range needs widening
 	if hi == lo {
 		hi = lo + 1
 	}
@@ -261,6 +263,7 @@ func (c *Chart) LineSVG(w io.Writer) error {
 	if ylo > 0 {
 		ylo = 0 // anchor magnitude lines at zero when data is non-negative
 	}
+	//lint:allow nofloateq -- degenerate-range guard: only an exactly empty range needs widening
 	if xhi == xlo {
 		xhi = xlo + 1
 	}

@@ -1,59 +1,151 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"greencell/internal/rng"
 	"greencell/internal/sched"
 )
 
-// TestRandomScenarios drives randomized scenario knobs through short runs
-// and asserts the invariants every configuration must satisfy: no error,
-// packet conservation (delivered ≤ admitted), non-negative metrics, and
-// determinism per seed.
-func TestRandomScenarios(t *testing.T) {
-	src := rng.New(4242)
-	schedulers := []sched.Scheduler{nil, sched.Greedy{}, sched.Relaxed{}, sched.EnergyAware{Kappa: 3}}
-	for trial := 0; trial < 12; trial++ {
-		sc := Paper()
-		sc.Seed = int64(1000 + trial)
-		sc.Slots = 8 + src.Intn(10)
-		sc.Topology.NumUsers = 4 + src.Intn(10)
-		sc.Topology.MaxNeighbors = 2 + src.Intn(5)
-		sc.NumSessions = 1 + src.Intn(3)
-		sc.UplinkSessions = src.Intn(3)
-		sc.V = []float64{1e4, 1e5, 1e6}[src.Intn(3)]
-		sc.Lambda = src.Uniform(0.0001, 0.01)
-		sc.Scheduler = schedulers[src.Intn(len(schedulers))]
-		sc.EnergyGate = src.Bernoulli(0.7)
-		sc.TrackDelay = src.Bernoulli(0.5)
-		sc.AuditDrift = src.Bernoulli(0.5)
-		sc.Architecture = Architecture(src.Intn(4))
-		sc.Topology.ShadowingSigmaDB = src.Uniform(0, 6)
-		if src.Bernoulli(0.3) {
-			sc.Topology.BSSpec.Radios = 2
-		}
-		sc.KeepTraces = true
+// The fuzzable scenario space: every knob a byte or float selects from.
+var (
+	fuzzSchedulers = []sched.Scheduler{nil, sched.Greedy{}, sched.Relaxed{}, sched.EnergyAware{Kappa: 3}}
+	fuzzVs         = []float64{1e3, 1e4, 1e5, 1e6}
+)
 
-		a, err := Run(sc)
-		if err != nil {
-			t.Fatalf("trial %d (%+v...): %v", trial, sc.Architecture, err)
-		}
-		if a.DeliveredPkts > a.AdmittedPkts+1e-6 {
-			t.Fatalf("trial %d: delivered %v > admitted %v", trial, a.DeliveredPkts, a.AdmittedPkts)
-		}
-		if a.AvgEnergyCost < 0 || a.AvgGridWh < 0 || a.AvgTxEnergyWh < 0 {
-			t.Fatalf("trial %d: negative metric: %+v", trial, a)
-		}
-		if sc.AuditDrift && a.AuditViolations != 0 {
-			t.Fatalf("trial %d: %d Lemma 1 violations", trial, a.AuditViolations)
-		}
-		b, err := Run(sc)
-		if err != nil {
-			t.Fatalf("trial %d rerun: %v", trial, err)
-		}
-		if a.AvgEnergyCost != b.AvgEnergyCost || a.DeliveredPkts != b.DeliveredPkts {
-			t.Fatalf("trial %d: nondeterministic", trial)
-		}
+// foldRange maps an arbitrary float into [lo, hi], passing in-range values
+// through unchanged so corpus entries mean what they say.
+func foldRange(v, lo, hi float64) float64 {
+	if v >= lo && v <= hi {
+		return v
 	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return lo
+	}
+	return lo + math.Mod(math.Abs(v), hi-lo)
+}
+
+// fuzzScenario clamps raw fuzz inputs into a valid Scenario. The byte
+// knobs are taken modulo their range, so every input is runnable; the
+// paper-invariant checker is always on.
+func fuzzScenario(seed int64, slots, users, neighbors, sessions, uplink,
+	vSel, schedSel, archSel uint8, lambda, shadow float64,
+	gate, delay, audit, radios2 bool) Scenario {
+	sc := Paper()
+	sc.Seed = seed
+	sc.Slots = 1 + int(slots%20)
+	sc.Topology.NumUsers = 2 + int(users%14)
+	sc.Topology.MaxNeighbors = int(neighbors % 7)
+	sc.NumSessions = 1 + int(sessions%4)
+	sc.UplinkSessions = int(uplink % 3)
+	sc.V = fuzzVs[int(vSel%4)]
+	sc.Lambda = foldRange(lambda, 0.0001, 0.01)
+	sc.Scheduler = fuzzSchedulers[int(schedSel)%len(fuzzSchedulers)]
+	sc.EnergyGate = gate
+	sc.TrackDelay = delay
+	sc.AuditDrift = audit
+	sc.Architecture = Architecture(int(archSel % 4))
+	sc.Topology.ShadowingSigmaDB = foldRange(shadow, 0, 6)
+	if radios2 {
+		sc.Topology.BSSpec.Radios = 2
+	}
+	sc.KeepTraces = true
+	sc.CheckInvariants = true
+	return sc
+}
+
+// assertRunInvariants runs a scenario and asserts what every configuration
+// must satisfy: no error (the per-slot paper-constraint checker is part of
+// the run), packet conservation, non-negative metrics, a clean Lemma 1
+// audit, and per-seed determinism.
+func assertRunInvariants(t *testing.T, sc Scenario) {
+	t.Helper()
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run (arch %v, V %g): %v", sc.Architecture, sc.V, err)
+	}
+	if a.DeliveredPkts > a.AdmittedPkts+1e-6 {
+		t.Fatalf("delivered %v > admitted %v", a.DeliveredPkts, a.AdmittedPkts)
+	}
+	if a.AvgEnergyCost < 0 || a.AvgGridWh < 0 || a.AvgTxEnergyWh < 0 {
+		t.Fatalf("negative metric: %+v", a)
+	}
+	if sc.AuditDrift && a.AuditViolations != 0 {
+		t.Fatalf("%d Lemma 1 violations", a.AuditViolations)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if a.AvgEnergyCost != b.AvgEnergyCost || a.DeliveredPkts != b.DeliveredPkts {
+		t.Fatal("nondeterministic")
+	}
+}
+
+// trialKnobs draws the legacy 12-trial knob sequence (rng.New(4242), the
+// original TestRandomScenarios stream) in fuzz-argument encoding, so the
+// test trials and the fuzz seed corpus are provably the same scenarios.
+type trialKnobs struct {
+	seed                                      int64
+	slots, users, neighbors, sessions, uplink uint8
+	vSel, schedSel, archSel                   uint8
+	lambda, shadow                            float64
+	gate, delay, audit, radios2               bool
+}
+
+func legacyTrials() []trialKnobs {
+	src := rng.New(4242)
+	out := make([]trialKnobs, 12)
+	for trial := range out {
+		k := &out[trial]
+		k.seed = int64(1000 + trial)
+		k.slots = uint8(8 + src.Intn(10) - 1)   // fuzzScenario adds 1
+		k.users = uint8(4 + src.Intn(10) - 2)   // fuzzScenario adds 2
+		k.neighbors = uint8(2 + src.Intn(5))    // identity below 7
+		k.sessions = uint8(1 + src.Intn(3) - 1) // fuzzScenario adds 1
+		k.uplink = uint8(src.Intn(3))           // identity below 3
+		k.vSel = uint8(src.Intn(3) + 1)         // fuzzVs[1:] = {1e4,1e5,1e6}
+		k.lambda = src.Uniform(0.0001, 0.01)    // in range: passes through
+		k.schedSel = uint8(src.Intn(len(fuzzSchedulers)))
+		k.gate = src.Bernoulli(0.7)
+		k.delay = src.Bernoulli(0.5)
+		k.audit = src.Bernoulli(0.5)
+		k.archSel = uint8(src.Intn(4))
+		k.shadow = src.Uniform(0, 6) // in range: passes through
+		k.radios2 = src.Bernoulli(0.3)
+	}
+	return out
+}
+
+// TestRandomScenarios drives the 12 legacy randomized configurations
+// through short runs with the per-slot invariant checker enabled.
+func TestRandomScenarios(t *testing.T) {
+	for trial, k := range legacyTrials() {
+		sc := fuzzScenario(k.seed, k.slots, k.users, k.neighbors, k.sessions,
+			k.uplink, k.vSel, k.schedSel, k.archSel, k.lambda, k.shadow,
+			k.gate, k.delay, k.audit, k.radios2)
+		t.Logf("trial %d: arch %v V %g slots %d", trial, sc.Architecture, sc.V, sc.Slots)
+		assertRunInvariants(t, sc)
+	}
+}
+
+// FuzzScenario explores the scenario space with go test -fuzz=FuzzScenario
+// (make fuzz runs a short smoke). Every execution runs the full control
+// loop with the paper-constraint checker on, so the fuzzer is hunting for
+// knob combinations under which the controller breaks an equation of the
+// paper — not just crashes.
+func FuzzScenario(f *testing.F) {
+	for _, k := range legacyTrials() {
+		f.Add(k.seed, k.slots, k.users, k.neighbors, k.sessions, k.uplink,
+			k.vSel, k.schedSel, k.archSel, k.lambda, k.shadow,
+			k.gate, k.delay, k.audit, k.radios2)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, slots, users, neighbors, sessions, uplink,
+		vSel, schedSel, archSel uint8, lambda, shadow float64,
+		gate, delay, audit, radios2 bool) {
+		sc := fuzzScenario(seed, slots, users, neighbors, sessions, uplink,
+			vSel, schedSel, archSel, lambda, shadow, gate, delay, audit, radios2)
+		assertRunInvariants(t, sc)
+	})
 }

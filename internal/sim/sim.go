@@ -14,6 +14,7 @@ import (
 
 	"greencell/internal/core"
 	"greencell/internal/energy"
+	"greencell/internal/invariant"
 	"greencell/internal/queueing"
 	"greencell/internal/rng"
 	"greencell/internal/sched"
@@ -95,6 +96,11 @@ type Scenario struct {
 	// AuditDrift enables the per-slot Lemma 1 drift audit; violations are
 	// counted in Result.AuditViolations.
 	AuditDrift bool
+	// CheckInvariants validates every slot against the paper's per-slot
+	// constraints (internal/invariant, docs/ANALYSIS.md); the first
+	// violation aborts the run with a *invariant.Violation naming the
+	// slot, node, and equation. Tests and fuzzing turn it on.
+	CheckInvariants bool
 	// Instrument fills SlotResult.Stages with per-stage wall times and LP
 	// work counts each slot (see core.Config.Instrument). Recorder.Attach
 	// sets it; SlotHook consumers read the breakdown.
@@ -213,6 +219,12 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 	if cost == nil {
 		cost = energy.PaperCost()
 	}
+	// The invariant checker is stateful (cumulative (18) ledger), so each
+	// controller gets its own instance.
+	var check func(*core.SlotCheck) error
+	if sc.CheckInvariants {
+		check = invariant.New().Check
+	}
 	ctrl, err := core.New(core.Config{
 		Net:         net,
 		Traffic:     tm,
@@ -225,6 +237,7 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 		TrackDelay:  sc.TrackDelay,
 		AuditDrift:  sc.AuditDrift,
 		Instrument:  sc.Instrument,
+		Check:       check,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -234,7 +247,7 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 
 // Run executes the scenario and aggregates its metrics.
 func Run(sc Scenario) (*Result, error) {
-	ctrl, _, _, err := Build(sc)
+	ctrl, _, tm, err := Build(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +302,9 @@ func Run(sc Scenario) (*Result, error) {
 	}
 	if sc.TrackDelay {
 		var sumWeighted, count, maxD, maxP95 float64
-		for s := 0; s < sc.NumSessions+sc.UplinkSessions; s++ {
+		// Iterate the materialized sessions, not the requested counts:
+		// PaperSessions caps the session count at the number of users.
+		for s := 0; s < len(tm.Sessions); s++ {
 			mean, max, delivered := ctrl.SessionDelay(s)
 			sumWeighted += mean * delivered
 			count += delivered
