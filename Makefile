@@ -3,16 +3,18 @@
 # (docs/ANALYSIS.md), and runs the tests under the race detector (the sim
 # package replicates runs on concurrent goroutines, so -race is
 # load-bearing, not ceremonial). `make ci` is the stricter batch gate:
-# check plus a gofmt diff check and a short fuzz smoke.
+# check plus a gofmt diff check, a short fuzz smoke, and the fault soak
+# (docs/ROBUSTNESS.md): a long run with every injection site firing at an
+# elevated rate, per-slot invariants on, under the race detector.
 
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check ci build vet lint test race fuzz bench fmt fmtcheck figures clean
+.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check fuzz
+ci: fmtcheck check fuzz soak
 
 build:
 	$(GO) build ./...
@@ -31,6 +33,9 @@ race:
 
 fuzz:
 	$(GO) test -run=FuzzScenario -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/sim
+
+soak:
+	$(GO) test -race -run='TestFaultSoak|TestFaultEverySite' -v ./internal/sim
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -15,9 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"greencell/internal/core"
 	"greencell/internal/export"
+	"greencell/internal/faultinject"
 	"greencell/internal/metrics"
 	"greencell/internal/queueing"
 	"greencell/internal/sched"
@@ -53,6 +56,10 @@ func run(args []string) (err error) {
 		metricsOut = fs.String("metrics", "", "write the per-slot metrics stream (JSON Lines, docs/METRICS.md) to this file")
 		metricsCSV = fs.String("metrics-csv", "", "also write the metrics stream as CSV to this file (requires -metrics)")
 		metricsGap = fs.Bool("metrics-gap", false, "record the S1 heuristic-vs-LP-relaxation optimality gap each slot (roughly doubles S1 work)")
+		faults     = fs.Float64("faults", 0, "fault-injection probability per site per slot (deterministic by seed; docs/ROBUSTNESS.md)")
+		budgetIter = fs.Int("budget-iters", 0, "max simplex iterations per LP solve (0 = unlimited)")
+		deadline   = fs.Duration("deadline", 0, "per-slot wall-clock solve deadline (0 = none; overruns degrade, not fail)")
+		check      = fs.Bool("check", false, "validate every slot against the paper's per-slot invariants (eqs. (9)-(14), (22), (25), (30))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +84,14 @@ func run(args []string) (err error) {
 	sc.NumSessions = *sessions
 	sc.Topology.NumUsers = *users
 	sc.Topology.MaxNeighbors = *neighbors
+	sc.CheckInvariants = sc.CheckInvariants || *check
+	sc.Budget = core.SolveBudget{MaxLPIterations: *budgetIter, SlotDeadline: *deadline}
+	if *faults > 0 {
+		cfg := faultinject.Uniform(*faults)
+		sc.Faults = &cfg
+	} else if *faults < 0 {
+		return fmt.Errorf("-faults must be in [0,1], got %g", *faults)
+	}
 
 	switch *arch {
 	case "proposed":
@@ -194,6 +209,10 @@ func run(args []string) (err error) {
 		res.FinalDataBacklogBS, res.FinalDataBacklogUsers)
 	fmt.Printf("final battery (BS):  %.1f Wh     (users): %.1f Wh\n",
 		res.FinalBatteryWhBS, res.FinalBatteryWhUsers)
+	if res.DegradedSlots > 0 {
+		fmt.Printf("degraded slots:      %d/%d (max streak %d): %s\n",
+			res.DegradedSlots, sc.Slots, res.MaxDegradedStreak, causeBreakdown(res.DegradedByCause))
+	}
 	if res.DataBacklogBSTrace != nil {
 		tail := len(res.DataBacklogBSTrace) / 2
 		fmt.Printf("backlog tail slope:  BS %.3f pkts/slot, users %.3f pkts/slot\n",
@@ -210,4 +229,19 @@ func run(args []string) (err error) {
 			b.Lower, b.Upper, res.B, res.B/sc.V)
 	}
 	return nil
+}
+
+// causeBreakdown renders a cause→count map in deterministic (sorted)
+// order, e.g. "s1_iterlimit=3 s4_infeasible=1".
+func causeBreakdown(byCause map[string]int) string {
+	causes := make([]string, 0, len(byCause))
+	for c := range byCause {
+		causes = append(causes, c)
+	}
+	sort.Strings(causes)
+	parts := make([]string, len(causes))
+	for i, c := range causes {
+		parts[i] = fmt.Sprintf("%s=%d", c, byCause[c])
+	}
+	return strings.Join(parts, " ")
 }

@@ -7,13 +7,26 @@
 //	sweep -param users -values 10,20,30 [-slots N] [-replications R] [-out file.tsv]
 //
 // Parameters: users | sessions | neighbors | v | lambda.
+//
+// Replications run on a bounded worker pool and survive per-seed
+// failures: a crashed or failed seed is reported on stderr and excluded
+// from that point's summaries instead of aborting the sweep. With
+// -resume FILE, every completed (param, value, seed) cell is checkpointed
+// to FILE as a JSON line and skipped on the next invocation, so an
+// interrupted sweep (Ctrl-C cancels cooperatively) can pick up where it
+// left off. See docs/ROBUSTNESS.md.
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,7 +43,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
 		param      = fs.String("param", "v", "parameter to sweep: users | sessions | neighbors | v | lambda")
@@ -40,6 +53,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "base seed")
 		out        = fs.String("out", "", "optional TSV output path")
 		metricsPfx = fs.String("metrics", "", "per-point metrics stream prefix: writes <prefix>_<param>_<value>.jsonl (docs/METRICS.md) from one instrumented run per point")
+		resume     = fs.String("resume", "", "JSONL checkpoint file: completed (param, value, seed) cells are appended here and skipped when re-run (docs/ROBUSTNESS.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,10 +73,29 @@ func run(args []string) error {
 		return err
 	}
 
-	header := []string{*param, "cost_mean", "cost_ci", "delivered_mean", "backlog_mean", "grid_mean"}
-	fmt.Printf("%12s %14s %12s %12s %12s %12s\n",
-		*param, "cost", "±95%", "delivered", "backlog", "grid Wh")
+	// Ctrl-C cancels cooperatively: in-flight replications return at their
+	// next slot boundary, finished cells are kept (and checkpointed), and
+	// the partial table is still printed and written.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	done := map[string]sim.SeedMetrics{}
+	var ckpt *checkpointWriter
+	if *resume != "" {
+		if done, err = loadCheckpoints(*resume); err != nil {
+			return err
+		}
+		if ckpt, err = openCheckpoints(*resume); err != nil {
+			return err
+		}
+		defer func() { err = errors.Join(err, ckpt.Close()) }()
+	}
+
+	header := []string{*param, "cost_mean", "cost_ci", "delivered_mean", "backlog_mean", "grid_mean", "degraded_mean"}
+	fmt.Printf("%12s %14s %12s %12s %12s %12s %12s\n",
+		*param, "cost", "±95%", "delivered", "backlog", "grid Wh", "degraded")
 	var rows [][]float64
+	var seedErrs []error
 	for _, v := range vals {
 		sc := greencell.PaperScenario()
 		sc.Slots = *slots
@@ -71,40 +104,163 @@ func run(args []string) error {
 		if err := apply(&sc, v); err != nil {
 			return err
 		}
-		rr, err := sim.RunReplicated(sc, sim.Seeds(*seed, *reps))
-		if err != nil {
-			return fmt.Errorf("%s=%g: %w", *param, v, err)
+
+		// Split the point's seeds into checkpointed cells and fresh work.
+		var ms []sim.SeedMetrics
+		var todo []int64
+		for _, s := range sim.Seeds(*seed, *reps) {
+			if m, ok := done[cellKey(*param, v, s)]; ok {
+				ms = append(ms, m)
+			} else {
+				todo = append(todo, s)
+			}
 		}
-		if *metricsPfx != "" {
+		var failed []int64
+		for _, o := range sim.RunSeeds(ctx, sc, todo) {
+			if o.Err != nil {
+				failed = append(failed, o.Seed)
+				seedErrs = append(seedErrs, fmt.Errorf("%s=%g: %w", *param, v, o.Err))
+				continue
+			}
+			m := sim.MetricsOf(o.Seed, o.Result)
+			ms = append(ms, m)
+			if ckpt != nil {
+				if err := ckpt.Write(cell{Param: *param, Value: v, Metrics: m}); err != nil {
+					return fmt.Errorf("checkpoint: %w", err)
+				}
+			}
+		}
+		if len(failed) > 0 {
+			fmt.Fprintf(os.Stderr, "sweep: %s=%g: %d/%d seeds failed: %v\n",
+				*param, v, len(failed), *reps, failed)
+		}
+		if len(ms) == 0 {
+			// Every seed of the point failed (or the sweep was cancelled
+			// before any finished); there is nothing to summarize.
+			if ctx.Err() != nil {
+				break
+			}
+			continue
+		}
+		// Resumed cells precede fresh ones; re-sort by seed so the summary
+		// folds values in the same order as an uninterrupted sweep.
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Seed < ms[j].Seed })
+		rr := sim.SummarizeSeedMetrics(ms)
+
+		if *metricsPfx != "" && ctx.Err() == nil {
 			// One extra instrumented, single-seed run per point: the
 			// Recorder is single-run and must stay out of the concurrent
 			// replications above.
 			path := fmt.Sprintf("%s_%s_%g.jsonl", *metricsPfx, *param, v)
-			if err := writeMetrics(sc, path); err != nil {
+			if err := writeMetrics(ctx, sc, path); err != nil {
 				return fmt.Errorf("%s=%g: metrics: %w", *param, v, err)
 			}
 		}
 		ci := 1.96 * rr.AvgEnergyCost.StdErr()
-		fmt.Printf("%12g %14.6g %12.3g %12.1f %12.1f %12.4f\n",
+		fmt.Printf("%12g %14.6g %12.3g %12.1f %12.1f %12.4f %12.2f\n",
 			v, rr.AvgEnergyCost.Mean, ci, rr.DeliveredPkts.Mean,
-			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean)
+			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean, rr.DegradedSlots.Mean)
 		rows = append(rows, []float64{
 			v, rr.AvgEnergyCost.Mean, ci, rr.DeliveredPkts.Mean,
-			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean,
+			rr.FinalDataBacklog.Mean, rr.AvgGridWh.Mean, rr.DegradedSlots.Mean,
 		})
+		if ctx.Err() != nil {
+			break // cancelled mid-point: keep the partial table, stop sweeping
+		}
 	}
-	if *out != "" {
+	if *out != "" && len(rows) > 0 {
 		if err := export.WriteTSVFile(*out, header, rows); err != nil {
 			return err
 		}
 		fmt.Println("wrote", *out)
 	}
-	return nil
+	return errors.Join(seedErrs...)
 }
+
+// cell is one checkpoint record: the scalar metrics of one completed
+// (param, value, seed) replication. The file is JSON Lines, append-only,
+// and idempotent to re-runs — duplicate cells overwrite by key on load.
+type cell struct {
+	Param   string          `json:"param"`
+	Value   float64         `json:"value"`
+	Metrics sim.SeedMetrics `json:"metrics"`
+}
+
+// cellKey identifies a sweep cell. %g round-trips exactly for values that
+// were parsed from the same -values string, which is the resume contract.
+func cellKey(param string, value float64, seed int64) string {
+	return fmt.Sprintf("%s=%g#%d", param, value, seed)
+}
+
+// loadCheckpoints reads a -resume file into a key→metrics map. A missing
+// file is an empty checkpoint. A torn final line — the signature of a
+// crash mid-append — is skipped with a warning rather than failing the
+// resume; a torn line anywhere else is corruption and is an error.
+func loadCheckpoints(path string) (map[string]sim.SeedMetrics, error) {
+	done := map[string]sim.SeedMetrics{}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return done, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	scan := bufio.NewScanner(f)
+	torn := ""
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scan.Text())
+		if line == "" {
+			continue
+		}
+		if torn != "" {
+			return nil, fmt.Errorf("checkpoint %s: corrupt record at line %s", path, torn)
+		}
+		var c cell
+		if err := json.Unmarshal([]byte(line), &c); err != nil {
+			torn = strconv.Itoa(lineNo) // tolerated only if it is the last line
+			continue
+		}
+		done[cellKey(c.Param, c.Value, c.Metrics.Seed)] = c.Metrics
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if torn != "" {
+		fmt.Fprintf(os.Stderr, "sweep: checkpoint %s: dropping torn final line %s (interrupted write); its cell will re-run\n", path, torn)
+	}
+	return done, nil
+}
+
+// checkpointWriter appends cells to the -resume file, one JSON line per
+// completed cell, flushed eagerly so a crash loses at most the record
+// being written.
+type checkpointWriter struct{ f *os.File }
+
+func openCheckpoints(path string) (*checkpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &checkpointWriter{f: f}, nil
+}
+
+func (w *checkpointWriter) Write(c cell) error {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return err
+	}
+	_, err = w.f.Write(append(b, '\n'))
+	return err
+}
+
+func (w *checkpointWriter) Close() error { return w.f.Close() }
 
 // writeMetrics re-runs one instrumented copy of the scenario and streams
 // its per-slot metrics records to path.
-func writeMetrics(sc greencell.Scenario, path string) (err error) {
+func writeMetrics(ctx context.Context, sc greencell.Scenario, path string) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -113,7 +269,7 @@ func writeMetrics(sc greencell.Scenario, path string) (err error) {
 	defer func() { err = errors.Join(err, f.Close()) }()
 	rec := sim.NewRecorder(metrics.NewJSONLWriter(f), sim.HeaderFor(sc, "paper"))
 	rec.Attach(&sc, false)
-	if _, err := sim.Run(sc); err != nil {
+	if _, err := sim.RunCtx(ctx, sc); err != nil {
 		return err
 	}
 	return rec.Close()

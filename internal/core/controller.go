@@ -35,6 +35,7 @@ import (
 	"greencell/internal/alloc"
 	"greencell/internal/energy"
 	"greencell/internal/energymgmt"
+	"greencell/internal/faultinject"
 	"greencell/internal/lyapunov"
 	"greencell/internal/queueing"
 	"greencell/internal/rng"
@@ -87,6 +88,31 @@ type Config struct {
 	// checker here (enabled via sim.Scenario.CheckInvariants). Nil keeps
 	// the control path free of the extra snapshots.
 	Check func(*SlotCheck) error
+	// Faults, when set, injects deterministic faults at the named sites of
+	// internal/faultinject; injected failures take exactly the same
+	// degradation path as organic ones. Nil injects nothing.
+	Faults *faultinject.Injector
+	// Budget bounds each slot's solve work (docs/ROBUSTNESS.md). The zero
+	// value imposes no caller budget.
+	Budget SolveBudget
+}
+
+// SolveBudget bounds the optimization work a single Step may spend. When a
+// stage exhausts its budget the controller does not error: it falls back to
+// the stage's safe action and marks the slot degraded.
+type SolveBudget struct {
+	// MaxLPIterations caps the total simplex iterations of each LP solve
+	// triggered by S1 and S4 (lp.Problem.SetIterationLimit); 0 = no cap
+	// beyond the engines' built-in safety limit.
+	MaxLPIterations int
+	// SlotDeadline is the wall-clock budget for one Step's solves; 0 = no
+	// deadline. Once spent, every remaining stage of the slot takes its
+	// safe action (cause "deadline"). Real wall-clock overruns are
+	// machine-dependent, so runs that must be bit-identical should either
+	// leave this zero or set it generously; the injected Latency fault
+	// consumes the deadline virtually — without sleeping — and is fully
+	// deterministic.
+	SlotDeadline time.Duration
 }
 
 // Observation is the random state revealed at the beginning of a slot:
@@ -183,6 +209,20 @@ type SlotResult struct {
 	// Stages holds the per-stage timing and solver-work breakdown (nil
 	// unless Config.Instrument).
 	Stages *StageBreakdown
+
+	// Degraded marks a slot where at least one stage fell back to its safe
+	// action instead of its optimizing decision (docs/ROBUSTNESS.md).
+	Degraded bool
+	// DegradedCauses lists the degradation causes recorded this slot, in
+	// stage order. Labels: obs, latency, deadline, s1_infeasible,
+	// s1_iterlimit, s2_fault, s3_fault, s4_infeasible, s4_iterlimit.
+	DegradedCauses []string
+}
+
+// markDegraded records one degradation cause on the slot.
+func (r *SlotResult) markDegraded(cause string) {
+	r.Degraded = true
+	r.DegradedCauses = append(r.DegradedCauses, cause)
 }
 
 // StageBreakdown records how one Step spent its time across the paper's
@@ -505,12 +545,44 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		mark = t0
 	}
 
+	// --- Fault-injection and solve-budget state ------------------------
+	// inj is nil-safe: a nil injector never fires. pastDeadline flips when
+	// the slot's wall-clock budget is spent (organically, or virtually by
+	// the injected Latency fault); from then on every stage takes its safe
+	// action. overDeadline is checked before each stage solve.
+	inj := c.cfg.Faults
+	var deadlineAt time.Time
+	pastDeadline := false
+	if c.cfg.Budget.SlotDeadline > 0 {
+		deadlineAt = time.Now().Add(c.cfg.Budget.SlotDeadline)
+		if inj.Fires(faultinject.Latency, c.slot) {
+			// Virtual latency spike: the budget is consumed up front —
+			// nothing sleeps, so runs stay fast and bit-identical.
+			pastDeadline = true
+			res.markDegraded(CauseLatency)
+		}
+	}
+	overDeadline := func() bool {
+		if c.cfg.Budget.SlotDeadline <= 0 {
+			return false
+		}
+		if !pastDeadline && time.Now().After(deadlineAt) {
+			pastDeadline = true
+			res.markDegraded(CauseDeadline)
+		}
+		return pastDeadline
+	}
+
 	// --- Observe the random state -------------------------------------
 	env := c.cfg.Env
 	if env == nil {
 		env = DefaultEnvironment{}
 	}
 	obs := env.Observe(c.slot, src, net)
+	c.injectObs(&obs)
+	if sanitizeObs(&obs) {
+		res.markDegraded(CauseObs)
+	}
 	widths := obs.Widths
 	renewWh := obs.RenewWh
 	connected := obs.Connected
@@ -548,14 +620,31 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 			txCap[i] = capW
 		}
 	}
-	asg, err := c.sched.Schedule(&sched.Request{
-		Net:        net,
-		Widths:     widths,
-		Weights:    weights,
-		TxPowerCap: txCap,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	var asg *sched.Assignment
+	var errS1 error
+	switch {
+	case overDeadline():
+		asg = idleAssignment(net)
+	case inj.Fires(faultinject.S1Infeasible, c.slot):
+		errS1 = fmt.Errorf("%w: %w", sched.ErrInfeasible, inj.Error(faultinject.S1Infeasible, c.slot))
+	case inj.Fires(faultinject.S1IterLimit, c.slot):
+		errS1 = fmt.Errorf("%w: %w", sched.ErrIterationLimit, inj.Error(faultinject.S1IterLimit, c.slot))
+	default:
+		asg, errS1 = c.sched.Schedule(&sched.Request{
+			Net:             net,
+			Widths:          widths,
+			Weights:         weights,
+			TxPowerCap:      txCap,
+			MaxLPIterations: c.cfg.Budget.MaxLPIterations,
+		})
+	}
+	if errS1 != nil {
+		cause := solveCause(errS1, CauseS1Infeasible, CauseS1IterLimit, CauseS1Infeasible)
+		if cause == "" {
+			return nil, fmt.Errorf("slot %d: %w", c.slot, errS1)
+		}
+		res.markDegraded(cause)
+		asg = idleAssignment(net)
 	}
 	// capPkts is the scheduled service of the virtual queues H (eq. (30)).
 	// routeCap is the routing cap per link: the capacity the link would
@@ -589,14 +678,30 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	}
 
 	// --- S2: resource allocation ----------------------------------------
-	dec2, err := alloc.Decide(&alloc.Request{
-		Sessions:     c.cfg.Traffic.Sessions,
-		BaseStations: net.BaseStations(),
-		Backlog:      func(s, node int) float64 { return c.q[s][node].Backlog() },
-		LambdaV:      c.cfg.Lambda * c.cfg.V,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	var dec2 *alloc.Decision
+	var errS2 error
+	switch {
+	case overDeadline():
+		dec2 = c.safeAllocation()
+	case inj.Fires(faultinject.S2Fail, c.slot):
+		errS2 = inj.Error(faultinject.S2Fail, c.slot)
+	default:
+		dec2, errS2 = alloc.Decide(&alloc.Request{
+			Sessions:     c.cfg.Traffic.Sessions,
+			BaseStations: net.BaseStations(),
+			Backlog:      func(s, node int) float64 { return c.q[s][node].Backlog() },
+			LambdaV:      c.cfg.Lambda * c.cfg.V,
+		})
+	}
+	if errS2 != nil {
+		// alloc has no solver: organic errors are request bugs and abort;
+		// only injected failures degrade.
+		cause := solveCause(errS2, CauseS2Fault, CauseS2Fault, CauseS2Fault)
+		if cause == "" {
+			return nil, fmt.Errorf("slot %d: %w", c.slot, errS2)
+		}
+		res.markDegraded(cause)
+		dec2 = c.safeAllocation()
 	}
 	if st != nil {
 		now := time.Now()
@@ -615,25 +720,40 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	for l := range net.Links {
 		hBacklog[l] = c.h[l].Backlog()
 	}
-	dec3, err := routing.Decide(&routing.Request{
-		Net:         net,
-		NumSessions: S,
-		Backlog: func(s, node int) float64 {
-			if c.isSink(s, node) {
-				return 0
-			}
-			return c.q[s][node].Backlog()
-		},
-		H:            hBacklog,
-		Beta:         c.beta,
-		CapacityPkts: routeCap,
-		Dest:         dest,
-		Source:       dec2.Source,
-		Sink:         c.isSink,
-		DemandPkts:   demand,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	var dec3 *routing.Decision
+	var errS3 error
+	switch {
+	case overDeadline():
+		dec3 = c.safeRouting()
+	case inj.Fires(faultinject.S3Fail, c.slot):
+		errS3 = inj.Error(faultinject.S3Fail, c.slot)
+	default:
+		dec3, errS3 = routing.Decide(&routing.Request{
+			Net:         net,
+			NumSessions: S,
+			Backlog: func(s, node int) float64 {
+				if c.isSink(s, node) {
+					return 0
+				}
+				return c.q[s][node].Backlog()
+			},
+			H:            hBacklog,
+			Beta:         c.beta,
+			CapacityPkts: routeCap,
+			Dest:         dest,
+			Source:       dec2.Source,
+			Sink:         c.isSink,
+			DemandPkts:   demand,
+		})
+	}
+	if errS3 != nil {
+		// routing is solver-free like alloc: only injected failures degrade.
+		cause := solveCause(errS3, CauseS3Fault, CauseS3Fault, CauseS3Fault)
+		if cause == "" {
+			return nil, fmt.Errorf("slot %d: %w", c.slot, errS3)
+		}
+		res.markDegraded(cause)
+		dec3 = c.safeRouting()
 	}
 	if st != nil {
 		now := time.Now()
@@ -801,13 +921,31 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 			IsBS:                net.IsBS(i),
 		}
 	}
-	dec4, err := energymgmt.Solve(&energymgmt.Request{
-		Nodes: inputs,
-		V:     c.cfg.V,
-		Cost:  c.cfg.Cost,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("slot %d: %w", c.slot, err)
+	req4 := &energymgmt.Request{
+		Nodes:           inputs,
+		V:               c.cfg.V,
+		Cost:            c.cfg.Cost,
+		MaxLPIterations: c.cfg.Budget.MaxLPIterations,
+	}
+	var dec4 *energymgmt.Decision
+	var errS4 error
+	switch {
+	case overDeadline():
+		dec4 = energymgmt.SafeDecision(req4)
+	case inj.Fires(faultinject.S4Infeasible, c.slot):
+		errS4 = fmt.Errorf("%w: %w", energymgmt.ErrInfeasible, inj.Error(faultinject.S4Infeasible, c.slot))
+	case inj.Fires(faultinject.S4IterLimit, c.slot):
+		errS4 = fmt.Errorf("%w: %w", energymgmt.ErrIterationLimit, inj.Error(faultinject.S4IterLimit, c.slot))
+	default:
+		dec4, errS4 = energymgmt.Solve(req4)
+	}
+	if errS4 != nil {
+		cause := solveCause(errS4, CauseS4Infeasible, CauseS4IterLimit, CauseS4Infeasible)
+		if cause == "" {
+			return nil, fmt.Errorf("slot %d: %w", c.slot, errS4)
+		}
+		res.markDegraded(cause)
+		dec4 = energymgmt.SafeDecision(req4)
 	}
 	if chk != nil {
 		chk.Actual = actual

@@ -1,0 +1,151 @@
+// Graceful per-slot degradation: the safe actions each stage falls back to
+// when its solve fails (organically or by injection) or exceeds the slot's
+// solve budget, plus the observation repair that precedes them. Safe
+// actions are feasible by construction — they satisfy the per-slot
+// constraints of eqs. (9)–(14) and (22) unconditionally — so the invariant
+// checker (internal/invariant) passes on degraded slots. Queues keep
+// evolving under a safe action: admission and transmission stop for the
+// slot, but arrivals already queued stay queued and batteries follow the
+// greedy energy split. See docs/ROBUSTNESS.md.
+
+package core
+
+import (
+	"errors"
+	"math"
+
+	"greencell/internal/alloc"
+	"greencell/internal/energymgmt"
+	"greencell/internal/faultinject"
+	"greencell/internal/routing"
+	"greencell/internal/sched"
+	"greencell/internal/topology"
+)
+
+// Degradation cause labels, as surfaced in SlotResult.DegradedCauses and
+// the degraded_cause_* metrics (docs/METRICS.md).
+const (
+	CauseObs          = "obs"
+	CauseLatency      = "latency"
+	CauseDeadline     = "deadline"
+	CauseS1Infeasible = "s1_infeasible"
+	CauseS1IterLimit  = "s1_iterlimit"
+	CauseS2Fault      = "s2_fault"
+	CauseS3Fault      = "s3_fault"
+	CauseS4Infeasible = "s4_infeasible"
+	CauseS4IterLimit  = "s4_iterlimit"
+)
+
+// idleAssignment is S1's safe action: the all-idle schedule α = 0 — no
+// link gets a band, power, or rate. The zero schedule satisfies the radio
+// constraint (22) and the SINR rows (24) trivially, and under it the
+// virtual queues H simply absorb this slot's routed load (eq. (30)).
+func idleAssignment(net *topology.Network) *sched.Assignment {
+	n := len(net.Links)
+	asg := &sched.Assignment{
+		LinkBand: make([]int, n),
+		PowerW:   make([]float64, n),
+		RateBits: make([]float64, n),
+		Activity: make([]float64, n),
+	}
+	for l := range asg.LinkBand {
+		asg.LinkBand[l] = -1
+	}
+	return asg
+}
+
+// safeAllocation is S2's safe action: admit nothing. Zero admission
+// satisfies the admission bound k_s ≤ K_s^max trivially and only defers
+// traffic (DroppedPkts accounts for it). Sources still need valid values —
+// downlink sessions point at the first base station, uplink at their fixed
+// user — because the queue update and delay FIFOs index by source even
+// when the admitted amount is zero.
+func (c *Controller) safeAllocation() *alloc.Decision {
+	sessions := c.cfg.Traffic.Sessions
+	dec := &alloc.Decision{
+		Source: make([]int, len(sessions)),
+		Admit:  make([]float64, len(sessions)),
+	}
+	bs := c.cfg.Net.BaseStations()
+	for s, sess := range sessions {
+		if sess.Uplink {
+			dec.Source[s] = sess.Source
+		} else {
+			dec.Source[s] = bs[0]
+		}
+	}
+	return dec
+}
+
+// safeRouting is S3's safe action: route nothing. Zero flows satisfy the
+// per-link capacity and non-negativity constraints trivially; backlogs
+// stay where they are for one slot.
+func (c *Controller) safeRouting() *routing.Decision {
+	flow := make([][]float64, len(c.cfg.Net.Links))
+	for l := range flow {
+		flow[l] = make([]float64, c.cfg.Traffic.NumSessions())
+	}
+	return &routing.Decision{Flow: flow}
+}
+
+// injectObs corrupts the observation at any firing input-fault site,
+// cloning the affected slice first: environments like FixedEnvironment
+// hand out shared backing arrays that must never be mutated.
+func (c *Controller) injectObs(obs *Observation) {
+	inj := c.cfg.Faults
+	if inj == nil {
+		return
+	}
+	if len(obs.RenewWh) > 0 && inj.Fires(faultinject.ObsRenewableNaN, c.slot) {
+		obs.RenewWh = append([]float64(nil), obs.RenewWh...)
+		obs.RenewWh[inj.Index(faultinject.ObsRenewableNaN, c.slot, len(obs.RenewWh))] = math.NaN()
+	}
+	if len(obs.Widths) > 0 && inj.Fires(faultinject.ObsWidthInf, c.slot) {
+		obs.Widths = append([]float64(nil), obs.Widths...)
+		obs.Widths[inj.Index(faultinject.ObsWidthInf, c.slot, len(obs.Widths))] = math.Inf(1)
+	}
+}
+
+// sanitizeObs repairs non-finite or negative band widths and renewable
+// readings by zeroing them — the conservative reading: a dead band, no
+// harvest — so corrupted inputs can never poison the solves or the queue
+// arithmetic. Slices are cloned before the first repair (shared backing
+// arrays again). It reports whether anything was repaired.
+func sanitizeObs(obs *Observation) bool {
+	dirty := false
+	clean := func(xs []float64) []float64 {
+		cloned := false
+		for i, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				if !cloned {
+					xs = append([]float64(nil), xs...)
+					cloned = true
+				}
+				xs[i] = 0
+				dirty = true
+			}
+		}
+		return xs
+	}
+	obs.Widths = clean(obs.Widths)
+	obs.RenewWh = clean(obs.RenewWh)
+	return dirty
+}
+
+// solveCause classifies a stage error into its degradation cause label, or
+// "" when the error is not a recognized solver outcome — config and
+// programming errors still abort the run. infeasible/iterlimit name the
+// stage's sentinel pair; fault is the catch-all label for an injected
+// failure of a stage without sentinels (S2/S3).
+func solveCause(err error, infeasible, iterlimit, fault string) string {
+	switch {
+	case errors.Is(err, sched.ErrIterationLimit), errors.Is(err, energymgmt.ErrIterationLimit):
+		return iterlimit
+	case errors.Is(err, sched.ErrInfeasible), errors.Is(err, energymgmt.ErrInfeasible):
+		return infeasible
+	case errors.Is(err, faultinject.ErrInjected):
+		return fault
+	default:
+		return ""
+	}
+}

@@ -106,10 +106,31 @@ type Request struct {
 	// DeficitPenalty is the per-Wh cost of unserved demand; 0 means an
 	// automatic value that dominates every legitimate marginal cost.
 	DeficitPenalty float64
+	// MaxLPIterations, when positive, caps the total simplex iterations of
+	// each inner LP solve (lp.Problem.SetIterationLimit). An exhausted
+	// budget surfaces as an error wrapping ErrIterationLimit, on which the
+	// controller falls back to the greedy safe-action energy split
+	// (docs/ROBUSTNESS.md).
+	MaxLPIterations int
 }
 
 // ErrRequest reports an invalid request.
 var ErrRequest = errors.New("energymgmt: invalid request")
+
+// Typed solver-outcome sentinels, mirroring package sched: they classify
+// how a structurally valid solve failed so the controller's degradation
+// path can branch with errors.Is. ErrRequest remains a caller bug and is
+// not a degradation trigger.
+var (
+	// ErrInfeasible reports that an inner LP ended infeasible (or
+	// otherwise failed to reach an optimum). The deficit slack makes
+	// every S4 program feasible, so organically this indicates numerical
+	// trouble.
+	ErrInfeasible = errors.New("energymgmt: infeasible")
+	// ErrIterationLimit reports that an inner LP exhausted its iteration
+	// budget (Request.MaxLPIterations or the engine safety cap).
+	ErrIterationLimit = errors.New("energymgmt: iteration limit")
+)
 
 // Solve computes the S4 decision.
 func Solve(req *Request) (*Decision, error) {
@@ -214,6 +235,52 @@ func Solve(req *Request) (*Decision, error) {
 	return dec, nil
 }
 
+// SafeDecision returns the documented safe-action energy split used when
+// the S4 solve fails or exceeds its budget (docs/ROBUSTNESS.md): per node,
+// serve demand greedily from renewable first, then grid (when connected, up
+// to the cap), then battery discharge (up to headroom); never charge; count
+// any remainder as deficit. Eqs. (3), (11), (12), (14) and the demand
+// balance (2) hold by construction — renewable use never exceeds R_i, grid
+// draw never exceeds ω_i·p_i^max, discharge never exceeds the headroom, and
+// charge is zero — so the invariant checker passes on degraded slots. The
+// split is deliberately myopic: it ignores z_i and V·f, trading optimality
+// for unconditional feasibility, and never errors.
+func SafeDecision(req *Request) *Decision {
+	dec := &Decision{Nodes: make([]NodeDecision, len(req.Nodes))}
+	p := 0.0
+	obj := 0.0
+	deficit := 0.0
+	for i, n := range req.Nodes {
+		need := n.DemandWh
+		r := math.Min(n.RenewableWh, need)
+		need -= r
+		g := 0.0
+		if n.GridConnected {
+			g = math.Min(n.GridCapWh, need)
+		}
+		need -= g
+		d := math.Min(n.DischargeHeadroomWh, need)
+		need -= d
+		dec.Nodes[i] = NodeDecision{
+			RenewToDemand: r,
+			GridToDemand:  g,
+			DischargeWh:   d,
+			DeficitWh:     need,
+		}
+		if n.IsBS {
+			p += g
+		}
+		obj -= n.Z * d
+		deficit += need
+	}
+	dec.GridTotalWh = p
+	dec.EnergyCost = req.Cost.Eval(p)
+	dec.Objective = obj + req.V*dec.EnergyCost
+	dec.TotalDeficitWh = deficit
+	dec.MarginalPriceWh = req.V * req.Cost.Deriv(p)
+	return dec
+}
+
 // solveNodes optimizes the relaxed per-node decisions of the given nodes
 // jointly under an optional total-grid-draw budget (applied when budgeted is
 // true and budget is finite). It returns the decisions (indexed like
@@ -221,6 +288,7 @@ func Solve(req *Request) (*Decision, error) {
 // simplex iterations spent.
 func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) ([]NodeDecision, float64, int, error) {
 	p := lp.NewProblem(lp.Minimize)
+	p.SetIterationLimit(req.MaxLPIterations)
 	inf := math.Inf(1)
 	type varsOf struct{ r, cr, g, cg, d, u lp.VarID }
 	vs := make(map[int]varsOf, len(nodes))
@@ -268,7 +336,11 @@ func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) (
 		return nil, 0, 0, fmt.Errorf("energymgmt: node LP: %w", err)
 	}
 	if sol.Status != lp.Optimal {
-		return nil, 0, sol.Iterations, fmt.Errorf("energymgmt: node LP status %v (deficit slack should make it feasible)", sol.Status)
+		if sol.Status == lp.IterationLimit {
+			return nil, 0, sol.Iterations, fmt.Errorf("node LP: %w", ErrIterationLimit)
+		}
+		return nil, 0, sol.Iterations, fmt.Errorf(
+			"node LP: %w (status %v; deficit slack should make it feasible)", ErrInfeasible, sol.Status)
 	}
 	out := make([]NodeDecision, len(req.Nodes))
 	for _, i := range nodes {

@@ -1,0 +1,155 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the drift-plus-penalty control loop. An Injector decides, per named site
+// and slot, whether a fault fires; the controller (internal/core) turns a
+// firing into the corresponding failure — a solver error on an S1–S4 site,
+// a NaN/Inf perturbation of the slot's observation on an input site, or a
+// consumed slot deadline on the latency site — and then exercises exactly
+// the same graceful-degradation path a real failure would take
+// (docs/ROBUSTNESS.md).
+//
+// Determinism is the point: every firing decision is a pure function of
+// (injector seed, site, slot), drawn from its own rng.Split sub-stream, so
+// a fuzz or soak run reproduces bit-identically from its scenario seed and
+// injection never perturbs the random draws of the simulated processes.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"greencell/internal/rng"
+)
+
+// Site names one injection point in the control loop.
+type Site string
+
+// Injection sites. The S1–S4 sites fail the corresponding subproblem
+// solve before it runs (wrapped in the stage's typed sentinel by the
+// controller); the observation sites corrupt one entry of the slot's
+// revealed random state; Latency consumes the slot's wall-clock budget.
+const (
+	// S1Infeasible fails the S1 link-scheduling solve as infeasible.
+	S1Infeasible Site = "s1_infeasible"
+	// S1IterLimit fails the S1 solve at its iteration budget.
+	S1IterLimit Site = "s1_iterlimit"
+	// S2Fail fails the S2 resource-allocation decision.
+	S2Fail Site = "s2_fail"
+	// S3Fail fails the S3 routing decision.
+	S3Fail Site = "s3_fail"
+	// S4Infeasible fails the S4 energy-management solve as infeasible.
+	S4Infeasible Site = "s4_infeasible"
+	// S4IterLimit fails the S4 solve at its iteration budget.
+	S4IterLimit Site = "s4_iterlimit"
+	// ObsRenewableNaN sets one node's renewable output R_i(t) to NaN.
+	ObsRenewableNaN Site = "obs_renewable_nan"
+	// ObsWidthInf sets one band width W_m(t) to +Inf.
+	ObsWidthInf Site = "obs_width_inf"
+	// Latency simulates a per-slot latency spike: when the slot has a
+	// wall-clock budget (core.SolveBudget.SlotDeadline), the spike consumes
+	// it and every stage falls back to its safe action. The spike is
+	// virtual — nothing sleeps — so soaks stay fast and bit-identical.
+	Latency Site = "latency"
+)
+
+// Sites returns every injection site in a fixed order.
+func Sites() []Site {
+	return []Site{
+		S1Infeasible, S1IterLimit, S2Fail, S3Fail,
+		S4Infeasible, S4IterLimit, ObsRenewableNaN, ObsWidthInf, Latency,
+	}
+}
+
+// ErrInjected marks an injected fault; the controller's degradation
+// classifier treats it like a solver-outcome failure. errors.Is
+// distinguishes injected faults from organic ones in tests and logs.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Config sets the per-site firing probabilities. The zero value injects
+// nothing.
+type Config struct {
+	// Probability maps each site to its per-slot firing probability in
+	// [0, 1]; absent sites never fire.
+	Probability map[Site]float64
+}
+
+// Uniform returns a Config firing every site with probability p.
+func Uniform(p float64) Config {
+	m := make(map[Site]float64, len(Sites()))
+	for _, s := range Sites() {
+		m[s] = p
+	}
+	return Config{Probability: m}
+}
+
+// Enabled reports whether any site has a positive probability.
+func (c Config) Enabled() bool {
+	for _, p := range c.Probability {
+		if p > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects probabilities outside [0, 1] or non-finite.
+func (c Config) Validate() error {
+	for s, p := range c.Probability {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("faultinject: site %s probability %v outside [0,1]", s, p)
+		}
+	}
+	return nil
+}
+
+// Injector makes the per-(site, slot) firing decisions. A nil *Injector
+// is valid and never fires, so callers need no guard. Decisions are pure
+// functions of the construction seed: each draws from its own sub-stream
+// split as "<site>#<slot>", so firing at one site never shifts another
+// site's pattern and call order is irrelevant.
+type Injector struct {
+	root  *rng.Source
+	probs map[Site]float64
+}
+
+// New builds an injector drawing its decisions from src (typically
+// rng.New(seed).Split("faults") so the pattern is pinned by the scenario
+// seed). A config with no positive probabilities yields a non-nil injector
+// that never fires.
+func New(src *rng.Source, cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	probs := make(map[Site]float64, len(cfg.Probability))
+	for s, p := range cfg.Probability {
+		probs[s] = p
+	}
+	return &Injector{root: src, probs: probs}, nil
+}
+
+// Fires reports whether the site's fault fires at the given slot.
+func (in *Injector) Fires(site Site, slot int) bool {
+	if in == nil {
+		return false
+	}
+	p := in.probs[site]
+	if p <= 0 {
+		return false
+	}
+	return in.root.Split(fmt.Sprintf("%s#%d", site, slot)).Bernoulli(p)
+}
+
+// Index picks a deterministic target index in [0, n) for a firing at the
+// site and slot — which node's renewable reading or which band width to
+// corrupt. It returns 0 for n <= 1.
+func (in *Injector) Index(site Site, slot, n int) int {
+	if in == nil || n <= 1 {
+		return 0
+	}
+	return in.root.Split(fmt.Sprintf("%s@%d", site, slot)).Intn(n)
+}
+
+// Error returns the fault error for a firing, wrapping ErrInjected.
+func (in *Injector) Error(site Site, slot int) error {
+	return fmt.Errorf("%w: site %s slot %d", ErrInjected, site, slot)
+}

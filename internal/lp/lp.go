@@ -118,6 +118,9 @@ type Problem struct {
 	sense Sense
 	vars  []variable
 	cons  []constraint
+	// maxIters caps the total simplex iterations of a solve (both phases);
+	// 0 means the engines' built-in safety cap only. See SetIterationLimit.
+	maxIters int
 }
 
 // NewProblem returns an empty problem with the given objective sense.
@@ -147,6 +150,22 @@ func (p *Problem) SetVarBounds(v VarID, lo, hi float64) {
 	p.vars[v].hi = hi
 }
 
+// SetIterationLimit caps the total simplex iterations (pivots and bound
+// flips, both phases) a Solve may spend; a solve that exhausts the budget
+// reports Status IterationLimit. n <= 0 restores the default behavior: the
+// engines' built-in anti-cycling safety cap only. The limit is a solve
+// budget for callers with per-slot deadlines (docs/ROBUSTNESS.md), so it
+// survives Clone and presolve reduction.
+func (p *Problem) SetIterationLimit(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.maxIters = n
+}
+
+// IterationLimit returns the configured iteration budget (0 = none).
+func (p *Problem) IterationLimit() int { return p.maxIters }
+
 // SetVarCost replaces the objective coefficient of v.
 func (p *Problem) SetVarCost(v VarID, cost float64) {
 	p.vars[v].cost = cost
@@ -173,7 +192,7 @@ func (p *Problem) AddConstraint(name string, rel Rel, rhs float64, terms ...Term
 // the original. Constraint term slices are shared structurally but never
 // mutated by the solver, so cloning copies only the headers.
 func (p *Problem) Clone() *Problem {
-	q := &Problem{sense: p.sense}
+	q := &Problem{sense: p.sense, maxIters: p.maxIters}
 	q.vars = make([]variable, len(p.vars))
 	copy(q.vars, p.vars)
 	q.cons = make([]constraint, len(p.cons))

@@ -47,6 +47,7 @@ func presolve(p *Problem) *presolved {
 	}
 
 	red := NewProblem(p.sense)
+	red.maxIters = p.maxIters // the solve budget applies to the reduced solve
 	for j, v := range p.vars {
 		if ps.varMap[j] == -1 {
 			continue

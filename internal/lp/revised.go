@@ -37,6 +37,9 @@ type revisedEngine struct {
 	// iters counts simplex iterations (pivots + bound flips) across both
 	// phases, reported on Solution.Iterations.
 	iters int
+	// limit, when positive, caps iters across both phases (the caller's
+	// solve budget from Problem.SetIterationLimit).
+	limit int
 
 	// rowMult maps final setup rows back to the user's rows for duals.
 	rowMult []float64
@@ -70,6 +73,7 @@ func newRevised(p *Problem) *revisedEngine {
 	n := len(p.vars)
 	e := &revisedEngine{
 		m: m, n: n,
+		limit:   p.maxIters,
 		rowMult: make([]float64, m),
 	}
 	for i := range e.rowMult {
@@ -379,6 +383,10 @@ func (e *revisedEngine) iterate() Status {
 			}
 			e.snap()
 			return Optimal
+		}
+		// Another pivot is needed; stop if the caller's budget is spent.
+		if e.limit > 0 && e.iters >= e.limit {
+			return IterationLimit
 		}
 		e.iters++
 

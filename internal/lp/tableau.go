@@ -46,6 +46,9 @@ type tableau struct {
 	// iters counts simplex iterations (pivots + bound flips) across both
 	// phases, reported on Solution.Iterations.
 	iters int
+	// limit, when positive, caps iters across both phases (the caller's
+	// solve budget from Problem.SetIterationLimit).
+	limit int
 
 	// Dual recovery bookkeeping. rowMult[i] is the net multiplier taking
 	// the user's original row i to the final setup row (equilibration and
@@ -78,6 +81,7 @@ func newTableau(p *Problem) *tableau {
 	t := &tableau{
 		m:      m,
 		n:      n,
+		limit:  p.maxIters,
 		T:      make([][]float64, m),
 		lo:     make([]float64, 0, maxCols),
 		hi:     make([]float64, 0, maxCols),
@@ -364,6 +368,10 @@ func (t *tableau) iterate() Status {
 		if q < 0 {
 			t.snapBasics()
 			return Optimal
+		}
+		// Another pivot is needed; stop if the caller's budget is spent.
+		if t.limit > 0 && t.iters >= t.limit {
+			return IterationLimit
 		}
 		t.iters++
 		// sigma: +1 entering increases from lower, -1 decreases from upper.

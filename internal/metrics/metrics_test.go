@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -91,7 +92,7 @@ func TestJSONLRoundTrip(t *testing.T) {
 
 	out := buf.String()
 	if !strings.Contains(out, `"schema":"greencell.metrics"`) ||
-		!strings.Contains(out, `"version":1`) {
+		!strings.Contains(out, fmt.Sprintf(`"version":%d`, SchemaVersion)) {
 		t.Errorf("header line missing schema identity:\n%s", out)
 	}
 	slots, err := ReadAllSlots(strings.NewReader(out))

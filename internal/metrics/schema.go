@@ -14,7 +14,10 @@ const SchemaName = "greencell.metrics"
 // package. Bump it whenever a field of Header, SlotRecord, or Summary is
 // added, removed, or changes meaning or unit, and update docs/METRICS.md
 // in the same change.
-const SchemaVersion = 1
+//
+// Version history: 2 added the degradation fields (degraded,
+// degraded_causes) of the fault-tolerance layer (docs/ROBUSTNESS.md).
+const SchemaVersion = 2
 
 // Header is the first record of every metrics stream: it pins the schema
 // version and the run's identifying parameters, so a stream is
@@ -106,6 +109,13 @@ type SlotRecord struct {
 	DemandWh         float64 `json:"demand_wh"`
 	TxEnergyWh       float64 `json:"tx_energy_wh"`
 	DeficitWh        float64 `json:"deficit_wh"`
+
+	// Degradation state (docs/ROBUSTNESS.md). Degraded is 1 when any
+	// stage of the slot fell back to its safe action, else 0;
+	// DegradedCauses joins the slot's cause labels with semicolons —
+	// CSV-safe without quoting — and is empty on healthy slots.
+	Degraded       int    `json:"degraded"`
+	DegradedCauses string `json:"degraded_causes,omitempty"`
 }
 
 // Summary is the final record: the run-level aggregation of the registry
@@ -171,6 +181,8 @@ var slotColumns = []struct {
 	{"demand_wh", func(r *SlotRecord) string { return ftoa(r.DemandWh) }},
 	{"tx_energy_wh", func(r *SlotRecord) string { return ftoa(r.TxEnergyWh) }},
 	{"deficit_wh", func(r *SlotRecord) string { return ftoa(r.DeficitWh) }},
+	{"degraded", func(r *SlotRecord) string { return itoa(r.Degraded) }},
+	{"degraded_causes", func(r *SlotRecord) string { return r.DegradedCauses }},
 }
 
 func itoa(v int) string     { return fmt.Sprintf("%d", v) }

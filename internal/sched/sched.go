@@ -49,6 +49,12 @@ type Request struct {
 	// whose available energy cannot cover a transmission out of the
 	// schedule.
 	TxPowerCap []float64
+	// MaxLPIterations, when positive, caps the total simplex iterations of
+	// each LP solve this request triggers (lp.Problem.SetIterationLimit).
+	// An exhausted budget surfaces as an error wrapping ErrIterationLimit,
+	// on which the controller falls back to the idle safe action
+	// (docs/ROBUSTNESS.md).
+	MaxLPIterations int
 }
 
 func (r *Request) maxPower(node int) float64 {
@@ -111,6 +117,28 @@ type Scheduler interface {
 // ErrRequest reports an invalid scheduling request.
 var ErrRequest = errors.New("sched: invalid request")
 
+// Typed solver-outcome sentinels. They classify how a structurally valid
+// solve failed, so callers (the controller's degradation path) can branch
+// with errors.Is instead of matching message strings. ErrRequest, by
+// contrast, is a caller bug and is not a degradation trigger.
+var (
+	// ErrInfeasible reports that a solve ended infeasible (or otherwise
+	// failed to reach an optimum). The all-zeros schedule is always
+	// feasible for S1, so organically this indicates numerical trouble.
+	ErrInfeasible = errors.New("sched: infeasible")
+	// ErrIterationLimit reports that a solve exhausted its iteration
+	// budget (Request.MaxLPIterations or the engine safety cap).
+	ErrIterationLimit = errors.New("sched: iteration limit")
+)
+
+// statusErr maps a non-optimal LP status onto the matching sentinel.
+func statusErr(s lp.Status) error {
+	if s == lp.IterationLimit {
+		return ErrIterationLimit
+	}
+	return fmt.Errorf("%w (LP status %v)", ErrInfeasible, s)
+}
+
 func validate(req *Request) error {
 	if req.Net == nil {
 		return fmt.Errorf("%w: nil network", ErrRequest)
@@ -164,6 +192,7 @@ func enumeratePairs(req *Request) []pair {
 func buildLP(req *Request, pairs []pair) (*lp.Problem, []lp.VarID) {
 	net := req.Net
 	p := lp.NewProblem(lp.Maximize)
+	p.SetIterationLimit(req.MaxLPIterations)
 	ids := make([]lp.VarID, len(pairs))
 	for k, pr := range pairs {
 		link := net.Links[pr.link]
@@ -415,7 +444,7 @@ func (SequentialFix) Schedule(req *Request) (*Assignment, error) {
 		if sol.Status != lp.Optimal {
 			// The pinned partial schedule plus all-zeros is always feasible,
 			// so anything else is a solver failure worth surfacing.
-			return nil, fmt.Errorf("sched: sequential-fix LP status %v", sol.Status)
+			return nil, fmt.Errorf("sequential-fix: %w", statusErr(sol.Status))
 		}
 
 		const tol = 1e-6
@@ -555,7 +584,7 @@ func (e Exact) Schedule(req *Request) (*Assignment, error) {
 		return nil, fmt.Errorf("sched: exact: %w", err)
 	}
 	if sol.Status == bip.Infeasible {
-		return nil, errors.New("sched: exact: infeasible (all-zeros should be feasible)")
+		return nil, fmt.Errorf("exact: %w (all-zeros should be feasible)", ErrInfeasible)
 	}
 	chosen := make([]bool, len(pairs))
 	for k := range pairs {
@@ -603,7 +632,7 @@ func (Relaxed) Schedule(req *Request) (*Assignment, error) {
 	}
 	asg.Stats = SolveStats{LPSolves: 1, LPIterations: sol.Iterations}
 	if sol.Status != lp.Optimal {
-		return nil, fmt.Errorf("sched: relaxed LP status %v", sol.Status)
+		return nil, fmt.Errorf("relaxed: %w", statusErr(sol.Status))
 	}
 	gamma := net.Radio.SINRThreshold
 	eta := net.Radio.NoiseDensity

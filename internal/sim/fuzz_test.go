@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"greencell/internal/faultinject"
 	"greencell/internal/rng"
 	"greencell/internal/sched"
 )
@@ -31,7 +32,7 @@ func foldRange(v, lo, hi float64) float64 {
 // paper-invariant checker is always on.
 func fuzzScenario(seed int64, slots, users, neighbors, sessions, uplink,
 	vSel, schedSel, archSel uint8, lambda, shadow float64,
-	gate, delay, audit, radios2 bool) Scenario {
+	gate, delay, audit, radios2 bool, faults uint8) Scenario {
 	sc := Paper()
 	sc.Seed = seed
 	sc.Slots = 1 + int(slots%20)
@@ -52,6 +53,13 @@ func fuzzScenario(seed int64, slots, users, neighbors, sessions, uplink,
 	}
 	sc.KeepTraces = true
 	sc.CheckInvariants = true
+	// A non-zero faults byte turns on uniform fault injection at up to
+	// 25% per site per slot; every degraded slot must still satisfy the
+	// paper's per-slot constraints (the checker stays on).
+	if p := float64(faults%26) / 100; p > 0 {
+		cfg := faultinject.Uniform(p)
+		sc.Faults = &cfg
+	}
 	return sc
 }
 
@@ -92,6 +100,7 @@ type trialKnobs struct {
 	vSel, schedSel, archSel                   uint8
 	lambda, shadow                            float64
 	gate, delay, audit, radios2               bool
+	faults                                    uint8
 }
 
 func legacyTrials() []trialKnobs {
@@ -114,6 +123,8 @@ func legacyTrials() []trialKnobs {
 		k.archSel = uint8(src.Intn(4))
 		k.shadow = src.Uniform(0, 6) // in range: passes through
 		k.radios2 = src.Bernoulli(0.3)
+		// k.faults stays 0: the legacy trials predate fault injection and
+		// must keep reproducing the same healthy runs.
 	}
 	return out
 }
@@ -124,7 +135,7 @@ func TestRandomScenarios(t *testing.T) {
 	for trial, k := range legacyTrials() {
 		sc := fuzzScenario(k.seed, k.slots, k.users, k.neighbors, k.sessions,
 			k.uplink, k.vSel, k.schedSel, k.archSel, k.lambda, k.shadow,
-			k.gate, k.delay, k.audit, k.radios2)
+			k.gate, k.delay, k.audit, k.radios2, k.faults)
 		t.Logf("trial %d: arch %v V %g slots %d", trial, sc.Architecture, sc.V, sc.Slots)
 		assertRunInvariants(t, sc)
 	}
@@ -139,13 +150,13 @@ func FuzzScenario(f *testing.F) {
 	for _, k := range legacyTrials() {
 		f.Add(k.seed, k.slots, k.users, k.neighbors, k.sessions, k.uplink,
 			k.vSel, k.schedSel, k.archSel, k.lambda, k.shadow,
-			k.gate, k.delay, k.audit, k.radios2)
+			k.gate, k.delay, k.audit, k.radios2, k.faults)
 	}
 	f.Fuzz(func(t *testing.T, seed int64, slots, users, neighbors, sessions, uplink,
 		vSel, schedSel, archSel uint8, lambda, shadow float64,
-		gate, delay, audit, radios2 bool) {
+		gate, delay, audit, radios2 bool, faults uint8) {
 		sc := fuzzScenario(seed, slots, users, neighbors, sessions, uplink,
-			vSel, schedSel, archSel, lambda, shadow, gate, delay, audit, radios2)
+			vSel, schedSel, archSel, lambda, shadow, gate, delay, audit, radios2, faults)
 		assertRunInvariants(t, sc)
 	})
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"strings"
+
 	"greencell/internal/core"
 	"greencell/internal/metrics"
 	"greencell/internal/sched"
@@ -36,6 +38,16 @@ type Recorder struct {
 	// hGap accumulates the S1 optimality gap (relaxation − heuristic) when
 	// gap comparison is enabled; nil rows otherwise.
 	hGap *metrics.Histogram
+
+	// Degradation aggregates (docs/ROBUSTNESS.md): total degraded slots,
+	// and the distribution of consecutive-degraded streak lengths — the
+	// slots-to-recovery measure. streak is the currently open run of
+	// degraded slots, observed into hStreak when the controller recovers
+	// (or at Close if the run ends degraded). Per-cause counters
+	// (degraded_cause_<cause>_total) register on demand in SlotHook.
+	cDegraded *metrics.Counter
+	hStreak   *metrics.Histogram
+	streak    int
 
 	// pending is the S1 solve observed since the last slot flush; the
 	// scheduler runs inside Controller.Step, before the SlotHook fires.
@@ -73,6 +85,11 @@ func NewRecorder(w metrics.RecordWriter, h metrics.Header) *Recorder {
 	r.cSchedIters = r.reg.Counter("s1_lp_iters_total", "iters", "S1 simplex iterations")
 	r.cS4Solves = r.reg.Counter("s4_lp_solves_total", "solves", "S4 LP solve calls")
 	r.cS4Its = r.reg.Counter("s4_lp_iters_total", "iters", "S4 simplex iterations")
+	r.cDegraded = r.reg.Counter("degraded_slots_total", "slots",
+		"slots that fell back to a safe action (docs/ROBUSTNESS.md)")
+	r.hStreak = r.reg.Histogram("degraded_streak_slots", "slots",
+		"consecutive-degraded streak lengths (slots until recovery)",
+		metrics.ExpBuckets(1, 2, 16))
 
 	r.gBacklogBS = r.reg.Gauge("final_data_backlog_bs", "pkts", "end-of-run BS data backlog")
 	r.gBacklogUsers = r.reg.Gauge("final_data_backlog_users", "pkts", "end-of-run user data backlog")
@@ -160,6 +177,20 @@ func (r *Recorder) SlotHook(sr *core.SlotResult) {
 	}
 	r.hasPending = false
 
+	if sr.Degraded {
+		rec.Degraded = 1
+		rec.DegradedCauses = strings.Join(sr.DegradedCauses, ";")
+		r.cDegraded.Inc()
+		for _, cause := range sr.DegradedCauses {
+			r.reg.Counter("degraded_cause_"+cause+"_total", "slots",
+				"slots degraded with cause "+cause).Inc()
+		}
+		r.streak++
+	} else if r.streak > 0 {
+		r.hStreak.Observe(float64(r.streak))
+		r.streak = 0
+	}
+
 	r.cSlots.Inc()
 	r.cGrid.Add(sr.GridWh)
 	r.cCost.Add(sr.EnergyCost)
@@ -189,6 +220,12 @@ func (r *Recorder) Err() error { return r.err }
 // Close writes the Summary record, flushes the writer, and returns the
 // first error of the whole stream.
 func (r *Recorder) Close() error {
+	if r.streak > 0 {
+		// The run ended mid-streak; flush it so the histogram covers
+		// every degraded slot.
+		r.hStreak.Observe(float64(r.streak))
+		r.streak = 0
+	}
 	if r.err == nil {
 		r.err = r.w.WriteSummary(metrics.Summary{
 			Slots:   r.slots,

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"greencell/internal/stats"
@@ -12,7 +15,9 @@ import (
 // spectrum, renewable, and grid processes; replication estimates them with
 // confidence intervals.
 type ReplicatedResult struct {
-	// Summaries over the per-replication scalar metrics.
+	// Summaries over the per-replication scalar metrics. When some seeds
+	// failed (FailedSeeds non-empty), the summaries cover only the seeds
+	// that succeeded.
 	AvgEnergyCost       stats.Summary
 	AvgPenaltyObjective stats.Summary
 	AvgGridWh           stats.Summary
@@ -20,6 +25,13 @@ type ReplicatedResult struct {
 	AdmittedPkts        stats.Summary
 	FinalDataBacklog    stats.Summary
 	FinalBatteryWh      stats.Summary
+	// DegradedSlots summarizes the per-replication count of slots that
+	// fell back to a safe action (docs/ROBUSTNESS.md).
+	DegradedSlots stats.Summary
+
+	// FailedSeeds lists the seeds whose replication failed, in seed-list
+	// order; the per-seed errors are joined into RunReplicated's error.
+	FailedSeeds []int64
 
 	// Pointwise-mean traces (nil unless Scenario.KeepTraces).
 	MeanCostTrace          []float64
@@ -29,37 +41,96 @@ type ReplicatedResult struct {
 	MeanBatteryWhUTrace    []float64
 }
 
-// RunReplicated runs the scenario once per seed (replications run
-// concurrently — every run is independent and deterministic per seed, so
-// results are identical to a serial sweep) and summarizes.
+// SeedOutcome is one replication's result or error (never both non-zero).
+type SeedOutcome struct {
+	Seed   int64
+	Result *Result
+	Err    error
+}
+
+// RunSeeds runs the scenario once per seed on a worker pool capped at
+// runtime.GOMAXPROCS(0) goroutines and returns one outcome per seed, in
+// seed order. Every run is independent and deterministic per seed, so
+// results are identical to a serial sweep. A panicking replication is
+// recovered into its outcome's Err — one buggy seed cannot crash the
+// batch — and cancelling ctx makes remaining seeds return promptly with
+// ctx's error while already-finished outcomes are kept.
+func RunSeeds(ctx context.Context, sc Scenario, seeds []int64) []SeedOutcome {
+	outs := make([]SeedOutcome, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				outs[i] = runSeed(ctx, sc, seeds[i])
+			}
+		}()
+	}
+	for i := range seeds {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return outs
+}
+
+// runSeed executes one replication, converting a panic into the outcome's
+// error so the worker (and its pool) survives.
+func runSeed(ctx context.Context, sc Scenario, seed int64) (out SeedOutcome) {
+	out.Seed = seed
+	defer func() {
+		if r := recover(); r != nil {
+			out.Result = nil
+			out.Err = fmt.Errorf("seed %d: panic: %v", seed, r)
+		}
+	}()
+	s := sc
+	s.Seed = seed
+	out.Result, out.Err = RunCtx(ctx, s)
+	if out.Err != nil {
+		out.Err = fmt.Errorf("seed %d: %w", seed, out.Err)
+	}
+	return out
+}
+
+// RunReplicated runs the scenario once per seed (bounded-concurrency pool,
+// see RunSeeds) and summarizes. On per-seed failures it degrades instead
+// of aborting: the returned result summarizes the seeds that succeeded and
+// lists the rest in FailedSeeds, and the error is the errors.Join of the
+// per-seed errors — so a caller that only checks the error keeps the old
+// fail-fast behavior, while callers wanting partial batches inspect both.
 func RunReplicated(sc Scenario, seeds []int64) (*ReplicatedResult, error) {
+	return RunReplicatedCtx(context.Background(), sc, seeds)
+}
+
+// RunReplicatedCtx is RunReplicated with cooperative cancellation:
+// cancelling ctx fails the unfinished seeds with ctx's error and returns
+// the summaries of the seeds that completed first.
+func RunReplicatedCtx(ctx context.Context, sc Scenario, seeds []int64) (*ReplicatedResult, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("%w: no seeds", ErrScenario)
 	}
-	results := make([]*Result, len(seeds))
-	errs := make([]error, len(seeds))
-	var wg sync.WaitGroup
-	for idx, seed := range seeds {
-		wg.Add(1)
-		go func(idx int, seed int64) {
-			defer wg.Done()
-			s := sc
-			s.Seed = seed
-			results[idx], errs[idx] = Run(s)
-		}(idx, seed)
-	}
-	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("seed %d: %w", seeds[idx], err)
-		}
-	}
+	outs := RunSeeds(ctx, sc, seeds)
 
 	var (
-		cost, pen, grid, del, adm, backlog, batt []float64
-		costT, qbsT, quT, bbsT, buT              [][]float64
+		cost, pen, grid, del, adm, backlog, batt, degr []float64
+		costT, qbsT, quT, bbsT, buT                    [][]float64
+		errs                                           []error
 	)
-	for _, res := range results {
+	out := &ReplicatedResult{}
+	for _, o := range outs {
+		if o.Err != nil {
+			out.FailedSeeds = append(out.FailedSeeds, o.Seed)
+			errs = append(errs, o.Err)
+			continue
+		}
+		res := o.Result
 		cost = append(cost, res.AvgEnergyCost)
 		pen = append(pen, res.AvgPenaltyObjective)
 		grid = append(grid, res.AvgGridWh)
@@ -67,6 +138,7 @@ func RunReplicated(sc Scenario, seeds []int64) (*ReplicatedResult, error) {
 		adm = append(adm, res.AdmittedPkts)
 		backlog = append(backlog, res.FinalDataBacklogBS+res.FinalDataBacklogUsers)
 		batt = append(batt, res.FinalBatteryWhBS+res.FinalBatteryWhUsers)
+		degr = append(degr, float64(res.DegradedSlots))
 		if sc.KeepTraces {
 			costT = append(costT, res.CostTrace)
 			qbsT = append(qbsT, res.DataBacklogBSTrace)
@@ -75,15 +147,14 @@ func RunReplicated(sc Scenario, seeds []int64) (*ReplicatedResult, error) {
 			buT = append(buT, res.BatteryWhUsersTrace)
 		}
 	}
-	out := &ReplicatedResult{
-		AvgEnergyCost:       stats.Summarize(cost),
-		AvgPenaltyObjective: stats.Summarize(pen),
-		AvgGridWh:           stats.Summarize(grid),
-		DeliveredPkts:       stats.Summarize(del),
-		AdmittedPkts:        stats.Summarize(adm),
-		FinalDataBacklog:    stats.Summarize(backlog),
-		FinalBatteryWh:      stats.Summarize(batt),
-	}
+	out.AvgEnergyCost = stats.Summarize(cost)
+	out.AvgPenaltyObjective = stats.Summarize(pen)
+	out.AvgGridWh = stats.Summarize(grid)
+	out.DeliveredPkts = stats.Summarize(del)
+	out.AdmittedPkts = stats.Summarize(adm)
+	out.FinalDataBacklog = stats.Summarize(backlog)
+	out.FinalBatteryWh = stats.Summarize(batt)
+	out.DegradedSlots = stats.Summarize(degr)
 	if sc.KeepTraces {
 		out.MeanCostTrace = stats.MeanSeries(costT)
 		out.MeanDataBacklogBSTrace = stats.MeanSeries(qbsT)
@@ -91,7 +162,64 @@ func RunReplicated(sc Scenario, seeds []int64) (*ReplicatedResult, error) {
 		out.MeanBatteryWhBSTrace = stats.MeanSeries(bbsT)
 		out.MeanBatteryWhUTrace = stats.MeanSeries(buT)
 	}
-	return out, nil
+	return out, errors.Join(errs...)
+}
+
+// SeedMetrics is the compact per-replication scalar record — the unit
+// cmd/sweep checkpoints to its -resume JSONL file (docs/ROBUSTNESS.md), so
+// completed (scenario, seed) cells survive a crash or cancellation.
+type SeedMetrics struct {
+	Seed                int64   `json:"seed"`
+	AvgEnergyCost       float64 `json:"avg_energy_cost"`
+	AvgPenaltyObjective float64 `json:"avg_penalty_objective"`
+	AvgGridWh           float64 `json:"avg_grid_wh"`
+	DeliveredPkts       float64 `json:"delivered_pkts"`
+	AdmittedPkts        float64 `json:"admitted_pkts"`
+	FinalDataBacklog    float64 `json:"final_data_backlog"`
+	FinalBatteryWh      float64 `json:"final_battery_wh"`
+	DegradedSlots       int     `json:"degraded_slots"`
+}
+
+// MetricsOf extracts the checkpointable scalars of one replication.
+func MetricsOf(seed int64, r *Result) SeedMetrics {
+	return SeedMetrics{
+		Seed:                seed,
+		AvgEnergyCost:       r.AvgEnergyCost,
+		AvgPenaltyObjective: r.AvgPenaltyObjective,
+		AvgGridWh:           r.AvgGridWh,
+		DeliveredPkts:       r.DeliveredPkts,
+		AdmittedPkts:        r.AdmittedPkts,
+		FinalDataBacklog:    r.FinalDataBacklogBS + r.FinalDataBacklogUsers,
+		FinalBatteryWh:      r.FinalBatteryWhBS + r.FinalBatteryWhUsers,
+		DegradedSlots:       r.DegradedSlots,
+	}
+}
+
+// SummarizeSeedMetrics folds per-seed records — fresh or reloaded from a
+// checkpoint — into the replicated summaries. Traces are not checkpointed,
+// so the trace fields stay nil.
+func SummarizeSeedMetrics(ms []SeedMetrics) *ReplicatedResult {
+	var cost, pen, grid, del, adm, backlog, batt, degr []float64
+	for _, m := range ms {
+		cost = append(cost, m.AvgEnergyCost)
+		pen = append(pen, m.AvgPenaltyObjective)
+		grid = append(grid, m.AvgGridWh)
+		del = append(del, m.DeliveredPkts)
+		adm = append(adm, m.AdmittedPkts)
+		backlog = append(backlog, m.FinalDataBacklog)
+		batt = append(batt, m.FinalBatteryWh)
+		degr = append(degr, float64(m.DegradedSlots))
+	}
+	return &ReplicatedResult{
+		AvgEnergyCost:       stats.Summarize(cost),
+		AvgPenaltyObjective: stats.Summarize(pen),
+		AvgGridWh:           stats.Summarize(grid),
+		DeliveredPkts:       stats.Summarize(del),
+		AdmittedPkts:        stats.Summarize(adm),
+		FinalDataBacklog:    stats.Summarize(backlog),
+		FinalBatteryWh:      stats.Summarize(batt),
+		DegradedSlots:       stats.Summarize(degr),
+	}
 }
 
 // ReplicatedBounds is the seed-averaged Theorem 4/5 sandwich at one V.

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"greencell/internal/core"
+	"greencell/internal/faultinject"
+)
+
+// faultScenario is the base configuration of the robustness tests: the
+// paper scenario shrunk to a fast horizon, with the per-slot paper
+// invariant checker always on so degraded slots are proven feasible.
+func faultScenario(slots int) Scenario {
+	sc := Paper()
+	sc.Slots = slots
+	sc.Seed = 7
+	sc.KeepTraces = false
+	sc.CheckInvariants = true
+	return sc
+}
+
+// TestFaultEverySite drives each injection site at probability 1 and
+// checks the degradation contract stage by stage: every slot completes,
+// is marked degraded with exactly the expected cause label, and still
+// satisfies the paper's per-slot constraints (the invariant checker runs
+// inside Run and would fail the run otherwise).
+func TestFaultEverySite(t *testing.T) {
+	cases := []struct {
+		site  faultinject.Site
+		cause string
+		// needDeadline: the latency site only bites when the slot has a
+		// wall-clock budget to consume.
+		needDeadline bool
+	}{
+		{faultinject.S1Infeasible, core.CauseS1Infeasible, false},
+		{faultinject.S1IterLimit, core.CauseS1IterLimit, false},
+		{faultinject.S2Fail, core.CauseS2Fault, false},
+		{faultinject.S3Fail, core.CauseS3Fault, false},
+		{faultinject.S4Infeasible, core.CauseS4Infeasible, false},
+		{faultinject.S4IterLimit, core.CauseS4IterLimit, false},
+		{faultinject.ObsRenewableNaN, core.CauseObs, false},
+		{faultinject.ObsWidthInf, core.CauseObs, false},
+		{faultinject.Latency, core.CauseLatency, true},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.site), func(t *testing.T) {
+			const slots = 5
+			sc := faultScenario(slots)
+			sc.Faults = &faultinject.Config{
+				Probability: map[faultinject.Site]float64{tc.site: 1},
+			}
+			if tc.needDeadline {
+				// Generous enough that the deadline never fires organically;
+				// only the virtual latency spike consumes it.
+				sc.Budget.SlotDeadline = time.Hour
+			}
+			var causes []string
+			sc.SlotHook = func(sr *core.SlotResult) {
+				if !sr.Degraded {
+					t.Errorf("slot %d not marked degraded", sr.Slot)
+				}
+				causes = append(causes, sr.DegradedCauses...)
+			}
+			res, err := Run(sc)
+			if err != nil {
+				t.Fatalf("run with %s at p=1: %v", tc.site, err)
+			}
+			if res.DegradedSlots != slots {
+				t.Errorf("DegradedSlots = %d, want %d", res.DegradedSlots, slots)
+			}
+			if got := res.DegradedByCause[tc.cause]; got != slots {
+				t.Errorf("DegradedByCause[%q] = %d, want %d (map: %v)",
+					tc.cause, got, slots, res.DegradedByCause)
+			}
+			if res.MaxDegradedStreak != slots {
+				t.Errorf("MaxDegradedStreak = %d, want %d", res.MaxDegradedStreak, slots)
+			}
+			for _, c := range causes {
+				if c != tc.cause {
+					t.Errorf("unexpected cause %q (want only %q)", c, tc.cause)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultSoak is the acceptance soak: a long horizon with every site
+// firing at 5%, the invariant checker on, and a latency deadline armed.
+// All slots must complete without error, a healthy majority and a degraded
+// minority must both occur, and two identically-seeded runs must agree
+// bit-for-bit — fault injection may not leak nondeterminism.
+func TestFaultSoak(t *testing.T) {
+	slots := 2000
+	if testing.Short() {
+		slots = 200
+	}
+	sc := faultScenario(slots)
+	sc.KeepTraces = true
+	cfg := faultinject.Uniform(0.05)
+	sc.Faults = &cfg
+	sc.Budget.SlotDeadline = time.Hour
+
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("soak run: %v", err)
+	}
+	if a.DegradedSlots == 0 {
+		t.Fatal("soak with 5% faults at every site degraded no slots")
+	}
+	if a.DegradedSlots == slots {
+		t.Fatalf("all %d slots degraded; expected a healthy majority", slots)
+	}
+	// At 5% per site, every cause label should occur over a long horizon.
+	for _, want := range []string{
+		core.CauseObs, core.CauseLatency,
+		core.CauseS1Infeasible, core.CauseS1IterLimit,
+		core.CauseS2Fault, core.CauseS3Fault,
+		core.CauseS4Infeasible, core.CauseS4IterLimit,
+	} {
+		if a.DegradedByCause[want] == 0 && !testing.Short() {
+			t.Errorf("cause %q never occurred in %d slots: %v", want, slots, a.DegradedByCause)
+		}
+	}
+	t.Logf("degraded %d/%d (max streak %d): %v",
+		a.DegradedSlots, slots, a.MaxDegradedStreak, a.DegradedByCause)
+
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("soak rerun: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two same-seed fault-injected runs differ; injection leaked nondeterminism")
+	}
+}
+
+// TestFaultDeterminismAcrossSites checks decision independence: adding a
+// second site must not shift the first site's firing pattern, because
+// each (site, slot) decision draws from its own named sub-stream.
+func TestFaultDeterminismAcrossSites(t *testing.T) {
+	base := faultScenario(100)
+	base.Faults = &faultinject.Config{
+		Probability: map[faultinject.Site]float64{faultinject.S2Fail: 0.1},
+	}
+	solo, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	both := faultScenario(100)
+	both.Faults = &faultinject.Config{
+		Probability: map[faultinject.Site]float64{
+			faultinject.S2Fail: 0.1,
+			faultinject.S3Fail: 0.1,
+		},
+	}
+	duo, err := Run(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.DegradedByCause[core.CauseS2Fault] != duo.DegradedByCause[core.CauseS2Fault] {
+		t.Errorf("S2 firing pattern shifted when S3 was enabled: solo %d, duo %d",
+			solo.DegradedByCause[core.CauseS2Fault], duo.DegradedByCause[core.CauseS2Fault])
+	}
+}
+
+// TestIterationBudgetDegrades arms a tiny LP iteration budget with no
+// injection at all: organic IterationLimit outcomes must degrade slots
+// (with the iterlimit cause labels), not abort the run.
+func TestIterationBudgetDegrades(t *testing.T) {
+	sc := faultScenario(20)
+	sc.Budget.MaxLPIterations = 1
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+	if res.DegradedSlots == 0 {
+		t.Fatal("1-iteration LP budget degraded no slots")
+	}
+	for cause := range res.DegradedByCause {
+		if cause != core.CauseS1IterLimit && cause != core.CauseS4IterLimit {
+			t.Errorf("unexpected cause %q under pure iteration budget", cause)
+		}
+	}
+}
+
+// TestRunSeedsRecoversPanic panics inside every replication via a slot
+// hook — the stand-in for a buggy solver — and checks the worker pool
+// converts each panic into that seed's error instead of crashing the
+// batch.
+func TestRunSeedsRecoversPanic(t *testing.T) {
+	sc := faultScenario(5)
+	sc.SlotHook = func(sr *core.SlotResult) {
+		panic("solver bug")
+	}
+	outs := RunSeeds(context.Background(), sc, []int64{1, 2, 3})
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(outs))
+	}
+	for _, o := range outs {
+		if o.Err == nil || o.Result != nil {
+			t.Fatalf("seed %d: panic not converted to error: %+v", o.Seed, o)
+		}
+		if !strings.Contains(o.Err.Error(), "panic") {
+			t.Errorf("seed %d error does not mention the panic: %v", o.Seed, o.Err)
+		}
+	}
+}
+
+// TestRunReplicatedAllSeedsFail drives the aggregation path when every
+// replication dies: RunReplicatedCtx must return a non-nil result listing
+// every seed in FailedSeeds (in seed order) plus a joined error naming
+// each, instead of panicking or returning nil.
+func TestRunReplicatedAllSeedsFail(t *testing.T) {
+	sc := faultScenario(5)
+	sc.SlotHook = func(sr *core.SlotResult) {
+		panic("solver bug")
+	}
+	seeds := []int64{3, 1, 2}
+	rr, err := RunReplicatedCtx(context.Background(), sc, seeds)
+	if err == nil {
+		t.Fatal("all-failed batch returned nil error")
+	}
+	if rr == nil {
+		t.Fatal("all-failed batch returned nil result")
+	}
+	if len(rr.FailedSeeds) != len(seeds) {
+		t.Fatalf("FailedSeeds = %v, want all of %v", rr.FailedSeeds, seeds)
+	}
+	for i, s := range seeds {
+		if rr.FailedSeeds[i] != s {
+			t.Fatalf("FailedSeeds = %v, want seed order %v", rr.FailedSeeds, seeds)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("seed %d", s)) {
+			t.Errorf("joined error does not name seed %d: %v", s, err)
+		}
+	}
+	if rr.AvgEnergyCost.N != 0 {
+		t.Errorf("summary over %d seeds, want 0 (none succeeded)", rr.AvgEnergyCost.N)
+	}
+}
+
+// TestRunReplicatedCtxCancelPrompt cancels a long batch mid-flight and
+// checks RunReplicatedCtx returns promptly with the unfinished seeds
+// failed on context.Canceled.
+func TestRunReplicatedCtxCancelPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type reply struct {
+		rr  *ReplicatedResult
+		err error
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		long := faultScenario(200000) // long enough that cancel lands mid-run
+		long.CheckInvariants = false
+		rr, err := RunReplicatedCtx(ctx, long, []int64{1, 2})
+		replies <- reply{rr, err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	var rr *ReplicatedResult
+	var err error
+	select {
+	case r := <-replies:
+		rr, err = r.rr, r.err
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunReplicatedCtx did not return promptly after cancel")
+	}
+	if err == nil {
+		t.Fatal("cancelled batch returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error does not carry context.Canceled: %v", err)
+	}
+	if len(rr.FailedSeeds) == 0 {
+		t.Fatal("cancelled batch lists no failed seeds")
+	}
+}
+
+// TestSeedMetricsRoundTrip checks the checkpoint unit: folding MetricsOf
+// records reproduces the summaries RunReplicated computes from the same
+// runs, which is what makes cmd/sweep's -resume sound.
+func TestSeedMetricsRoundTrip(t *testing.T) {
+	sc := faultScenario(10)
+	seeds := []int64{1, 2, 3}
+	rr, err := RunReplicatedCtx(context.Background(), sc, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ms []SeedMetrics
+	for _, o := range RunSeeds(context.Background(), sc, seeds) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+		ms = append(ms, MetricsOf(o.Seed, o.Result))
+	}
+	folded := SummarizeSeedMetrics(ms)
+	if folded.AvgEnergyCost != rr.AvgEnergyCost {
+		t.Errorf("AvgEnergyCost summaries differ: %+v vs %+v",
+			folded.AvgEnergyCost, rr.AvgEnergyCost)
+	}
+	if folded.DegradedSlots != rr.DegradedSlots {
+		t.Errorf("DegradedSlots summaries differ: %+v vs %+v",
+			folded.DegradedSlots, rr.DegradedSlots)
+	}
+}

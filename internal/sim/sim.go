@@ -9,11 +9,13 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"greencell/internal/core"
 	"greencell/internal/energy"
+	"greencell/internal/faultinject"
 	"greencell/internal/invariant"
 	"greencell/internal/queueing"
 	"greencell/internal/rng"
@@ -109,6 +111,15 @@ type Scenario struct {
 	// progresses (trace recording, live dashboards). The pointee must not
 	// be retained past the call.
 	SlotHook func(*core.SlotResult)
+	// Faults, when non-nil, enables deterministic fault injection at the
+	// configured per-site probabilities (internal/faultinject). The
+	// injector is seeded from Seed, so a faulty run reproduces
+	// bit-identically. Failed stages degrade to their safe actions
+	// (docs/ROBUSTNESS.md) instead of aborting the run.
+	Faults *faultinject.Config
+	// Budget bounds each slot's solve work (iteration caps, wall-clock
+	// deadline); see core.SolveBudget. The zero value imposes none.
+	Budget core.SolveBudget
 }
 
 // Paper returns the scenario of the paper's Section VI: its topology and
@@ -162,6 +173,14 @@ type Result struct {
 	// FinalDataBacklog etc. are end-of-run queue aggregates.
 	FinalDataBacklogBS, FinalDataBacklogUsers float64
 	FinalBatteryWhBS, FinalBatteryWhUsers     float64
+
+	// DegradedSlots counts slots where at least one stage fell back to
+	// its safe action (docs/ROBUSTNESS.md); DegradedByCause breaks the
+	// count down per cause label (nil when no slot degraded).
+	DegradedSlots   int
+	DegradedByCause map[string]int
+	// MaxDegradedStreak is the longest run of consecutive degraded slots.
+	MaxDegradedStreak int
 
 	// Per-slot traces (nil unless Scenario.KeepTraces).
 	CostTrace, PenaltyTrace                   []float64
@@ -225,6 +244,13 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 	if sc.CheckInvariants {
 		check = invariant.New().Check
 	}
+	var inj *faultinject.Injector
+	if sc.Faults != nil {
+		inj, err = faultinject.New(rng.New(sc.Seed).Split("faults"), *sc.Faults)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
 	ctrl, err := core.New(core.Config{
 		Net:         net,
 		Traffic:     tm,
@@ -238,6 +264,8 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 		AuditDrift:  sc.AuditDrift,
 		Instrument:  sc.Instrument,
 		Check:       check,
+		Faults:      inj,
+		Budget:      sc.Budget,
 	})
 	if err != nil {
 		return nil, nil, nil, err
@@ -247,6 +275,12 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 
 // Run executes the scenario and aggregates its metrics.
 func Run(sc Scenario) (*Result, error) {
+	return RunCtx(context.Background(), sc)
+}
+
+// RunCtx is Run with cooperative cancellation: the slot loop checks ctx
+// between slots and returns ctx's error (and no Result) once cancelled.
+func RunCtx(ctx context.Context, sc Scenario) (*Result, error) {
 	ctrl, _, tm, err := Build(sc)
 	if err != nil {
 		return nil, err
@@ -265,12 +299,31 @@ func Run(sc Scenario) (*Result, error) {
 
 	var last *core.SlotResult
 	txSum := 0.0
+	streak := 0
 	for t := 0; t < sc.Slots; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("slot %d: %w", t, err)
+		}
 		sr, err := ctrl.Step(slotSrc)
 		if err != nil {
 			return nil, err
 		}
 		last = sr
+		if sr.Degraded {
+			res.DegradedSlots++
+			streak++
+			if streak > res.MaxDegradedStreak {
+				res.MaxDegradedStreak = streak
+			}
+			if res.DegradedByCause == nil {
+				res.DegradedByCause = make(map[string]int)
+			}
+			for _, cause := range sr.DegradedCauses {
+				res.DegradedByCause[cause]++
+			}
+		} else {
+			streak = 0
+		}
 		if sc.SlotHook != nil {
 			sc.SlotHook(sr)
 		}
