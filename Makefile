@@ -3,18 +3,23 @@
 # (docs/ANALYSIS.md), and runs the tests under the race detector (the sim
 # package replicates runs on concurrent goroutines, so -race is
 # load-bearing, not ceremonial). `make ci` is the stricter batch gate:
-# check plus a gofmt diff check, a short fuzz smoke, and the fault soak
-# (docs/ROBUSTNESS.md): a long run with every injection site firing at an
-# elevated rate, per-slot invariants on, under the race detector.
+# check plus a gofmt diff check, the units-check golden byte-identity
+# gate, a short fuzz smoke, and the fault soak (docs/ROBUSTNESS.md): a
+# long run with every injection site firing at an elevated rate, per-slot
+# invariants on, under the race detector.
 
 GO ?= go
 FUZZTIME ?= 15s
 
-.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck figures clean
+# The full analyzer suite, spelled out so `make lint` exercises the
+# driver's -analyzers selection path; must match analysis.All().
+ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock
+
+.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck units-check figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check fuzz soak
+ci: fmtcheck check units-check fuzz soak
 
 build:
 	$(GO) build ./...
@@ -23,7 +28,7 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/greencell-lint ./...
+	$(GO) run ./cmd/greencell-lint -timings -analyzers $(ANALYZERS) ./...
 
 test:
 	$(GO) test ./...
@@ -45,6 +50,13 @@ fmt:
 
 fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Asserts the fixed-seed metrics JSONL stream is byte-identical to the
+# committed golden fixture — the typed-units refactor contract
+# (docs/ANALYSIS.md). Regenerate deliberately with:
+#   go test ./internal/sim -run MetricsGoldenByteIdentity -update
+units-check:
+	$(GO) test ./internal/sim -run MetricsGoldenByteIdentity
 
 figures:
 	$(GO) run ./cmd/figures -out out

@@ -88,7 +88,7 @@ func BenchmarkFig2dEnergyBufferBS(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		final = res.FinalBatteryWhBS
+		final = res.FinalBatteryWhBS.Wh()
 	}
 	b.ReportMetric(final, "final-buffer-Wh")
 }
@@ -103,7 +103,7 @@ func BenchmarkFig2eEnergyBufferUsers(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		final = res.FinalBatteryWhUsers
+		final = res.FinalBatteryWhUsers.Wh()
 	}
 	b.ReportMetric(final, "final-buffer-Wh")
 }
@@ -121,7 +121,7 @@ func BenchmarkFig2fArchitectures(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, c := range costs {
-			byArch[c.Architecture] = c.AvgCost
+			byArch[c.Architecture] = c.AvgCost.Value()
 		}
 	}
 	base := byArch[greencell.Proposed]

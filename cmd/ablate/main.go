@@ -41,6 +41,7 @@ import (
 	"greencell/internal/rng"
 	"greencell/internal/sched"
 	"greencell/internal/topology"
+	"greencell/internal/units"
 )
 
 func main() {
@@ -124,11 +125,12 @@ func schedulerStudy(int) error {
 		}
 		req := &sched.Request{
 			Net:     net,
-			Widths:  net.Spectrum.SampleWidths(src.Split(fmt.Sprintf("w%d", trial))),
+			Widths:  units.HzSlice(net.Spectrum.SampleWidths(src.Split(fmt.Sprintf("w%d", trial)))),
 			Weights: weights,
 		}
 		var opt float64
 		for _, sv := range solvers {
+			//lint:allow wallclock -- solver wall-time study; timings are printed, never part of a seeded artifact
 			start := time.Now()
 			asg, err := sv.s.Schedule(req)
 			if err != nil {
@@ -334,6 +336,7 @@ func uplinkStudy(slots int) error {
 func dpStudy(int) error {
 	fmt.Println("== dynamic-programming baseline: Lyapunov vs true optimum (single-BS model)")
 	m := mdp.Reference()
+	//lint:allow wallclock -- DP solve wall-time study; timings are printed, never part of a seeded artifact
 	start := time.Now()
 	sol, err := mdp.SolveAverageCost(m, 1e-7, 0)
 	if err != nil {

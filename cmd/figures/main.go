@@ -286,11 +286,11 @@ func fig2f(sc greencell.Scenario, vs []float64, dir string, svg bool) error {
 	rows := make([][]float64, 0, len(costs))
 	byArch := map[greencell.Architecture]map[float64]float64{}
 	for _, c := range costs {
-		rows = append(rows, []float64{float64(c.Architecture), c.V, c.AvgCost})
+		rows = append(rows, []float64{float64(c.Architecture), c.V, c.AvgCost.Value()})
 		if byArch[c.Architecture] == nil {
 			byArch[c.Architecture] = map[float64]float64{}
 		}
-		byArch[c.Architecture][c.V] = c.AvgCost
+		byArch[c.Architecture][c.V] = c.AvgCost.Value()
 		fmt.Printf("fig2f  %-28v V=%.0e  avg cost=%.6g\n", c.Architecture, c.V, c.AvgCost)
 	}
 	if err := writeTSV(dir, "fig2f.tsv", []string{"architecture", "V", "avg_cost"}, rows); err != nil {

@@ -3,20 +3,27 @@
 //
 // Usage:
 //
-//	greencell-lint [-json] [-no-tests] [patterns ...]
+//	greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [patterns ...]
 //
 // Patterns are package directories, "/..."-suffixed for recursion; the
-// default "./..." walks the whole module. Findings print as
-// file:line:col: analyzer: message (or as a JSON array with -json) and any
-// finding makes the exit status 1. Suppress an intentional violation with
-// an inline "//lint:allow <analyzer> -- reason" comment.
+// default "./..." walks the whole module. Packages type-check in parallel
+// (-parallel bounds the fan-out; 1 forces a serial load). -analyzers picks
+// a comma-separated subset of the suite by name; the default runs all of
+// it. -timings adds load and per-analyzer wall time on stderr. Findings
+// print as file:line:col: analyzer: message (or as a JSON array with
+// -json) and any finding makes the exit status 1. Suppress an intentional
+// violation with an inline "//lint:allow <analyzer> -- reason" comment.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
 
 	"greencell/internal/analysis"
 )
@@ -31,25 +38,32 @@ func main() {
 }
 
 func run(args []string) (int, error) {
-	jsonOut := false
-	includeTests := true
-	var patterns []string
-	for _, a := range args {
-		switch a {
-		case "-json", "--json":
-			jsonOut = true
-		case "-no-tests", "--no-tests":
-			includeTests = false
-		case "-h", "-help", "--help":
-			fmt.Println("usage: greencell-lint [-json] [-no-tests] [patterns ...]")
-			for _, an := range analysis.All() {
-				fmt.Printf("  %-12s %s\n", an.Name(), an.Doc())
-			}
-			return 0, nil
-		default:
-			patterns = append(patterns, a)
+	fs := flag.NewFlagSet("greencell-lint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	noTests := fs.Bool("no-tests", false, "skip _test.go files")
+	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: the full suite)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "packages to type-check concurrently (1 = serial)")
+	timings := fs.Bool("timings", false, "report load and per-analyzer wall time on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [patterns ...]")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, "analyzers:")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name(), a.Doc())
 		}
 	}
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0, nil
+		}
+		return 2, nil
+	}
+	analyzers, err := selectAnalyzers(*names)
+	if err != nil {
+		return 0, err
+	}
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -62,12 +76,31 @@ func run(args []string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	loader.IncludeTests = includeTests
+	loader.IncludeTests = !*noTests
+	loader.Parallel = *parallel
+	loadStart := time.Now()
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		return 0, err
 	}
-	findings := analysis.Run(pkgs, analysis.All())
+	loadTime := time.Since(loadStart)
+
+	// Run the analyzers one at a time so each gets its own wall-clock
+	// reading, then merge back into the canonical report order.
+	var findings []analysis.Finding
+	type timed struct {
+		name string
+		d    time.Duration
+		n    int
+	}
+	perAnalyzer := make([]timed, 0, len(analyzers))
+	for _, a := range analyzers {
+		start := time.Now()
+		got := analysis.Run(pkgs, []analysis.Analyzer{a})
+		perAnalyzer = append(perAnalyzer, timed{a.Name(), time.Since(start), len(got)})
+		findings = append(findings, got...)
+	}
+	analysis.SortFindings(findings)
 
 	// Report module-relative paths so output is stable across checkouts.
 	for i := range findings {
@@ -76,7 +109,16 @@ func run(args []string) (int, error) {
 		}
 	}
 
-	if jsonOut {
+	if *timings {
+		fmt.Fprintf(os.Stderr, "greencell-lint: loaded %d package(s) in %v (parallel=%d)\n",
+			len(pkgs), loadTime.Round(time.Millisecond), *parallel)
+		for _, t := range perAnalyzer {
+			fmt.Fprintf(os.Stderr, "greencell-lint: %-12s %8v  %d finding(s)\n",
+				t.name, t.d.Round(time.Microsecond), t.n)
+		}
+	}
+
+	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -89,10 +131,46 @@ func run(args []string) (int, error) {
 		for _, f := range findings {
 			fmt.Println(f)
 		}
-		fmt.Printf("greencell-lint: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+		fmt.Printf("greencell-lint: %d package(s), %d analyzer(s), %d finding(s)\n",
+			len(pkgs), len(analyzers), len(findings))
 	}
 	if len(findings) > 0 {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// selectAnalyzers resolves a comma-separated -analyzers value against the
+// suite; an empty value selects the whole suite.
+func selectAnalyzers(csv string) ([]analysis.Analyzer, error) {
+	all := analysis.All()
+	if strings.TrimSpace(csv) == "" {
+		return all, nil
+	}
+	byName := make(map[string]analysis.Analyzer, len(all))
+	var known []string
+	for _, a := range all {
+		byName[a.Name()] = a
+		known = append(known, a.Name())
+	}
+	var out []analysis.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzers %q selects nothing", csv)
+	}
+	return out, nil
 }

@@ -66,6 +66,7 @@ func run(args []string) error {
 	sc.Seed = *seed
 
 	data := reportData{
+		//lint:allow wallclock -- report banner timestamp; the HTML report is not a reproducible artifact
 		Generated: time.Now().Format(time.RFC1123),
 		Slots:     *slots,
 		Seed:      *seed,
@@ -164,7 +165,7 @@ func run(args []string) error {
 	}
 	byArch := map[greencell.Architecture]float64{}
 	for _, c := range costs {
-		byArch[c.Architecture] = c.AvgCost
+		byArch[c.Architecture] = c.AvgCost.Value()
 	}
 	order := []greencell.Architecture{
 		greencell.Proposed, greencell.OneHopRenewable,

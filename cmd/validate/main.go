@@ -132,7 +132,7 @@ func run(args []string) error {
 	}
 	byArch := map[greencell.Architecture]float64{}
 	for _, c := range costs {
-		byArch[c.Architecture] = c.AvgCost
+		byArch[c.Architecture] = c.AvgCost.Value()
 	}
 	ordered := byArch[greencell.Proposed] < byArch[greencell.MultiHopNoRenewable] &&
 		byArch[greencell.OneHopRenewable] < byArch[greencell.OneHopNoRenewable] &&

@@ -40,7 +40,7 @@ func ExampleCompareArchitectures() {
 	}
 	byArch := map[greencell.Architecture]float64{}
 	for _, c := range costs {
-		byArch[c.Architecture] = c.AvgCost
+		byArch[c.Architecture] = c.AvgCost.Value()
 	}
 	fmt.Println("renewables pay off:",
 		byArch[greencell.Proposed] < byArch[greencell.OneHopNoRenewable])

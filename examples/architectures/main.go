@@ -36,7 +36,7 @@ func main() {
 		if byArch[c.Architecture] == nil {
 			byArch[c.Architecture] = map[float64]float64{}
 		}
-		byArch[c.Architecture][c.V] = c.AvgCost
+		byArch[c.Architecture][c.V] = c.AvgCost.Value()
 	}
 	order := []greencell.Architecture{
 		greencell.Proposed,

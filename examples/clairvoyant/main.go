@@ -21,6 +21,7 @@ import (
 	"greencell/internal/spectrum"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 func main() {
@@ -37,12 +38,12 @@ func main() {
 	realization := make([]core.Observation, T)
 	for t := range realization {
 		obs := core.Observation{
-			Widths:    []float64{1e6},
-			RenewWh:   make([]float64, net.NumNodes()),
+			Widths:    []units.Bandwidth{units.Hz(1e6)},
+			RenewWh:   make([]units.Energy, net.NumNodes()),
 			Connected: make([]bool, net.NumNodes()),
 		}
 		for i := range obs.RenewWh {
-			obs.RenewWh[i] = src.Uniform(0, 0.08)
+			obs.RenewWh[i] = units.Wh(src.Uniform(0, 0.08))
 			obs.Connected[i] = true
 		}
 		realization[t] = obs
@@ -105,7 +106,7 @@ func tinyNetwork() (*topology.Network, *traffic.Model) {
 	}}
 	spec := func(maxTx float64) topology.NodeSpec {
 		return topology.NodeSpec{
-			MaxTxPowerW: maxTx,
+			MaxTxPowerW: units.Watts(maxTx),
 			RecvPowerW:  0.05,
 			ConstPowerW: 1,
 			IdlePowerW:  0.5,

@@ -54,7 +54,10 @@ type Analyzer interface {
 
 // All returns the full analyzer suite in reporting order.
 func All() []Analyzer {
-	return []Analyzer{NoRawRand{}, NoFloatEq{}, DroppedErr{}, UnguardedGo{}}
+	return []Analyzer{
+		NoRawRand{}, NoFloatEq{}, DroppedErr{}, UnguardedGo{},
+		UnitMix{}, MapIter{}, WallClock{},
+	}
 }
 
 // Run applies every analyzer to every package, drops findings suppressed by
@@ -75,19 +78,26 @@ func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].File != out[j].File {
-			return out[i].File < out[j].File
-		}
-		if out[i].Line != out[j].Line {
-			return out[i].Line < out[j].Line
-		}
-		if out[i].Col != out[j].Col {
-			return out[i].Col < out[j].Col
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
+	SortFindings(out)
 	return out
+}
+
+// SortFindings orders findings by file, line, column, then analyzer name —
+// the order Run reports in. Exported for drivers that run analyzers one at
+// a time (for per-analyzer timing) and merge the results.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].File != fs[j].File {
+			return fs[i].File < fs[j].File
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Col != fs[j].Col {
+			return fs[i].Col < fs[j].Col
+		}
+		return fs[i].Analyzer < fs[j].Analyzer
+	})
 }
 
 // allowKey identifies one (file, line, analyzer) suppression.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -37,15 +38,32 @@ type Loader struct {
 	// IncludeTests adds _test.go files (both in-package and external test
 	// packages) to the analyzed set.
 	IncludeTests bool
+	// Parallel is the number of packages Load type-checks concurrently.
+	// Zero or one loads serially. Load first resolves every import
+	// dependency serially (the expensive transitive closure is shared
+	// work), then fans the per-directory checks out over this many
+	// goroutines; token.FileSet is synchronized, and the import caches
+	// below are guarded by mu.
+	Parallel int
 
 	fset       *token.FileSet
 	moduleRoot string
 	modulePath string
-	std        types.Importer
+
+	// mu guards cache, loading, concurrent, and std (the go/importer
+	// source importer keeps an unsynchronized internal cache).
+	mu   sync.Mutex
+	cond *sync.Cond
+	std  types.Importer
 	// cache holds import-variants (no test files), keyed by import path.
 	cache map[string]*types.Package
-	// loading detects import cycles.
+	// loading marks imports being type-checked right now. In serial loads
+	// re-entering a loading path is an import cycle; in the concurrent
+	// phase it means another goroutine got there first, and we wait on
+	// cond instead.
 	loading map[string]bool
+	// concurrent is true while Load's parallel fan-out is running.
+	concurrent bool
 }
 
 // NewLoader builds a loader for the module containing dir (dir or any
@@ -71,14 +89,16 @@ func NewLoader(dir string) (*Loader, error) {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	return &Loader{
+	l := &Loader{
 		fset:       fset,
 		moduleRoot: root,
 		modulePath: modPath,
 		std:        importer.ForCompiler(fset, "source", nil),
 		cache:      make(map[string]*types.Package),
 		loading:    make(map[string]bool),
-	}, nil
+	}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
 }
 
 // modulePath reads the "module" directive of a go.mod file.
@@ -158,15 +178,103 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		}
 	}
 
-	var pkgs []*Package
-	for _, dir := range dirs {
-		got, err := l.LoadDir(dir)
-		if err != nil {
-			return nil, err
+	if l.Parallel <= 1 || len(dirs) <= 1 {
+		var pkgs []*Package
+		for _, dir := range dirs {
+			got, err := l.LoadDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, got...)
 		}
-		pkgs = append(pkgs, got...)
+		return pkgs, nil
+	}
+	return l.loadParallel(dirs)
+}
+
+// loadParallel warms the shared import caches serially, then type-checks
+// the target directories concurrently (the internal/sim/replicate.go
+// fan-out shape: loop state passed as arguments, each goroutine owning its
+// own result slot).
+func (l *Loader) loadParallel(dirs []string) ([]*Package, error) {
+	if err := l.warmImports(dirs); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.concurrent = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.concurrent = false
+		l.mu.Unlock()
+	}()
+
+	results := make([][]*Package, len(dirs))
+	errs := make([]error, len(dirs))
+	sem := make(chan struct{}, l.Parallel)
+	var wg sync.WaitGroup
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = l.LoadDir(dir)
+		}(i, dir)
+	}
+	wg.Wait()
+
+	var pkgs []*Package
+	for i := range dirs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pkgs = append(pkgs, results[i]...)
 	}
 	return pkgs, nil
+}
+
+// warmImports resolves, serially, every import named by the Go files of
+// dirs (tests included when IncludeTests is set). Afterwards the parallel
+// phase's Import calls are cache hits, so goroutines almost never contend
+// on the import caches.
+func (l *Loader) warmImports(dirs []string) error {
+	paths := make(map[string]bool)
+	warmFset := token.NewFileSet() // throwaway: imports-only parses
+	for _, dir := range dirs {
+		names, err := goFilesIn(dir, false)
+		if err != nil {
+			return err
+		}
+		if l.IncludeTests {
+			tests, err := goFilesIn(dir, true)
+			if err != nil {
+				return err
+			}
+			names = append(names, tests...)
+		}
+		for _, name := range names {
+			f, err := parser.ParseFile(warmFset, name, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				paths[strings.Trim(imp.Path.Value, `"`)] = true
+			}
+		}
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	imp := (*loaderImporter)(l)
+	for _, p := range sorted {
+		if _, err := imp.Import(p); err != nil {
+			return fmt.Errorf("analysis: resolving import %q: %w", p, err)
+		}
+	}
+	return nil
 }
 
 // LoadDir type-checks the package in one directory. With IncludeTests it
@@ -258,17 +366,44 @@ func (l *Loader) check(pkgPath, dir string, files []*ast.File) (*Package, error)
 }
 
 // importModule type-checks a module-internal package (without test files)
-// for use as an import dependency.
+// for use as an import dependency. The cache/loading handshake must not
+// hold mu across the recursive type-check: Check re-enters Import for the
+// package's own dependencies on the same goroutine.
 func (l *Loader) importModule(path string) (*types.Package, error) {
-	if pkg, ok := l.cache[path]; ok {
-		return pkg, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	l.mu.Lock()
+	for {
+		if pkg, ok := l.cache[path]; ok {
+			l.mu.Unlock()
+			return pkg, nil
+		}
+		if !l.loading[path] {
+			break
+		}
+		if !l.concurrent {
+			// Serial loads are single-goroutine: re-entering a path still
+			// being checked can only mean an import cycle.
+			l.mu.Unlock()
+			return nil, fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		l.cond.Wait() // another goroutine is checking it; reuse its result
 	}
 	l.loading[path] = true
-	defer delete(l.loading, path)
+	l.mu.Unlock()
 
+	pkg, err := l.checkImport(path)
+
+	l.mu.Lock()
+	delete(l.loading, path)
+	if err == nil {
+		l.cache[path] = pkg
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return pkg, err
+}
+
+// checkImport parses and type-checks one module-internal import.
+func (l *Loader) checkImport(path string) (*types.Package, error) {
 	dir := l.moduleRoot
 	if path != l.modulePath {
 		dir = filepath.Join(l.moduleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
@@ -289,7 +424,6 @@ func (l *Loader) importModule(path string) (*types.Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking import %s: %w", path, err)
 	}
-	l.cache[path] = pkg
 	return pkg, nil
 }
 
@@ -352,5 +486,9 @@ func (li *loaderImporter) Import(path string) (*types.Package, error) {
 	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
 		return l.importModule(path)
 	}
+	// The source importer memoizes internally without locking; serialize
+	// access. After warmImports this is a cheap cache hit.
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.std.Import(path)
 }

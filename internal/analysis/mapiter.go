@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter reports ranges over maps whose bodies have order-sensitive
+// effects. Go randomizes map iteration order on purpose, so any such loop
+// is a determinism bug: the same scenario and seed can emit different
+// bytes (docs/METRICS.md promises byte-identical streams). Four body
+// effects count as order-sensitive:
+//
+//   - append to a slice declared outside the loop: the element order
+//     changes run to run;
+//   - compound floating-point accumulation (+=, -=, *=, /=) into a
+//     variable declared outside the loop: float addition is not
+//     associative, so even a "sum" picks up order-dependent rounding;
+//   - stream writes (Write, WriteString, Encode, Fprintf, ...): JSONL/CSV
+//     rows come out in a different order each run;
+//   - writes into the very map being ranged: updating existing keys is
+//     defined but fragile (inserting is not), and the recursion/update mix
+//     reads as order-dependent.
+//
+// The blessed fix is to collect the keys (or rows), sort them, and only
+// then consume the order. A loop whose appends feed a slice that a later
+// statement of the same block sorts (sort.* or slices.*) is recognized as
+// that idiom's first half and exempt. Writes keyed into a different map
+// are order-insensitive and exempt. Test files are skipped (t.Errorf order
+// does not reach any artifact); anything else intentional carries
+// //lint:allow mapiter.
+type MapIter struct{}
+
+// Name implements Analyzer.
+func (MapIter) Name() string { return "mapiter" }
+
+// Doc implements Analyzer.
+func (MapIter) Doc() string {
+	return "map iteration with order-sensitive effects (append, float accumulation, stream writes)"
+}
+
+// orderedWriters are method/function names whose calls emit bytes in call
+// order.
+var orderedWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRecord": true, "WriteAll": true, "Encode": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// Check implements Analyzer.
+func (m MapIter) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(node ast.Node) bool {
+			var list []ast.Stmt
+			switch n := node.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if ls, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = ls.Stmt
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				out = append(out, m.checkRange(pkg, rs, list[i+1:])...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkRange inspects one range statement; rest holds the statements that
+// follow it in the same block (for the sort-after exemption).
+func (m MapIter) checkRange(pkg *Package, rs *ast.RangeStmt, rest []ast.Stmt) []Finding {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+
+	mapObj := rootObject(pkg, rs.X)
+	outside := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < rs.Pos() || obj.Pos() > rs.End())
+	}
+
+	// Immediate effects end the scan with a finding; appends only collect —
+	// they are fine exactly when a later statement sorts the slice.
+	var effect string
+	var effectPos token.Pos
+	collected := make(map[types.Object]bool)
+	record := func(msg string, pos token.Pos) {
+		if effect == "" {
+			effect, effectPos = msg, pos
+		}
+	}
+	ast.Inspect(rs.Body, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && len(n.Args) > 0 {
+					if target := rootObject(pkg, n.Args[0]); outside(target) {
+						collected[target] = true
+					}
+				}
+				return true
+			}
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && orderedWriters[sel.Sel.Name] {
+				record("makes a stream write ("+sel.Sel.Name+") in map order", n.Pos())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				lhs = ast.Unparen(lhs)
+				if ix, ok := lhs.(*ast.IndexExpr); ok {
+					if base := rootObject(pkg, ix.X); base != nil && base == mapObj {
+						record("writes into the map being ranged over", lhs.Pos())
+					}
+					continue
+				}
+				switch n.Tok {
+				case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pkg.Info.Uses[id]
+					if outside(obj) && isFloat(obj.Type()) {
+						record("accumulates float "+id.Name+" in map order", lhs.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if effect != "" {
+		return []Finding{{
+			Analyzer: m.Name(),
+			Pos:      pkg.Fset.Position(effectPos),
+			Message:  "range over map " + exprString(rs.X) + " " + effect + "; iterate over sorted keys",
+		}}
+	}
+	if len(collected) > 0 && !sortedAfter(pkg, rest, collected) {
+		for obj := range collected {
+			return []Finding{{
+				Analyzer: m.Name(),
+				Pos:      pkg.Fset.Position(rs.For),
+				Message: "range over map " + exprString(rs.X) + " appends to " + obj.Name() +
+					" which is never sorted afterwards; sort it before use",
+			}}
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether any later statement sorts one of the
+// collected slices via package sort or slices.
+func sortedAfter(pkg *Package, rest []ast.Stmt, collected map[types.Object]bool) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+				return true
+			}
+			for _, a := range call.Args {
+				if collected[rootObject(pkg, a)] {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject resolves an expression to the object it reads: the identifier
+// itself, or the selected field/method object of a selector chain.
+func rootObject(pkg *Package, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		return pkg.Info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// exprString renders a short source form of simple expressions for
+// messages.
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	}
+	return "expression"
+}

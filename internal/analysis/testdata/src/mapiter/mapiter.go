@@ -1,0 +1,77 @@
+// Package mapiter is an analyzer fixture: every line marked
+// "// want mapiter" must be reported, and no other line may be.
+package mapiter
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// CollectUnsorted appends map keys but never sorts them.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want mapiter
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Accumulate sums floats in map order: non-associative rounding.
+func Accumulate(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want mapiter
+	}
+	return total
+}
+
+// Emit writes rows in map order.
+func Emit(m map[string]float64) string {
+	var buf bytes.Buffer
+	for k, v := range m {
+		fmt.Fprintf(&buf, "%s=%g\n", k, v) // want mapiter
+	}
+	return buf.String()
+}
+
+// ZeroInPlace mutates the map while ranging over it.
+func ZeroInPlace(m map[string]float64) {
+	for k := range m {
+		m[k] = 0 // want mapiter
+	}
+}
+
+// Blessed is the sanctioned shape: collect, sort, then consume the order.
+func Blessed(m map[string]float64, buf *bytes.Buffer) float64 {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+		fmt.Fprintf(buf, "%s\n", k)
+	}
+	return total
+}
+
+// Rescale writes keyed into a different map: order-insensitive, exempt.
+func Rescale(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// Suppressed carries a justification: exempt.
+func Suppressed(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		//lint:allow mapiter -- fixture: the inline suppression must silence this
+		total += v
+	}
+	return total
+}

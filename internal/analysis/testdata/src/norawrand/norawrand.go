@@ -14,6 +14,7 @@ func Draw() int { return rand.Int() }
 
 // WallClockSeed derives a seed from the wall clock.
 func WallClockSeed() *rng.Source {
+	//lint:allow wallclock -- fixture: this line exists to trip norawrand only
 	return rng.New(time.Now().UnixNano()) // want norawrand
 }
 

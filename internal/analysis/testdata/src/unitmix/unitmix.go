@@ -1,0 +1,46 @@
+// Package unitmix is an analyzer fixture: every line marked
+// "// want unitmix" must be reported, and no other line may be.
+package unitmix
+
+import "greencell/internal/units"
+
+// EraseUnit casts a typed energy back to a bare float64.
+func EraseUnit(e units.Energy) float64 {
+	return float64(e) // want unitmix
+}
+
+// CrossCast jumps quantities without a conversion helper.
+func CrossCast(e units.Energy) units.Power {
+	return units.Power(e) // want unitmix
+}
+
+// SquaredUnit multiplies two energies; the product is Wh², not Wh.
+func SquaredUnit(a, b units.Energy) units.Energy {
+	return a * b // want unitmix
+}
+
+// Sanctioned forms: accessors, constructors, constant scaling, same-unit
+// sums, and conversion methods.
+func Sanctioned(e units.Energy, p units.Power) float64 {
+	doubled := e.Scale(2)
+	tripled := e * 3
+	total := doubled + tripled + units.Wh(1)
+	return total.Wh() + p.OverHours(0.5).Wh()
+}
+
+// clamp converts through a ~float64 type parameter: exempt.
+func clamp[T ~float64](v T) T {
+	if float64(v) < 0 {
+		return 0
+	}
+	return v
+}
+
+// Clamped keeps the generic instantiation live.
+func Clamped(e units.Energy) units.Energy { return clamp(e) }
+
+// Suppressed carries a justification: exempt.
+func Suppressed(e units.Energy) float64 {
+	//lint:allow unitmix -- fixture: the inline suppression must silence this
+	return float64(e)
+}

@@ -1,0 +1,26 @@
+// Package wallclock is an analyzer fixture: every line marked
+// "// want wallclock" must be reported, and no other line may be.
+package wallclock
+
+import "time"
+
+// Stamp reads the wall clock outside any allowlisted file.
+func Stamp() string {
+	return time.Now().Format(time.RFC3339) // want wallclock
+}
+
+// Elapsed times a callback with a raw clock read.
+func Elapsed(f func()) time.Duration {
+	start := time.Now() // want wallclock
+	f()
+	return time.Since(start)
+}
+
+// Suppressed carries a justification: exempt.
+func Suppressed() int64 {
+	//lint:allow wallclock -- fixture: the inline suppression must silence this
+	return time.Now().UnixNano()
+}
+
+// Pure time arithmetic without a clock read: exempt.
+func Pure(t0 time.Time, d time.Duration) time.Time { return t0.Add(d) }

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitMix enforces the typed physical quantities of internal/units
+// (docs/ANALYSIS.md): a value typed Energy, Power, Bandwidth, Rate, Cost or
+// Price must not silently re-enter the untyped float64 world or jump to a
+// different quantity. Three operations defeat the types and are reported
+// everywhere outside internal/units itself (the one package allowed to
+// define conversions):
+//
+//   - a raw float64(x) conversion where x carries a unit type: it erases
+//     the quantity with no record of which unit the caller assumed. Use the
+//     accessor (Wh(), Watts(), Hz(), Value(), ...) that names the unit;
+//   - a direct cross-unit conversion like Power(e) of an Energy e: the two
+//     quantities differ by a physical dimension (here, time), so the
+//     conversion must go through a helper of internal/units that makes the
+//     factor explicit (OverHours, PerHours, ForEnergy, ...);
+//   - a product of two non-constant values of the same unit type, for
+//     example energy * energy: the result is dimensionally Wh² but stays
+//     typed Energy. (Cross-unit arithmetic such as Energy + Power needs no
+//     rule — Go rejects binary operations between distinct defined types,
+//     and the conversion that would make it compile trips the rule above.
+//     Constant scaling like e * 2 keeps the dimension and is exempt; so is
+//     division, whose ratio results are conventional.)
+//
+// Conversions from untyped constants (units.Energy(0)) and through type
+// parameters constrained to ~float64 are not conversions between unit
+// types and are exempt. Intentional violations carry //lint:allow unitmix.
+type UnitMix struct{}
+
+// Name implements Analyzer.
+func (UnitMix) Name() string { return "unitmix" }
+
+// Doc implements Analyzer.
+func (UnitMix) Doc() string {
+	return "raw float64 casts of unit-typed values, cross-unit casts, unit-squaring products"
+}
+
+// Check implements Analyzer.
+func (u UnitMix) Check(pkg *Package) []Finding {
+	if strings.HasSuffix(strings.TrimSuffix(pkg.PkgPath, " [test]"), "internal/units") {
+		return nil // the units package itself defines the conversions
+	}
+	var out []Finding
+	inspect(pkg, func(node ast.Node) bool {
+		switch n := node.(type) {
+		case *ast.CallExpr:
+			out = append(out, u.checkConversion(pkg, n)...)
+		case *ast.BinaryExpr:
+			out = append(out, u.checkArithmetic(pkg, n)...)
+		}
+		return true
+	})
+	return out
+}
+
+// checkConversion flags T(x) conversions that erase or switch a unit type.
+func (u UnitMix) checkConversion(pkg *Package, call *ast.CallExpr) []Finding {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return nil
+	}
+	argTV, ok := pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return nil
+	}
+	src := unitTypeOf(argTV.Type)
+	if src == nil {
+		return nil
+	}
+	dst := unitTypeOf(tv.Type)
+	switch {
+	case dst == nil && isFloat(tv.Type):
+		return []Finding{{
+			Analyzer: u.Name(),
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Message: "raw " + types.TypeString(tv.Type, nil) + "(...) conversion erases unit " +
+				src.Obj().Name() + "; use its accessor method instead",
+		}}
+	case dst != nil && dst.Obj() != src.Obj():
+		return []Finding{{
+			Analyzer: u.Name(),
+			Pos:      pkg.Fset.Position(call.Pos()),
+			Message: "cross-unit conversion " + src.Obj().Name() + " -> " + dst.Obj().Name() +
+				"; convert through an internal/units helper that names the factor",
+		}}
+	}
+	return nil
+}
+
+// checkArithmetic flags products of two non-constant unit-typed values:
+// the result has the unit squared but keeps the unit's type. (Distinct
+// unit types cannot meet in a binary operation at all — the type checker
+// rejects that before we run.)
+func (u UnitMix) checkArithmetic(pkg *Package, be *ast.BinaryExpr) []Finding {
+	if be.Op != token.MUL {
+		return nil
+	}
+	xtv, ytv := pkg.Info.Types[be.X], pkg.Info.Types[be.Y]
+	if xtv.Value != nil || ytv.Value != nil {
+		return nil // constant scaling (e * 2) keeps the dimension
+	}
+	x, y := unitTypeOf(xtv.Type), unitTypeOf(ytv.Type)
+	if x == nil || y == nil {
+		return nil
+	}
+	return []Finding{{
+		Analyzer: u.Name(),
+		Pos:      pkg.Fset.Position(be.OpPos),
+		Message: "product of two " + x.Obj().Name() + " values is dimensionally not " +
+			x.Obj().Name() + "; go through the float64 accessors",
+	}}
+}
+
+// unitTypeOf returns the named unit type behind t (a float64-underlying
+// defined type declared in internal/units), or nil. Type parameters and
+// every type from any other package are not unit types.
+func unitTypeOf(t types.Type) *types.Named {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/units") {
+		return nil
+	}
+	b, ok := named.Underlying().(*types.Basic)
+	if !ok || b.Kind() != types.Float64 {
+		return nil
+	}
+	return named
+}

@@ -4,6 +4,7 @@ import (
 	"greencell/internal/energymgmt"
 	"greencell/internal/sched"
 	"greencell/internal/topology"
+	"greencell/internal/units"
 )
 
 // SlotCheck carries one slot's raw decisions and state transitions for
@@ -51,14 +52,14 @@ type SlotCheck struct {
 	Flow, Actual [][]float64
 
 	// DemandWh[i] is the node energy demand E_i(t) of eq. (2) handed to S4.
-	DemandWh []float64
+	DemandWh []units.Energy
 	// Energy is the S4 decision (per-node r, c^r, g, c^g, d, u).
 	Energy *energymgmt.Decision
 	// BatteryBeforeWh and BatteryAfterWh bracket the battery update:
 	// x_i(t) when S4 decided, and x_i(t+1) after the step.
-	BatteryBeforeWh, BatteryAfterWh []float64
+	BatteryBeforeWh, BatteryAfterWh []units.Energy
 	// ChargeHeadroomWh and DischargeHeadroomWh are the pre-step
 	// right-hand sides of eqs. (11) and (12) that the S4 decision had to
 	// respect.
-	ChargeHeadroomWh, DischargeHeadroomWh []float64
+	ChargeHeadroomWh, DischargeHeadroomWh []units.Energy
 }

@@ -43,6 +43,7 @@ import (
 	"greencell/internal/sched"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 // Config assembles one controller.
@@ -116,11 +117,11 @@ type SolveBudget struct {
 }
 
 // Observation is the random state revealed at the beginning of a slot:
-// band widths W_m(t), per-node renewable output R_i(t) (Wh), and per-node
+// band widths W_m(t), per-node renewable output R_i(t), and per-node
 // grid connectivity ω_i(t).
 type Observation struct {
-	Widths    []float64
-	RenewWh   []float64
+	Widths    []units.Bandwidth
+	RenewWh   []units.Energy
 	Connected []bool
 }
 
@@ -139,7 +140,7 @@ type DefaultEnvironment struct{}
 func (DefaultEnvironment) Observe(slot int, src *rng.Source, net *topology.Network) Observation {
 	obs := Observation{
 		Widths:    net.Spectrum.SampleWidths(src.Split(fmt.Sprintf("widths_%d", slot))),
-		RenewWh:   make([]float64, net.NumNodes()),
+		RenewWh:   make([]units.Energy, net.NumNodes()),
 		Connected: make([]bool, net.NumNodes()),
 	}
 	envSrc := src.Split(fmt.Sprintf("env_%d", slot))
@@ -169,28 +170,29 @@ type SlotResult struct {
 	// Slot is the 0-based slot index.
 	Slot int
 	// GridWh is P(t), the total base-station grid draw.
-	GridWh float64
+	GridWh units.Energy
 	// EnergyCost is f(P(t)).
-	EnergyCost float64
+	EnergyCost units.Cost
 	// AdmittedPkts is Σ_s k_s(t).
 	AdmittedPkts float64
 	// PenaltyObjective is the per-slot P2 objective f(P(t)) − λ·Σ_s k_s(t);
-	// its time average is the quantity bounded by Theorems 4–5.
+	// its time average is the quantity bounded by Theorems 4–5. It mixes
+	// cost units with reward-weighted packets, so it stays a bare float64.
 	PenaltyObjective float64
 	// DeliveredPkts[s] is the packets that reached d_s this slot.
 	DeliveredPkts []float64
 	// ScheduledLinks is the number of active links.
 	ScheduledLinks int
 	// TxEnergyWh is the total transmission+reception energy Σ_i E_i^TX.
-	TxEnergyWh float64
+	TxEnergyWh units.Energy
 	// DemandWh is the total node energy demand Σ_i E_i(t).
-	DemandWh float64
+	DemandWh units.Energy
 	// DeficitWh is unserved energy demand (0 in normal operation).
-	DeficitWh float64
+	DeficitWh units.Energy
 	// MarginalPriceWh is the S4 shadow price V·f'(P(t)) of grid energy.
-	MarginalPriceWh float64
+	MarginalPriceWh units.Price
 	// RenewableWh is the total renewable output this slot.
-	RenewableWh float64
+	RenewableWh units.Energy
 	// OfferedPkts is Σ_s K_s^max, the traffic the sessions offered for
 	// admission this slot (the upper limit of the S2 decision k_s(t)).
 	OfferedPkts float64
@@ -199,9 +201,10 @@ type SlotResult struct {
 	DroppedPkts float64
 
 	// Queue aggregates at the END of the slot (what Fig. 2(b)–(e) plot).
-	DataBacklogBS, DataBacklogUsers    float64
-	BatteryWhBS, BatteryWhUsers        float64
-	VirtualBacklogH, ShiftedEnergyAbsZ float64
+	DataBacklogBS, DataBacklogUsers float64
+	BatteryWhBS, BatteryWhUsers     units.Energy
+	VirtualBacklogH                 float64
+	ShiftedEnergyAbsZ               units.Energy
 
 	// Audit holds the realized Lyapunov drift audit (nil unless
 	// Config.AuditDrift).
@@ -289,9 +292,9 @@ type Controller struct {
 	batteries []*energy.Battery
 
 	// Lyapunov constants.
-	beta     float64 // β = max_ij (1/δ)·c_ij^max·Δt  (packets/slot)
-	gammaMax float64 // γ_max = max f' over the grid-draw domain
-	bConst   float64 // B of eq. (34)
+	beta     float64     // β = max_ij (1/δ)·c_ij^max·Δt  (packets/slot)
+	gammaMax units.Price // γ_max = max f' over the grid-draw domain
+	bConst   float64     // B of eq. (34)
 
 	// capPktsMax[l] is (1/δ)·c_l^max·Δt, link l's best-case packets/slot.
 	capPktsMax []float64
@@ -374,7 +377,7 @@ func (c *Controller) deriveConstants() {
 	for l, link := range net.Links {
 		best := 0.0
 		for _, b := range link.Bands {
-			if r := net.Radio.Capacity(net.Spectrum.Bands[b].Width.Max()); r > best {
+			if r := net.Radio.Capacity(net.Spectrum.Bands[b].Width.Max().Hz()); r > best {
 				best = r
 			}
 		}
@@ -390,7 +393,7 @@ func (c *Controller) deriveConstants() {
 		c.beta = 1 // degenerate networks with no links still need β > 0
 	}
 
-	totalPMax := 0.0
+	totalPMax := units.Energy(0)
 	for _, i := range net.BaseStations() {
 		totalPMax += net.Nodes[i].Spec.Grid.MaxDrawWh
 	}
@@ -430,7 +433,7 @@ func (c *Controller) deriveConstants() {
 		if spec.MaxDischargeWh > m {
 			m = spec.MaxDischargeWh
 		}
-		b += 0.5 * m * m
+		b += 0.5 * m.Wh() * m.Wh()
 	}
 	c.bConst = b
 }
@@ -439,7 +442,7 @@ func (c *Controller) deriveConstants() {
 func (c *Controller) Beta() float64 { return c.beta }
 
 // GammaMax returns γ_max.
-func (c *Controller) GammaMax() float64 { return c.gammaMax }
+func (c *Controller) GammaMax() units.Price { return c.gammaMax }
 
 // B returns the drift constant of eq. (34); Theorem 5's lower bound is
 // ψ*_P3̄ − B/V.
@@ -486,13 +489,13 @@ func (c *Controller) QueueBacklog(sessionIdx, node int) float64 {
 // VirtualBacklog returns H_ij(t) for candidate link l.
 func (c *Controller) VirtualBacklog(l int) float64 { return c.h[l].Backlog() }
 
-// BatteryLevel returns x_i(t) in Wh.
-func (c *Controller) BatteryLevel(node int) float64 { return c.batteries[node].Level() }
+// BatteryLevel returns x_i(t).
+func (c *Controller) BatteryLevel(node int) units.Energy { return c.batteries[node].Level() }
 
 // ShiftedLevel returns z_i(t) = x_i(t) − V·γ_max − d_i^max.
-func (c *Controller) ShiftedLevel(node int) float64 {
-	return c.batteries[node].Level() - c.cfg.V*c.gammaMax -
-		c.cfg.Net.Nodes[node].Spec.Battery.MaxDischargeWh
+func (c *Controller) ShiftedLevel(node int) units.Energy {
+	return units.Wh(c.batteries[node].Level().Wh() - c.cfg.V*c.gammaMax.PerWh() -
+		c.cfg.Net.Nodes[node].Spec.Battery.MaxDischargeWh.Wh())
 }
 
 // snapshot flattens Θ(t) for the Lyapunov audit.
@@ -513,7 +516,7 @@ func (c *Controller) snapshot() lyapunov.State {
 		st.H = append(st.H, c.h[l].Backlog())
 	}
 	for i := 0; i < net.NumNodes(); i++ {
-		st.Z = append(st.Z, c.ShiftedLevel(i))
+		st.Z = append(st.Z, c.ShiftedLevel(i).Wh())
 	}
 	return st
 }
@@ -583,7 +586,9 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	if sanitizeObs(&obs) {
 		res.markDegraded(CauseObs)
 	}
-	widths := obs.Widths
+	// The scheduling/routing kernels run on bare float64; convert the
+	// typed widths once per slot at the boundary.
+	widthsHz := units.HzSlice(obs.Widths)
 	renewWh := obs.RenewWh
 	connected := obs.Connected
 	for _, r := range renewWh {
@@ -609,15 +614,15 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 			if connected[i] {
 				availWh += nd.Spec.Grid.MaxDrawWh
 			}
-			availWh -= (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW) * dtH
-			capW := availWh / dtH
+			availWh -= (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW).OverHours(dtH)
+			capW := availWh.PerHours(dtH)
 			if capW < 0 {
 				capW = 0
 			}
 			if capW > nd.Spec.MaxTxPowerW {
 				capW = nd.Spec.MaxTxPowerW
 			}
-			txCap[i] = capW
+			txCap[i] = capW.Watts()
 		}
 	}
 	var asg *sched.Assignment
@@ -632,7 +637,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	default:
 		asg, errS1 = c.sched.Schedule(&sched.Request{
 			Net:             net,
-			Widths:          widths,
+			Widths:          widthsHz,
 			Weights:         weights,
 			TxPowerCap:      txCap,
 			MaxLPIterations: c.cfg.Budget.MaxLPIterations,
@@ -662,7 +667,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		}
 		best := 0.0
 		for _, b := range link.Bands {
-			if r := net.Radio.Capacity(widths[b]); r > best {
+			if r := net.Radio.Capacity(widthsHz[b]); r > best {
 				best = r
 			}
 		}
@@ -889,16 +894,16 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	}
 
 	// --- Energy accounting: E_i(t) per eqs. (2) and (23) ------------------
-	demandWh := make([]float64, net.NumNodes())
+	demandWh := make([]units.Energy, net.NumNodes())
 	for i, nd := range net.Nodes {
-		demandWh[i] = (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW) * dtH
+		demandWh[i] = (nd.Spec.ConstPowerW + nd.Spec.IdlePowerW).OverHours(dtH)
 	}
 	for l, link := range net.Links {
 		if asg.Activity[l] <= 0 {
 			continue
 		}
-		tx := asg.PowerW[l] * dtH
-		rx := asg.Activity[l] * net.Nodes[link.To].Spec.RecvPowerW * dtH
+		tx := units.Watts(asg.PowerW[l]).OverHours(dtH)
+		rx := net.Nodes[link.To].Spec.RecvPowerW.Scale(asg.Activity[l]).OverHours(dtH)
 		demandWh[link.From] += tx
 		demandWh[link.To] += rx
 		res.TxEnergyWh += tx + rx
@@ -951,9 +956,9 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		chk.Actual = actual
 		chk.DemandWh = demandWh
 		chk.Energy = dec4
-		chk.BatteryBeforeWh = make([]float64, net.NumNodes())
-		chk.ChargeHeadroomWh = make([]float64, net.NumNodes())
-		chk.DischargeHeadroomWh = make([]float64, net.NumNodes())
+		chk.BatteryBeforeWh = make([]units.Energy, net.NumNodes())
+		chk.ChargeHeadroomWh = make([]units.Energy, net.NumNodes())
+		chk.DischargeHeadroomWh = make([]units.Energy, net.NumNodes())
 		for i := range net.Nodes {
 			chk.BatteryBeforeWh[i] = c.batteries[i].Level()
 			chk.ChargeHeadroomWh[i] = c.batteries[i].ChargeHeadroom()
@@ -970,7 +975,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		if audit != nil {
 			// Use the realized level change so storage losses (extension)
 			// stay consistent with z' = z + Δx.
-			audit.AddSigned(zBefore, c.batteries[i].Level()-lvlBefore, 0)
+			audit.AddSigned(zBefore.Wh(), (c.batteries[i].Level() - lvlBefore).Wh(), 0)
 		}
 	}
 	if st != nil {
@@ -994,7 +999,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	res.EnergyCost = dec4.EnergyCost
 	res.DeficitWh = dec4.TotalDeficitWh
 	res.MarginalPriceWh = dec4.MarginalPriceWh
-	res.PenaltyObjective = res.EnergyCost - c.cfg.Lambda*res.AdmittedPkts
+	res.PenaltyObjective = res.EnergyCost.Value() - c.cfg.Lambda*res.AdmittedPkts
 	for _, sess := range c.cfg.Traffic.Sessions {
 		res.OfferedPkts += sess.MaxAdmission
 	}
@@ -1018,7 +1023,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		} else {
 			res.BatteryWhUsers += lvl
 		}
-		res.ShiftedEnergyAbsZ += math.Abs(c.ShiftedLevel(i))
+		res.ShiftedEnergyAbsZ += units.Wh(math.Abs(c.ShiftedLevel(i).Wh()))
 	}
 	for l := range net.Links {
 		res.VirtualBacklogH += c.h[l].Backlog()
@@ -1027,7 +1032,7 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		st.TotalNS = time.Since(t0).Nanoseconds()
 	}
 	if chk != nil {
-		chk.BatteryAfterWh = make([]float64, net.NumNodes())
+		chk.BatteryAfterWh = make([]units.Energy, net.NumNodes())
 		for i := range net.Nodes {
 			chk.BatteryAfterWh[i] = c.batteries[i].Level()
 		}

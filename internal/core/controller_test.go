@@ -10,6 +10,7 @@ import (
 	"greencell/internal/sched"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 // smallConfig builds a fast 8-user scenario for integration tests.
@@ -87,7 +88,7 @@ func TestDerivedConstants(t *testing.T) {
 	if math.Abs(c.Beta()-wantBeta) > 1e-9 {
 		t.Errorf("beta = %v, want %v", c.Beta(), wantBeta)
 	}
-	pMax := 0.0
+	pMax := units.Energy(0)
 	for _, b := range net.BaseStations() {
 		pMax += net.Nodes[b].Spec.Grid.MaxDrawWh
 	}
@@ -95,8 +96,8 @@ func TestDerivedConstants(t *testing.T) {
 		t.Errorf("gammaMax = %v, want %v", got, want)
 	}
 	// z_i(0) = x_i(0) − V·γmax − d_i^max.
-	want := net.Nodes[0].Spec.BatteryInitWh - cfg.V*c.GammaMax() - net.Nodes[0].Spec.Battery.MaxDischargeWh
-	if got := c.ShiftedLevel(0); math.Abs(got-want) > 1e-6 {
+	want := net.Nodes[0].Spec.BatteryInitWh.Wh() - cfg.V*c.GammaMax().PerWh() - net.Nodes[0].Spec.Battery.MaxDischargeWh.Wh()
+	if got := c.ShiftedLevel(0).Wh(); math.Abs(got-want) > 1e-6 {
 		t.Errorf("ShiftedLevel(0) = %v, want %v", got, want)
 	}
 }
@@ -187,7 +188,7 @@ func TestDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			out = append(out, res.EnergyCost, res.AdmittedPkts, res.DataBacklogBS, res.BatteryWhBS)
+			out = append(out, res.EnergyCost.Value(), res.AdmittedPkts, res.DataBacklogBS, res.BatteryWhBS.Wh())
 		}
 		return out
 	}

@@ -20,6 +20,7 @@ import (
 	"greencell/internal/routing"
 	"greencell/internal/sched"
 	"greencell/internal/topology"
+	"greencell/internal/units"
 )
 
 // Degradation cause labels, as surfaced in SlotResult.DegradedCauses and
@@ -97,12 +98,12 @@ func (c *Controller) injectObs(obs *Observation) {
 		return
 	}
 	if len(obs.RenewWh) > 0 && inj.Fires(faultinject.ObsRenewableNaN, c.slot) {
-		obs.RenewWh = append([]float64(nil), obs.RenewWh...)
-		obs.RenewWh[inj.Index(faultinject.ObsRenewableNaN, c.slot, len(obs.RenewWh))] = math.NaN()
+		obs.RenewWh = append([]units.Energy(nil), obs.RenewWh...)
+		obs.RenewWh[inj.Index(faultinject.ObsRenewableNaN, c.slot, len(obs.RenewWh))] = units.Wh(math.NaN())
 	}
 	if len(obs.Widths) > 0 && inj.Fires(faultinject.ObsWidthInf, c.slot) {
-		obs.Widths = append([]float64(nil), obs.Widths...)
-		obs.Widths[inj.Index(faultinject.ObsWidthInf, c.slot, len(obs.Widths))] = math.Inf(1)
+		obs.Widths = append([]units.Bandwidth(nil), obs.Widths...)
+		obs.Widths[inj.Index(faultinject.ObsWidthInf, c.slot, len(obs.Widths))] = units.Hz(math.Inf(1))
 	}
 }
 
@@ -112,24 +113,29 @@ func (c *Controller) injectObs(obs *Observation) {
 // arithmetic. Slices are cloned before the first repair (shared backing
 // arrays again). It reports whether anything was repaired.
 func sanitizeObs(obs *Observation) bool {
+	var wDirty, rDirty bool
+	obs.Widths, wDirty = cleanSlice(obs.Widths)
+	obs.RenewWh, rDirty = cleanSlice(obs.RenewWh)
+	return wDirty || rDirty
+}
+
+// cleanSlice zeroes non-finite or negative entries of a unit-typed slice,
+// cloning it before the first repair, and reports whether it repaired
+// anything.
+func cleanSlice[T ~float64](xs []T) ([]T, bool) {
+	cloned := false
 	dirty := false
-	clean := func(xs []float64) []float64 {
-		cloned := false
-		for i, v := range xs {
-			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-				if !cloned {
-					xs = append([]float64(nil), xs...)
-					cloned = true
-				}
-				xs[i] = 0
-				dirty = true
+	for i, v := range xs {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || v < 0 {
+			if !cloned {
+				xs = append([]T(nil), xs...)
+				cloned = true
 			}
+			xs[i] = 0
+			dirty = true
 		}
-		return xs
 	}
-	obs.Widths = clean(obs.Widths)
-	obs.RenewWh = clean(obs.RenewWh)
-	return dirty
+	return xs, dirty
 }
 
 // solveCause classifies a stage error into its degradation cause label, or

@@ -3,8 +3,9 @@
 // charge/discharge limits and the no-simultaneous-charge-discharge rule,
 // grid connections, and the provider's convex energy generation cost.
 //
-// Units: all energies are watt-hours (Wh) per slot; instantaneous outputs
-// are watts (W); callers convert with the slot duration in hours.
+// Units: all energies are units.Energy (watt-hours per slot); cost values
+// are units.Cost and marginal prices units.Price (cost per Wh). See
+// internal/units for the quantity ↔ paper-symbol table.
 package energy
 
 import (
@@ -13,56 +14,59 @@ import (
 	"math"
 
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
 // Process is the random renewable output R_i(t), expressed directly as
-// energy per slot (Wh) — the unit every other energy quantity uses.
+// energy per slot — the unit every other energy quantity uses.
 type Process interface {
-	// Sample draws the output for one slot, in Wh.
-	Sample(src *rng.Source) float64
-	// Max returns the largest possible output, in Wh (R_i^max).
-	Max() float64
+	// Sample draws the output for one slot.
+	Sample(src *rng.Source) units.Energy
+	// Max returns the largest possible output (R_i^max).
+	Max() units.Energy
 }
 
 // UniformPower is i.i.d. uniform output in [0, MaxWh] per slot — the
 // paper's model for both solar panels and wind turbines.
 type UniformPower struct {
-	MaxWh float64
+	MaxWh units.Energy
 }
 
 // Sample implements Process.
-func (u UniformPower) Sample(src *rng.Source) float64 { return src.Uniform(0, u.MaxWh) }
+func (u UniformPower) Sample(src *rng.Source) units.Energy {
+	return units.Wh(src.Uniform(0, u.MaxWh.Wh()))
+}
 
 // Max implements Process.
-func (u UniformPower) Max() float64 { return u.MaxWh }
+func (u UniformPower) Max() units.Energy { return u.MaxWh }
 
 // ConstantPower is a fixed output every slot, in Wh.
 type ConstantPower float64
 
 // Sample implements Process.
-func (c ConstantPower) Sample(*rng.Source) float64 { return float64(c) }
+func (c ConstantPower) Sample(*rng.Source) units.Energy { return units.Wh(float64(c)) }
 
 // Max implements Process.
-func (c ConstantPower) Max() float64 { return float64(c) }
+func (c ConstantPower) Max() units.Energy { return units.Wh(float64(c)) }
 
 // Off is a renewable source that produces nothing — used by the
 // "without renewable energy" baseline architectures.
 type Off struct{}
 
 // Sample implements Process.
-func (Off) Sample(*rng.Source) float64 { return 0 }
+func (Off) Sample(*rng.Source) units.Energy { return 0 }
 
 // Max implements Process.
-func (Off) Max() float64 { return 0 }
+func (Off) Max() units.Energy { return 0 }
 
 // BatterySpec describes an energy storage unit.
 type BatterySpec struct {
 	// CapacityWh is x_i^max, the maximum stored energy.
-	CapacityWh float64
+	CapacityWh units.Energy
 	// MaxChargeWh is c_i^max, the per-slot charging limit.
-	MaxChargeWh float64
+	MaxChargeWh units.Energy
 	// MaxDischargeWh is d_i^max, the per-slot discharging limit.
-	MaxDischargeWh float64
+	MaxDischargeWh units.Energy
 	// ChargeEfficiency and DischargeEfficiency extend the paper's lossless
 	// storage with conversion losses: of c Wh sent to the battery,
 	// η_c·c Wh are stored; delivering d Wh drains d/η_d Wh. Zero means 1
@@ -111,11 +115,11 @@ func (s BatterySpec) Validate() error {
 // (9)–(12) on every step.
 type Battery struct {
 	spec  BatterySpec
-	level float64
+	level units.Energy
 }
 
 // NewBattery creates a battery with the given initial level.
-func NewBattery(spec BatterySpec, initialWh float64) (*Battery, error) {
+func NewBattery(spec BatterySpec, initialWh units.Energy) (*Battery, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,14 +133,14 @@ func NewBattery(spec BatterySpec, initialWh float64) (*Battery, error) {
 // Spec returns the battery's specification.
 func (b *Battery) Spec() BatterySpec { return b.spec }
 
-// Level returns the current stored energy x_i(t) in Wh.
-func (b *Battery) Level() float64 { return b.level }
+// Level returns the current stored energy x_i(t).
+func (b *Battery) Level() units.Energy { return b.level }
 
 // ChargeHeadroom returns the largest admissible charge this slot:
 // min(c_max, (x_max − x)/η_c) — paper eq. (11), with losses the stored
 // amount is η_c·c so more input fits.
-func (b *Battery) ChargeHeadroom() float64 {
-	room := (b.spec.CapacityWh - b.level) / b.spec.chargeEff()
+func (b *Battery) ChargeHeadroom() units.Energy {
+	room := units.Wh((b.spec.CapacityWh - b.level).Wh() / b.spec.chargeEff())
 	if room < 0 {
 		room = 0
 	}
@@ -148,8 +152,8 @@ func (b *Battery) ChargeHeadroom() float64 {
 
 // DischargeHeadroom returns the largest admissible delivered discharge this
 // slot: min(d_max, x·η_d) — paper eq. (12) with losses.
-func (b *Battery) DischargeHeadroom() float64 {
-	avail := b.level * b.spec.dischargeEff()
+func (b *Battery) DischargeHeadroom() units.Energy {
+	avail := b.level.Scale(b.spec.dischargeEff())
 	if b.spec.MaxDischargeWh < avail {
 		return b.spec.MaxDischargeWh
 	}
@@ -163,7 +167,7 @@ var ErrBatteryStep = errors.New("energy: inadmissible battery step")
 // charge and discharge (eq. (9)) and violations of the headroom limits
 // (eqs. (11)–(12)), with a small tolerance for solver roundoff; admissible
 // values are clamped exactly onto [0, capacity].
-func (b *Battery) Step(chargeWh, dischargeWh float64) error {
+func (b *Battery) Step(chargeWh, dischargeWh units.Energy) error {
 	const tol = 1e-6
 	if chargeWh < -tol || dischargeWh < -tol {
 		return fmt.Errorf("%w: negative charge %v or discharge %v", ErrBatteryStep, chargeWh, dischargeWh)
@@ -177,7 +181,7 @@ func (b *Battery) Step(chargeWh, dischargeWh float64) error {
 	if dischargeWh > b.DischargeHeadroom()+tol {
 		return fmt.Errorf("%w: discharge %v exceeds headroom %v", ErrBatteryStep, dischargeWh, b.DischargeHeadroom())
 	}
-	b.level += b.spec.chargeEff()*chargeWh - dischargeWh/b.spec.dischargeEff()
+	b.level += units.Wh(b.spec.chargeEff()*chargeWh.Wh() - dischargeWh.Wh()/b.spec.dischargeEff())
 	if b.level < 0 {
 		b.level = 0
 	}
@@ -192,7 +196,7 @@ func (b *Battery) Step(chargeWh, dischargeWh float64) error {
 type GridConnection struct {
 	// MaxDrawWh is p_i^max, the per-slot cap on drawn energy. Zero means no
 	// grid access at all.
-	MaxDrawWh float64
+	MaxDrawWh units.Energy
 	// AlwaysOn marks base stations, which are permanently connected.
 	AlwaysOn bool
 	// OnProb is the per-slot connection probability ξ_i for mobile users
@@ -214,30 +218,35 @@ func (g GridConnection) SampleConnected(src *rng.Source) bool {
 // CostFunc is the provider's energy generation cost f(P): non-negative,
 // non-decreasing, convex (paper Section II-E).
 type CostFunc interface {
-	// Eval returns f(p) for total grid energy p (Wh).
-	Eval(p float64) float64
+	// Eval returns f(p) for total grid energy p.
+	Eval(p units.Energy) units.Cost
 	// Deriv returns f'(p).
-	Deriv(p float64) float64
+	Deriv(p units.Energy) units.Price
 	// MaxDeriv returns γ_max = max f'(p) over p in [0, pMax]; it sizes the
 	// shifted battery queue z_i(t) = x_i(t) − V γ_max − d_i^max.
-	MaxDeriv(pMax float64) float64
+	MaxDeriv(pMax units.Energy) units.Price
 }
 
 // Quadratic is f(P) = A·P² + B·P + C, the paper's simulated cost
-// (A=0.8, B=0.2, C=0).
+// (A=0.8, B=0.2, C=0), with P taken in Wh.
 type Quadratic struct {
 	A, B, C float64
 }
 
 // Eval implements CostFunc.
-func (q Quadratic) Eval(p float64) float64 { return q.A*p*p + q.B*p + q.C }
+func (q Quadratic) Eval(p units.Energy) units.Cost {
+	pw := p.Wh()
+	return units.CostOf(q.A*pw*pw + q.B*pw + q.C)
+}
 
 // Deriv implements CostFunc.
-func (q Quadratic) Deriv(p float64) float64 { return 2*q.A*p + q.B }
+func (q Quadratic) Deriv(p units.Energy) units.Price {
+	return units.PricePerWh(2*q.A*p.Wh() + q.B)
+}
 
 // MaxDeriv implements CostFunc. For a convex quadratic (A >= 0) the maximum
 // derivative on [0, pMax] is at pMax.
-func (q Quadratic) MaxDeriv(pMax float64) float64 {
+func (q Quadratic) MaxDeriv(pMax units.Energy) units.Price {
 	d0 := q.Deriv(0)
 	d1 := q.Deriv(pMax)
 	if d0 > d1 {
@@ -256,14 +265,18 @@ type Scaled struct {
 }
 
 // Eval implements CostFunc.
-func (s Scaled) Eval(p float64) float64 { return s.Inner.Eval(s.ArgScale * p) }
+func (s Scaled) Eval(p units.Energy) units.Cost {
+	return s.Inner.Eval(p.Scale(s.ArgScale))
+}
 
 // Deriv implements CostFunc.
-func (s Scaled) Deriv(p float64) float64 { return s.ArgScale * s.Inner.Deriv(s.ArgScale*p) }
+func (s Scaled) Deriv(p units.Energy) units.Price {
+	return s.Inner.Deriv(p.Scale(s.ArgScale)).Scale(s.ArgScale)
+}
 
 // MaxDeriv implements CostFunc.
-func (s Scaled) MaxDeriv(pMax float64) float64 {
-	return s.ArgScale * s.Inner.MaxDeriv(s.ArgScale*pMax)
+func (s Scaled) MaxDeriv(pMax units.Energy) units.Price {
+	return s.Inner.MaxDeriv(pMax.Scale(s.ArgScale)).Scale(s.ArgScale)
 }
 
 // PaperCost returns the cost function used in the paper's simulations:
@@ -279,13 +292,13 @@ type Linear struct {
 }
 
 // Eval implements CostFunc.
-func (l Linear) Eval(p float64) float64 { return l.Rate * p }
+func (l Linear) Eval(p units.Energy) units.Cost { return units.CostOf(l.Rate * p.Wh()) }
 
 // Deriv implements CostFunc.
-func (l Linear) Deriv(float64) float64 { return l.Rate }
+func (l Linear) Deriv(units.Energy) units.Price { return units.PricePerWh(l.Rate) }
 
 // MaxDeriv implements CostFunc.
-func (l Linear) MaxDeriv(float64) float64 { return l.Rate }
+func (l Linear) MaxDeriv(units.Energy) units.Price { return units.PricePerWh(l.Rate) }
 
 // Interface-compliance checks.
 var (
@@ -314,7 +327,7 @@ type Cloner interface {
 // across nodes or concurrent simulations.
 type Diurnal struct {
 	// PeakWh is the maximum mean output, reached mid-cycle.
-	PeakWh float64
+	PeakWh units.Energy
 	// PeriodSlots is the cycle length (e.g. 1440 one-minute slots per day).
 	PeriodSlots int
 	// NoiseFrac scales multiplicative noise: output is mean·U[1−f, 1+f],
@@ -327,14 +340,14 @@ type Diurnal struct {
 }
 
 // Sample implements Process.
-func (d *Diurnal) Sample(src *rng.Source) float64 {
+func (d *Diurnal) Sample(src *rng.Source) units.Energy {
 	period := d.PeriodSlots
 	if period <= 0 {
 		period = 1
 	}
 	phase := 2 * math.Pi * float64((d.slot+d.PhaseSlots)%period) / float64(period)
 	d.slot++
-	mean := d.PeakWh * math.Sin(phase)
+	mean := d.PeakWh.Wh() * math.Sin(phase)
 	if mean <= 0 {
 		return 0 // night
 	}
@@ -342,14 +355,14 @@ func (d *Diurnal) Sample(src *rng.Source) float64 {
 	if out < 0 {
 		out = 0
 	}
-	if out > d.PeakWh*(1+d.NoiseFrac) {
-		out = d.PeakWh * (1 + d.NoiseFrac)
+	if out > d.PeakWh.Wh()*(1+d.NoiseFrac) {
+		out = d.PeakWh.Wh() * (1 + d.NoiseFrac)
 	}
-	return out
+	return units.Wh(out)
 }
 
 // Max implements Process.
-func (d *Diurnal) Max() float64 { return d.PeakWh * (1 + d.NoiseFrac) }
+func (d *Diurnal) Max() units.Energy { return d.PeakWh.Scale(1 + d.NoiseFrac) }
 
 // CloneProcess implements Cloner: each node gets its own phase counter.
 func (d *Diurnal) CloneProcess() Process {

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
 func TestBatterySpecValidate(t *testing.T) {
@@ -112,16 +113,16 @@ func TestBatteryInvariantProperty(t *testing.T) {
 	src := rng.New(17)
 	f := func(seedByte uint8) bool {
 		spec := BatterySpec{CapacityWh: 100, MaxChargeWh: 40, MaxDischargeWh: 60}
-		b, err := NewBattery(spec, src.Uniform(0, 100))
+		b, err := NewBattery(spec, units.Wh(src.Uniform(0, 100)))
 		if err != nil {
 			return false
 		}
 		for step := 0; step < 50; step++ {
-			var c, d float64
+			var c, d units.Energy
 			if src.Bernoulli(0.5) {
-				c = src.Uniform(0, b.ChargeHeadroom())
+				c = units.Wh(src.Uniform(0, b.ChargeHeadroom().Wh()))
 			} else {
-				d = src.Uniform(0, b.DischargeHeadroom())
+				d = units.Wh(src.Uniform(0, b.DischargeHeadroom().Wh()))
 			}
 			if err := b.Step(c, d); err != nil {
 				return false
@@ -150,11 +151,11 @@ func TestProcesses(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if tt.p.Max() != tt.max {
+			if tt.p.Max().Wh() != tt.max {
 				t.Fatalf("Max = %v, want %v", tt.p.Max(), tt.max)
 			}
 			for i := 0; i < 100; i++ {
-				v := tt.p.Sample(src)
+				v := tt.p.Sample(src).Wh()
 				if v < 0 || v > tt.max {
 					t.Fatalf("sample %v outside [0,%v]", v, tt.max)
 				}
@@ -194,26 +195,26 @@ func TestQuadraticCost(t *testing.T) {
 	if got := q.Eval(0); got != 0 {
 		t.Errorf("f(0) = %v, want 0", got)
 	}
-	if got := q.Eval(10); math.Abs(got-82) > 1e-12 {
+	if got := q.Eval(10); math.Abs(got.Value()-82) > 1e-12 {
 		t.Errorf("f(10) = %v, want 82", got)
 	}
-	if got := q.Deriv(10); math.Abs(got-16.2) > 1e-12 {
+	if got := q.Deriv(10); math.Abs(got.PerWh()-16.2) > 1e-12 {
 		t.Errorf("f'(10) = %v, want 16.2", got)
 	}
-	if got := q.MaxDeriv(10); math.Abs(got-16.2) > 1e-12 {
+	if got := q.MaxDeriv(10); math.Abs(got.PerWh()-16.2) > 1e-12 {
 		t.Errorf("MaxDeriv(10) = %v, want 16.2", got)
 	}
 }
 
 func TestScaledCost(t *testing.T) {
 	s := Scaled{Inner: Quadratic{A: 1}, ArgScale: 2}
-	if got := s.Eval(3); math.Abs(got-36) > 1e-12 { // (2·3)²
+	if got := s.Eval(3); math.Abs(got.Value()-36) > 1e-12 { // (2·3)²
 		t.Errorf("Eval(3) = %v, want 36", got)
 	}
-	if got := s.Deriv(3); math.Abs(got-24) > 1e-12 { // 2 · 2·(2·3)
+	if got := s.Deriv(3); math.Abs(got.PerWh()-24) > 1e-12 { // 2 · 2·(2·3)
 		t.Errorf("Deriv(3) = %v, want 24", got)
 	}
-	if got := s.MaxDeriv(3); math.Abs(got-24) > 1e-12 {
+	if got := s.MaxDeriv(3); math.Abs(got.PerWh()-24) > 1e-12 {
 		t.Errorf("MaxDeriv(3) = %v, want 24", got)
 	}
 }
@@ -222,7 +223,7 @@ func TestPaperCostIsJouleScaled(t *testing.T) {
 	// PaperCost evaluates f(P) = 0.8P² + 0.2P on joules: 1 Wh = 3600 J.
 	f := PaperCost()
 	want := 0.8*3600*3600 + 0.2*3600
-	if got := f.Eval(1); math.Abs(got-want)/want > 1e-12 {
+	if got := f.Eval(1); math.Abs(got.Value()-want)/want > 1e-12 {
 		t.Errorf("PaperCost.Eval(1 Wh) = %v, want %v", got, want)
 	}
 	if f.Deriv(1) <= 0 || f.MaxDeriv(2) < f.Deriv(1) {
@@ -237,8 +238,8 @@ func TestCostConvexityProperty(t *testing.T) {
 		a := src.Uniform(0, 100)
 		b := src.Uniform(0, 100)
 		lam := src.Float64()
-		mid := q.Eval(lam*a + (1-lam)*b)
-		chord := lam*q.Eval(a) + (1-lam)*q.Eval(b)
+		mid := q.Eval(units.Wh(lam*a + (1-lam)*b)).Value()
+		chord := lam*q.Eval(units.Wh(a)).Value() + (1-lam)*q.Eval(units.Wh(b)).Value()
 		if mid > chord+1e-9 {
 			t.Fatalf("convexity violated at a=%v b=%v λ=%v", a, b, lam)
 		}

@@ -5,12 +5,13 @@ import (
 	"testing"
 
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
 func TestDiurnalCycle(t *testing.T) {
 	d := &Diurnal{PeakWh: 10, PeriodSlots: 100, NoiseFrac: 0}
 	src := rng.New(1)
-	var samples []float64
+	var samples []units.Energy
 	for i := 0; i < 100; i++ {
 		samples = append(samples, d.Sample(src))
 	}
@@ -76,7 +77,7 @@ func TestBatteryChargeLosses(t *testing.T) {
 	if err := b.Step(10, 0); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(b.Level()-5) > 1e-12 {
+	if math.Abs(b.Level().Wh()-5) > 1e-12 {
 		t.Errorf("level = %v, want 5 (50%% charge efficiency)", b.Level())
 	}
 }
@@ -91,11 +92,11 @@ func TestBatteryDischargeLosses(t *testing.T) {
 	if err := b.Step(0, 10); err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(b.Level()-30) > 1e-12 {
+	if math.Abs(b.Level().Wh()-30) > 1e-12 {
 		t.Errorf("level = %v, want 30", b.Level())
 	}
 	// Headroom: only 30·0.5 = 15 deliverable, below the 20 Wh rate cap.
-	if got := b.DischargeHeadroom(); math.Abs(got-15) > 1e-12 {
+	if got := b.DischargeHeadroom(); math.Abs(got.Wh()-15) > 1e-12 {
 		t.Errorf("DischargeHeadroom = %v, want 15", got)
 	}
 }
@@ -112,7 +113,7 @@ func TestBatteryEfficiencyHeadroomConsistent(t *testing.T) {
 			ChargeEfficiency:    src.Uniform(0.5, 1),
 			DischargeEfficiency: src.Uniform(0.5, 1),
 		}
-		b, err := NewBattery(spec, src.Uniform(0, 100))
+		b, err := NewBattery(spec, units.Wh(src.Uniform(0, 100)))
 		if err != nil {
 			t.Fatal(err)
 		}

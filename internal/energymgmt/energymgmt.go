@@ -33,24 +33,25 @@ import (
 
 	"greencell/internal/energy"
 	"greencell/internal/lp"
+	"greencell/internal/units"
 )
 
 // NodeInput is one node's state for S4.
 type NodeInput struct {
 	// Z is z_i(t) = x_i(t) − V·γmax − d_i^max, the shifted battery level.
-	Z float64
+	Z units.Energy
 	// DemandWh is E_i(t), fixed once the slot's schedule is known (eq. (2)).
-	DemandWh float64
+	DemandWh units.Energy
 	// RenewableWh is R_i(t) expressed as energy for this slot.
-	RenewableWh float64
+	RenewableWh units.Energy
 	// ChargeHeadroomWh is min(c_i^max, x_i^max − x_i) — eq. (11).
-	ChargeHeadroomWh float64
+	ChargeHeadroomWh units.Energy
 	// DischargeHeadroomWh is min(d_i^max, x_i) — eq. (12).
-	DischargeHeadroomWh float64
+	DischargeHeadroomWh units.Energy
 	// GridConnected is ω_i(t).
 	GridConnected bool
 	// GridCapWh is p_i^max — eq. (14).
-	GridCapWh float64
+	GridCapWh units.Energy
 	// IsBS marks base stations, whose grid draw is priced by f (Section II-E).
 	IsBS bool
 }
@@ -58,37 +59,39 @@ type NodeInput struct {
 // NodeDecision is one node's S4 outcome.
 type NodeDecision struct {
 	// RenewToDemand is r_i; RenewToBattery is c_i^r (eq. (3)).
-	RenewToDemand, RenewToBattery float64
+	RenewToDemand, RenewToBattery units.Energy
 	// GridToDemand is g_i; GridToBattery is c_i^g (eqs. (5), (14)).
-	GridToDemand, GridToBattery float64
+	GridToDemand, GridToBattery units.Energy
 	// DischargeWh is d_i.
-	DischargeWh float64
+	DischargeWh units.Energy
 	// DeficitWh is unserved demand (0 in normally-parameterized scenarios).
-	DeficitWh float64
+	DeficitWh units.Energy
 }
 
 // ChargeWh returns c_i = c_i^r + c_i^g (grid flows are zero when the node
 // is disconnected, so the ω_i gating is already applied).
-func (n NodeDecision) ChargeWh() float64 { return n.RenewToBattery + n.GridToBattery }
+func (n NodeDecision) ChargeWh() units.Energy { return n.RenewToBattery + n.GridToBattery }
 
 // GridDrawWh returns g_i + c_i^g.
-func (n NodeDecision) GridDrawWh() float64 { return n.GridToDemand + n.GridToBattery }
+func (n NodeDecision) GridDrawWh() units.Energy { return n.GridToDemand + n.GridToBattery }
 
 // Decision is the S4 outcome for all nodes.
 type Decision struct {
 	Nodes []NodeDecision
 	// GridTotalWh is P(t), the total base-station grid draw.
-	GridTotalWh float64
+	GridTotalWh units.Energy
 	// EnergyCost is f(P(t)).
-	EnergyCost float64
+	EnergyCost units.Cost
 	// Objective is Σ z_i(c_i−d_i) + V·f(P) (without deficit penalties).
+	// It mixes Wh² drift terms with cost units, so it deliberately stays a
+	// bare float64.
 	Objective float64
 	// TotalDeficitWh sums unserved demand across nodes.
-	TotalDeficitWh float64
+	TotalDeficitWh units.Energy
 	// MarginalPriceWh is V·f'(P), the shadow price of one more Wh of grid
 	// energy at the optimum — the signal the decomposition prices nodes
 	// against.
-	MarginalPriceWh float64
+	MarginalPriceWh units.Price
 	// LPSolves / LPIterations report the optimization work behind this
 	// decision (per-node LPs plus every golden-section probe), for the
 	// metrics layer (docs/METRICS.md).
@@ -147,19 +150,19 @@ func Solve(req *Request) (*Decision, error) {
 		}
 	}
 
-	pMax := 0.0
+	pMax := units.Energy(0)
 	maxAbsZ := 0.0
 	for _, n := range req.Nodes {
 		if n.IsBS && n.GridConnected {
 			pMax += n.GridCapWh
 		}
-		if a := math.Abs(n.Z); a > maxAbsZ {
+		if a := math.Abs(n.Z.Wh()); a > maxAbsZ {
 			maxAbsZ = a
 		}
 	}
 	pen := req.DeficitPenalty
 	if pen == 0 {
-		pen = 10*(maxAbsZ+req.V*req.Cost.MaxDeriv(pMax)) + 1e6
+		pen = 10*(maxAbsZ+req.V*req.Cost.MaxDeriv(pMax).PerWh()) + 1e6
 	}
 
 	dec := &Decision{Nodes: make([]NodeDecision, len(req.Nodes))}
@@ -194,9 +197,9 @@ func Solve(req *Request) (*Decision, error) {
 			}
 			dec.LPSolves++
 			dec.LPIterations += iters
-			return inner + req.V*req.Cost.Eval(T), nil
+			return inner + req.V*req.Cost.Eval(units.Wh(T)).Value(), nil
 		}
-		tStar, err := goldenSection(value, 0, pMax)
+		tStar, err := goldenSection(value, 0, pMax.Wh())
 		if err != nil {
 			return nil, err
 		}
@@ -216,22 +219,22 @@ func Solve(req *Request) (*Decision, error) {
 		enforceComplementarity(&dec.Nodes[i])
 	}
 
-	p := 0.0
+	p := units.Energy(0)
 	obj := 0.0
-	deficit := 0.0
+	deficit := units.Energy(0)
 	for i, n := range req.Nodes {
 		nd := dec.Nodes[i]
 		if n.IsBS {
 			p += nd.GridDrawWh()
 		}
-		obj += n.Z * (nd.ChargeWh() - nd.DischargeWh)
+		obj += n.Z.Wh() * (nd.ChargeWh() - nd.DischargeWh).Wh()
 		deficit += nd.DeficitWh
 	}
 	dec.GridTotalWh = p
 	dec.EnergyCost = req.Cost.Eval(p)
-	dec.Objective = obj + req.V*dec.EnergyCost
+	dec.Objective = obj + req.V*dec.EnergyCost.Value()
 	dec.TotalDeficitWh = deficit
-	dec.MarginalPriceWh = req.V * req.Cost.Deriv(p)
+	dec.MarginalPriceWh = req.Cost.Deriv(p).Scale(req.V)
 	return dec, nil
 }
 
@@ -247,19 +250,19 @@ func Solve(req *Request) (*Decision, error) {
 // for unconditional feasibility, and never errors.
 func SafeDecision(req *Request) *Decision {
 	dec := &Decision{Nodes: make([]NodeDecision, len(req.Nodes))}
-	p := 0.0
+	p := units.Energy(0)
 	obj := 0.0
-	deficit := 0.0
+	deficit := units.Energy(0)
 	for i, n := range req.Nodes {
 		need := n.DemandWh
-		r := math.Min(n.RenewableWh, need)
+		r := units.Wh(math.Min(n.RenewableWh.Wh(), need.Wh()))
 		need -= r
-		g := 0.0
+		g := units.Energy(0)
 		if n.GridConnected {
-			g = math.Min(n.GridCapWh, need)
+			g = units.Wh(math.Min(n.GridCapWh.Wh(), need.Wh()))
 		}
 		need -= g
-		d := math.Min(n.DischargeHeadroomWh, need)
+		d := units.Wh(math.Min(n.DischargeHeadroomWh.Wh(), need.Wh()))
 		need -= d
 		dec.Nodes[i] = NodeDecision{
 			RenewToDemand: r,
@@ -270,14 +273,14 @@ func SafeDecision(req *Request) *Decision {
 		if n.IsBS {
 			p += g
 		}
-		obj -= n.Z * d
+		obj -= n.Z.Wh() * d.Wh()
 		deficit += need
 	}
 	dec.GridTotalWh = p
 	dec.EnergyCost = req.Cost.Eval(p)
-	dec.Objective = obj + req.V*dec.EnergyCost
+	dec.Objective = obj + req.V*dec.EnergyCost.Value()
 	dec.TotalDeficitWh = deficit
-	dec.MarginalPriceWh = req.V * req.Cost.Deriv(p)
+	dec.MarginalPriceWh = req.Cost.Deriv(p).Scale(req.V)
 	return dec
 }
 
@@ -298,28 +301,29 @@ func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) (
 		n := req.Nodes[i]
 		gridCap := 0.0
 		if n.GridConnected {
-			gridCap = n.GridCapWh
+			gridCap = n.GridCapWh.Wh()
 		}
+		z := n.Z.Wh()
 		v := varsOf{
 			r:  p.AddVar("r", 0, inf, 0),
-			cr: p.AddVar("cr", 0, inf, n.Z),
+			cr: p.AddVar("cr", 0, inf, z),
 			g:  p.AddVar("g", 0, inf, 0),
-			cg: p.AddVar("cg", 0, inf, n.Z),
-			d:  p.AddVar("d", 0, n.DischargeHeadroomWh, -n.Z),
+			cg: p.AddVar("cg", 0, inf, z),
+			d:  p.AddVar("d", 0, n.DischargeHeadroomWh.Wh(), -z),
 			u:  p.AddVar("u", 0, inf, pen),
 		}
 		vs[i] = v
 		// (3) with spill allowed: r + c^r ≤ R.
-		p.AddConstraint("renew", lp.LE, n.RenewableWh,
+		p.AddConstraint("renew", lp.LE, n.RenewableWh.Wh(),
 			lp.Term{Var: v.r, Coef: 1}, lp.Term{Var: v.cr, Coef: 1})
 		// (11): c^r + c^g ≤ charge headroom.
-		p.AddConstraint("chargecap", lp.LE, n.ChargeHeadroomWh,
+		p.AddConstraint("chargecap", lp.LE, n.ChargeHeadroomWh.Wh(),
 			lp.Term{Var: v.cr, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
 		// (14): g + c^g ≤ p^max (zero when disconnected).
 		p.AddConstraint("gridcap", lp.LE, gridCap,
 			lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
 		// Demand balance: g + r + d + u = E.
-		p.AddConstraint("demand", lp.EQ, n.DemandWh,
+		p.AddConstraint("demand", lp.EQ, n.DemandWh.Wh(),
 			lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.r, Coef: 1},
 			lp.Term{Var: v.d, Coef: 1}, lp.Term{Var: v.u, Coef: 1})
 		if budgeted {
@@ -346,12 +350,12 @@ func solveNodes(req *Request, nodes []int, budget, pen float64, budgeted bool) (
 	for _, i := range nodes {
 		v := vs[i]
 		out[i] = NodeDecision{
-			RenewToDemand:  sol.Value(v.r),
-			RenewToBattery: sol.Value(v.cr),
-			GridToDemand:   sol.Value(v.g),
-			GridToBattery:  sol.Value(v.cg),
-			DischargeWh:    sol.Value(v.d),
-			DeficitWh:      sol.Value(v.u),
+			RenewToDemand:  units.Wh(sol.Value(v.r)),
+			RenewToBattery: units.Wh(sol.Value(v.cr)),
+			GridToDemand:   units.Wh(sol.Value(v.g)),
+			GridToBattery:  units.Wh(sol.Value(v.cg)),
+			DischargeWh:    units.Wh(sol.Value(v.d)),
+			DeficitWh:      units.Wh(sol.Value(v.u)),
 		}
 	}
 	return out, sol.Objective, sol.Iterations, nil
@@ -370,7 +374,7 @@ func enforceComplementarity(nd *NodeDecision) {
 	if m <= 0 {
 		return
 	}
-	fromGrid := math.Min(nd.GridToBattery, m)
+	fromGrid := units.Wh(math.Min(nd.GridToBattery.Wh(), m.Wh()))
 	nd.GridToBattery -= fromGrid
 	nd.GridToDemand += fromGrid
 	fromRenew := m - fromGrid

@@ -5,6 +5,7 @@ import (
 
 	"greencell/internal/energy"
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
 // benchRequest mirrors the paper scenario's S4 instance: 2 base stations
@@ -15,11 +16,11 @@ func benchRequest() *Request {
 	for i := 0; i < 22; i++ {
 		isBS := i < 2
 		req.Nodes = append(req.Nodes, NodeInput{
-			Z:                   -1e5 * src.Uniform(1e3, 1e4),
-			DemandWh:            src.Uniform(0, 0.3),
-			RenewableWh:         src.Uniform(0, 1.5),
-			ChargeHeadroomWh:    src.Uniform(0, 0.4),
-			DischargeHeadroomWh: src.Uniform(0, 0.4),
+			Z:                   units.Wh(-1e5 * src.Uniform(1e3, 1e4)),
+			DemandWh:            units.Wh(src.Uniform(0, 0.3)),
+			RenewableWh:         units.Wh(src.Uniform(0, 1.5)),
+			ChargeHeadroomWh:    units.Wh(src.Uniform(0, 0.4)),
+			DischargeHeadroomWh: units.Wh(src.Uniform(0, 0.4)),
 			GridConnected:       isBS || src.Bernoulli(0.5),
 			GridCapWh:           200,
 			IsBS:                isBS,

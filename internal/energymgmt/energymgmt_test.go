@@ -6,6 +6,7 @@ import (
 
 	"greencell/internal/energy"
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
 func cheapCost() energy.CostFunc { return energy.Quadratic{A: 0.01, B: 0.1} }
@@ -36,7 +37,7 @@ func checkFeasible(t *testing.T, req *Request, dec *Decision) {
 			t.Fatalf("node %d: discharge %v exceeds headroom %v", i, nd.DischargeWh, n.DischargeHeadroomWh)
 		}
 		// (14): grid cap (and no grid when disconnected).
-		gridCap := 0.0
+		gridCap := units.Energy(0)
 		if n.GridConnected {
 			gridCap = n.GridCapWh
 		}
@@ -45,7 +46,7 @@ func checkFeasible(t *testing.T, req *Request, dec *Decision) {
 		}
 		// Demand balance: g + r + d + deficit = E.
 		served := nd.GridToDemand + nd.RenewToDemand + nd.DischargeWh + nd.DeficitWh
-		if math.Abs(served-n.DemandWh) > tol {
+		if math.Abs((served - n.DemandWh).Wh()) > tol {
 			t.Fatalf("node %d: demand balance %v != %v", i, served, n.DemandWh)
 		}
 	}
@@ -54,15 +55,15 @@ func checkFeasible(t *testing.T, req *Request, dec *Decision) {
 // objective evaluates the penalized S4 objective of an arbitrary decision.
 func objective(req *Request, nodes []NodeDecision, pen float64) float64 {
 	obj := 0.0
-	p := 0.0
+	p := units.Energy(0)
 	for i, n := range req.Nodes {
 		nd := nodes[i]
-		obj += n.Z*(nd.ChargeWh()-nd.DischargeWh) + pen*nd.DeficitWh
+		obj += n.Z.Wh()*(nd.ChargeWh()-nd.DischargeWh).Wh() + pen*nd.DeficitWh.Wh()
 		if n.IsBS {
 			p += nd.GridDrawWh()
 		}
 	}
-	return obj + req.V*req.Cost.Eval(p)
+	return obj + req.V*req.Cost.Eval(p).Value()
 }
 
 func TestServesDemandFromRenewableFirst(t *testing.T) {
@@ -81,7 +82,7 @@ func TestServesDemandFromRenewableFirst(t *testing.T) {
 	}
 	checkFeasible(t, req, dec)
 	nd := dec.Nodes[0]
-	if math.Abs(nd.RenewToDemand-3) > 1e-6 {
+	if math.Abs(nd.RenewToDemand.Wh()-3) > 1e-6 {
 		t.Errorf("renewable to demand = %v, want 3 (free beats grid)", nd.RenewToDemand)
 	}
 	if nd.GridToDemand > 1e-6 || nd.DeficitWh > 1e-6 {
@@ -106,7 +107,7 @@ func TestChargesWhenShiftedLevelNegative(t *testing.T) {
 	}
 	checkFeasible(t, req, dec)
 	nd := dec.Nodes[0]
-	if math.Abs(nd.GridToBattery-4) > 1e-6 {
+	if math.Abs(nd.GridToBattery.Wh()-4) > 1e-6 {
 		t.Errorf("grid to battery = %v, want full headroom 4", nd.GridToBattery)
 	}
 	if nd.DischargeWh > 1e-9 {
@@ -132,7 +133,7 @@ func TestDischargesWhenShiftedLevelPositive(t *testing.T) {
 	}
 	checkFeasible(t, req, dec)
 	nd := dec.Nodes[0]
-	if math.Abs(nd.DischargeWh-2) > 1e-6 {
+	if math.Abs(nd.DischargeWh.Wh()-2) > 1e-6 {
 		t.Errorf("discharge = %v, want demand 2", nd.DischargeWh)
 	}
 	if nd.GridDrawWh() > 1e-9 || nd.ChargeWh() > 1e-9 {
@@ -157,10 +158,10 @@ func TestDeficitWhenNothingAvailable(t *testing.T) {
 	checkFeasible(t, req, dec)
 	nd := dec.Nodes[0]
 	// 1 renewable + 2 discharge leaves 2 unserved.
-	if math.Abs(nd.DeficitWh-2) > 1e-6 {
+	if math.Abs(nd.DeficitWh.Wh()-2) > 1e-6 {
 		t.Errorf("deficit = %v, want 2", nd.DeficitWh)
 	}
-	if math.Abs(dec.TotalDeficitWh-2) > 1e-6 {
+	if math.Abs(dec.TotalDeficitWh.Wh()-2) > 1e-6 {
 		t.Errorf("total deficit = %v, want 2", dec.TotalDeficitWh)
 	}
 }
@@ -184,7 +185,7 @@ func TestUserGridDrawOutsideCost(t *testing.T) {
 	if dec.GridTotalWh != 0 {
 		t.Errorf("P = %v, want 0 (users are outside f)", dec.GridTotalWh)
 	}
-	if math.Abs(dec.Nodes[0].GridToDemand-50) > 1e-6 {
+	if math.Abs(dec.Nodes[0].GridToDemand.Wh()-50) > 1e-6 {
 		t.Errorf("user grid draw = %v, want 50", dec.Nodes[0].GridToDemand)
 	}
 	if dec.EnergyCost != 0 {
@@ -210,10 +211,10 @@ func TestQuadraticCostSpreadsAcrossStations(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkFeasible(t, req, dec)
-	if math.Abs(dec.GridTotalWh-8) > 1e-6 {
+	if math.Abs(dec.GridTotalWh.Wh()-8) > 1e-6 {
 		t.Errorf("P = %v, want 8", dec.GridTotalWh)
 	}
-	if math.Abs(dec.EnergyCost-cost.Eval(dec.GridTotalWh)) > 1e-9 {
+	if math.Abs((dec.EnergyCost - cost.Eval(dec.GridTotalWh)).Value()) > 1e-9 {
 		t.Errorf("EnergyCost %v != f(P) %v", dec.EnergyCost, cost.Eval(dec.GridTotalWh))
 	}
 }
@@ -241,13 +242,13 @@ func randomRequest(src *rng.Source, nodes int) *Request {
 	}
 	for i := 0; i < nodes; i++ {
 		req.Nodes = append(req.Nodes, NodeInput{
-			Z:                   src.Uniform(-20, 5) * req.V,
-			DemandWh:            src.Uniform(0, 5),
-			RenewableWh:         src.Uniform(0, 4),
-			ChargeHeadroomWh:    src.Uniform(0, 3),
-			DischargeHeadroomWh: src.Uniform(0, 3),
+			Z:                   units.Wh(src.Uniform(-20, 5) * req.V),
+			DemandWh:            units.Wh(src.Uniform(0, 5)),
+			RenewableWh:         units.Wh(src.Uniform(0, 4)),
+			ChargeHeadroomWh:    units.Wh(src.Uniform(0, 3)),
+			DischargeHeadroomWh: units.Wh(src.Uniform(0, 3)),
 			GridConnected:       src.Bernoulli(0.8),
-			GridCapWh:           src.Uniform(0, 6),
+			GridCapWh:           units.Wh(src.Uniform(0, 6)),
 			IsBS:                src.Bernoulli(0.6),
 		})
 	}
@@ -259,21 +260,21 @@ func randomFeasible(src *rng.Source, req *Request) []NodeDecision {
 	out := make([]NodeDecision, len(req.Nodes))
 	for i, n := range req.Nodes {
 		var nd NodeDecision
-		gridCap := 0.0
+		gridCap := units.Energy(0)
 		if n.GridConnected {
 			gridCap = n.GridCapWh
 		}
 		if src.Bernoulli(0.5) { // charge mode
-			nd.RenewToBattery = src.Uniform(0, math.Min(n.RenewableWh, n.ChargeHeadroomWh))
-			nd.GridToBattery = src.Uniform(0, math.Min(gridCap, n.ChargeHeadroomWh-nd.RenewToBattery))
+			nd.RenewToBattery = units.Wh(src.Uniform(0, math.Min(n.RenewableWh.Wh(), n.ChargeHeadroomWh.Wh())))
+			nd.GridToBattery = units.Wh(src.Uniform(0, math.Min(gridCap.Wh(), (n.ChargeHeadroomWh-nd.RenewToBattery).Wh())))
 		} else {
-			nd.DischargeWh = src.Uniform(0, math.Min(n.DischargeHeadroomWh, n.DemandWh))
+			nd.DischargeWh = units.Wh(src.Uniform(0, math.Min(n.DischargeHeadroomWh.Wh(), n.DemandWh.Wh())))
 		}
 		// Serve demand: renewable, then grid, then deficit.
 		need := n.DemandWh - nd.DischargeWh
-		nd.RenewToDemand = math.Min(need, n.RenewableWh-nd.RenewToBattery)
+		nd.RenewToDemand = units.Wh(math.Min(need.Wh(), (n.RenewableWh - nd.RenewToBattery).Wh()))
 		need -= nd.RenewToDemand
-		nd.GridToDemand = math.Min(need, gridCap-nd.GridToBattery)
+		nd.GridToDemand = units.Wh(math.Min(need.Wh(), (gridCap - nd.GridToBattery).Wh()))
 		need -= nd.GridToDemand
 		nd.DeficitWh = need
 		out[i] = nd
@@ -295,17 +296,17 @@ func TestDominatesRandomFeasible(t *testing.T) {
 		checkFeasible(t, req, dec)
 
 		// Recover the penalty the solver used.
-		pMax := 0.0
+		pMax := units.Energy(0)
 		maxAbsZ := 0.0
 		for _, n := range req.Nodes {
 			if n.IsBS && n.GridConnected {
 				pMax += n.GridCapWh
 			}
-			if a := math.Abs(n.Z); a > maxAbsZ {
+			if a := math.Abs(n.Z.Wh()); a > maxAbsZ {
 				maxAbsZ = a
 			}
 		}
-		pen := 10*(maxAbsZ+req.V*req.Cost.MaxDeriv(pMax)) + 1e6
+		pen := 10*(maxAbsZ+req.V*req.Cost.MaxDeriv(pMax).PerWh()) + 1e6
 
 		ours := objective(req, dec.Nodes, pen)
 		for probe := 0; probe < 300; probe++ {
@@ -328,8 +329,8 @@ func TestObjectiveFieldsConsistent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		p := 0.0
-		deficit := 0.0
+		p := units.Energy(0)
+		deficit := units.Energy(0)
 		zsum := 0.0
 		for i, n := range req.Nodes {
 			nd := dec.Nodes[i]
@@ -337,15 +338,15 @@ func TestObjectiveFieldsConsistent(t *testing.T) {
 				p += nd.GridDrawWh()
 			}
 			deficit += nd.DeficitWh
-			zsum += n.Z * (nd.ChargeWh() - nd.DischargeWh)
+			zsum += n.Z.Wh() * (nd.ChargeWh() - nd.DischargeWh).Wh()
 		}
-		if math.Abs(p-dec.GridTotalWh) > 1e-9 {
+		if math.Abs((p - dec.GridTotalWh).Wh()) > 1e-9 {
 			t.Fatalf("GridTotalWh %v != recomputed %v", dec.GridTotalWh, p)
 		}
-		if math.Abs(deficit-dec.TotalDeficitWh) > 1e-9 {
+		if math.Abs((deficit - dec.TotalDeficitWh).Wh()) > 1e-9 {
 			t.Fatalf("TotalDeficitWh %v != recomputed %v", dec.TotalDeficitWh, deficit)
 		}
-		want := zsum + req.V*req.Cost.Eval(p)
+		want := zsum + req.V*req.Cost.Eval(p).Value()
 		if math.Abs(want-dec.Objective) > 1e-6*(1+math.Abs(want)) {
 			t.Fatalf("Objective %v != recomputed %v", dec.Objective, want)
 		}
@@ -363,8 +364,8 @@ func TestMarginalPrice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := 2 * cost.Deriv(dec.GridTotalWh)
-	if math.Abs(dec.MarginalPriceWh-want) > 1e-9 {
+	want := cost.Deriv(dec.GridTotalWh).Scale(2)
+	if math.Abs((dec.MarginalPriceWh - want).PerWh()) > 1e-9 {
 		t.Errorf("MarginalPriceWh = %v, want %v", dec.MarginalPriceWh, want)
 	}
 }

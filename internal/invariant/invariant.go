@@ -123,49 +123,49 @@ func (c *Checker) checkEnergy(sc *core.SlotCheck) error {
 			name string
 			val  float64
 		}{
-			{"(3)", "renewable→demand r", nd.RenewToDemand},
-			{"(3)", "renewable→battery c^r", nd.RenewToBattery},
-			{"(5)", "grid→demand g", nd.GridToDemand},
-			{"(5)", "grid→battery c^g", nd.GridToBattery},
-			{"(12)", "discharge d", nd.DischargeWh},
-			{"(2)", "deficit u", nd.DeficitWh},
+			{"(3)", "renewable→demand r", nd.RenewToDemand.Wh()},
+			{"(3)", "renewable→battery c^r", nd.RenewToBattery.Wh()},
+			{"(5)", "grid→demand g", nd.GridToDemand.Wh()},
+			{"(5)", "grid→battery c^g", nd.GridToBattery.Wh()},
+			{"(12)", "discharge d", nd.DischargeWh.Wh()},
+			{"(2)", "deficit u", nd.DeficitWh.Wh()},
 		} {
 			if !c.le(0, part.val) {
 				return v(i, part.eq, "%s = %g is negative", part.name, part.val)
 			}
 		}
-		if !c.le(nd.RenewToDemand+nd.RenewToBattery, sc.Obs.RenewWh[i]) {
+		if !c.le((nd.RenewToDemand + nd.RenewToBattery).Wh(), sc.Obs.RenewWh[i].Wh()) {
 			return v(i, "(3)", "renewable use r+c^r = %g exceeds output R = %g",
-				nd.RenewToDemand+nd.RenewToBattery, sc.Obs.RenewWh[i])
+				(nd.RenewToDemand + nd.RenewToBattery).Wh(), sc.Obs.RenewWh[i].Wh())
 		}
-		if nd.ChargeWh() > c.tol(0) && nd.DischargeWh > c.tol(0) {
+		if nd.ChargeWh().Wh() > c.tol(0) && nd.DischargeWh.Wh() > c.tol(0) {
 			return v(i, "(9)", "simultaneous charge c = %g and discharge d = %g",
-				nd.ChargeWh(), nd.DischargeWh)
+				nd.ChargeWh().Wh(), nd.DischargeWh.Wh())
 		}
-		if !c.le(0, sc.BatteryAfterWh[i]) || !c.le(sc.BatteryAfterWh[i], spec.Battery.CapacityWh) {
+		if !c.le(0, sc.BatteryAfterWh[i].Wh()) || !c.le(sc.BatteryAfterWh[i].Wh(), spec.Battery.CapacityWh.Wh()) {
 			return v(i, "(10)", "battery level %g outside [0, %g]",
-				sc.BatteryAfterWh[i], spec.Battery.CapacityWh)
+				sc.BatteryAfterWh[i].Wh(), spec.Battery.CapacityWh.Wh())
 		}
-		if !c.le(nd.ChargeWh(), sc.ChargeHeadroomWh[i]) {
+		if !c.le(nd.ChargeWh().Wh(), sc.ChargeHeadroomWh[i].Wh()) {
 			return v(i, "(11)", "charge c = %g exceeds headroom %g",
-				nd.ChargeWh(), sc.ChargeHeadroomWh[i])
+				nd.ChargeWh().Wh(), sc.ChargeHeadroomWh[i].Wh())
 		}
-		if !c.le(nd.DischargeWh, sc.DischargeHeadroomWh[i]) {
+		if !c.le(nd.DischargeWh.Wh(), sc.DischargeHeadroomWh[i].Wh()) {
 			return v(i, "(12)", "discharge d = %g exceeds headroom %g",
-				nd.DischargeWh, sc.DischargeHeadroomWh[i])
+				nd.DischargeWh.Wh(), sc.DischargeHeadroomWh[i].Wh())
 		}
 		gridCap := 0.0
 		if sc.Obs.Connected[i] {
-			gridCap = spec.Grid.MaxDrawWh
+			gridCap = spec.Grid.MaxDrawWh.Wh()
 		}
-		if !c.le(nd.GridDrawWh(), gridCap) {
+		if !c.le(nd.GridDrawWh().Wh(), gridCap) {
 			return v(i, "(14)", "grid draw g+c^g = %g exceeds ω·p^max = %g",
-				nd.GridDrawWh(), gridCap)
+				nd.GridDrawWh().Wh(), gridCap)
 		}
 		supply := nd.RenewToDemand + nd.GridToDemand + nd.DischargeWh + nd.DeficitWh
-		if !c.le(sc.DemandWh[i], supply) {
+		if !c.le(sc.DemandWh[i].Wh(), supply.Wh()) {
 			return v(i, "(2)", "supply r+g+d+u = %g short of demand E = %g",
-				supply, sc.DemandWh[i])
+				supply.Wh(), sc.DemandWh[i].Wh())
 		}
 	}
 	c.specChecked = true

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -217,15 +218,23 @@ func CanonicalizeJSONL(data []byte) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// zeroTimings recursively zeroes numeric values under keys containing "_ns".
+// zeroTimings recursively zeroes numeric values under keys containing
+// "_ns". It walks the keys in sorted order: updating a map mid-range is
+// defined for existing keys, but a deterministic canonicalizer should not
+// lean on that subtlety (and the mapiter analyzer flags it).
 func zeroTimings(obj map[string]any) {
-	for k, v := range obj {
-		switch vv := v.(type) {
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		switch vv := obj[k].(type) {
 		case map[string]any:
 			zeroTimings(vv)
 		default:
 			if strings.Contains(k, "_ns") {
-				if _, isNum := v.(float64); isNum {
+				if _, isNum := vv.(float64); isNum {
 					obj[k] = 0.0
 				}
 			}

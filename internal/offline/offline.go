@@ -35,6 +35,7 @@ import (
 	"greencell/internal/radio"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 // Instance is one clairvoyant problem.
@@ -178,7 +179,7 @@ func enumeratePatterns(inst *Instance, obs core.Observation) []pattern {
 				continue
 			}
 			s := net.Radio.InterferenceFreeSINR(
-				net.Gains[link.From][link.To], net.MaxTxPower(link.From), obs.Widths[b])
+				net.Gains[link.From][link.To], net.MaxTxPower(link.From).Watts(), obs.Widths[b].Hz())
 			if s >= net.Radio.SINRThreshold {
 				pairs = append(pairs, pairT{l, b})
 			}
@@ -201,9 +202,9 @@ func enumeratePatterns(inst *Instance, obs core.Observation) []pattern {
 			for k, ci := range cis {
 				link := net.Links[chosen[ci].link]
 				txs[k] = radio.Transmission{From: link.From, To: link.To}
-				caps[k] = net.MaxTxPower(link.From)
+				caps[k] = net.MaxTxPower(link.From).Watts()
 			}
-			pw, ok := net.Radio.ControlPowers(net.Gains, txs, obs.Widths[band], caps)
+			pw, ok := net.Radio.ControlPowers(net.Gains, txs, obs.Widths[band].Hz(), caps)
 			if !ok {
 				return pattern{}, false
 			}
@@ -216,9 +217,9 @@ func enumeratePatterns(inst *Instance, obs core.Observation) []pattern {
 			p.links = append(p.links, c.link)
 			p.bands = append(p.bands, c.band)
 			p.powers = append(p.powers, powers[ci])
-			p.rates = append(p.rates, net.Radio.Capacity(obs.Widths[c.band]))
+			p.rates = append(p.rates, net.Radio.Capacity(obs.Widths[c.band].Hz()))
 			p.txWh[link.From] += powers[ci] * dtH
-			p.txWh[link.To] += net.Nodes[link.To].Spec.RecvPowerW * dtH
+			p.txWh[link.To] += net.Nodes[link.To].Spec.RecvPowerW.Watts() * dtH
 		}
 		return p, true
 	}
@@ -406,12 +407,12 @@ func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, er
 	yCost := make([]lp.VarID, T)
 	pMaxTotal := 0.0
 	for _, i := range bss {
-		pMaxTotal += net.Nodes[i].Spec.Grid.MaxDrawWh
+		pMaxTotal += net.Nodes[i].Spec.Grid.MaxDrawWh.Wh()
 	}
 	for t := 1; t <= T; t++ {
 		batt[t] = make([]lp.VarID, net.NumNodes())
 		for i, nd := range net.Nodes {
-			batt[t][i] = prob.AddVar("x", 0, nd.Spec.Battery.CapacityWh, 0)
+			batt[t][i] = prob.AddVar("x", 0, nd.Spec.Battery.CapacityWh.Wh(), 0)
 		}
 	}
 	for t := 0; t < T; t++ {
@@ -424,24 +425,24 @@ func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, er
 			spec := nd.Spec
 			gridCap := 0.0
 			if obs.Connected[i] {
-				gridCap = spec.Grid.MaxDrawWh
+				gridCap = spec.Grid.MaxDrawWh.Wh()
 			}
 			v := evars{
 				r:  prob.AddVar("r", 0, inf, 0),
 				cr: prob.AddVar("cr", 0, inf, 0),
 				g:  prob.AddVar("g", 0, inf, 0),
 				cg: prob.AddVar("cg", 0, inf, 0),
-				d:  prob.AddVar("d", 0, spec.Battery.MaxDischargeWh, 0),
+				d:  prob.AddVar("d", 0, spec.Battery.MaxDischargeWh.Wh(), 0),
 			}
 			evs[t][i] = v
-			prob.AddConstraint("renew", lp.LE, obs.RenewWh[i],
+			prob.AddConstraint("renew", lp.LE, obs.RenewWh[i].Wh(),
 				lp.Term{Var: v.r, Coef: 1}, lp.Term{Var: v.cr, Coef: 1})
-			prob.AddConstraint("chargecap", lp.LE, spec.Battery.MaxChargeWh,
+			prob.AddConstraint("chargecap", lp.LE, spec.Battery.MaxChargeWh.Wh(),
 				lp.Term{Var: v.cr, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
 			prob.AddConstraint("gridcap", lp.LE, gridCap,
 				lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.cg, Coef: 1})
 			// Demand balance: g + r + d = E (fixed by the pattern).
-			demand := (spec.ConstPowerW+spec.IdlePowerW)*dtH + combo[t].txWh[i]
+			demand := (spec.ConstPowerW+spec.IdlePowerW).Watts()*dtH + combo[t].txWh[i]
 			prob.AddConstraint("demand", lp.EQ, demand,
 				lp.Term{Var: v.g, Coef: 1}, lp.Term{Var: v.r, Coef: 1},
 				lp.Term{Var: v.d, Coef: 1})
@@ -453,7 +454,7 @@ func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, er
 			}
 			rhs := 0.0
 			if t == 0 {
-				rhs = spec.BatteryInitWh
+				rhs = spec.BatteryInitWh.Wh()
 			} else {
 				terms = append(terms, lp.Term{Var: batt[t][i], Coef: -1})
 			}
@@ -469,8 +470,8 @@ func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, er
 		for k := 0; k < cuts; k++ {
 			frac := float64(k) / float64(cuts-1)
 			pk := pMaxTotal * frac * frac
-			fp := inst.Cost.Eval(pk)
-			dp := inst.Cost.Deriv(pk)
+			fp := inst.Cost.Eval(units.Wh(pk)).Value()
+			dp := inst.Cost.Deriv(units.Wh(pk)).PerWh()
 			prob.AddConstraint("cut", lp.GE, fp-dp*pk,
 				lp.Term{Var: yCost[t], Coef: 1}, lp.Term{Var: pTot[t], Coef: -dp})
 		}
@@ -498,7 +499,7 @@ func solveCombo(inst *Instance, combo []*pattern, cuts int) (*Solution, bool, er
 	for t := 0; t < T; t++ {
 		p := solLP.Value(pTot[t])
 		out.GridWh[t] = p
-		out.AvgEnergyCost += inst.Cost.Eval(p) / float64(T)
+		out.AvgEnergyCost += inst.Cost.Eval(units.Wh(p)).Value() / float64(T)
 		for s := 0; s < S; s++ {
 			for b := range bss {
 				out.AdmittedPkts += solLP.Value(admit[t][s][b])

@@ -13,6 +13,7 @@ import (
 	"greencell/internal/spectrum"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 // tinySetup builds a 3-node line (BS -> u1 -> u2 plus the direct BS -> u2)
@@ -24,7 +25,7 @@ func tinySetup(t testing.TB) (*topology.Network, *traffic.Model) {
 	}}
 	spec := func(maxTx float64) topology.NodeSpec {
 		return topology.NodeSpec{
-			MaxTxPowerW: maxTx,
+			MaxTxPowerW: units.Watts(maxTx),
 			RecvPowerW:  0.05,
 			ConstPowerW: 1,
 			IdlePowerW:  0.5,
@@ -58,8 +59,8 @@ func fixedRealization(net *topology.Network, slots int) []core.Observation {
 	out := make([]core.Observation, slots)
 	for t := range out {
 		obs := core.Observation{
-			Widths:    []float64{1e6},
-			RenewWh:   make([]float64, net.NumNodes()),
+			Widths:    []units.Bandwidth{units.Hz(1e6)},
+			RenewWh:   make([]units.Energy, net.NumNodes()),
 			Connected: make([]bool, net.NumNodes()),
 		}
 		for i := range obs.RenewWh {
@@ -178,9 +179,9 @@ func TestGridNeededWithoutRenewable(t *testing.T) {
 	if sol.Objective > sol.TrueObjective+1e-9 {
 		t.Errorf("cut objective %v above true %v", sol.Objective, sol.TrueObjective)
 	}
-	if sol.TrueObjective < cost.Eval(perSlot)-1e-9 {
+	if sol.TrueObjective < cost.Eval(units.Wh(perSlot)).Value()-1e-9 {
 		t.Errorf("true cost %v below the balanced lower bound f(%v)=%v (convexity violated?)",
-			sol.TrueObjective, perSlot, cost.Eval(perSlot))
+			sol.TrueObjective, perSlot, cost.Eval(units.Wh(perSlot)))
 	}
 }
 

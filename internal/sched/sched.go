@@ -58,7 +58,7 @@ type Request struct {
 }
 
 func (r *Request) maxPower(node int) float64 {
-	p := r.Net.MaxTxPower(node)
+	p := r.Net.MaxTxPower(node).Watts()
 	if r.TxPowerCap != nil && r.TxPowerCap[node] < p {
 		p = r.TxPowerCap[node]
 	}

@@ -5,6 +5,7 @@ import (
 
 	"greencell/internal/rng"
 	"greencell/internal/topology"
+	"greencell/internal/units"
 )
 
 // benchRequest builds a paper-scale scheduling instance with random
@@ -22,7 +23,7 @@ func benchRequest(b *testing.B) *Request {
 			weights[l] = src.Uniform(1, 500)
 		}
 	}
-	widths := net.Spectrum.SampleWidths(src.Split("widths"))
+	widths := units.HzSlice(net.Spectrum.SampleWidths(src.Split("widths")))
 	return &Request{Net: net, Widths: widths, Weights: weights}
 }
 
@@ -58,7 +59,7 @@ func BenchmarkScheduleExact(b *testing.B) {
 	for l := range weights {
 		weights[l] = src.Uniform(1, 500)
 	}
-	req := &Request{Net: net, Widths: net.Spectrum.SampleWidths(src.Split("w")), Weights: weights}
+	req := &Request{Net: net, Widths: units.HzSlice(net.Spectrum.SampleWidths(src.Split("w"))), Weights: weights}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (Exact{}).Schedule(req); err != nil {

@@ -138,17 +138,17 @@ func (r *Recorder) SlotHook(sr *core.SlotResult) {
 		DataBacklogBS:    sr.DataBacklogBS,
 		DataBacklogUsers: sr.DataBacklogUsers,
 		VirtualBacklogH:  sr.VirtualBacklogH,
-		ShiftedAbsZ:      sr.ShiftedEnergyAbsZ,
-		BatteryWhBS:      sr.BatteryWhBS,
-		BatteryWhUsers:   sr.BatteryWhUsers,
-		GridWh:           sr.GridWh,
-		EnergyCost:       sr.EnergyCost,
+		ShiftedAbsZ:      sr.ShiftedEnergyAbsZ.Wh(),
+		BatteryWhBS:      sr.BatteryWhBS.Wh(),
+		BatteryWhUsers:   sr.BatteryWhUsers.Wh(),
+		GridWh:           sr.GridWh.Wh(),
+		EnergyCost:       sr.EnergyCost.Value(),
 		PenaltyObjective: sr.PenaltyObjective,
-		MarginalPriceWh:  sr.MarginalPriceWh,
-		RenewableWh:      sr.RenewableWh,
-		DemandWh:         sr.DemandWh,
-		TxEnergyWh:       sr.TxEnergyWh,
-		DeficitWh:        sr.DeficitWh,
+		MarginalPriceWh:  sr.MarginalPriceWh.PerWh(),
+		RenewableWh:      sr.RenewableWh.Wh(),
+		DemandWh:         sr.DemandWh.Wh(),
+		TxEnergyWh:       sr.TxEnergyWh.Wh(),
+		DeficitWh:        sr.DeficitWh.Wh(),
 	}
 	for _, d := range sr.DeliveredPkts {
 		rec.DeliveredPkts += d
@@ -192,21 +192,21 @@ func (r *Recorder) SlotHook(sr *core.SlotResult) {
 	}
 
 	r.cSlots.Inc()
-	r.cGrid.Add(sr.GridWh)
-	r.cCost.Add(sr.EnergyCost)
-	r.cRenew.Add(sr.RenewableWh)
-	r.cTx.Add(sr.TxEnergyWh)
-	r.cDeficit.Add(sr.DeficitWh)
+	r.cGrid.Add(sr.GridWh.Wh())
+	r.cCost.Add(sr.EnergyCost.Value())
+	r.cRenew.Add(sr.RenewableWh.Wh())
+	r.cTx.Add(sr.TxEnergyWh.Wh())
+	r.cDeficit.Add(sr.DeficitWh.Wh())
 	r.cOffered.Add(sr.OfferedPkts)
 	r.cAdmitted.Add(sr.AdmittedPkts)
 	r.cDropped.Add(sr.DroppedPkts)
 	r.cDelivered.Add(rec.DeliveredPkts)
 	r.gBacklogBS.Set(sr.DataBacklogBS)
 	r.gBacklogUsers.Set(sr.DataBacklogUsers)
-	r.gBatteryBS.Set(sr.BatteryWhBS)
-	r.gBatteryUsers.Set(sr.BatteryWhUsers)
+	r.gBatteryBS.Set(sr.BatteryWhBS.Wh())
+	r.gBatteryUsers.Set(sr.BatteryWhUsers.Wh())
 	r.gVirtualH.Set(sr.VirtualBacklogH)
-	r.gAbsZ.Set(sr.ShiftedEnergyAbsZ)
+	r.gAbsZ.Set(sr.ShiftedEnergyAbsZ.Wh())
 	r.slots++
 
 	if r.err == nil {

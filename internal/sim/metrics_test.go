@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"flag"
 	"os"
 	"regexp"
 	"strings"
@@ -9,6 +10,10 @@ import (
 
 	"greencell/internal/metrics"
 )
+
+// updateGolden rewrites testdata/golden_metrics.jsonl instead of diffing
+// against it. Use only for intentional semantic changes to the stream.
+var updateGolden = flag.Bool("update", false, "rewrite golden metrics fixtures")
 
 // runMetricsStream executes a short Paper() run with an attached Recorder
 // and returns the raw JSONL stream.
@@ -65,6 +70,40 @@ func TestMetricsDeterministicForSeed(t *testing.T) {
 	}
 	if bytes.Equal(ca, c) {
 		t.Fatal("streams of different seeds canonicalize identically; canonicalization is erasing real data")
+	}
+}
+
+// TestMetricsGoldenByteIdentity pins the canonicalized fixed-seed stream
+// to testdata/golden_metrics.jsonl, which was generated before the typed
+// internal/units refactor. Defined types over float64 share the raw
+// representation, so the refactor must not move a single bit of any
+// metric; a diff here means some refactored expression changed its
+// floating-point grouping. Regenerate the golden only for an intentional
+// semantic change: go test ./internal/sim -run GoldenByteIdentity -update
+func TestMetricsGoldenByteIdentity(t *testing.T) {
+	got, err := metrics.CanonicalizeJSONL(runMetricsStream(t, 1, false))
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	const golden = "testdata/golden_metrics.jsonl"
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("stream differs from golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("stream differs from golden in length: got %d lines, want %d", len(gl), len(wl))
 	}
 }
 

@@ -131,13 +131,13 @@ func RunReplicatedCtx(ctx context.Context, sc Scenario, seeds []int64) (*Replica
 			continue
 		}
 		res := o.Result
-		cost = append(cost, res.AvgEnergyCost)
+		cost = append(cost, res.AvgEnergyCost.Value())
 		pen = append(pen, res.AvgPenaltyObjective)
-		grid = append(grid, res.AvgGridWh)
+		grid = append(grid, res.AvgGridWh.Wh())
 		del = append(del, res.DeliveredPkts)
 		adm = append(adm, res.AdmittedPkts)
 		backlog = append(backlog, res.FinalDataBacklogBS+res.FinalDataBacklogUsers)
-		batt = append(batt, res.FinalBatteryWhBS+res.FinalBatteryWhUsers)
+		batt = append(batt, (res.FinalBatteryWhBS + res.FinalBatteryWhUsers).Wh())
 		degr = append(degr, float64(res.DegradedSlots))
 		if sc.KeepTraces {
 			costT = append(costT, res.CostTrace)
@@ -184,13 +184,13 @@ type SeedMetrics struct {
 func MetricsOf(seed int64, r *Result) SeedMetrics {
 	return SeedMetrics{
 		Seed:                seed,
-		AvgEnergyCost:       r.AvgEnergyCost,
+		AvgEnergyCost:       r.AvgEnergyCost.Value(),
 		AvgPenaltyObjective: r.AvgPenaltyObjective,
-		AvgGridWh:           r.AvgGridWh,
+		AvgGridWh:           r.AvgGridWh.Wh(),
 		DeliveredPkts:       r.DeliveredPkts,
 		AdmittedPkts:        r.AdmittedPkts,
 		FinalDataBacklog:    r.FinalDataBacklogBS + r.FinalDataBacklogUsers,
-		FinalBatteryWh:      r.FinalBatteryWhBS + r.FinalBatteryWhUsers,
+		FinalBatteryWh:      (r.FinalBatteryWhBS + r.FinalBatteryWhUsers).Wh(),
 		DegradedSlots:       r.DegradedSlots,
 	}
 }

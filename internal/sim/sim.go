@@ -22,6 +22,7 @@ import (
 	"greencell/internal/sched"
 	"greencell/internal/topology"
 	"greencell/internal/traffic"
+	"greencell/internal/units"
 )
 
 // Architecture selects one of the four network designs compared in the
@@ -142,18 +143,19 @@ func Paper() Scenario {
 // Result aggregates one run.
 type Result struct {
 	// AvgEnergyCost is the time-averaged f(P(t)) — the headline metric.
-	AvgEnergyCost float64
+	AvgEnergyCost units.Cost
 	// AvgPenaltyObjective is the time-averaged f(P(t)) − λ·Σ k_s(t), the
-	// quantity the Theorem 4/5 bounds speak about.
+	// quantity the Theorem 4/5 bounds speak about. It mixes cost units
+	// with the reward term, so it stays a bare float64.
 	AvgPenaltyObjective float64
 	// AvgGridWh is the time-averaged total grid draw.
-	AvgGridWh float64
+	AvgGridWh units.Energy
 	// AvgTxEnergyWh is the time-averaged transmission+reception energy.
-	AvgTxEnergyWh float64
+	AvgTxEnergyWh units.Energy
 	// DeliveredPkts / AdmittedPkts are totals over the horizon.
 	DeliveredPkts, AdmittedPkts float64
 	// DeficitWh is the total unserved energy (0 in normal operation).
-	DeficitWh float64
+	DeficitWh units.Energy
 	// AvgDelayEstSlots estimates the mean packet delay in slots via
 	// Little's law: time-averaged total data backlog over the delivery
 	// rate. Together with AvgEnergyCost it traces the paper's O(1/V)-cost
@@ -172,7 +174,7 @@ type Result struct {
 	B float64
 	// FinalDataBacklog etc. are end-of-run queue aggregates.
 	FinalDataBacklogBS, FinalDataBacklogUsers float64
-	FinalBatteryWhBS, FinalBatteryWhUsers     float64
+	FinalBatteryWhBS, FinalBatteryWhUsers     units.Energy
 
 	// DegradedSlots counts slots where at least one stage fell back to
 	// its safe action (docs/ROBUSTNESS.md); DegradedByCause breaks the
@@ -327,14 +329,14 @@ func RunCtx(ctx context.Context, sc Scenario) (*Result, error) {
 		if sc.SlotHook != nil {
 			sc.SlotHook(sr)
 		}
-		txSum += sr.TxEnergyWh
-		costT.Observe(sr.EnergyCost)
+		txSum += sr.TxEnergyWh.Wh()
+		costT.Observe(sr.EnergyCost.Value())
 		penT.Observe(sr.PenaltyObjective)
-		gridT.Observe(sr.GridWh)
+		gridT.Observe(sr.GridWh.Wh())
 		qbsT.Observe(sr.DataBacklogBS)
 		quT.Observe(sr.DataBacklogUsers)
-		bbsT.Observe(sr.BatteryWhBS)
-		buT.Observe(sr.BatteryWhUsers)
+		bbsT.Observe(sr.BatteryWhBS.Wh())
+		buT.Observe(sr.BatteryWhUsers.Wh())
 		hT.Observe(sr.VirtualBacklogH)
 		for _, d := range sr.DeliveredPkts {
 			res.DeliveredPkts += d
@@ -346,10 +348,10 @@ func RunCtx(ctx context.Context, sc Scenario) (*Result, error) {
 		}
 	}
 
-	res.AvgEnergyCost = costT.TimeAverage()
+	res.AvgEnergyCost = units.CostOf(costT.TimeAverage())
 	res.AvgPenaltyObjective = penT.TimeAverage()
-	res.AvgGridWh = gridT.TimeAverage()
-	res.AvgTxEnergyWh = txSum / float64(sc.Slots)
+	res.AvgGridWh = units.Wh(gridT.TimeAverage())
+	res.AvgTxEnergyWh = units.Wh(txSum / float64(sc.Slots))
 	if rate := res.DeliveredPkts / float64(sc.Slots); rate > 0 {
 		res.AvgDelayEstSlots = (qbsT.TimeAverage() + quT.TimeAverage()) / rate
 	}
@@ -401,7 +403,7 @@ type Bounds struct {
 	Lower float64
 	// UpperEnergyCost / LowerEnergyCost are the raw f(P) averages of the
 	// two runs, for reporting.
-	UpperEnergyCost, LowerEnergyCost float64
+	UpperEnergyCost, LowerEnergyCost units.Cost
 }
 
 // BoundsAt runs the proposed controller and the relaxed lower-bound
@@ -450,7 +452,7 @@ func SweepV(sc Scenario, vs []float64) ([]Bounds, error) {
 type ArchitectureCost struct {
 	Architecture Architecture
 	V            float64
-	AvgCost      float64
+	AvgCost      units.Cost
 }
 
 // CompareArchitectures runs every architecture at every V with common

@@ -53,7 +53,7 @@ func TestRunPaperScenarioSmall(t *testing.T) {
 			t.Errorf("trace %q has %d points, want %d", name, len(trace), sc.Slots)
 		}
 	}
-	if res.FinalBatteryWhBS != res.BatteryWhBSTrace[sc.Slots-1] {
+	if res.FinalBatteryWhBS.Wh() != res.BatteryWhBSTrace[sc.Slots-1] {
 		t.Error("final battery does not match trace end")
 	}
 }
@@ -178,7 +178,7 @@ func TestArchitectureOrdering(t *testing.T) {
 	}
 	byArch := map[Architecture]float64{}
 	for _, c := range costs {
-		byArch[c.Architecture] = c.AvgCost
+		byArch[c.Architecture] = c.AvgCost.Value()
 	}
 	// Renewable integration must pay off in both routing modes.
 	if byArch[Proposed] >= byArch[MultiHopNoRenewable] {

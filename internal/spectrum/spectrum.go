@@ -8,44 +8,47 @@ import (
 	"fmt"
 
 	"greencell/internal/rng"
+	"greencell/internal/units"
 )
 
-// WidthDist describes the bandwidth process of a single band, in Hz.
+// WidthDist describes the bandwidth process of a single band.
 type WidthDist interface {
 	// Sample draws the band's width for one slot.
-	Sample(src *rng.Source) float64
+	Sample(src *rng.Source) units.Bandwidth
 	// Max returns the largest width the process can produce; it feeds the
 	// c_ij^max terms of the Lyapunov constant B (paper eq. (34)).
-	Max() float64
+	Max() units.Bandwidth
 	// Min returns the smallest width the process can produce.
-	Min() float64
+	Min() units.Bandwidth
 }
 
-// Constant is a band whose width never changes.
+// Constant is a band whose width never changes (value in Hz).
 type Constant float64
 
 // Sample implements WidthDist.
-func (c Constant) Sample(*rng.Source) float64 { return float64(c) }
+func (c Constant) Sample(*rng.Source) units.Bandwidth { return units.Hz(float64(c)) }
 
 // Max implements WidthDist.
-func (c Constant) Max() float64 { return float64(c) }
+func (c Constant) Max() units.Bandwidth { return units.Hz(float64(c)) }
 
 // Min implements WidthDist.
-func (c Constant) Min() float64 { return float64(c) }
+func (c Constant) Min() units.Bandwidth { return units.Hz(float64(c)) }
 
 // Uniform is a band whose width is i.i.d. uniform in [Lo, Hi] each slot.
 type Uniform struct {
-	Lo, Hi float64
+	Lo, Hi units.Bandwidth
 }
 
 // Sample implements WidthDist.
-func (u Uniform) Sample(src *rng.Source) float64 { return src.Uniform(u.Lo, u.Hi) }
+func (u Uniform) Sample(src *rng.Source) units.Bandwidth {
+	return units.Hz(src.Uniform(u.Lo.Hz(), u.Hi.Hz()))
+}
 
 // Max implements WidthDist.
-func (u Uniform) Max() float64 { return u.Hi }
+func (u Uniform) Max() units.Bandwidth { return u.Hi }
 
 // Min implements WidthDist.
-func (u Uniform) Min() float64 { return u.Lo }
+func (u Uniform) Min() units.Bandwidth { return u.Lo }
 
 // Band is one spectrum band.
 type Band struct {
@@ -99,18 +102,18 @@ func (m *Model) Clone() *Model {
 // NumBands returns the number of bands.
 func (m *Model) NumBands() int { return len(m.Bands) }
 
-// SampleWidths draws each band's width for one slot, in Hz.
-func (m *Model) SampleWidths(src *rng.Source) []float64 {
-	w := make([]float64, len(m.Bands))
+// SampleWidths draws each band's width for one slot.
+func (m *Model) SampleWidths(src *rng.Source) []units.Bandwidth {
+	w := make([]units.Bandwidth, len(m.Bands))
 	for i, b := range m.Bands {
 		w[i] = b.Width.Sample(src)
 	}
 	return w
 }
 
-// MaxWidth returns the largest width any band can take, in Hz.
-func (m *Model) MaxWidth() float64 {
-	mx := 0.0
+// MaxWidth returns the largest width any band can take.
+func (m *Model) MaxWidth() units.Bandwidth {
+	mx := units.Bandwidth(0)
 	for _, b := range m.Bands {
 		if w := b.Width.Max(); w > mx {
 			mx = w
@@ -207,7 +210,7 @@ type Markov struct {
 }
 
 // Sample implements WidthDist, advancing the chain by one slot.
-func (m *Markov) Sample(src *rng.Source) float64 {
+func (m *Markov) Sample(src *rng.Source) units.Bandwidth {
 	if !m.started {
 		m.off = m.StartOff
 		m.started = true
@@ -227,10 +230,10 @@ func (m *Markov) Sample(src *rng.Source) float64 {
 }
 
 // Max implements WidthDist.
-func (m *Markov) Max() float64 { return m.On.Max() }
+func (m *Markov) Max() units.Bandwidth { return m.On.Max() }
 
 // Min implements WidthDist. An OFF slot has zero width.
-func (m *Markov) Min() float64 { return 0 }
+func (m *Markov) Min() units.Bandwidth { return 0 }
 
 // CloneWidth implements WidthCloner: the copy starts a fresh chain.
 func (m *Markov) CloneWidth() WidthDist {

@@ -55,11 +55,11 @@ func TestWidthDistBounds(t *testing.T) {
 	src := rng.New(2)
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			if tt.d.Min() != tt.min || tt.d.Max() != tt.max {
+			if tt.d.Min().Hz() != tt.min || tt.d.Max().Hz() != tt.max {
 				t.Fatalf("Min/Max = %v/%v, want %v/%v", tt.d.Min(), tt.d.Max(), tt.min, tt.max)
 			}
 			for i := 0; i < 100; i++ {
-				v := tt.d.Sample(src)
+				v := tt.d.Sample(src).Hz()
 				if v < tt.min || v > tt.max {
 					t.Fatalf("sample %v outside [%v,%v]", v, tt.min, tt.max)
 				}

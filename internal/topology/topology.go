@@ -15,6 +15,7 @@ import (
 	"greencell/internal/radio"
 	"greencell/internal/rng"
 	"greencell/internal/spectrum"
+	"greencell/internal/units"
 )
 
 // Kind distinguishes node roles.
@@ -41,23 +42,23 @@ func (k Kind) String() string {
 // NodeSpec is the per-role hardware description.
 type NodeSpec struct {
 	// MaxTxPowerW is P_i^max.
-	MaxTxPowerW float64
+	MaxTxPowerW units.Power
 	// Radios is the number of independent transceivers (0 = the paper's
 	// single radio). With R radios a node can take part in up to R
 	// simultaneous link-band activities — the multi-radio generalization
 	// of constraint (22).
 	Radios int
 	// RecvPowerW is the constant receive power P_i^recv of eq. (23).
-	RecvPowerW float64
+	RecvPowerW units.Power
 	// ConstPowerW models E_i^const (antenna feed) as a constant power.
-	ConstPowerW float64
+	ConstPowerW units.Power
 	// IdlePowerW models E_i^idle as a constant power.
-	IdlePowerW float64
+	IdlePowerW units.Power
 	// Battery is the node's storage unit.
 	Battery energy.BatterySpec
 	// BatteryInitWh is the initial stored energy.
-	BatteryInitWh float64
-	// Renewable is the node's renewable output process (W per slot).
+	BatteryInitWh units.Energy
+	// Renewable is the node's renewable output process (Wh per slot).
 	Renewable energy.Process
 	// Grid is the node's power-grid connection.
 	Grid energy.GridConnection
@@ -123,7 +124,7 @@ func (n *Network) OutLinks(i int) []int { return n.outLinks[i] }
 func (n *Network) InLinks(i int) []int { return n.inLinks[i] }
 
 // MaxTxPower returns P_i^max for node i.
-func (n *Network) MaxTxPower(i int) float64 { return n.Nodes[i].Spec.MaxTxPowerW }
+func (n *Network) MaxTxPower(i int) units.Power { return n.Nodes[i].Spec.MaxTxPowerW }
 
 // Radios returns node i's transceiver count (at least 1).
 func (n *Network) Radios(i int) int {
@@ -314,13 +315,13 @@ func (n *Network) buildCandidateLinks(cfg Config) {
 			}
 			// Feasibility screen on the widest possible noise floor: use the
 			// largest width among shared bands (worst case noise).
-			worstWidth := 0.0
+			worstWidth := units.Bandwidth(0)
 			for _, b := range bands {
 				if w := n.Spectrum.Bands[b].Width.Max(); w > worstWidth {
 					worstWidth = w
 				}
 			}
-			s := n.Radio.InterferenceFreeSINR(n.Gains[i][j], n.Nodes[i].Spec.MaxTxPowerW, worstWidth)
+			s := n.Radio.InterferenceFreeSINR(n.Gains[i][j], n.Nodes[i].Spec.MaxTxPowerW.Watts(), worstWidth.Hz())
 			if s < n.Radio.SINRThreshold {
 				continue
 			}

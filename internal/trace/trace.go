@@ -43,19 +43,19 @@ type Record struct {
 func FromSlot(sr *core.SlotResult) Record {
 	r := Record{
 		Slot:             sr.Slot,
-		EnergyCost:       sr.EnergyCost,
-		GridWh:           sr.GridWh,
+		EnergyCost:       sr.EnergyCost.Value(),
+		GridWh:           sr.GridWh.Wh(),
 		AdmittedPkts:     sr.AdmittedPkts,
 		DeliveredPkts:    append([]float64(nil), sr.DeliveredPkts...),
 		ScheduledLinks:   sr.ScheduledLinks,
-		TxEnergyWh:       sr.TxEnergyWh,
-		DemandWh:         sr.DemandWh,
-		RenewableWh:      sr.RenewableWh,
-		DeficitWh:        sr.DeficitWh,
+		TxEnergyWh:       sr.TxEnergyWh.Wh(),
+		DemandWh:         sr.DemandWh.Wh(),
+		RenewableWh:      sr.RenewableWh.Wh(),
+		DeficitWh:        sr.DeficitWh.Wh(),
 		DataBacklogBS:    sr.DataBacklogBS,
 		DataBacklogUsers: sr.DataBacklogUsers,
-		BatteryWhBS:      sr.BatteryWhBS,
-		BatteryWhUsers:   sr.BatteryWhUsers,
+		BatteryWhBS:      sr.BatteryWhBS.Wh(),
+		BatteryWhUsers:   sr.BatteryWhUsers.Wh(),
 	}
 	if sr.Audit != nil {
 		holds := sr.Audit.Holds()

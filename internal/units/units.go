@@ -1,0 +1,163 @@
+// Package units defines zero-cost physical-quantity types for the paper's
+// per-slot control loop. Each type is a defined type over float64 — no
+// wrapper structs, no interface boxing — so values marshal to JSON, compare,
+// and compute exactly like the bare float64 they replace. What the types buy
+// is compile-time (and, via the unitmix analyzer, lint-time) separation of
+// quantities that the paper never mixes:
+//
+//	Quantity   Paper symbol / equation                      Unit here
+//	--------   ------------------------------------------   -----------------
+//	Energy     x_i(t), R_i(t), c_i(t), d_i(t), P(t);        watt-hours / slot
+//	           eqs. (2), (4), (9)–(14)
+//	Power      p_i^max, P_ij(t); eqs. (16), (23)            watts
+//	Bandwidth  W_m(t); Section II-A                         hertz
+//	Rate       c_ij(t) = W·log2(1+SINR); eq. (1)            bits / second
+//	Cost       f(P(t)); Section II-E                        cost units
+//	Price      γ_max = max f'(P), marginal prices;          cost / Wh
+//	           the z_i(t) shift of eq. (19)
+//
+// Conversions between quantities are explicit methods (Power.OverHours,
+// Energy.PerHours, Price.ForEnergy, ...). Raw casts such as float64(e) or
+// Energy(p) outside this package are flagged by the unitmix analyzer
+// (docs/ANALYSIS.md); use the accessor methods instead so every unit
+// boundary is named at the call site.
+//
+// All arithmetic helpers preserve the exact float64 operation order of the
+// expressions they replace — the refactor that introduced this package is
+// bit-identical on the fixed-seed metrics stream (make units-check).
+package units
+
+// Energy is an amount of energy, in watt-hours. Per-slot quantities —
+// battery levels x_i(t), renewable arrivals R_i(t), charges c_i(t),
+// discharges d_i(t), grid draws — are all energies per slot.
+type Energy float64
+
+// Power is an instantaneous power, in watts (transmit powers P_ij(t),
+// receive/idle/constant circuit powers, the caps p_i^max).
+type Power float64
+
+// Bandwidth is a spectrum width W_m(t), in hertz.
+type Bandwidth float64
+
+// Rate is a link rate c_ij(t), in bits per second.
+type Rate float64
+
+// Cost is a value of the provider's generation cost f(P), in the paper's
+// (dimensionless) cost units.
+type Cost float64
+
+// Price is a marginal cost per unit energy — f'(P) and the γ_max shift of
+// eq. (19) — in cost units per watt-hour.
+type Price float64
+
+// Constructors: the named way to move a bare float64 into the unit system.
+
+// Wh returns v watt-hours as an Energy.
+func Wh(v float64) Energy { return Energy(v) }
+
+// Joules returns v joules as an Energy (1 Wh = 3600 J).
+func Joules(v float64) Energy { return Energy(v / 3600) }
+
+// Watts returns v watts as a Power.
+func Watts(v float64) Power { return Power(v) }
+
+// Hz returns v hertz as a Bandwidth.
+func Hz(v float64) Bandwidth { return Bandwidth(v) }
+
+// BitsPerSec returns v bits/second as a Rate.
+func BitsPerSec(v float64) Rate { return Rate(v) }
+
+// CostOf returns v cost units as a Cost.
+func CostOf(v float64) Cost { return Cost(v) }
+
+// PricePerWh returns v cost-units-per-Wh as a Price.
+func PricePerWh(v float64) Price { return Price(v) }
+
+// Accessors: the named way back out. Each is the identity on the underlying
+// float64 (except Energy.Joules, which scales).
+
+// Wh returns the energy in watt-hours.
+func (e Energy) Wh() float64 { return float64(e) }
+
+// Joules returns the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) * 3600 }
+
+// Watts returns the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Hz returns the bandwidth in hertz.
+func (b Bandwidth) Hz() float64 { return float64(b) }
+
+// BitsPerSec returns the rate in bits per second.
+func (r Rate) BitsPerSec() float64 { return float64(r) }
+
+// Value returns the cost in cost units.
+func (c Cost) Value() float64 { return float64(c) }
+
+// PerWh returns the price in cost units per watt-hour.
+func (p Price) PerWh() float64 { return float64(p) }
+
+// Cross-quantity conversions. Each method documents — and the unitmix
+// analyzer enforces — the only sanctioned ways quantities combine.
+
+// OverHours returns the energy delivered by drawing power p for h hours:
+// W × h → Wh. h is a dimensionless slot duration expressed in hours
+// (SlotSeconds/3600 in the simulator).
+func (p Power) OverHours(h float64) Energy { return Energy(float64(p) * h) }
+
+// PerHours returns the constant power that delivers energy e over h hours:
+// Wh ÷ h → W.
+func (e Energy) PerHours(h float64) Power { return Power(float64(e) / h) }
+
+// ForEnergy returns the cost of energy e at price p: (cost/Wh) × Wh → cost.
+func (p Price) ForEnergy(e Energy) Cost { return Cost(float64(p) * float64(e)) }
+
+// Scale returns the energy scaled by the dimensionless factor k.
+func (e Energy) Scale(k float64) Energy { return Energy(float64(e) * k) }
+
+// Scale returns the power scaled by the dimensionless factor k.
+func (p Power) Scale(k float64) Power { return Power(float64(p) * k) }
+
+// Scale returns the price scaled by the dimensionless factor k (e.g. the
+// drift weight V multiplying f'(P) in S4's objective).
+func (p Price) Scale(k float64) Price { return Price(float64(p) * k) }
+
+// Slice helpers for the float64 kernel boundary: the LP/scheduling kernels
+// (internal/sched, internal/lp, internal/radio, ...) deliberately stay on
+// bare float64; callers convert once per slot at the boundary.
+
+// HzSlice converts a bandwidth slice to bare hertz values.
+func HzSlice(ws []Bandwidth) []float64 {
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		out[i] = w.Hz()
+	}
+	return out
+}
+
+// WhSlice converts an energy slice to bare watt-hour values.
+func WhSlice(es []Energy) []float64 {
+	out := make([]float64, len(es))
+	for i, e := range es {
+		out[i] = e.Wh()
+	}
+	return out
+}
+
+// EnergiesWh wraps bare watt-hour values as an Energy slice.
+func EnergiesWh(vs []float64) []Energy {
+	out := make([]Energy, len(vs))
+	for i, v := range vs {
+		out[i] = Wh(v)
+	}
+	return out
+}
+
+// BandwidthsHz wraps bare hertz values as a Bandwidth slice.
+func BandwidthsHz(vs []float64) []Bandwidth {
+	out := make([]Bandwidth, len(vs))
+	for i, v := range vs {
+		out[i] = Hz(v)
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package units
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestZeroCostRepresentation pins the property the whole refactor rests on:
+// a defined type over float64 has the identical bit pattern and the
+// identical JSON encoding as the bare float64 it wraps.
+func TestZeroCostRepresentation(t *testing.T) {
+	vals := []float64{0, 1, -1, 0.0006, 1e5, math.Pi, 3.3e-4, math.MaxFloat64}
+	for _, v := range vals {
+		if got := Wh(v).Wh(); math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("Wh round-trip changed bits: %v -> %v", v, got)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typed, err := json.Marshal(Wh(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != string(typed) {
+			t.Errorf("JSON differs for %v: raw %s typed %s", v, raw, typed)
+		}
+	}
+}
+
+func TestConstructorAccessorIdentity(t *testing.T) {
+	const v = 123.456
+	cases := []struct {
+		name string
+		got  float64
+	}{
+		{"Wh", Wh(v).Wh()},
+		{"Watts", Watts(v).Watts()},
+		{"Hz", Hz(v).Hz()},
+		{"BitsPerSec", BitsPerSec(v).BitsPerSec()},
+		{"CostOf", CostOf(v).Value()},
+		{"PricePerWh", PricePerWh(v).PerWh()},
+	}
+	for _, c := range cases {
+		if c.got != v {
+			t.Errorf("%s: got %v want %v", c.name, c.got, v)
+		}
+	}
+}
+
+func TestJoules(t *testing.T) {
+	if got := Joules(3600).Wh(); got != 1 {
+		t.Errorf("Joules(3600) = %v Wh, want 1", got)
+	}
+	if got := Wh(2).Joules(); got != 7200 {
+		t.Errorf("Wh(2).Joules() = %v, want 7200", got)
+	}
+}
+
+// TestConversionsMatchRawArithmetic checks each cross-quantity helper
+// reproduces the exact float64 expression it replaced in the controller.
+func TestConversionsMatchRawArithmetic(t *testing.T) {
+	p, h := 12.7, 1.0/60
+	if got, want := Watts(p).OverHours(h).Wh(), p*h; math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("OverHours: %v != %v", got, want)
+	}
+	e := 0.31
+	if got, want := Wh(e).PerHours(h).Watts(), e/h; math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("PerHours: %v != %v", got, want)
+	}
+	pr := 5.5
+	if got, want := PricePerWh(pr).ForEnergy(Wh(e)).Value(), pr*e; math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("ForEnergy: %v != %v", got, want)
+	}
+	k := 0.25
+	if got, want := Wh(e).Scale(k).Wh(), e*k; math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("Energy.Scale: %v != %v", got, want)
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	ws := []Bandwidth{Hz(1e6), Hz(2e6)}
+	hz := HzSlice(ws)
+	if len(hz) != 2 || hz[0] != 1e6 || hz[1] != 2e6 {
+		t.Errorf("HzSlice = %v", hz)
+	}
+	es := EnergiesWh([]float64{1, 2, 3})
+	wh := WhSlice(es)
+	if len(wh) != 3 || wh[0] != 1 || wh[2] != 3 {
+		t.Errorf("WhSlice round-trip = %v", wh)
+	}
+	bs := BandwidthsHz([]float64{5, 6})
+	if len(bs) != 2 || bs[1].Hz() != 6 {
+		t.Errorf("BandwidthsHz = %v", bs)
+	}
+}
