@@ -15,11 +15,11 @@ FUZZTIME ?= 15s
 # driver's -analyzers selection path; must match analysis.All().
 ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock
 
-.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck units-check figures clean
+.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck units-check serve-smoke figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check units-check fuzz soak
+ci: fmtcheck check units-check fuzz soak serve-smoke
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,13 @@ fmtcheck:
 #   go test ./internal/sim -run MetricsGoldenByteIdentity -update
 units-check:
 	$(GO) test ./internal/sim -run MetricsGoldenByteIdentity
+
+# End-to-end daemon gate (docs/SERVER.md): builds greencelld and
+# greencellsim, submits the golden scenario over HTTP, diffs the streamed
+# metrics against the golden fixture, then SIGTERMs a running job and
+# verifies the drain leaves it journaled and recoverable on restart.
+serve-smoke:
+	GREENCELL_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v ./internal/server
 
 figures:
 	$(GO) run ./cmd/figures -out out

@@ -1,0 +1,110 @@
+// Command greencelld is the experiment daemon: an HTTP/JSON service that
+// accepts simulation jobs (serializable scenario specs plus seeds), runs
+// them on a bounded worker pool over the crash-proof replication machinery,
+// streams per-slot metrics live, and journals job lifecycles so interrupted
+// work recovers on restart. See docs/SERVER.md for the API.
+//
+// Usage:
+//
+//	greencelld [-addr host:port] [-journal path] [-workers n]
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions get 503, running
+// jobs get -drain-grace to finish, and whatever is interrupted stays
+// journaled for the next instance to re-run (deterministically, so nothing
+// is lost).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"greencell/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "greencelld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("greencelld", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		journal    = fs.String("journal", "greencelld.journal.jsonl", "job journal path (empty disables crash recovery)")
+		workers    = fs.Int("workers", 1, "jobs run concurrently (each job also parallelizes across seeds)")
+		queueDepth = fs.Int("queue-depth", 256, "max queued jobs before submissions get 503")
+		grace      = fs.Duration("drain-grace", 30*time.Second, "how long a drain lets running jobs finish before interrupting them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := server.New(server.Config{
+		JournalPath: *journal,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "greencelld: listening on %s (journal %q)\n", bound, *journal)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go serveHTTP(hs, ln, errCh)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own; take the jobs down with it.
+		if cerr := srv.Close(); cerr != nil {
+			return fmt.Errorf("serve: %v; close: %w", err, cerr)
+		}
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "greencelld: %v: draining (grace %s)\n", sig, *grace)
+		dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+		defer dcancel()
+		derr := srv.Drain(dctx)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if serr := hs.Shutdown(sctx); serr != nil && derr == nil {
+			derr = serr
+		}
+		fmt.Fprintln(os.Stderr, "greencelld: drained")
+		return derr
+	}
+}
+
+// serveHTTP runs the HTTP server and reports its exit; a separate function
+// so the accept loop's goroutine shares nothing mutable with main.
+func serveHTTP(hs *http.Server, ln net.Listener, errCh chan<- error) {
+	err := hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	errCh <- err
+}

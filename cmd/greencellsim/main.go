@@ -60,9 +60,63 @@ func run(args []string) (err error) {
 		budgetIter = fs.Int("budget-iters", 0, "max simplex iterations per LP solve (0 = unlimited)")
 		deadline   = fs.Duration("deadline", 0, "per-slot wall-clock solve deadline (0 = none; overruns degrade, not fail)")
 		check      = fs.Bool("check", false, "validate every slot against the paper's per-slot invariants (eqs. (9)-(14), (22), (25), (30))")
+		submitURL  = fs.String("submit", "", "submit as a job to a running greencelld at this base URL (e.g. http://127.0.0.1:8080) instead of simulating locally")
+		replicate  = fs.Int("replications", 0, "with -submit: replicate over this many consecutive seeds starting at -seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *submitURL != "" {
+		// Only explicitly-set flags enter the spec, so daemon-side preset
+		// defaults apply to everything the caller did not say — a plain
+		// `-preset paper -submit URL` job matches `sim.Paper()` exactly
+		// (local flag defaults like -neighbors=6 are NOT implied).
+		spec := sim.ScenarioSpec{}
+		var flagErr error
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "v":
+				spec.V = *v
+			case "lambda":
+				spec.Lambda = *lambda
+			case "slots":
+				spec.Slots = *slots
+			case "seed":
+				spec.Seed = *seed
+			case "users":
+				spec.Users = *users
+			case "sessions":
+				spec.Sessions = *sessions
+			case "uplink":
+				spec.UplinkSessions = *uplink
+			case "neighbors":
+				n := *neighbors
+				spec.Neighbors = &n
+			case "arch":
+				spec.Architecture = *arch
+			case "preset":
+				spec.Preset = *preset
+			case "scheduler":
+				spec.Scheduler = *scheduler
+			case "faults":
+				spec.FaultProb = *faults
+			case "budget-iters":
+				spec.BudgetIters = *budgetIter
+			case "deadline":
+				spec.SlotDeadlineMS = deadline.Milliseconds()
+			case "check":
+				spec.CheckInvariants = *check
+			case "submit", "replications", "json", "metrics":
+				// Client-side flags, handled below.
+			default:
+				flagErr = errors.Join(flagErr, fmt.Errorf("-%s is not supported with -submit", f.Name))
+			}
+		})
+		if flagErr != nil {
+			return flagErr
+		}
+		return submitJob(*submitURL, spec, *replicate, *jsonOut, *metricsOut)
 	}
 
 	var sc sim.Scenario

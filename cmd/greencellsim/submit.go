@@ -1,0 +1,140 @@
+package main
+
+// The -submit client mode: instead of simulating locally, greencellsim
+// encodes its explicitly-set scenario flags as a sim.ScenarioSpec, POSTs it
+// to a running greencelld, polls the job to completion, and (with -metrics)
+// downloads the streamed metrics. Determinism makes the two paths
+// equivalent: a submitted job's stream is byte-identical to the local run's
+// (the serve-smoke gate checks exactly this).
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"greencell/internal/server"
+	"greencell/internal/sim"
+)
+
+// pollInterval paces job status polling; jobs run for seconds to minutes,
+// so 100ms keeps the client responsive without hammering the daemon.
+const pollInterval = 100 * time.Millisecond
+
+// submitJob drives one job end to end against the daemon at base.
+func submitJob(base string, spec sim.ScenarioSpec, replications int, jsonOut bool, metricsOut string) error {
+	base = strings.TrimSuffix(base, "/")
+	body, err := json.Marshal(server.JobRequest{Spec: spec, Replications: replications})
+	if err != nil {
+		return err
+	}
+	var st server.JobStatus
+	if err := doJSON(http.MethodPost, base+"/v1/jobs", body, http.StatusAccepted, &st); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "greencellsim: submitted %s (%d seed(s))\n", st.ID, len(st.Seeds))
+
+	for !st.State.Terminal() {
+		time.Sleep(pollInterval)
+		if err := doJSON(http.MethodGet, base+"/v1/jobs/"+st.ID, nil, http.StatusOK, &st); err != nil {
+			return fmt.Errorf("poll %s: %w", st.ID, err)
+		}
+	}
+
+	if metricsOut != "" {
+		if err := fetchMetrics(base, st.ID, metricsOut); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+	} else {
+		printJobText(st)
+	}
+	if st.State != server.JobDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	return nil
+}
+
+// doJSON performs one API call, insisting on wantCode and decoding into out.
+func doJSON(method, url string, body []byte, wantCode int, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != wantCode {
+		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	return json.Unmarshal(data, out)
+}
+
+// fetchMetrics downloads the job's full metrics stream into path.
+func fetchMetrics(base, id, path string) (err error) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET metrics: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { err = errors.Join(err, f.Close()) }()
+	_, err = io.Copy(f, resp.Body)
+	return err
+}
+
+// printJobText renders the finished job the way a local run prints.
+func printJobText(st server.JobStatus) {
+	fmt.Printf("job:                 %s (%s)\n", st.ID, st.State)
+	if st.Error != "" {
+		fmt.Printf("error:               %s\n", st.Error)
+	}
+	if st.Result == nil {
+		return
+	}
+	if s := st.Result.Summary; s != nil {
+		fmt.Printf("seeds:               %d ok, %d failed\n", len(st.Result.Seeds), len(st.Result.FailedSeeds))
+		fmt.Printf("avg energy cost:     %.4g ± %.4g  (mean ± std over seeds)\n", s.AvgEnergyCost.Mean, s.AvgEnergyCost.Std)
+		fmt.Printf("avg penalty obj:     %.4g ± %.4g\n", s.AvgPenaltyObjective.Mean, s.AvgPenaltyObjective.Std)
+		fmt.Printf("avg grid draw:       %.4g Wh/slot\n", s.AvgGridWh.Mean)
+		fmt.Printf("admitted packets:    %.0f\n", s.AdmittedPkts.Mean)
+		fmt.Printf("delivered packets:   %.0f\n", s.DeliveredPkts.Mean)
+		fmt.Printf("final backlog:       %.1f pkts\n", s.FinalDataBacklog.Mean)
+		fmt.Printf("final battery:       %.1f Wh\n", s.FinalBatteryWh.Mean)
+	}
+	for _, seed := range st.Result.FailedSeeds {
+		fmt.Printf("failed seed:         %d\n", seed)
+	}
+}

@@ -28,6 +28,9 @@ var WallClockAllowedFiles = []string{
 	"internal/sched/instrument.go",
 	// Per-analyzer timing in the lint driver; never reaches artifacts.
 	"cmd/greencell-lint/main.go",
+	// greencelld job lifecycle timestamps (created/started/finished); they
+	// surface only in API status responses, never in the metrics stream.
+	"internal/server/job.go",
 }
 
 // Name implements Analyzer.

@@ -190,6 +190,32 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// CounterValues returns the value of every registered counter, keyed by
+// name. This is the cross-run aggregation unit: greencelld folds the
+// counters of each completed instrumented run into its serving-level
+// registry (histogram quantiles do not sum and are left per-run).
+func (r *Registry) CounterValues() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range r.entries {
+		if e.kind == kindCounter {
+			out[e.name] = e.c.Value()
+		}
+	}
+	return out
+}
+
+// EachCounter visits every registered counter in registration order with
+// its full metadata — the variant of CounterValues used when the
+// aggregating registry needs to re-register the counters under their
+// original unit and help text.
+func (r *Registry) EachCounter(f func(name, unit, help string, value float64)) {
+	for _, e := range r.entries {
+		if e.kind == kindCounter {
+			f(e.name, e.unit, e.help, e.c.Value())
+		}
+	}
+}
+
 // Names returns the registered metric names in registration order.
 func (r *Registry) Names() []string {
 	out := make([]string, len(r.entries))

@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every metric of reg in the Prometheus text
+// exposition format (version 0.0.4), sorted by metric name so the output
+// is deterministic for a fixed registry state:
+//
+//   - counters emit `# HELP`, `# TYPE <name> counter`, and one sample;
+//   - gauges likewise with `# TYPE <name> gauge`;
+//   - histograms and timers emit a summary family: quantile samples at
+//     0.5/0.95/0.99 plus `<name>_sum` and `<name>_count`.
+//
+// The registered unit is appended to the HELP text in brackets. Registry
+// is not safe for concurrent use; the caller serializes WritePrometheus
+// against writers of the same registry (greencelld holds its server mutex).
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	sw := &stickyWriter{bw: bufio.NewWriter(w)}
+	entries := make([]entry, len(reg.entries))
+	copy(entries, reg.entries)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		help := e.help
+		if e.unit != "" {
+			help += " [" + e.unit + "]"
+		}
+		sw.line("# HELP ", e.name, " ", escapeHelp(help))
+		switch e.kind {
+		case kindCounter:
+			sw.line("# TYPE ", e.name, " counter")
+			sw.line(e.name, " ", promFloat(e.c.Value()))
+		case kindGauge:
+			sw.line("# TYPE ", e.name, " gauge")
+			sw.line(e.name, " ", promFloat(e.g.Value()))
+		case kindHistogram, kindTimer:
+			h := e.h
+			if e.kind == kindTimer {
+				h = e.t.h
+			}
+			sw.line("# TYPE ", e.name, " summary")
+			for _, q := range [...]float64{0.5, 0.95, 0.99} {
+				sw.line(e.name, `{quantile="`, promFloat(q), `"} `, promFloat(h.Quantile(q)))
+			}
+			sw.line(e.name, "_sum ", promFloat(h.Sum()))
+			sw.line(e.name, "_count ", strconv.FormatUint(h.Count(), 10))
+		}
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.bw.Flush()
+}
+
+// stickyWriter keeps the first write error and drops everything after it,
+// so the emission loop stays linear instead of threading an error through
+// every sample line.
+type stickyWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// line writes the concatenation of parts followed by a newline.
+func (s *stickyWriter) line(parts ...string) {
+	if s.err != nil {
+		return
+	}
+	for _, p := range parts {
+		if _, s.err = s.bw.WriteString(p); s.err != nil {
+			return
+		}
+	}
+	s.err = s.bw.WriteByte('\n')
+}
+
+// promFloat renders a sample value per the exposition format: shortest
+// round-trip representation, with the spec spellings for the non-finite
+// values.
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusFormat pins the exposition format: deterministic
+// name-sorted order, HELP/TYPE lines, counter and gauge samples, and the
+// summary expansion of histograms. Any change here is a wire-format change
+// and must be deliberate.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	// Register out of name order to prove the emission sorts.
+	reg.Gauge("queue_depth", "jobs", "jobs waiting to run").Set(3)
+	c := reg.Counter("jobs_done_total", "jobs", "jobs finished successfully")
+	c.Add(41)
+	c.Inc()
+	h := reg.Histogram("batch_pkts", "pkts", "packets per batch", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, reg); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := strings.Join([]string{
+		`# HELP batch_pkts packets per batch [pkts]`,
+		`# TYPE batch_pkts summary`,
+		`batch_pkts{quantile="0.5"} 5`,
+		`batch_pkts{quantile="0.95"} 5`,
+		`batch_pkts{quantile="0.99"} 5`,
+		`batch_pkts_sum 20`,
+		`batch_pkts_count 4`,
+		`# HELP jobs_done_total jobs finished successfully [jobs]`,
+		`# TYPE jobs_done_total counter`,
+		`jobs_done_total 42`,
+		`# HELP queue_depth jobs waiting to run [jobs]`,
+		`# TYPE queue_depth gauge`,
+		`queue_depth 3`,
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition format changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusDeterministic: two renderings of the same registry
+// are byte-identical, and timers expose summaries too.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Timer("solve_ns", "one solve wall time").ObserveNS(1500)
+	reg.Counter("slots_total", "slots", "slots recorded").Add(7)
+
+	var a, b bytes.Buffer
+	if err := WritePrometheus(&a, reg); err != nil {
+		t.Fatalf("first render: %v", err)
+	}
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatalf("second render: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same registry rendered differently across calls")
+	}
+	out := a.String()
+	for _, needle := range []string{
+		"# TYPE solve_ns summary",
+		"solve_ns_count 1",
+		"solve_ns_sum 1500",
+		"# TYPE slots_total counter",
+		"slots_total 7",
+	} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("exposition missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+// TestCounterValues: only counters appear, keyed by name.
+func TestCounterValues(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "1", "a").Add(2)
+	reg.Gauge("g", "1", "g").Set(9)
+	reg.Timer("t_ns", "t").ObserveNS(5)
+	got := reg.CounterValues()
+	if len(got) != 1 || got["a_total"] != 2 {
+		t.Fatalf("CounterValues = %v, want map[a_total:2]", got)
+	}
+}

@@ -1,0 +1,256 @@
+package server
+
+// This file holds the job types and the queued→running→done/failed/
+// cancelled state machine. It also owns the server's only wall-clock
+// reads (job lifecycle timestamps) and is on
+// analysis.WallClockAllowedFiles: those timestamps surface exclusively in
+// API responses, never in the metrics stream or any other reproducible
+// artifact.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"greencell/internal/sim"
+)
+
+// now is the package's single wall-clock read, kept in this allowlisted
+// file; the rest of the package timestamps through it.
+func now() time.Time { return time.Now() }
+
+// JobState is one node of the job lifecycle:
+//
+//	queued → running → done | failed | cancelled
+//
+// A drain interrupts a running job back to queued (without a terminal
+// journal event), so a restarted daemon re-runs it; determinism makes the
+// re-run equivalent.
+type JobState string
+
+// Job states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state ends the job.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// JobRequest is the POST /v1/jobs body: a serializable scenario plus the
+// seeds to replicate it over.
+type JobRequest struct {
+	// Spec is the scenario (sim.ScenarioSpec: preset plus overrides).
+	Spec sim.ScenarioSpec `json:"spec"`
+	// Seeds lists the replication seeds explicitly. Empty means
+	// Replications consecutive seeds starting at the spec's seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// Replications derives Seeds when they are not listed (default 1).
+	Replications int `json:"replications,omitempty"`
+	// DeadlineMS bounds the whole job's wall-clock runtime; an overrun
+	// fails the job with a deadline error. 0 = no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// maxSeedsPerJob bounds one job's replication count; larger campaigns
+// split into multiple jobs.
+const maxSeedsPerJob = 4096
+
+// normalize validates the request and returns the resolved seed list.
+func (r *JobRequest) normalize() ([]int64, error) {
+	if err := r.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if r.Replications < 0 {
+		return nil, fmt.Errorf("replications: must be non-negative, got %d", r.Replications)
+	}
+	if len(r.Seeds) > 0 && r.Replications > 0 {
+		return nil, fmt.Errorf("seeds and replications are mutually exclusive")
+	}
+	if r.DeadlineMS < 0 {
+		return nil, fmt.Errorf("deadline_ms: must be non-negative, got %d", r.DeadlineMS)
+	}
+	seeds := r.Seeds
+	if len(seeds) == 0 {
+		n := r.Replications
+		if n == 0 {
+			n = 1
+		}
+		base := r.Spec.Seed
+		if base == 0 {
+			sc, err := r.Spec.Scenario()
+			if err != nil {
+				return nil, err
+			}
+			base = sc.Seed
+		}
+		seeds = sim.Seeds(base, n)
+	}
+	if len(seeds) > maxSeedsPerJob {
+		return nil, fmt.Errorf("seeds: %d exceeds the per-job maximum %d", len(seeds), maxSeedsPerJob)
+	}
+	seen := make(map[int64]bool, len(seeds))
+	for _, s := range seeds {
+		if seen[s] {
+			return nil, fmt.Errorf("seeds: duplicate seed %d", s)
+		}
+		seen[s] = true
+	}
+	return seeds, nil
+}
+
+// seedProgress is one seed's live slot counter, advanced lock-free from
+// the replication's SlotHook and read by status handlers.
+type seedProgress struct {
+	seed      int64
+	slotsDone atomic.Int64
+}
+
+// Job is one submitted experiment. Fields other than the progress atomics
+// and the record log (which has its own lock) are guarded by the server
+// mutex.
+type Job struct {
+	ID    string
+	Req   JobRequest
+	Seeds []int64
+
+	state     JobState
+	errMsg    string
+	recovered bool
+
+	createdAt  time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+
+	totalSlots int
+	progress   []*seedProgress
+	byTheSeed  map[int64]*seedProgress
+
+	// log is the live metrics stream of the job's first seed; nil only
+	// for jobs recovered in a terminal state (streams are not journaled).
+	log *recordLog
+
+	result *JobResult
+
+	// cancel aborts the running replications; cancelReason distinguishes
+	// a user DELETE ("user") from a drain interruption ("drain") so only
+	// the former journals a terminal event.
+	cancel       func()
+	cancelReason string
+	// done is closed when the run loop has fully released the job.
+	done chan struct{}
+}
+
+// newJob builds a queued job with live progress slots. totalSlots is the
+// per-seed horizon from the materialized spec.
+func newJob(id string, req JobRequest, seeds []int64, totalSlots int) *Job {
+	j := &Job{
+		ID:         id,
+		Req:        req,
+		Seeds:      seeds,
+		state:      JobQueued,
+		createdAt:  now(),
+		totalSlots: totalSlots,
+		log:        newRecordLog(),
+		byTheSeed:  make(map[int64]*seedProgress, len(seeds)),
+		done:       make(chan struct{}),
+	}
+	for _, s := range seeds {
+		p := &seedProgress{seed: s}
+		j.progress = append(j.progress, p)
+		j.byTheSeed[s] = p
+	}
+	return j
+}
+
+// JobResult aggregates a finished (or partially finished) job, reusing the
+// sweep checkpoint unit: one sim.SeedMetrics per completed seed plus the
+// failed-seed list and the cross-seed summary.
+type JobResult struct {
+	Seeds       []sim.SeedMetrics     `json:"seeds"`
+	FailedSeeds []int64               `json:"failed_seeds,omitempty"`
+	Errors      []string              `json:"errors,omitempty"`
+	Summary     *sim.ReplicatedResult `json:"summary,omitempty"`
+}
+
+// SeedStatus is one seed's live progress in a job status.
+type SeedStatus struct {
+	Seed      int64  `json:"seed"`
+	SlotsDone int64  `json:"slots_done"`
+	State     string `json:"state"`
+	Error     string `json:"error,omitempty"`
+}
+
+// JobStatus is the API rendering of a job.
+type JobStatus struct {
+	ID         string           `json:"id"`
+	State      JobState         `json:"state"`
+	Error      string           `json:"error,omitempty"`
+	Recovered  bool             `json:"recovered,omitempty"`
+	Spec       sim.ScenarioSpec `json:"spec"`
+	Seeds      []int64          `json:"seeds"`
+	DeadlineMS int64            `json:"deadline_ms,omitempty"`
+	CreatedAt  string           `json:"created_at,omitempty"`
+	StartedAt  string           `json:"started_at,omitempty"`
+	FinishedAt string           `json:"finished_at,omitempty"`
+	TotalSlots int              `json:"total_slots"`
+	Progress   []SeedStatus     `json:"progress,omitempty"`
+	Result     *JobResult       `json:"result,omitempty"`
+}
+
+// status renders the job; the caller holds the server mutex.
+func (j *Job) status() JobStatus {
+	st := JobStatus{
+		ID:         j.ID,
+		State:      j.state,
+		Error:      j.errMsg,
+		Recovered:  j.recovered,
+		Spec:       j.Req.Spec,
+		Seeds:      j.Seeds,
+		DeadlineMS: j.Req.DeadlineMS,
+		TotalSlots: j.totalSlots,
+		Result:     j.result,
+	}
+	if !j.createdAt.IsZero() {
+		st.CreatedAt = j.createdAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.startedAt.IsZero() {
+		st.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finishedAt.IsZero() {
+		st.FinishedAt = j.finishedAt.UTC().Format(time.RFC3339Nano)
+	}
+	failed := make(map[int64]string)
+	if j.result != nil {
+		for i, s := range j.result.FailedSeeds {
+			msg := "failed"
+			if i < len(j.result.Errors) {
+				msg = j.result.Errors[i]
+			}
+			failed[s] = msg
+		}
+	}
+	for _, p := range j.progress {
+		ss := SeedStatus{Seed: p.seed, SlotsDone: p.slotsDone.Load()}
+		if msg, ok := failed[p.seed]; ok {
+			ss.State, ss.Error = "failed", msg
+		} else if j.result != nil || int(ss.SlotsDone) >= j.totalSlots {
+			ss.State = "done"
+		} else if j.state.Terminal() {
+			// Recovered terminal job: no per-seed record survived the
+			// restart, so the seed inherits the job's state.
+			ss.State = string(j.state)
+		} else if ss.SlotsDone > 0 {
+			ss.State = "running"
+		} else {
+			ss.State = "pending"
+		}
+		st.Progress = append(st.Progress, ss)
+	}
+	return st
+}

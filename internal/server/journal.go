@@ -1,0 +1,129 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The job journal is the daemon's crash-consistency story, reusing the
+// cmd/sweep -resume checkpoint idiom: an append-only JSON-Lines file of
+// job lifecycle events, flushed per event, torn-final-line tolerant on
+// load. A job is recoverable exactly when its last journaled event is
+// non-terminal ("submitted" or "started"): a restarted daemon re-queues
+// it and — determinism being the whole point — the re-run produces the
+// same results the interrupted run would have. Terminal events keep the
+// job visible as history; results and metric streams are not journaled.
+//
+// Journal events:
+//
+//	{"event":"submitted","id":"job-000001","req":{...}}
+//	{"event":"started","id":"job-000001"}
+//	{"event":"done","id":"job-000001"}
+//	{"event":"failed","id":"job-000001","error":"..."}
+//	{"event":"cancelled","id":"job-000001"}
+type journalEntry struct {
+	Event string      `json:"event"`
+	ID    string      `json:"id"`
+	Req   *JobRequest `json:"req,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// journal appends lifecycle events to the journal file. A nil *journal is
+// valid and records nothing (journalling disabled).
+type journal struct {
+	f *os.File
+}
+
+// openJournal opens (creating if needed) the append-only journal.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f}, nil
+}
+
+// append writes one event, unbuffered so a crash loses at most the event
+// being written (a torn final line, tolerated on load).
+func (j *journal) append(e journalEntry) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	_, err = j.f.Write(append(b, '\n'))
+	return err
+}
+
+// Close closes the journal file.
+func (j *journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}
+
+// loadJournal replays a journal file into its entries. A missing file is
+// an empty journal. A torn final line — the signature of a crash
+// mid-append — is dropped with a warning to stderr; a torn line anywhere
+// else is corruption and an error.
+func loadJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var out []journalEntry
+	scan := bufio.NewScanner(f)
+	scan.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	torn := ""
+	lineNo := 0
+	for scan.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scan.Text())
+		if line == "" {
+			continue
+		}
+		if torn != "" {
+			return nil, fmt.Errorf("journal %s: corrupt record at line %s", path, torn)
+		}
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			torn = strconv.Itoa(lineNo) // tolerated only as the final line
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := scan.Err(); err != nil {
+		return nil, fmt.Errorf("journal %s: %w", path, err)
+	}
+	if torn != "" {
+		fmt.Fprintf(os.Stderr, "greencelld: journal %s: dropping torn final line %s (interrupted write); its event is lost\n", path, torn)
+	}
+	return out, nil
+}
+
+// jobIDNum parses the numeric suffix of "job-000123" IDs (0 if foreign).
+func jobIDNum(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "job-"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// jobID renders the canonical ID for job number n.
+func jobID(n int) string {
+	return fmt.Sprintf("job-%06d", n)
+}

@@ -1,0 +1,207 @@
+package server_test
+
+// The serve-smoke gate (make serve-smoke): an end-to-end exercise of the
+// real binaries. It builds greencelld and greencellsim, starts the daemon,
+// submits the golden scenario over HTTP with `greencellsim -submit`, and
+// asserts the streamed metrics are byte-identical to the committed golden
+// fixture (internal/sim/testdata/golden_metrics.jsonl) — proving a job's
+// result is a pure function of (spec, seeds) across the process boundary.
+// It then submits a long job, SIGTERMs the daemon mid-run, and checks the
+// drain: clean exit, no terminal journal event, and a restarted daemon
+// recovering the job.
+//
+// Gated behind GREENCELL_SERVE_SMOKE=1 because it builds binaries and
+// forks processes — too heavy for the default `go test ./...` sweep.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"greencell/internal/metrics"
+	"greencell/internal/server"
+)
+
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("GREENCELL_SERVE_SMOKE") != "1" {
+		t.Skip("set GREENCELL_SERVE_SMOKE=1 (or run `make serve-smoke`) to run the end-to-end smoke")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		cmd.Dir = "../.." // module root
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, b)
+		}
+		return out
+	}
+	daemon := build("greencelld", "./cmd/greencelld")
+	client := build("greencellsim", "./cmd/greencellsim")
+
+	work := t.TempDir()
+	journal := filepath.Join(work, "journal.jsonl")
+	addrFile := filepath.Join(work, "addr")
+
+	startDaemon := func() (*exec.Cmd, string) {
+		t.Helper()
+		if err := os.RemoveAll(addrFile); err != nil {
+			t.Fatalf("clearing addr file: %v", err)
+		}
+		cmd := exec.Command(daemon,
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-journal", journal,
+			"-drain-grace", "200ms")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting daemon: %v", err)
+		}
+		t.Cleanup(func() {
+			if cmd.ProcessState == nil {
+				if err := cmd.Process.Kill(); err == nil {
+					if werr := cmd.Wait(); werr != nil {
+						t.Logf("daemon wait after kill: %v", werr)
+					}
+				}
+			}
+		})
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			data, err := os.ReadFile(addrFile)
+			if err == nil && len(bytes.TrimSpace(data)) > 0 {
+				return cmd, "http://" + strings.TrimSpace(string(data))
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("daemon never wrote its address file")
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	cmd, base := startDaemon()
+
+	// Phase 1: submit the golden scenario through the real client and
+	// diff the streamed metrics against the committed fixture.
+	streamFile := filepath.Join(work, "stream.jsonl")
+	sub := exec.Command(client,
+		"-preset", "paper", "-slots", "12", "-seed", "1",
+		"-submit", base, "-metrics", streamFile)
+	if b, err := sub.CombinedOutput(); err != nil {
+		t.Fatalf("greencellsim -submit: %v\n%s", err, b)
+	}
+	streamed, err := os.ReadFile(streamFile)
+	if err != nil {
+		t.Fatalf("reading streamed metrics: %v", err)
+	}
+	got, err := metrics.CanonicalizeJSONL(streamed)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	golden, err := os.ReadFile("../sim/testdata/golden_metrics.jsonl")
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("streamed metrics differ from the golden fixture (%d vs %d bytes); the HTTP path broke determinism",
+			len(got), len(golden))
+	}
+
+	// Phase 2: submit a long job, SIGTERM mid-run, verify the drain.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"spec":{"slots":2000,"seed":9}}`))
+	if err != nil {
+		t.Fatalf("POST long job: %v", err)
+	}
+	var st server.JobStatus
+	decodeBody(t, resp, &st)
+	longID := st.ID
+
+	deadline := time.Now().Add(30 * time.Second)
+	for st.State != server.JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("long job never started: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + longID)
+		if err != nil {
+			t.Fatalf("GET long job: %v", err)
+		}
+		decodeBody(t, r, &st)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s of SIGTERM")
+	}
+
+	// The interrupted job must NOT have a terminal journal event.
+	jdata, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	last := ""
+	for _, line := range strings.Split(strings.TrimSpace(string(jdata)), "\n") {
+		var e struct {
+			Event string `json:"event"`
+			ID    string `json:"id"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if e.ID == longID {
+			last = e.Event
+		}
+	}
+	if last != "started" {
+		t.Fatalf("journal's last event for the drained job is %q, want started (recoverable)", last)
+	}
+
+	// Phase 3: a restarted daemon recovers the interrupted job.
+	_, base = startDaemon()
+	r, err := http.Get(base + "/v1/jobs/" + longID)
+	if err != nil {
+		t.Fatalf("GET recovered job: %v", err)
+	}
+	decodeBody(t, r, &st)
+	if !st.Recovered {
+		t.Fatalf("job %s not recovered after restart: %+v", longID, st)
+	}
+	if st.State.Terminal() && st.State != server.JobDone {
+		t.Fatalf("recovered job in unexpected terminal state %s: %s", st.State, st.Error)
+	}
+	fmt.Printf("serve-smoke: golden stream byte-identical; %s drained and recovered (state %s)\n", longID, st.State)
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("HTTP %s: %s", resp.Status, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+}

@@ -56,6 +56,18 @@ type SeedOutcome struct {
 // batch — and cancelling ctx makes remaining seeds return promptly with
 // ctx's error while already-finished outcomes are kept.
 func RunSeeds(ctx context.Context, sc Scenario, seeds []int64) []SeedOutcome {
+	return RunSeedsPrepared(ctx, sc, seeds, nil)
+}
+
+// RunSeedsPrepared is RunSeeds with a per-seed customization seam: when
+// prepare is non-nil it runs on each replication's private Scenario copy —
+// after its Seed is set, before the run starts — so callers can attach
+// per-seed recorders or progress hooks without sharing mutable state
+// across the pool's goroutines (the Recorder is single-run; a shared
+// SlotHook would race). prepare is called concurrently for distinct seeds
+// and must not retain the *Scenario past the call. Panics inside prepare
+// are recovered into the seed's outcome like any other replication panic.
+func RunSeedsPrepared(ctx context.Context, sc Scenario, seeds []int64, prepare func(seed int64, sc *Scenario)) []SeedOutcome {
 	outs := make([]SeedOutcome, len(seeds))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(seeds) {
@@ -68,7 +80,7 @@ func RunSeeds(ctx context.Context, sc Scenario, seeds []int64) []SeedOutcome {
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				outs[i] = runSeed(ctx, sc, seeds[i])
+				outs[i] = runSeed(ctx, sc, seeds[i], prepare)
 			}
 		}()
 	}
@@ -82,7 +94,7 @@ func RunSeeds(ctx context.Context, sc Scenario, seeds []int64) []SeedOutcome {
 
 // runSeed executes one replication, converting a panic into the outcome's
 // error so the worker (and its pool) survives.
-func runSeed(ctx context.Context, sc Scenario, seed int64) (out SeedOutcome) {
+func runSeed(ctx context.Context, sc Scenario, seed int64, prepare func(seed int64, sc *Scenario)) (out SeedOutcome) {
 	out.Seed = seed
 	defer func() {
 		if r := recover(); r != nil {
@@ -92,6 +104,9 @@ func runSeed(ctx context.Context, sc Scenario, seed int64) (out SeedOutcome) {
 	}()
 	s := sc
 	s.Seed = seed
+	if prepare != nil {
+		prepare(seed, &s)
+	}
 	out.Result, out.Err = RunCtx(ctx, s)
 	if out.Err != nil {
 		out.Err = fmt.Errorf("seed %d: %w", seed, out.Err)

@@ -68,59 +68,69 @@ func (a Architecture) Renewable() bool {
 }
 
 // Scenario fully describes one simulation run.
+//
+// The plain fields carry JSON tags so a scenario's knobs serialize with
+// stable snake_case names, but a Scenario does not round-trip through JSON
+// on its own: Topology, Cost, Scheduler, and SlotHook hold interfaces and
+// closures and are excluded. The serializable wire form is ScenarioSpec
+// (spec.go) — a preset name plus overrides — which greencelld jobs and
+// other cross-process consumers use.
 type Scenario struct {
-	// Topology is the physical layout blueprint.
-	Topology topology.Config
+	// Topology is the physical layout blueprint. It embeds interface-typed
+	// processes (renewables, band widths) and is not serializable; wire
+	// consumers reach it through a ScenarioSpec preset plus overrides.
+	Topology topology.Config `json:"-"`
 	// NumSessions is S; destinations are random distinct users.
-	NumSessions int
+	NumSessions int `json:"sessions"`
 	// UplinkSessions appends this many uplink (user → any BS) sessions —
 	// an extension; the paper models downlink only.
-	UplinkSessions int
+	UplinkSessions int `json:"uplink_sessions,omitempty"`
 	// V is the drift-plus-penalty weight; Lambda the admission reward λ.
-	V, Lambda float64
+	V      float64 `json:"v"`
+	Lambda float64 `json:"lambda"`
 	// SlotSeconds is Δt; Slots is the horizon T.
-	SlotSeconds float64
-	Slots       int
+	SlotSeconds float64 `json:"slot_seconds"`
+	Slots       int     `json:"slots"`
 	// Seed drives all randomness; equal seeds give identical topologies,
 	// traffic, and environment draws across runs (common random numbers).
-	Seed int64
+	Seed int64 `json:"seed"`
 	// Cost is f (nil = the paper's quadratic).
-	Cost energy.CostFunc
+	Cost energy.CostFunc `json:"-"`
 	// Scheduler solves S1 (nil = the paper's sequential-fix).
-	Scheduler sched.Scheduler
+	Scheduler sched.Scheduler `json:"-"`
 	// EnergyGate keeps energy-starved nodes out of the schedule.
-	EnergyGate bool
+	EnergyGate bool `json:"energy_gate,omitempty"`
 	// Architecture selects the Fig. 2(f) variant.
-	Architecture Architecture
+	Architecture Architecture `json:"architecture,omitempty"`
 	// KeepTraces retains per-slot series for the time-series figures.
-	KeepTraces bool
+	KeepTraces bool `json:"keep_traces,omitempty"`
 	// TrackDelay enables exact per-packet delivery-delay accounting.
-	TrackDelay bool
+	TrackDelay bool `json:"track_delay,omitempty"`
 	// AuditDrift enables the per-slot Lemma 1 drift audit; violations are
 	// counted in Result.AuditViolations.
-	AuditDrift bool
+	AuditDrift bool `json:"audit_drift,omitempty"`
 	// CheckInvariants validates every slot against the paper's per-slot
 	// constraints (internal/invariant, docs/ANALYSIS.md); the first
 	// violation aborts the run with a *invariant.Violation naming the
 	// slot, node, and equation. Tests and fuzzing turn it on.
-	CheckInvariants bool
+	CheckInvariants bool `json:"check_invariants,omitempty"`
 	// Instrument fills SlotResult.Stages with per-stage wall times and LP
 	// work counts each slot (see core.Config.Instrument). Recorder.Attach
 	// sets it; SlotHook consumers read the breakdown.
-	Instrument bool
+	Instrument bool `json:"instrument,omitempty"`
 	// SlotHook, when non-nil, observes every slot result as the run
 	// progresses (trace recording, live dashboards). The pointee must not
 	// be retained past the call.
-	SlotHook func(*core.SlotResult)
+	SlotHook func(*core.SlotResult) `json:"-"`
 	// Faults, when non-nil, enables deterministic fault injection at the
 	// configured per-site probabilities (internal/faultinject). The
 	// injector is seeded from Seed, so a faulty run reproduces
 	// bit-identically. Failed stages degrade to their safe actions
 	// (docs/ROBUSTNESS.md) instead of aborting the run.
-	Faults *faultinject.Config
+	Faults *faultinject.Config `json:"faults,omitempty"`
 	// Budget bounds each slot's solve work (iteration caps, wall-clock
 	// deadline); see core.SolveBudget. The zero value imposes none.
-	Budget core.SolveBudget
+	Budget core.SolveBudget `json:"budget,omitempty"`
 }
 
 // Paper returns the scenario of the paper's Section VI: its topology and
