@@ -4,9 +4,10 @@
 # package replicates runs on concurrent goroutines, so -race is
 # load-bearing, not ceremonial). `make ci` is the stricter batch gate:
 # check plus a gofmt diff check, the units-check golden byte-identity
-# gate, a short fuzz smoke, and the fault soak (docs/ROBUSTNESS.md): a
+# gate, a short fuzz smoke, the fault soak (docs/ROBUSTNESS.md): a
 # long run with every injection site firing at an elevated rate, per-slot
-# invariants on, under the race detector.
+# invariants on, under the race detector — and bench-json, the benchmark
+# trajectory gate (docs/PERFORMANCE.md).
 
 GO ?= go
 FUZZTIME ?= 15s
@@ -15,11 +16,11 @@ FUZZTIME ?= 15s
 # driver's -analyzers selection path; must match analysis.All().
 ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock
 
-.PHONY: check ci build vet lint test race fuzz soak bench fmt fmtcheck units-check serve-smoke figures clean
+.PHONY: check ci build vet lint test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check units-check fuzz soak serve-smoke
+ci: fmtcheck check units-check fuzz soak serve-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -44,6 +45,14 @@ soak:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Benchmark trajectory gate (docs/PERFORMANCE.md): smoke-runs every
+# trajectory benchmark once to prove the harness still parses, validates
+# the committed BENCH_6.json, and fails on a >20% ns/op regression
+# between its last two trajectory points. Record a new point with:
+#   go run ./cmd/benchtrend -label <point-label>
+bench-json:
+	$(GO) run ./cmd/benchtrend -check
 
 fmt:
 	gofmt -l -w .

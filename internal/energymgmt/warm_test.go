@@ -1,0 +1,129 @@
+package energymgmt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"greencell/internal/rng"
+	"greencell/internal/units"
+)
+
+// randNodes draws a random node population; the first half are base
+// stations so the joint budgeted program and the independent per-node
+// programs are both exercised.
+func randNodes(src *rng.Source, n int) []NodeInput {
+	nodes := make([]NodeInput, n)
+	for i := range nodes {
+		nodes[i] = NodeInput{
+			Z:                   units.Wh(src.Uniform(-50, 50)),
+			DemandWh:            units.Wh(src.Uniform(0, 20)),
+			RenewableWh:         units.Wh(src.Uniform(0, 15)),
+			ChargeHeadroomWh:    units.Wh(src.Uniform(0, 10)),
+			DischargeHeadroomWh: units.Wh(src.Uniform(0, 10)),
+			GridConnected:       !src.Bernoulli(0.1),
+			GridCapWh:           units.Wh(src.Uniform(5, 30)),
+			IsBS:                i < n/2,
+		}
+	}
+	return nodes
+}
+
+// TestWarmMatchesColdAcrossSlots drives S4 through a sequence of randomly
+// evolving slots twice — once cold, once through a persistent WarmState —
+// and requires matching objectives, matching deficits, feasible decisions,
+// and a strictly positive warm-start count (the golden-section probes are
+// RHS-only edits, so the joint program must warm-start regardless of how
+// the node states move between slots).
+func TestWarmMatchesColdAcrossSlots(t *testing.T) {
+	src := rng.New(640)
+	warm := &WarmState{}
+	warmed := 0
+	for slot := 0; slot < 25; slot++ {
+		nodes := randNodes(src, 6)
+		coldReq := &Request{Nodes: nodes, V: 100, Cost: cheapCost()}
+		cold, err := Solve(coldReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmReq := &Request{Nodes: nodes, V: 100, Cost: cheapCost(), Warm: warm}
+		hot, err := Solve(warmReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFeasible(t, warmReq, hot)
+		if tol := 1e-5 * (1 + math.Abs(cold.Objective)); math.Abs(cold.Objective-hot.Objective) > tol {
+			t.Fatalf("slot %d: objective cold=%v warm=%v", slot, cold.Objective, hot.Objective)
+		}
+		if d := (cold.TotalDeficitWh - hot.TotalDeficitWh).Wh(); math.Abs(d) > 1e-5 {
+			t.Fatalf("slot %d: deficit cold=%v warm=%v", slot, cold.TotalDeficitWh, hot.TotalDeficitWh)
+		}
+		if cold.WarmStarts != 0 || cold.BasisInvalidations != 0 {
+			t.Fatalf("slot %d: cold path reported warm counters: %+v", slot, cold)
+		}
+		if hot.WarmStarts == 0 {
+			t.Fatalf("slot %d: no warm starts despite budget probes", slot)
+		}
+		warmed += hot.WarmStarts
+	}
+	if warmed == 0 {
+		t.Fatal("no warm starts across 25 slots")
+	}
+}
+
+// TestWarmSurvivesShapeChange grows the node population and flips
+// base-station membership mid-sequence: the warm state must rebuild its
+// programs silently and keep matching the cold solver.
+func TestWarmSurvivesShapeChange(t *testing.T) {
+	src := rng.New(641)
+	warm := &WarmState{}
+	for slot := 0; slot < 12; slot++ {
+		n := 4 + slot%3 // node count cycles 4,5,6
+		nodes := randNodes(src, n)
+		if slot%4 == 3 {
+			nodes[0].IsBS = !nodes[0].IsBS
+		}
+		coldReq := &Request{Nodes: nodes, V: 50, Cost: cheapCost()}
+		cold, err := Solve(coldReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmReq := &Request{Nodes: nodes, V: 50, Cost: cheapCost(), Warm: warm}
+		hot, err := Solve(warmReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFeasible(t, warmReq, hot)
+		if tol := 1e-5 * (1 + math.Abs(cold.Objective)); math.Abs(cold.Objective-hot.Objective) > tol {
+			t.Fatalf("slot %d (n=%d): objective cold=%v warm=%v", slot, n, cold.Objective, hot.Objective)
+		}
+	}
+}
+
+// TestWarmIterationLimitSemantics checks that an exhausted per-solve
+// budget surfaces as ErrIterationLimit through the warm path exactly like
+// the cold one, and that the warm state remains usable afterwards.
+func TestWarmIterationLimitSemantics(t *testing.T) {
+	src := rng.New(642)
+	nodes := randNodes(src, 6)
+	warm := &WarmState{}
+
+	limited := &Request{Nodes: nodes, V: 100, Cost: cheapCost(), MaxLPIterations: 1, Warm: warm}
+	if _, err := Solve(limited); !errors.Is(err, ErrIterationLimit) {
+		t.Fatalf("warm limited solve: got %v, want ErrIterationLimit", err)
+	}
+
+	free := &Request{Nodes: nodes, V: 100, Cost: cheapCost(), Warm: warm}
+	hot, err := Solve(free)
+	if err != nil {
+		t.Fatalf("warm state unusable after budget error: %v", err)
+	}
+	checkFeasible(t, free, hot)
+	cold, err := Solve(&Request{Nodes: nodes, V: 100, Cost: cheapCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol := 1e-5 * (1 + math.Abs(cold.Objective)); math.Abs(cold.Objective-hot.Objective) > tol {
+		t.Fatalf("objective cold=%v warm=%v", cold.Objective, hot.Objective)
+	}
+}

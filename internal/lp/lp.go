@@ -1,11 +1,11 @@
-// Package lp implements a dense, two-phase, bounded-variable primal simplex
-// solver for linear programs.
+// Package lp implements a two-phase, bounded-variable simplex solver for
+// linear programs, with warm-started re-solves over a persistent basis.
 //
 // It exists because the paper's per-slot subproblems (the S1 sequential-
 // fix scheduling heuristic, its exact branch-and-bound counterpart, the
 // relaxed lower-bound problem P3̄, and the inner programs of the S4 energy
-// management in internal/energymgmt) all reduce to small/medium dense LPs
-// that the original authors solved with CPLEX; this package is the
+// management in internal/energymgmt) all reduce to small/medium LPs that
+// the original authors solved with CPLEX; this package is the
 // from-scratch, stdlib-only substitute. Solution.Iterations exposes each
 // solve's simplex work to the metrics layer (docs/METRICS.md).
 //
@@ -17,6 +17,35 @@
 //     objective. Dantzig pricing with an automatic switch to Bland's rule
 //     guards against cycling.
 //   - Status is one of Optimal, Infeasible, Unbounded, or IterationLimit.
+//
+// # Solve flow and basis lifecycle
+//
+// A one-shot Solve runs presolve (fixed-variable substitution, empty-row
+// elimination) and then the two-phase primal simplex: phase 1 drives
+// artificial variables out of the basis to find a feasible point, phase 2
+// optimizes the real objective. Two engines implement identical semantics
+// — the dense full-tableau engine (the default) and a revised simplex
+// holding an explicit basis inverse over sparse columns — and are
+// cross-validated against each other in the test suite.
+//
+// Repeated solves of the same Problem after small edits should go through
+// a WarmSolver instead. It keeps the revised engine (columns, basis, and
+// factorized basis inverse) alive between Solve calls and classifies each
+// re-solve by what the edit preserved:
+//
+//   - bounds, costs, and right-hand sides unchanged enough that the old
+//     basis is still primal feasible → phase-2 primal simplex finishes in
+//     a few pivots (often zero);
+//   - RHS or bound changes only (costs intact) → the old basis stays DUAL
+//     feasible, and the dual simplex restores primal feasibility without
+//     ever re-running phase 1;
+//   - anything else → cold fallback, counted as a basis invalidation.
+//
+// The basis itself can outlive the solver: ExportBasis snapshots the
+// final column statuses, ImportBasis seeds a WarmSolver for a different
+// Problem instance with the same structure (checked by signature), and
+// the engine revalidates the snapshot by refactorizing before trusting
+// it. docs/PERFORMANCE.md documents the reuse and invalidation rules.
 package lp
 
 import (
@@ -121,6 +150,48 @@ type Problem struct {
 	// maxIters caps the total simplex iterations of a solve (both phases);
 	// 0 means the engines' built-in safety cap only. See SetIterationLimit.
 	maxIters int
+
+	// muts journals bound/cost/RHS edits since the last warm-engine sync,
+	// letting WarmSolver refreshes update only what changed instead of
+	// rescanning every column and recomputing the basic values from
+	// scratch (docs/PERFORMANCE.md). Structural edits and journal overflow
+	// set mutsFull, which sends the next refresh down the full rescan
+	// path. The journal is consumed (truncated) by the engine it syncs.
+	muts     []mutation
+	mutsFull bool
+}
+
+// mutation is one journaled edit: which kind of mutable field changed and
+// its index (a VarID for bounds/costs, a constraint index for RHS). The
+// new value is not recorded — the consumer rereads the problem, which
+// makes replaying duplicates idempotent.
+type mutation struct {
+	kind mutKind
+	idx  int32
+}
+
+type mutKind uint8
+
+const (
+	mutBound mutKind = iota
+	mutCost
+	mutRHS
+)
+
+// maxJournal bounds the edit journal: past this many pending edits a full
+// refresh rescan is cheaper than replaying them one by one.
+const maxJournal = 512
+
+func (p *Problem) journal(k mutKind, idx int) {
+	if p.mutsFull {
+		return
+	}
+	if len(p.muts) >= maxJournal {
+		p.mutsFull = true
+		p.muts = p.muts[:0]
+		return
+	}
+	p.muts = append(p.muts, mutation{kind: k, idx: int32(idx)})
 }
 
 // NewProblem returns an empty problem with the given objective sense.
@@ -132,6 +203,8 @@ func NewProblem(sense Sense) *Problem {
 // cost, returning its identifier. hi may be math.Inf(1); lo must be finite.
 func (p *Problem) AddVar(name string, lo, hi, cost float64) VarID {
 	p.vars = append(p.vars, variable{name: name, lo: lo, hi: hi, cost: cost})
+	p.mutsFull = true // structural edit: no incremental refresh across it
+	p.muts = p.muts[:0]
 	return VarID(len(p.vars) - 1)
 }
 
@@ -148,6 +221,7 @@ func (p *Problem) NumConstraints() int { return len(p.cons) }
 func (p *Problem) SetVarBounds(v VarID, lo, hi float64) {
 	p.vars[v].lo = lo
 	p.vars[v].hi = hi
+	p.journal(mutBound, int(v))
 }
 
 // SetIterationLimit caps the total simplex iterations (pivots and bound
@@ -169,7 +243,22 @@ func (p *Problem) IterationLimit() int { return p.maxIters }
 // SetVarCost replaces the objective coefficient of v.
 func (p *Problem) SetVarCost(v VarID, cost float64) {
 	p.vars[v].cost = cost
+	p.journal(mutCost, int(v))
 }
+
+// SetConstraintRHS replaces the right-hand side of constraint i (in the
+// order constraints were added). It panics if i is out of range. Together
+// with SetVarBounds this is the mutation vocabulary of warm-started
+// re-solves: RHS and bound edits preserve dual feasibility of the previous
+// basis, so a WarmSolver can continue with dual simplex instead of
+// re-running phase 1.
+func (p *Problem) SetConstraintRHS(i int, rhs float64) {
+	p.cons[i].rhs = rhs
+	p.journal(mutRHS, i)
+}
+
+// ConstraintRHS returns the current right-hand side of constraint i.
+func (p *Problem) ConstraintRHS(i int) float64 { return p.cons[i].rhs }
 
 // VarName returns the name given to v at creation.
 func (p *Problem) VarName(v VarID) string { return p.vars[v].name }
@@ -183,6 +272,8 @@ func (p *Problem) VarBounds(v VarID) (lo, hi float64) {
 // terms are summed. Rows with no terms are allowed and checked for
 // consistency at solve time.
 func (p *Problem) AddConstraint(name string, rel Rel, rhs float64, terms ...Term) {
+	p.mutsFull = true // structural edit: no incremental refresh across it
+	p.muts = p.muts[:0]
 	cp := make([]Term, len(terms))
 	copy(cp, terms)
 	p.cons = append(p.cons, constraint{name: name, rel: rel, rhs: rhs, terms: cp})
@@ -266,6 +357,20 @@ func (p *Problem) Solve() (*Solution, error) { return p.SolveWith(TableauEngine)
 // implement identical bounded-variable simplex semantics and are
 // cross-validated in the test suite.
 func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
+	if sol, err := p.validateForSolve(); sol != nil || err != nil {
+		return sol, err
+	}
+
+	// Presolve: substitute fixed variables and drop rows that become
+	// empty. The scheduler's sequential-fix loop pins more variables each
+	// round, so this shrinks its LPs substantially.
+	return p.solvePresolved(engine, presolve(p))
+}
+
+// validateForSolve checks the problem for structural validity. It returns
+// a non-nil Solution for trivially infeasible bound boxes, a non-nil error
+// for malformed input, and (nil, nil) when the problem may be solved.
+func (p *Problem) validateForSolve() (*Solution, error) {
 	for i, v := range p.vars {
 		if math.IsInf(v.lo, 0) || math.IsNaN(v.lo) || math.IsNaN(v.hi) || math.IsInf(v.hi, -1) {
 			return nil, fmt.Errorf("%w: variable %d (%s) has invalid bounds [%v,%v]",
@@ -294,11 +399,12 @@ func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
 			return nil, fmt.Errorf("%w: constraint %q has non-finite rhs", ErrBadProblem, c.name)
 		}
 	}
+	return nil, nil
+}
 
-	// Presolve: substitute fixed variables and drop rows that become
-	// empty. The scheduler's sequential-fix loop pins more variables each
-	// round, so this shrinks its LPs substantially.
-	ps := presolve(p)
+// solvePresolved runs the engine on the already-presolved problem and maps
+// the reduced solution back to p's variable space.
+func (p *Problem) solvePresolved(engine Engine, ps *presolved) (*Solution, error) {
 	if ps.infeasible {
 		return &Solution{Status: Infeasible}, nil
 	}
@@ -310,10 +416,6 @@ func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
 		return ps.expand(p, sol), nil
 	}
 
-	sign := 1.0
-	if p.sense == Maximize {
-		sign = -1.0
-	}
 	var (
 		status Status
 		iters  int
@@ -333,6 +435,10 @@ func (p *Problem) SolveWith(engine Engine) (*Solution, error) {
 	}
 	sol := &Solution{Status: status, Iterations: iters}
 	if status == Optimal {
+		sign := 1.0
+		if p.sense == Maximize {
+			sign = -1.0
+		}
 		sol.y = duals(sign)
 		sol.x = values()
 		obj := 0.0

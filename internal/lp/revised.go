@@ -47,10 +47,30 @@ type revisedEngine struct {
 	// kept for refactorization.
 	bvec []float64
 
+	// stalePivots counts basis changes since the last refactorization,
+	// across solves: a WarmSolver re-solve inherits the drift of the pivots
+	// before it and refactorizes when the count crosses the cadence.
+	stalePivots int
+
+	// journalSynced records that this engine's bounds/costs/rhs mirror the
+	// problem exactly and the problem's edit journal covers everything that
+	// changed since — the precondition for an incremental refresh.
+	journalSynced bool
+	// staleRefreshes counts incremental xB updates since the basic values
+	// were last recomputed exactly; recomputeXB resets it.
+	staleRefreshes int
+	// dualClean records that the basis is dual feasible under the current
+	// phase-2 costs by construction (it ended an Optimal solve, or only
+	// dual-feasibility-preserving edits happened since), so warm
+	// classification can skip the O(m·n) reduced-cost scan.
+	dualClean bool
+
 	// Scratch buffers reused across iterations.
-	y    []float64 // simplex multipliers
-	dir  []float64 // B^{-1} A_q
-	cvec []float64 // active-phase cost vector
+	y         []float64   // simplex multipliers
+	dir       []float64   // B^{-1} A_q
+	cvec      []float64   // active-phase cost vector
+	resid     []float64   // rhs residual for recomputeXB
+	refacWork [][]float64 // m×2m Gauss-Jordan workspace for refactorize
 }
 
 type sparseCol struct {
@@ -66,12 +86,17 @@ func (c *sparseCol) add(row int, v float64) {
 	c.val = append(c.val, v)
 }
 
-// newRevised mirrors newTableau's setup: equality form, equilibrated rows,
-// slacks, artificials, initial basis.
-func newRevised(p *Problem) *revisedEngine {
+// newEngineShell builds the structural and slack columns of p in sparse,
+// row-equilibrated form — the part of engine setup shared by the cold
+// constructor newRevised (which adds row flips and artificials on top) and
+// the basis-import constructor newRevisedFromBasis (which installs a
+// caller-provided basis instead). The returned rhs is equilibrated but
+// unflipped, and slackOf maps each row to its slack column (−1 for EQ
+// rows).
+func newEngineShell(p *Problem) (e *revisedEngine, rhs []float64, slackOf []int) {
 	m := len(p.cons)
 	n := len(p.vars)
-	e := &revisedEngine{
+	e = &revisedEngine{
 		m: m, n: n,
 		limit:   p.maxIters,
 		rowMult: make([]float64, m),
@@ -85,33 +110,83 @@ func newRevised(p *Problem) *revisedEngine {
 		sign = -1.0
 	}
 
-	// Dense staging rows for equilibration, then converted to columns.
-	rows := make([][]float64, m)
-	rhs := make([]float64, m)
-	for i, c := range p.cons {
-		rows[i] = make([]float64, n)
-		for _, t := range c.terms {
-			rows[i][t.Var] += t.Coef
-		}
-		rhs[i] = c.rhs
+	// Structural columns straight from the constraint terms, duplicate
+	// variables summed in place (lastRow/lastPos find a duplicate of the
+	// current row in O(1) because terms arrive row by row).
+	e.cols = make([]sparseCol, n, n+2*m)
+	lastRow := make([]int, n)
+	lastPos := make([]int, n)
+	for j := range lastRow {
+		lastRow[j] = -1
 	}
-	for i := range rows {
-		maxAbs := 0.0
-		for _, v := range rows[i] {
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
+	rhs = make([]float64, m)
+	for i, c := range p.cons {
+		rhs[i] = c.rhs
+		for _, t := range c.terms {
+			j := int(t.Var)
+			if lastRow[j] == i {
+				e.cols[j].val[lastPos[j]] += t.Coef
+			} else {
+				lastRow[j] = i
+				lastPos[j] = len(e.cols[j].idx)
+				e.cols[j].idx = append(e.cols[j].idx, i)
+				e.cols[j].val = append(e.cols[j].val, t.Coef)
 			}
 		}
-		if maxAbs > 0 && (maxAbs < 1e-3 || maxAbs > 1e3) {
-			inv := 1 / maxAbs
-			for j := range rows[i] {
-				rows[i][j] *= inv
+	}
+
+	// Row equilibration over the structural coefficients.
+	rowScale := make([]float64, m)
+	rowMax := make([]float64, m)
+	for i := range rowScale {
+		rowScale[i] = 1
+	}
+	for j := 0; j < n; j++ {
+		col := &e.cols[j]
+		for k, i := range col.idx {
+			if a := math.Abs(col.val[k]); a > rowMax[i] {
+				rowMax[i] = a
 			}
+		}
+	}
+	for i, mx := range rowMax {
+		if mx > 0 && (mx < 1e-3 || mx > 1e3) {
+			inv := 1 / mx
+			rowScale[i] = inv
 			rhs[i] *= inv
 			e.rowMult[i] *= inv
 		}
 	}
+	// Scale the columns and drop entries whose duplicates summed to zero
+	// (the dense staging path never materialized those as sparse entries).
+	for j := 0; j < n; j++ {
+		col := &e.cols[j]
+		w := 0
+		for k, i := range col.idx {
+			v := col.val[k] * rowScale[i]
+			if v == 0 {
+				continue
+			}
+			col.idx[w], col.val[w] = i, v
+			w++
+		}
+		col.idx, col.val = col.idx[:w], col.val[:w]
+	}
 
+	e.lo = make([]float64, n, n+2*m)
+	e.hi = make([]float64, n, n+2*m)
+	e.cost = make([]float64, n, n+2*m)
+	e.status = make([]colStatus, n, n+2*m)
+	e.xval = make([]float64, n, n+2*m)
+	for j, v := range p.vars {
+		lo, hi := v.lo, v.hi
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		e.lo[j], e.hi[j], e.cost[j] = lo, hi, sign*v.cost
+		e.status[j] = atLower
+		e.xval[j] = lo
+	}
 	addCol := func(lo, hi, cost float64) int {
 		e.lo = append(e.lo, lo)
 		e.hi = append(e.hi, hi)
@@ -121,23 +196,10 @@ func newRevised(p *Problem) *revisedEngine {
 		e.cols = append(e.cols, sparseCol{})
 		return len(e.status) - 1
 	}
-	for _, v := range p.vars {
-		lo, hi := v.lo, v.hi
-		if lo > hi {
-			lo, hi = hi, lo
-		}
-		addCol(lo, hi, sign*v.cost)
-	}
-	for j := 0; j < n; j++ {
-		for i := 0; i < m; i++ {
-			e.cols[j].add(i, rows[i][j])
-		}
-	}
 
-	// Slack columns. Sign flips below must flip already-placed entries, so
-	// track per-row net flips and apply at the end.
-	slackOf := make([]int, m)
-	flip := make([]bool, m)
+	// Slack columns, in row order: the canonical column layout a Basis
+	// snapshot refers to is structural 0..n−1 followed by these.
+	slackOf = make([]int, m)
 	for i := range slackOf {
 		slackOf[i] = -1
 	}
@@ -153,20 +215,48 @@ func newRevised(p *Problem) *revisedEngine {
 			slackOf[i] = j
 		}
 	}
+	return e, rhs, slackOf
+}
+
+// newRevised mirrors newTableau's setup: equality form, equilibrated rows,
+// slacks, artificials, initial basis. Columns are built directly in sparse
+// form — no dense staging matrix — with the same per-row arithmetic order
+// as the dense construction, so the two produce bit-identical engines.
+func newRevised(p *Problem) *revisedEngine {
+	e, rhs, slackOf := newEngineShell(p)
+	m, n := e.m, e.n
+	addCol := func(lo, hi, cost float64) int {
+		e.lo = append(e.lo, lo)
+		e.hi = append(e.hi, hi)
+		e.cost = append(e.cost, cost)
+		e.status = append(e.status, atLower)
+		e.xval = append(e.xval, lo)
+		e.cols = append(e.cols, sparseCol{})
+		return len(e.status) - 1
+	}
+	flip := make([]bool, m)
 
 	// Initial basis: slack where its value is admissible, else artificial,
-	// flipping rows so basic values are non-negative.
+	// flipping rows so basic values are non-negative. The residuals
+	// rhs − Σ_j A_j x_j accumulate column-by-column in ascending j — the
+	// same per-row subtraction order as a dense row scan.
 	e.basis = make([]int, m)
 	e.xB = make([]float64, m)
 	e.bvec = make([]float64, m)
 	copy(e.bvec, rhs)
-	for i, c := range p.cons {
-		r := rhs[i]
-		for j := 0; j < n; j++ {
-			if rows[i][j] != 0 {
-				r -= rows[i][j] * e.xval[j]
-			}
+	residual := make([]float64, m)
+	copy(residual, rhs)
+	for j := 0; j < n; j++ {
+		if e.xval[j] == 0 {
+			continue
 		}
+		col := &e.cols[j]
+		for k, i := range col.idx {
+			residual[i] -= col.val[k] * e.xval[j]
+		}
+	}
+	for i, c := range p.cons {
+		r := residual[i]
 		if s := slackOf[i]; s >= 0 {
 			coef := 1.0
 			if c.rel == GE {
@@ -232,6 +322,7 @@ func newRevised(p *Problem) *revisedEngine {
 	e.y = make([]float64, m)
 	e.dir = make([]float64, m)
 	e.cvec = make([]float64, e.ncol)
+	e.syncJournal(p) // built from p's current state: pending edits covered
 	return e
 }
 
@@ -245,19 +336,19 @@ func (e *revisedEngine) colDot(j int, v []float64) float64 {
 	return sum
 }
 
-// applyBinv computes dst = B^{-1} A_j.
+// applyBinv computes dst = B^{-1} A_j, walking binv row by row so the
+// traversal is cache-contiguous (the column-major order touches m cache
+// lines per sparse entry and dominated warm-solve profiles).
 func (e *revisedEngine) applyBinv(j int, dst []float64) {
 	col := &e.cols[j]
-	for i := range dst {
-		dst[i] = 0
-	}
-	for k, r := range col.idx {
-		v := col.val[k]
-		for i := 0; i < e.m; i++ {
-			if b := e.binv[i][r]; b != 0 {
-				dst[i] += b * v
-			}
+	idx, val := col.idx, col.val
+	for i := 0; i < e.m; i++ {
+		row := e.binv[i]
+		s := 0.0
+		for k, r := range idx {
+			s += row[r] * val[k]
 		}
+		dst[i] = s
 	}
 }
 
@@ -319,31 +410,17 @@ func (e *revisedEngine) iterate() Status {
 	maxIter := 200*(e.m+e.ncol) + 2000
 	blandAfter := 40 * (e.m + e.ncol)
 
+	// Mid-solve primal bases are not dual feasible; snap restores the flag
+	// when the solve ends at a verified optimum.
+	e.dualClean = false
 	pivots := 0
-	fresh := true // binv exactly reflects the basis (no drift yet)
 	for iter := 0; iter < maxIter; iter++ {
 		bland := iter >= blandAfter
 		if pivots > 0 && pivots%64 == 0 {
 			e.refactorize()
-			fresh = true
 			pivots++ // avoid refactorizing repeatedly on bound-flip loops
 		}
-		// Multipliers y = c_B^T B^{-1}.
-		for i := range e.y {
-			e.y[i] = 0
-		}
-		for i, b := range e.basis {
-			cb := e.cvec[b]
-			if cb == 0 {
-				continue
-			}
-			row := e.binv[i]
-			for r := 0; r < e.m; r++ {
-				if row[r] != 0 {
-					e.y[r] += cb * row[r]
-				}
-			}
-		}
+		e.computeY()
 		// Price and choose entering. Reduced costs are recomputed from y
 		// every iteration, so the optimality test must be RELATIVE to the
 		// magnitudes involved — with 1e7-scale objective coefficients the
@@ -374,10 +451,13 @@ func (e *revisedEngine) iterate() Status {
 		}
 		if q < 0 {
 			// Optimality under a possibly-drifted inverse: refresh and
-			// re-price once before declaring victory.
-			if !fresh {
+			// re-price once before declaring victory — but only when enough
+			// row operations have accumulated since the last factorization
+			// for drift to be plausible. Warm re-solves finish in a handful
+			// of pivots and must not pay an O(m³) confirmation each; drift
+			// from a few rank-one updates is at machine-epsilon scale.
+			if e.stalePivots >= confirmPivots {
 				if e.refactorize() {
-					fresh = true
 					continue
 				}
 			}
@@ -498,9 +578,29 @@ func (e *revisedEngine) iterate() Status {
 		e.basis[leave] = q
 		e.xB[leave] = enterVal
 		pivots++
-		fresh = false
+		e.stalePivots++
 	}
 	return IterationLimit
+}
+
+// computeY fills e.y with the simplex multipliers y = c_B^T B^{-1} under
+// the active-phase cost vector.
+func (e *revisedEngine) computeY() {
+	for i := range e.y {
+		e.y[i] = 0
+	}
+	for i, b := range e.basis {
+		cb := e.cvec[b]
+		if cb == 0 {
+			continue
+		}
+		row := e.binv[i]
+		for r := 0; r < e.m; r++ {
+			if row[r] != 0 {
+				e.y[r] += cb * row[r]
+			}
+		}
+	}
 }
 
 // refactorize rebuilds B^{-1} from the basis columns by Gauss-Jordan
@@ -510,11 +610,22 @@ func (e *revisedEngine) iterate() Status {
 // kept).
 func (e *revisedEngine) refactorize() bool {
 	m := e.m
-	// Assemble [B | I].
-	work := make([][]float64, m)
+	// Assemble [B | I] in the cached workspace (a warm solver refactorizes
+	// many times over the engine's lifetime; reallocating m×2m each call
+	// shows up as GC pressure).
+	if e.refacWork == nil {
+		e.refacWork = make([][]float64, m)
+		for i := range e.refacWork {
+			e.refacWork[i] = make([]float64, 2*m)
+		}
+	}
+	work := e.refacWork
 	for i := range work {
-		work[i] = make([]float64, 2*m)
-		work[i][m+i] = 1
+		row := work[i]
+		for k := range row {
+			row[k] = 0
+		}
+		row[m+i] = 1
 	}
 	for pos, b := range e.basis {
 		col := &e.cols[b]
@@ -553,8 +664,20 @@ func (e *revisedEngine) refactorize() bool {
 	for i := 0; i < m; i++ {
 		copy(e.binv[i], work[i][m:])
 	}
-	// Recompute basic values: xB = B^{-1} (b − Σ_nonbasic A_j x_j).
-	resid := make([]float64, m)
+	e.recomputeXB()
+	e.stalePivots = 0
+	return true
+}
+
+// recomputeXB recomputes the basic values xB = B^{-1}(b − Σ_nonbasic A_j x_j)
+// under the current basis inverse and nonbasic placements.
+func (e *revisedEngine) recomputeXB() {
+	m := e.m
+	e.staleRefreshes = 0
+	if e.resid == nil {
+		e.resid = make([]float64, m)
+	}
+	resid := e.resid
 	copy(resid, e.bvec)
 	for j := 0; j < e.ncol; j++ {
 		if e.status[j] == basic || e.xval[j] == 0 {
@@ -575,7 +698,381 @@ func (e *revisedEngine) refactorize() bool {
 		}
 		e.xB[i] = sum
 	}
+}
+
+// dualFeasTol gates warm-start classification: a basis whose reduced costs
+// are within this relative tolerance of the right sign counts as dual
+// feasible. Looser than priceTol on purpose — a marginally wrong-signed
+// reduced cost makes the dual ratio test pick that column first (ratio ≈ 0)
+// rather than corrupting the solve, and the final primal cleanup pass
+// restores exact optimality conditions either way.
+const dualFeasTol = 1e-7
+
+// confirmPivots is the drift budget below which iterate trusts the product-
+// form inverse when declaring optimality. Each pivot applies one rank-one
+// row operation to binv; after fewer than this many since the last exact
+// factorization, the accumulated error is far below the pricing tolerance,
+// so the O(m³) confirm-refactorize is pure overhead. Warm re-solves (dual
+// repair after an RHS edit, SF fixing rounds) typically finish in one to a
+// handful of pivots and would otherwise pay the confirmation every round.
+// 64 matches the periodic in-solve refactorization interval and refresh's
+// staleness threshold, so the engine has one drift budget everywhere.
+const confirmPivots = 64
+
+// refresh re-reads the mutable pieces of p — bounds, costs, right-hand
+// sides, and the iteration budget — into the engine without rebuilding
+// columns, the basis, or the inverse. When the engine is synced to p's
+// edit journal, only the journaled edits are applied and the basic values
+// are updated incrementally (a rank-one correction per effective edit);
+// otherwise everything is rescanned and xB recomputed from scratch.
+// The caller must not have changed p's constraint terms, relations, or
+// dimensions (the column layout and equilibration are frozen at
+// construction). The iteration counter resets: each refresh starts a new
+// solve with a fresh budget, matching one-shot Solve semantics.
+func (e *revisedEngine) refresh(p *Problem) {
+	incremental := e.journalSynced && !p.mutsFull
+	e.limit = p.maxIters
+	e.iters = 0
+	if incremental {
+		e.applyJournal(p)
+	} else {
+		e.rescan(p)
+	}
+	e.syncJournal(p)
+	if e.stalePivots >= confirmPivots {
+		e.refactorize() // also recomputes xB
+		return
+	}
+	if !incremental {
+		e.recomputeXB()
+		return
+	}
+	e.staleRefreshes++
+	if e.staleRefreshes >= confirmPivots {
+		e.recomputeXB() // absorb incremental-update float drift
+	}
+}
+
+// syncJournal truncates p's edit journal and marks the engine as covering
+// it: after the caller applies the pending edits (or rescans everything),
+// future journal entries describe exactly the edits this engine has not
+// yet seen.
+func (e *revisedEngine) syncJournal(p *Problem) {
+	p.muts = p.muts[:0]
+	p.mutsFull = false
+	e.journalSynced = true
+}
+
+// rescan re-reads every bound, cost, and right-hand side from p — the
+// full-refresh path used when the edit journal does not cover the changes.
+func (e *revisedEngine) rescan(p *Problem) {
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+	for j, v := range p.vars {
+		lo, hi := v.lo, v.hi
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		e.lo[j], e.hi[j] = lo, hi
+		e.cost[j] = sign * v.cost
+	}
+	// Re-place nonbasic columns on their (possibly moved) bounds.
+	// Artificials keep hi=0 from the pin after phase 1, so they stay at 0.
+	for j := 0; j < e.ncol; j++ {
+		if e.status[j] == basic {
+			continue
+		}
+		if e.status[j] == atUpper && math.IsInf(e.hi[j], 1) {
+			e.status[j] = atLower
+		}
+		if e.status[j] == atUpper {
+			e.xval[j] = e.hi[j]
+		} else {
+			e.xval[j] = e.lo[j]
+		}
+	}
+	// rowMult folds the setup-time equilibration and row flips, so the
+	// setup rhs is always rhs_user scaled by it.
+	for i, c := range p.cons {
+		e.bvec[i] = c.rhs * e.rowMult[i]
+	}
+	// The rescan gives no cost-edit information, so dual feasibility of
+	// the carried basis must be re-established by the explicit scan.
+	e.dualClean = false
+}
+
+// applyJournal replays p's journaled edits against the engine state,
+// folding each effective change into the basic values:
+//
+//   - an RHS edit on row i moves xB by Δb_i · B^{-1}e_i (one inverse
+//     column, O(m));
+//   - a bound edit that moves a nonbasic variable by Δ moves xB by
+//     −Δ · B^{-1}A_j (one ftran, O(m·nnz));
+//   - a cost edit rewrites one objective coefficient and, when the value
+//     actually changed, invalidates dualClean (reduced-cost signs are no
+//     longer guaranteed).
+//
+// Rereading current values from p makes duplicate journal entries
+// idempotent: the second replay sees a zero delta and does nothing.
+// The caller is responsible for journal truncation (syncJournal).
+func (e *revisedEngine) applyJournal(p *Problem) {
+	sign := 1.0
+	if p.sense == Maximize {
+		sign = -1.0
+	}
+	for _, mu := range p.muts {
+		switch mu.kind {
+		case mutCost:
+			j := int(mu.idx)
+			c := sign * p.vars[j].cost
+			//lint:allow nofloateq -- no-op-replay guard: values are assigned, not computed, and any bit-level change must invalidate dualClean
+			if c != e.cost[j] {
+				e.cost[j] = c
+				e.dualClean = false
+			}
+		case mutRHS:
+			i := int(mu.idx)
+			nb := p.cons[i].rhs * e.rowMult[i]
+			d := nb - e.bvec[i]
+			if d == 0 {
+				continue
+			}
+			e.bvec[i] = nb
+			for r := 0; r < e.m; r++ {
+				if v := e.binv[r][i]; v != 0 {
+					e.xB[r] += v * d
+				}
+			}
+		case mutBound:
+			j := int(mu.idx)
+			lo, hi := p.vars[j].lo, p.vars[j].hi
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			//lint:allow nofloateq -- no-op-replay guard: bounds are assigned, not computed; duplicate journal entries see an exact match and skip
+			if lo == e.lo[j] && hi == e.hi[j] {
+				continue
+			}
+			e.lo[j], e.hi[j] = lo, hi
+			if e.status[j] == basic {
+				continue
+			}
+			v0 := e.xval[j]
+			if e.status[j] == atUpper && math.IsInf(hi, 1) {
+				// Placement flips sides, so the reduced-cost sign
+				// requirement flips with it: dual feasibility is no longer
+				// implied by the previous optimum.
+				e.status[j] = atLower
+				e.dualClean = false
+			}
+			if e.status[j] == atUpper {
+				e.xval[j] = e.hi[j]
+			} else {
+				e.xval[j] = e.lo[j]
+			}
+			d := e.xval[j] - v0
+			if d == 0 {
+				continue
+			}
+			e.applyBinv(j, e.dir)
+			for i := 0; i < e.m; i++ {
+				if e.dir[i] != 0 {
+					e.xB[i] -= d * e.dir[i]
+				}
+			}
+		}
+	}
+}
+
+// primalFeasible reports whether every basic value lies within its bounds
+// (relative feasTol), i.e. whether phase-2 primal simplex can continue
+// directly from this basis.
+func (e *revisedEngine) primalFeasible() bool {
+	for i, b := range e.basis {
+		tol := feasTol * (1 + math.Abs(e.xB[i]))
+		if e.xB[i] < e.lo[b]-tol || e.xB[i] > e.hi[b]+tol {
+			return false
+		}
+	}
 	return true
+}
+
+// dualFeasible reports whether every nonbasic reduced cost has the
+// optimality sign for its bound placement under the active costs — the
+// precondition for re-solving with dual simplex after RHS or bound edits.
+func (e *revisedEngine) dualFeasible() bool {
+	e.computeY()
+	for j := 0; j < e.ncol; j++ {
+		if e.status[j] == basic || e.hi[j]-e.lo[j] <= boundEps {
+			continue
+		}
+		dot := e.colDot(j, e.y)
+		dj := e.cvec[j] - dot
+		denom := 1 + math.Abs(e.cvec[j]) + math.Abs(dot)
+		if e.status[j] == atLower {
+			if -dj/denom > dualFeasTol {
+				return false
+			}
+		} else {
+			if dj/denom > dualFeasTol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// dualIterate runs bounded-variable dual simplex from a dual-feasible
+// basis: each iteration drives the most-violated basic variable out to its
+// nearest bound, with the entering column chosen by the dual ratio test so
+// reduced costs keep their optimality signs. It returns Optimal once the
+// basis is primal feasible (run iterate afterwards for the final primal
+// polish), Infeasible when a violated row admits no entering column (the
+// dual is unbounded), or IterationLimit on the caller's budget or the
+// safety cap.
+func (e *revisedEngine) dualIterate() Status {
+	maxIter := 200*(e.m+e.ncol) + 2000
+	blandAfter := 40 * (e.m + e.ncol)
+
+	pivots := 0
+	for iter := 0; iter < maxIter; iter++ {
+		bland := iter >= blandAfter
+		if pivots > 0 && pivots%64 == 0 {
+			e.refactorize()
+			pivots++
+		}
+		// Leaving row: largest relative bound violation among the basics.
+		r := -1
+		above := false
+		worst := feasTol
+		for i, b := range e.basis {
+			denom := 1 + math.Abs(e.xB[i])
+			if d := (e.lo[b] - e.xB[i]) / denom; d > worst {
+				r, above, worst = i, false, d
+			}
+			if math.IsInf(e.hi[b], 1) {
+				continue
+			}
+			if d := (e.xB[i] - e.hi[b]) / denom; d > worst {
+				r, above, worst = i, true, d
+			}
+		}
+		if r < 0 {
+			return Optimal // primal feasible: hand back to primal simplex
+		}
+		if e.limit > 0 && e.iters >= e.limit {
+			return IterationLimit
+		}
+		e.iters++
+
+		leaveVar := e.basis[r]
+		var bound float64
+		if above {
+			bound = e.hi[leaveVar]
+		} else {
+			bound = e.lo[leaveVar]
+		}
+		delta := e.xB[r] - bound // >0 above the upper bound, <0 below lower
+
+		// Dual ratio test over row r of B^{-1}A: eligible entering columns
+		// are those whose step direction both respects their own bound and
+		// keeps the leaving variable's new reduced cost on the right side.
+		rho := e.binv[r]
+		e.computeY()
+		q := -1
+		bestRatio := math.Inf(1)
+		bestAlpha := 0.0
+		for j := 0; j < e.ncol; j++ {
+			if e.status[j] == basic || e.hi[j]-e.lo[j] <= boundEps {
+				continue
+			}
+			alpha := e.colDot(j, rho)
+			if math.Abs(alpha) <= pivTol {
+				continue
+			}
+			atLo := e.status[j] == atLower
+			if above {
+				if atLo && alpha <= 0 || !atLo && alpha >= 0 {
+					continue
+				}
+			} else {
+				if atLo && alpha >= 0 || !atLo && alpha <= 0 {
+					continue
+				}
+			}
+			if bland {
+				if q < 0 || j < q {
+					q, bestAlpha = j, alpha
+				}
+				continue
+			}
+			dot := e.colDot(j, e.y)
+			dj := e.cvec[j] - dot
+			ratio := math.Abs(dj) / math.Abs(alpha)
+			if ratio < bestRatio-boundEps ||
+				(ratio < bestRatio+boundEps && math.Abs(alpha) > math.Abs(bestAlpha)) {
+				q, bestRatio, bestAlpha = j, ratio, alpha
+			}
+		}
+		if q < 0 {
+			// No column can repair the violated row: primal infeasible.
+			return Infeasible
+		}
+
+		// Pivot: q enters at row r, the leaving variable lands on the bound
+		// it was violating.
+		e.applyBinv(q, e.dir)
+		alphaQ := e.dir[r]
+		if math.Abs(alphaQ) <= pivTol {
+			// rho was drifted; refactorize and retry the row selection.
+			e.refactorize()
+			pivots++
+			continue
+		}
+		step := delta / alphaQ
+		for i := 0; i < e.m; i++ {
+			if i != r && e.dir[i] != 0 {
+				e.xB[i] -= step * e.dir[i]
+			}
+		}
+		if above {
+			e.status[leaveVar] = atUpper
+			e.xval[leaveVar] = e.hi[leaveVar]
+		} else {
+			e.status[leaveVar] = atLower
+			e.xval[leaveVar] = e.lo[leaveVar]
+		}
+		piv := e.dir[r]
+		inv := 1 / piv
+		rowR := e.binv[r]
+		for c := 0; c < e.m; c++ {
+			rowR[c] *= inv
+		}
+		for i := 0; i < e.m; i++ {
+			if i == r {
+				continue
+			}
+			f := e.dir[i]
+			if f == 0 {
+				continue
+			}
+			row := e.binv[i]
+			for c := 0; c < e.m; c++ {
+				if rowR[c] != 0 {
+					row[c] -= f * rowR[c]
+				}
+			}
+		}
+		newVal := e.xval[q] + step
+		e.status[q] = basic
+		e.basis[r] = q
+		e.xB[r] = newVal
+		pivots++
+		e.stalePivots++
+	}
+	return IterationLimit
 }
 
 func (e *revisedEngine) betterLeaving(cur, cand int, bland bool) bool {
@@ -588,7 +1085,11 @@ func (e *revisedEngine) betterLeaving(cur, cand int, bland bool) bool {
 	return math.Abs(e.dir[cand]) > math.Abs(e.dir[cur])
 }
 
+// snap clamps the basic values onto their bounds at a declared optimum and
+// records that the basis is dual feasible under the active costs, so later
+// RHS-only re-solves can skip the explicit reduced-cost scan.
 func (e *revisedEngine) snap() {
+	e.dualClean = true
 	for i, b := range e.basis {
 		if e.xB[i] < e.lo[b] {
 			e.xB[i] = e.lo[b]

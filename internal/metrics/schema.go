@@ -17,8 +17,13 @@ const SchemaName = "greencell.metrics"
 // in the same change.
 //
 // Version history: 2 added the degradation fields (degraded,
-// degraded_causes) of the fault-tolerance layer (docs/ROBUSTNESS.md).
-const SchemaVersion = 2
+// degraded_causes) of the fault-tolerance layer (docs/ROBUSTNESS.md);
+// 3 added the on-demand summary counters lp_warm_starts_total and
+// lp_basis_invalidations_total of the warm-started LP engine
+// (docs/PERFORMANCE.md) — emitted only by runs with warm-starting on,
+// so cold streams are byte-compatible with version 2 apart from this
+// version field.
+const SchemaVersion = 3
 
 // Header is the first record of every metrics stream: it pins the schema
 // version and the run's identifying parameters, so a stream is

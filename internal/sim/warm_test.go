@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"greencell/internal/core"
+)
+
+// relDiff is the relative difference |x−y| / (1+|x|).
+func relDiff(x, y float64) float64 {
+	return math.Abs(x-y) / (1 + math.Abs(x))
+}
+
+// TestWarmStartLPRun runs the fast paper scenario with warm-starting on and
+// the invariant checker enabled: the run must stay feasible slot by slot,
+// must actually warm-start, and its headline aggregates must stay close to
+// the cold run. Exact equality is not required — the warm engine may settle
+// on a different vertex of a degenerate LP optimum, and the SF rounding can
+// amplify that into slightly different schedules — but the control loop is
+// self-stabilizing, so the time averages have to agree to a few percent.
+func TestWarmStartLPRun(t *testing.T) {
+	coldSc := fastScenario()
+	coldSc.CheckInvariants = true
+	cold, err := Run(coldSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmSc := fastScenario()
+	warmSc.CheckInvariants = true
+	warmSc.WarmStartLP = true
+	warmSc.Instrument = true
+	warmStarts, invalidations := 0, 0
+	warmSc.SlotHook = func(sr *core.SlotResult) {
+		if sr.Stages != nil {
+			warmStarts += sr.Stages.LPWarmStarts
+			invalidations += sr.Stages.LPBasisInvalidations
+		}
+	}
+	warm, err := Run(warmSc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmStarts == 0 {
+		t.Fatal("warm-start run recorded zero warm starts")
+	}
+	t.Logf("warm starts %d, invalidations %d", warmStarts, invalidations)
+	if warm.DeficitWh > 1e-6 {
+		t.Errorf("warm run has energy deficit %v", warm.DeficitWh)
+	}
+	if d := relDiff(cold.AvgEnergyCost.Value(), warm.AvgEnergyCost.Value()); d > 0.05 {
+		t.Errorf("avg energy cost diverged: cold %v warm %v (rel %v)",
+			cold.AvgEnergyCost, warm.AvgEnergyCost, d)
+	}
+	if d := relDiff(cold.DeliveredPkts, warm.DeliveredPkts); d > 0.05 {
+		t.Errorf("delivered diverged: cold %v warm %v (rel %v)",
+			cold.DeliveredPkts, warm.DeliveredPkts, d)
+	}
+	if d := relDiff(cold.AdmittedPkts, warm.AdmittedPkts); d > 0.05 {
+		t.Errorf("admitted diverged: cold %v warm %v (rel %v)",
+			cold.AdmittedPkts, warm.AdmittedPkts, d)
+	}
+}
+
+// TestWarmStartLPDeterministic pins that the warm path is itself
+// deterministic: two warm runs of the same scenario must agree exactly.
+func TestWarmStartLPDeterministic(t *testing.T) {
+	sc := fastScenario()
+	sc.WarmStartLP = true
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgEnergyCost != b.AvgEnergyCost || a.DeliveredPkts != b.DeliveredPkts ||
+		a.AvgGridWh != b.AvgGridWh {
+		t.Error("same warm scenario, different results")
+	}
+}
