@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [patterns ...]
+//	greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]
 //
 // Patterns are package directories, "/..."-suffixed for recursion; the
 // default "./..." walks the whole module. Packages type-check in parallel
@@ -13,6 +13,10 @@
 // print as file:line:col: analyzer: message (or as a JSON array with
 // -json) and any finding makes the exit status 1. Suppress an intentional
 // violation with an inline "//lint:allow <analyzer> -- reason" comment.
+// -audit-suppressions inverts the run: instead of findings it reports
+// //lint:allow annotations whose analyzer no longer fires on the lines they
+// cover (exit 1 if any are stale), so suppressions are pruned when the code
+// they excused goes away.
 package main
 
 import (
@@ -45,8 +49,9 @@ func run(args []string) (int, error) {
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: the full suite)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "packages to type-check concurrently (1 = serial)")
 	timings := fs.Bool("timings", false, "report load and per-analyzer wall time on stderr")
+	audit := fs.Bool("audit-suppressions", false, "report stale //lint:allow annotations instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [patterns ...]")
+		fmt.Fprintln(os.Stderr, "usage: greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]")
 		fs.PrintDefaults()
 		fmt.Fprintln(os.Stderr, "analyzers:")
 		for _, a := range analysis.All() {
@@ -84,6 +89,36 @@ func run(args []string) (int, error) {
 		return 0, err
 	}
 	loadTime := time.Since(loadStart)
+
+	if *audit {
+		// Auditing against a subset would mark every other analyzer's
+		// annotations stale, so the audit always runs the full suite.
+		stale := analysis.AuditSuppressions(pkgs, analysis.All())
+		for i := range stale {
+			if rel, err := filepath.Rel(loader.ModuleRoot(), stale[i].File); err == nil {
+				stale[i].File = rel
+			}
+		}
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if stale == nil {
+				stale = []analysis.Suppression{}
+			}
+			if err := enc.Encode(stale); err != nil {
+				return 0, err
+			}
+		} else {
+			for _, s := range stale {
+				fmt.Println(s)
+			}
+			fmt.Printf("greencell-lint: %d package(s), %d stale suppression(s)\n", len(pkgs), len(stale))
+		}
+		if len(stale) > 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
 
 	// Run the analyzers one at a time so each gets its own wall-clock
 	// reading, then merge back into the canonical report order.

@@ -57,6 +57,7 @@ func All() []Analyzer {
 	return []Analyzer{
 		NoRawRand{}, NoFloatEq{}, DroppedErr{}, UnguardedGo{},
 		UnitMix{}, MapIter{}, WallClock{},
+		DetFlow{}, LockSafe{}, HotAlloc{},
 	}
 }
 

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Suppression is one //lint:allow comment found in the source.
+type Suppression struct {
+	// Pos locates the comment.
+	Pos token.Position `json:"-"`
+	// File and Line serialize Pos.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Analyzer is one name the comment suppresses (a comment naming several
+	// analyzers yields one Suppression per name).
+	Analyzer string `json:"analyzer"`
+	// Stale reports why the suppression should be removed: the named
+	// analyzer no longer fires on the covered lines, or the name matches no
+	// analyzer at all.
+	Reason string `json:"reason"`
+}
+
+// String formats the stale suppression the way findings print.
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: stale //lint:allow %s: %s", s.File, s.Line, s.Analyzer, s.Reason)
+}
+
+// AuditSuppressions re-runs every analyzer with suppression disabled and
+// reports //lint:allow comments that no longer earn their keep: the named
+// analyzer produces no finding on the comment's own line or the line below
+// it, or the name matches no analyzer in the suite. Keeping the annotation
+// around after the code it excused is gone silently re-opens the hole the
+// analyzer was guarding.
+func AuditSuppressions(pkgs []*Package, analyzers []Analyzer) []Suppression {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name()] = true
+	}
+	var out []Suppression
+	for _, pkg := range pkgs {
+		// Raw findings, keyed the way allowedLines keys suppressions.
+		fired := make(map[allowKey]bool)
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				fired[allowKey{f.Pos.Filename, f.Pos.Line, a.Name()}] = true
+			}
+		}
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					names, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, n := range names {
+						switch {
+						case !known[n]:
+							out = append(out, Suppression{
+								Pos: pos, File: pos.Filename, Line: pos.Line,
+								Analyzer: n,
+								Reason:   "no analyzer has this name",
+							})
+						case !fired[allowKey{pos.Filename, pos.Line, n}] &&
+							!fired[allowKey{pos.Filename, pos.Line + 1, n}]:
+							out = append(out, Suppression{
+								Pos: pos, File: pos.Filename, Line: pos.Line,
+								Analyzer: n,
+								Reason:   "the analyzer no longer fires here; remove the annotation",
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	sortSuppressions(out)
+	return out
+}
+
+// sortSuppressions orders stale suppressions by file, line, then analyzer.
+func sortSuppressions(ss []Suppression) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && suppressionLess(ss[j], ss[j-1]); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
+func suppressionLess(a, b Suppression) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Analyzer < b.Analyzer
+}

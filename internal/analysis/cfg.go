@@ -1,0 +1,471 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CFG is the control-flow graph of one function body. Blocks hold the
+// statements (and the deciding expressions of branches) in execution order;
+// edges follow every construct the language has: if/else, for (all three
+// clauses), range, switch/type-switch with fallthrough, select with and
+// without default, goto, labeled break/continue, explicit panic/os.Exit
+// terminators, and return. Defer statements stay in the block where they
+// execute (registration site); analyzers that care about function exit —
+// locksafe's deferred-unlock discharge — interpret them there.
+//
+// Two conventions keep blocks free of duplicated syntax:
+//
+//   - a RangeStmt node inside a block stands for the loop HEADER only (the
+//     ranged expression and the key/value binding); its body statements live
+//     in successor blocks;
+//   - an IfStmt/SwitchStmt contributes only its Cond/Tag expression, a
+//     TypeSwitchStmt its Assign statement, and a SelectStmt node stands for
+//     the blocking choice point; each clause body is its own block chain.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is where execution starts; Exit is the single synthetic block
+	// every return, panic and fall-off-the-end edge reaches. Exit holds no
+	// nodes.
+	Entry, Exit *Block
+	// Comm marks the nodes that are select communication statements: their
+	// channel operation is decided (and possibly blocks) at the SelectStmt
+	// choice point, not at the statement itself.
+	Comm map[ast.Node]bool
+}
+
+// Block is a straight-line run of nodes with explicit successors.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports reachability from Entry; statements parked in a dead
+	// block are unreachable code (after return/goto/panic, or following an
+	// infinite loop).
+	Live bool
+}
+
+// BuildCFG constructs the CFG of one function body. It never returns nil:
+// an empty body yields Entry wired straight to Exit.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{Comm: make(map[ast.Node]bool)}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.labels = make(map[string]*Block)
+	if body != nil {
+		b.stmts(body.List)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	b.markLive()
+	return b.cfg
+}
+
+// cfgBuilder carries the in-progress graph.
+type cfgBuilder struct {
+	cfg *CFG
+	// cur is the block receiving statements; nil after a terminator, in
+	// which case the next statement opens a fresh (dead) block so
+	// unreachable code is preserved for analysis.
+	cur *Block
+	// targets is the stack of enclosing breakable/continuable constructs.
+	targets []branchTarget
+	// labels maps label names to their blocks (created on demand, so
+	// forward gotos resolve).
+	labels map[string]*Block
+	// pendingLabel names the label attached to the next loop/switch/select
+	// statement, so labeled break/continue find their construct.
+	pendingLabel string
+	// fallTarget is the next case body during switch construction.
+	fallTarget *Block
+}
+
+// branchTarget is one enclosing construct break/continue can address.
+type branchTarget struct {
+	label string
+	brk   *Block // break destination (never nil)
+	cont  *Block // continue destination; nil for switch/select
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// use returns the current block, opening a dead one after a terminator so
+// unreachable statements still get parked somewhere.
+func (b *cfgBuilder) use() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(st.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(st.Label.Name)
+		if b.cur != nil {
+			b.edge(b.cur, lb)
+		}
+		b.cur = lb
+		b.pendingLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ReturnStmt:
+		blk := b.use()
+		blk.Nodes = append(blk.Nodes, st)
+		b.edge(blk, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		b.branch(st)
+
+	case *ast.IfStmt:
+		b.ifStmt(st)
+
+	case *ast.ForStmt:
+		b.forStmt(st)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(st)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.use()
+		if st.Tag != nil {
+			head.Nodes = append(head.Nodes, st.Tag)
+		}
+		b.switchBody(head, st.Body)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			b.stmt(st.Init)
+		}
+		head := b.use()
+		head.Nodes = append(head.Nodes, st.Assign)
+		b.switchBody(head, st.Body)
+
+	case *ast.SelectStmt:
+		b.selectStmt(st)
+
+	default:
+		// Plain statements: assignments, declarations, expression
+		// statements, defer, go, send, incdec, empty.
+		blk := b.use()
+		blk.Nodes = append(blk.Nodes, s)
+		if terminates(s) {
+			b.edge(blk, b.cfg.Exit)
+			b.cur = nil
+		}
+	}
+}
+
+// branch wires break/continue/goto/fallthrough.
+func (b *cfgBuilder) branch(st *ast.BranchStmt) {
+	blk := b.use()
+	blk.Nodes = append(blk.Nodes, st)
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	switch st.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(blk, t.brk)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.cont == nil {
+				continue // switch/select: continue passes through
+			}
+			if label == "" || t.label == label {
+				b.edge(blk, t.cont)
+				break
+			}
+		}
+	case token.GOTO:
+		if label != "" {
+			b.edge(blk, b.labelBlock(label))
+		}
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.edge(blk, b.fallTarget)
+		}
+	}
+	b.cur = nil
+}
+
+func (b *cfgBuilder) ifStmt(st *ast.IfStmt) {
+	b.pendingLabel = ""
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	head := b.use()
+	head.Nodes = append(head.Nodes, st.Cond)
+	join := b.newBlock()
+
+	then := b.newBlock()
+	b.edge(head, then)
+	b.cur = then
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, join)
+	}
+
+	if st.Else != nil {
+		els := b.newBlock()
+		b.edge(head, els)
+		b.cur = els
+		b.stmt(st.Else)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	} else {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(st *ast.ForStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	if st.Init != nil {
+		b.stmt(st.Init)
+	}
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	if st.Cond != nil {
+		head.Nodes = append(head.Nodes, st.Cond)
+	}
+	join := b.newBlock()
+	post := head
+	if st.Post != nil {
+		post = b.newBlock()
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	if st.Cond != nil {
+		b.edge(head, join)
+	}
+
+	b.targets = append(b.targets, branchTarget{label: label, brk: join, cont: post})
+	b.cur = body
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, post)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+
+	if st.Post != nil {
+		b.cur = post
+		b.stmt(st.Post)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(st *ast.RangeStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.newBlock()
+	b.edge(b.use(), head)
+	// The RangeStmt node in the head block stands for the header only (the
+	// ranged expression and key/value binding).
+	head.Nodes = append(head.Nodes, st)
+	join := b.newBlock()
+	b.edge(head, join)
+	body := b.newBlock()
+	b.edge(head, body)
+
+	b.targets = append(b.targets, branchTarget{label: label, brk: join, cont: head})
+	b.cur = body
+	b.stmts(st.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+// switchBody builds the clause blocks of a switch/type-switch whose
+// deciding block is head.
+func (b *cfgBuilder) switchBody(head *Block, body *ast.BlockStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	join := b.newBlock()
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	starts := make([]*Block, len(clauses))
+	for i := range clauses {
+		starts[i] = b.newBlock()
+		b.edge(head, starts[i])
+	}
+	hasDefault := false
+	b.targets = append(b.targets, branchTarget{label: label, brk: join})
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if i+1 < len(starts) {
+			b.fallTarget = starts[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.cur = starts[i]
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.fallTarget = nil
+	b.targets = b.targets[:len(b.targets)-1]
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(st *ast.SelectStmt) {
+	label := b.pendingLabel
+	b.pendingLabel = ""
+	head := b.use()
+	// The SelectStmt node marks the blocking choice point; whether it can
+	// block is decided by the presence of a default clause.
+	head.Nodes = append(head.Nodes, st)
+	join := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, brk: join})
+	for _, c := range st.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+			b.cfg.Comm[cc.Comm] = true
+		}
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, join)
+		}
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = join
+}
+
+// labelBlock returns (creating on demand) the block a label names.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// terminates reports whether a plain statement never falls through: an
+// explicit panic, os.Exit, runtime.Goexit, or log.Fatal* call. The check is
+// purely syntactic (by name), which is what a CFG without type information
+// can promise; analyzers with types can refine it.
+func terminates(s ast.Stmt) bool {
+	var call *ast.CallExpr
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		c, ok := st.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		call = c
+	default:
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		base, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case base.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case base.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case base.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// markLive flags every block reachable from Entry.
+func (b *cfgBuilder) markLive() {
+	var dfs func(*Block)
+	dfs = func(blk *Block) {
+		if blk.Live {
+			return
+		}
+		blk.Live = true
+		for _, s := range blk.Succs {
+			dfs(s)
+		}
+	}
+	dfs(b.cfg.Entry)
+}
+
+// funcBodies visits every function of the package that has a body: each
+// FuncDecl and each FuncLit (nested literals included), so flow analyses
+// treat a closure as its own function. name is the declared name, with
+// "<func literal>" for literals.
+func funcBodies(pkg *Package, visit func(name string, node ast.Node, body *ast.BlockStmt)) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					visit(fn.Name.Name, fn, fn.Body)
+				}
+			case *ast.FuncLit:
+				visit("<func literal>", fn, fn.Body)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,454 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildBody parses a function body (statements only) and builds its CFG.
+func buildBody(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return BuildCFG(fd.Body)
+}
+
+// blockCalling finds the block containing a call to the named function.
+func blockCalling(t *testing.T, c *CFG, name string) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if call, ok := x.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block calls %s", name)
+	return nil
+}
+
+// blockWith finds the block containing a node matching pred.
+func blockWith(t *testing.T, c *CFG, what string, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(x ast.Node) bool {
+				if x != nil && pred(x) {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block holds %s", what)
+	return nil
+}
+
+// reaches reports whether to is reachable from from along CFG edges.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+// hasSucc reports a direct edge from b to a block satisfying pred.
+func hasSucc(b *Block, pred func(*Block) bool) bool {
+	for _, s := range b.Succs {
+		if pred(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCFGEdgeSymmetry(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	for b() {
+		if c() {
+			continue
+		}
+		d()
+	}
+	e()`)
+	for _, b := range c.Blocks {
+		for _, s := range b.Succs {
+			ok := false
+			for _, p := range s.Preds {
+				if p == b {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("edge %d->%d missing from Preds", b.Index, s.Index)
+			}
+		}
+	}
+	if len(c.Exit.Nodes) != 0 {
+		t.Errorf("Exit holds %d nodes; want none", len(c.Exit.Nodes))
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("Exit unreachable from Entry")
+	}
+}
+
+func TestCFGGotoForward(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	goto done
+	b()
+done:
+	c()`)
+	if blk := blockCalling(t, c, "b"); blk.Live {
+		t.Error("statement after goto should be dead")
+	}
+	target := blockCalling(t, c, "c")
+	if !target.Live {
+		t.Error("goto target should be live")
+	}
+	if !reaches(blockCalling(t, c, "a"), target) {
+		t.Error("goto edge missing: a's block should reach the label")
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	c := buildBody(t, `
+	i := 0
+loop:
+	i++
+	if cond() {
+		goto loop
+	}
+	done()`)
+	gotoBlk := blockWith(t, c, "goto", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	label := blockWith(t, c, "i++", func(n ast.Node) bool {
+		_, ok := n.(*ast.IncDecStmt)
+		return ok
+	})
+	if !hasSucc(gotoBlk, func(b *Block) bool { return b == label }) {
+		t.Error("backward goto should edge straight to its label block")
+	}
+	if !reaches(c.Entry, c.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	c := buildBody(t, `
+outer:
+	for a() {
+		for b() {
+			if c() {
+				continue outer
+			}
+			if d() {
+				break outer
+			}
+			e()
+		}
+	}
+	f()`)
+	contBlk := blockWith(t, c, "continue outer", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.CONTINUE && br.Label != nil
+	})
+	brkBlk := blockWith(t, c, "break outer", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.BREAK && br.Label != nil
+	})
+	outerHead := blockCalling(t, c, "a")
+	after := blockCalling(t, c, "f")
+	if !hasSucc(contBlk, func(b *Block) bool { return b == outerHead }) {
+		t.Error("continue outer should edge to the outer loop head, not the inner one")
+	}
+	if !hasSucc(brkBlk, func(b *Block) bool { return b == after }) {
+		t.Error("break outer should edge past both loops")
+	}
+	// An unlabeled continue would have hit the inner head instead.
+	innerHead := blockCalling(t, c, "b")
+	if hasSucc(contBlk, func(b *Block) bool { return b == innerHead }) {
+		t.Error("continue outer must not target the inner loop head")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := buildBody(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	case ch2 <- 1:
+		send()
+	}
+	after()`)
+	if len(c.Comm) != 2 {
+		t.Errorf("Comm marks %d statements; want 2", len(c.Comm))
+	}
+	head := blockWith(t, c, "select", func(n ast.Node) bool {
+		_, ok := n.(*ast.SelectStmt)
+		return ok
+	})
+	if len(head.Succs) != 2 {
+		t.Errorf("select head has %d successors; want 2 clause blocks", len(head.Succs))
+	}
+	if !reaches(head, blockCalling(t, c, "after")) {
+		t.Error("select join should reach the following statement")
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	c := buildBody(t, `
+	select {
+	case v := <-ch:
+		use(v)
+	default:
+		idle()
+	}
+	after()`)
+	head := blockWith(t, c, "select", func(n ast.Node) bool {
+		_, ok := n.(*ast.SelectStmt)
+		return ok
+	})
+	if len(head.Succs) != 2 {
+		t.Errorf("select head has %d successors; want comm clause + default", len(head.Succs))
+	}
+	if len(c.Comm) != 1 {
+		t.Errorf("Comm marks %d statements; want 1 (default has no comm op)", len(c.Comm))
+	}
+	if !blockCalling(t, c, "idle").Live {
+		t.Error("default clause should be live")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildBody(t, `
+	switch tag() {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		d()
+	}
+	after()`)
+	head := blockCalling(t, c, "tag")
+	if len(head.Succs) != 3 {
+		t.Errorf("switch head has %d successors; want 3 (no head->join edge with a default present)", len(head.Succs))
+	}
+	fall := blockWith(t, c, "fallthrough", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.FALLTHROUGH
+	})
+	next := blockCalling(t, c, "b")
+	if !hasSucc(fall, func(b *Block) bool { return b == next }) {
+		t.Error("fallthrough should edge into the next case body")
+	}
+}
+
+func TestCFGUnreachableAfterReturn(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	return
+	b()`)
+	if blockCalling(t, c, "b").Live {
+		t.Error("code after return should be dead")
+	}
+	if !blockCalling(t, c, "a").Live {
+		t.Error("code before return should be live")
+	}
+}
+
+func TestCFGInfiniteLoop(t *testing.T) {
+	c := buildBody(t, `
+	for {
+		a()
+	}
+	b()`)
+	if blockCalling(t, c, "b").Live {
+		t.Error("code after an infinite loop should be dead")
+	}
+	body := blockCalling(t, c, "a")
+	if !body.Live {
+		t.Error("infinite loop body should be live")
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	panic("boom")
+	b()`)
+	if blockCalling(t, c, "b").Live {
+		t.Error("code after panic should be dead")
+	}
+	panicBlk := blockCalling(t, c, "panic")
+	if !hasSucc(panicBlk, func(b *Block) bool { return b == c.Exit }) {
+		t.Error("panic should edge to Exit")
+	}
+}
+
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	c := buildBody(t, `
+	lock()
+	defer unlock()
+	work()
+	return`)
+	deferBlk := blockWith(t, c, "defer", func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	if deferBlk != blockCalling(t, c, "lock") {
+		t.Error("defer should stay in the straight-line block where it registers")
+	}
+	if !hasSucc(deferBlk, func(b *Block) bool { return b == c.Exit }) {
+		t.Error("the returning block should edge to Exit")
+	}
+}
+
+// callSetFlow is a tiny dataflow problem for testing the solver: the fact is
+// the set of function names called on every path into a block.
+func callSetFlow() Flow {
+	return Flow{
+		Bottom: func() Fact { return nil },
+		Join: func(a, b Fact) Fact {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			out := make(map[string]bool)
+			for k := range a.(map[string]bool) {
+				out[k] = true
+			}
+			for k := range b.(map[string]bool) {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b Fact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			if a == nil {
+				return true
+			}
+			ma, mb := a.(map[string]bool), b.(map[string]bool)
+			if len(ma) != len(mb) {
+				return false
+			}
+			for k := range ma {
+				if !mb[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in Fact) Fact {
+			if in == nil {
+				return nil
+			}
+			out := make(map[string]bool)
+			for k := range in.(map[string]bool) {
+				out[k] = true
+			}
+			for _, n := range b.Nodes {
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok {
+							out[id.Name] = true
+						}
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+func TestForwardDataflowBranchJoin(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	if cond() {
+		b()
+	}
+	d()`)
+	in := ForwardDataflow(c, map[string]bool{}, callSetFlow())
+	at := in[blockCalling(t, c, "d")]
+	if at == nil {
+		t.Fatal("join block unreached")
+	}
+	got := at.(map[string]bool)
+	for _, name := range []string{"a", "cond"} {
+		if !got[name] {
+			t.Errorf("join entry fact missing %q (both paths call it)", name)
+		}
+	}
+	if !got["b"] {
+		t.Error("join is a union: the then-branch call should survive the join")
+	}
+}
+
+func TestForwardDataflowLoopFixpoint(t *testing.T) {
+	c := buildBody(t, `
+	for x() {
+		y()
+	}
+	z()`)
+	in := ForwardDataflow(c, map[string]bool{}, callSetFlow())
+	at := in[blockCalling(t, c, "z")]
+	if at == nil {
+		t.Fatal("after-loop block unreached")
+	}
+	got := at.(map[string]bool)
+	if !got["x"] || !got["y"] {
+		t.Errorf("loop fixpoint lost facts: got %v, want x and y via the back edge", got)
+	}
+	// Dead blocks stay Bottom.
+	c2 := buildBody(t, `
+	return
+	dead()`)
+	in2 := ForwardDataflow(c2, map[string]bool{}, callSetFlow())
+	if in2[blockCalling(t, c2, "dead")] != nil {
+		t.Error("dead block should keep the Bottom fact")
+	}
+}

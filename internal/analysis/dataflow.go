@@ -1,0 +1,85 @@
+package analysis
+
+// Fact is one dataflow fact: the abstract state at a block boundary.
+// Implementations are treated as immutable — Transfer and Join return fresh
+// values instead of mutating their inputs, so facts can be shared between
+// blocks safely.
+type Fact any
+
+// Flow configures a forward dataflow problem over a CFG: a join-semilattice
+// of facts plus a per-block transfer function.
+type Flow struct {
+	// Bottom returns the "unreached" fact, the identity of Join. Every
+	// block except Entry starts here.
+	Bottom func() Fact
+	// Join combines the facts of two incoming edges.
+	Join func(a, b Fact) Fact
+	// Equal decides convergence.
+	Equal func(a, b Fact) bool
+	// Transfer pushes a fact through one block's nodes.
+	Transfer func(b *Block, in Fact) Fact
+}
+
+// ForwardDataflow solves the problem to a fixpoint and returns the fact at
+// the ENTRY of every block (Transfer of a block's own nodes not yet
+// applied; apply it again for exit facts). The worklist runs in reverse
+// postorder, so loop-free code converges in one pass and loops in as many
+// passes as their nesting needs. Dead blocks keep Bottom.
+func ForwardDataflow(c *CFG, entry Fact, f Flow) map[*Block]Fact {
+	in := make(map[*Block]Fact, len(c.Blocks))
+	for _, b := range c.Blocks {
+		in[b] = f.Bottom()
+	}
+	in[c.Entry] = entry
+
+	order := reversePostorder(c)
+
+	// Deterministic worklist: a boolean per block plus repeated RPO sweeps.
+	// Analyses here are tiny (one function), so simplicity beats a priority
+	// queue; the sweep count is bounded by the lattice height.
+	dirty := make(map[*Block]bool, len(order))
+	for _, b := range order {
+		dirty[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if !dirty[b] {
+				continue
+			}
+			dirty[b] = false
+			out := f.Transfer(b, in[b])
+			for _, s := range b.Succs {
+				joined := f.Join(in[s], out)
+				if !f.Equal(in[s], joined) {
+					in[s] = joined
+					dirty[s] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return in
+}
+
+// reversePostorder lists the live blocks in reverse postorder from Entry.
+func reversePostorder(c *CFG) []*Block {
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		post = append(post, b)
+	}
+	dfs(c.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

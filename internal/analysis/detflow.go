@@ -1,0 +1,661 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// DetFlow is the flow-sensitive generalization of the syntactic determinism
+// rules (norawrand, mapiter, wallclock): it tracks VALUES derived from
+// nondeterminism sources through assignments, arithmetic, conversions,
+// collections, and intra-package calls (bottom-up return summaries), and
+// reports when such a value reaches a reproducible artifact — a stream,
+// file, journal or metrics write. The three taint sources:
+//
+//   - unseeded randomness: any call into math/rand, math/rand/v2, or
+//     crypto/rand (internal/rng itself is exempt — wrapping those packages
+//     behind seeded sources is its whole purpose);
+//   - wall clock: time.Now / time.Since outside the instrumentation
+//     allowlist (WallClockAllowedFiles — those timers' outputs are
+//     canonicalized away, docs/METRICS.md);
+//   - map iteration order: the key/value variables of a range over a map.
+//     A write INSIDE such a loop body is mapiter's jurisdiction and not
+//     re-reported; detflow owns the flows mapiter cannot see — order-
+//     dependent values that escape the loop and reach a write later.
+//
+// Sorting launders map-order taint: passing a collection through
+// sort.*/slices.Sort* clears it (collect-sort-consume is the blessed
+// idiom). Writes to os.Stdout/os.Stderr (fmt.Print* and Fprint* aimed at
+// them) are presentation, not artifacts, and are exempt. Test files are
+// skipped. Intentional flows carry //lint:allow detflow.
+type DetFlow struct{}
+
+// Name implements Analyzer.
+func (DetFlow) Name() string { return "detflow" }
+
+// Doc implements Analyzer.
+func (DetFlow) Doc() string {
+	return "taint flow from randomness, wall clock, or map order into stream/journal/metrics writes"
+}
+
+// Taint is a bitmask of nondeterminism sources a value derives from.
+type Taint uint8
+
+const (
+	taintRand Taint = 1 << iota
+	taintClock
+	taintMapOrder
+)
+
+// String names the taint kinds for findings.
+func (t Taint) String() string {
+	var parts []string
+	if t&taintRand != 0 {
+		parts = append(parts, "unseeded randomness")
+	}
+	if t&taintClock != 0 {
+		parts = append(parts, "the wall clock")
+	}
+	if t&taintMapOrder != 0 {
+		parts = append(parts, "map iteration order")
+	}
+	if len(parts) == 0 {
+		return "nothing"
+	}
+	return strings.Join(parts, " and ")
+}
+
+// taintFact is the dataflow fact: taint per local variable object. nil is
+// Bottom ("unreached").
+type taintFact map[types.Object]Taint
+
+func (f taintFact) clone() taintFact {
+	out := make(taintFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// Check implements Analyzer.
+func (d DetFlow) Check(pkg *Package) []Finding {
+	if strings.HasSuffix(strings.TrimSuffix(pkg.PkgPath, " [test]"), "internal/rng") {
+		return nil
+	}
+	a := &detAnalysis{pkg: pkg}
+	a.summaries = Summaries(pkg, a.returnTaint, func(x, y any) bool {
+		tx, _ := x.(Taint)
+		ty, _ := y.(Taint)
+		return tx == ty
+	})
+	var out []Finding
+	funcBodies(pkg, func(name string, node ast.Node, body *ast.BlockStmt) {
+		fname := pkg.Fset.Position(node.Pos()).Filename
+		if strings.HasSuffix(fname, "_test.go") {
+			return
+		}
+		out = append(out, a.checkFunc(node, body)...)
+	})
+	return out
+}
+
+// detAnalysis carries the per-package state.
+type detAnalysis struct {
+	pkg       *Package
+	summaries map[*types.Func]any
+}
+
+// returnTaint is the bottom-up summary: the union taint of everything the
+// function can return (its parameters assumed clean).
+func (a *detAnalysis) returnTaint(fn FuncInfo, get func(*types.Func) any) any {
+	st := a.solve(fn.Decl, fn.Decl.Body, get)
+	var total Taint
+	for _, b := range st.cfg.Blocks {
+		fact := st.in[b]
+		if fact == nil {
+			continue
+		}
+		cur := taintFact(fact.(taintFact)).clone()
+		for _, node := range b.Nodes {
+			ret, ok := node.(*ast.ReturnStmt)
+			if ok {
+				if len(ret.Results) == 0 {
+					// Bare return: named results carry the value out.
+					for obj, t := range cur {
+						if v, okv := obj.(*types.Var); okv && isNamedResult(fn.Decl, v) {
+							total |= t
+						}
+					}
+				}
+				for _, r := range ret.Results {
+					total |= st.exprTaint(cur, r)
+				}
+			}
+			st.applyNode(cur, node, nil)
+		}
+	}
+	return total
+}
+
+// isNamedResult reports whether v is a named result variable of fn.
+func isNamedResult(fn *ast.FuncDecl, v *types.Var) bool {
+	if fn.Type.Results == nil {
+		return false
+	}
+	for _, f := range fn.Type.Results.List {
+		for _, n := range f.Names {
+			if n.Pos() == v.Pos() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcState is one function's solved taint problem.
+type funcState struct {
+	a          *detAnalysis
+	cfg        *CFG
+	in         map[*Block]Fact
+	clockFree  bool // file is on the wall-clock allowlist: timers sanctioned
+	mapBodies  []posSpan
+	getSummary func(*types.Func) any
+}
+
+type posSpan struct{ lo, hi token.Pos }
+
+// solve builds the CFG and runs the taint dataflow for one function.
+func (a *detAnalysis) solve(node ast.Node, body *ast.BlockStmt, get func(*types.Func) any) *funcState {
+	if get == nil {
+		get = func(f *types.Func) any { return a.summaries[f] }
+	}
+	st := &funcState{a: a, getSummary: get}
+	fname := filepath.ToSlash(a.pkg.Fset.Position(node.Pos()).Filename)
+	st.clockFree = allowedWallClockFile(fname)
+	// Record map-range body spans: maporder sinks inside them belong to
+	// mapiter, not detflow.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if rs, ok := n.(*ast.RangeStmt); ok && st.isMapRange(rs) {
+			st.mapBodies = append(st.mapBodies, posSpan{rs.Body.Pos(), rs.Body.End()})
+		}
+		return true
+	})
+	st.cfg = BuildCFG(body)
+	st.in = ForwardDataflow(st.cfg, taintFact{}, Flow{
+		Bottom: func() Fact { return nil },
+		Join: func(x, y Fact) Fact {
+			if x == nil {
+				return y
+			}
+			if y == nil {
+				return x
+			}
+			fx, fy := x.(taintFact), y.(taintFact)
+			out := fx.clone()
+			for k, v := range fy {
+				out[k] |= v
+			}
+			return out
+		},
+		Equal: func(x, y Fact) bool {
+			if (x == nil) != (y == nil) {
+				return false
+			}
+			if x == nil {
+				return true
+			}
+			fx, fy := x.(taintFact), y.(taintFact)
+			if len(fx) != len(fy) {
+				return false
+			}
+			for k, v := range fx {
+				if fy[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, in Fact) Fact {
+			if in == nil {
+				return nil
+			}
+			cur := in.(taintFact).clone()
+			for _, n := range b.Nodes {
+				st.applyNode(cur, n, nil)
+			}
+			return cur
+		},
+	})
+	return st
+}
+
+// checkFunc solves one function and replays the blocks with sink reporting
+// enabled.
+func (a *detAnalysis) checkFunc(node ast.Node, body *ast.BlockStmt) []Finding {
+	st := a.solve(node, body, nil)
+	var out []Finding
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, t Taint, sink string) {
+		if t == 0 || seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Finding{
+			Analyzer: DetFlow{}.Name(),
+			Pos:      a.pkg.Fset.Position(pos),
+			Message: "value derived from " + t.String() + " flows into " + sink +
+				"; reproducible artifacts must be functions of (scenario, seed)",
+		})
+	}
+	for _, b := range st.cfg.Blocks {
+		fact := st.in[b]
+		if fact == nil {
+			continue
+		}
+		cur := fact.(taintFact).clone()
+		for _, n := range b.Nodes {
+			st.applyNode(cur, n, report)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// applyNode mutates fact with one block node's effect; when report is
+// non-nil it also checks every call in the node against the sink list.
+func (st *funcState) applyNode(fact taintFact, node ast.Node, report func(token.Pos, Taint, string)) {
+	// Calls first: sinks see the state before the node's own assignment.
+	// A RangeStmt block node stands for its header only and a SelectStmt
+	// for the choice point, so only those parts are scanned — their bodies
+	// live in successor blocks and are visited there.
+	var scan []ast.Node
+	switch n := node.(type) {
+	case *ast.RangeStmt:
+		scan = []ast.Node{n.X}
+	case *ast.SelectStmt:
+		scan = nil
+	default:
+		scan = []ast.Node{node}
+	}
+	for _, part := range scan {
+		st.eachCall(part, func(call *ast.CallExpr) {
+			st.sanitize(fact, call)
+			if report != nil {
+				st.checkSink(fact, call, report)
+			}
+		})
+	}
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		st.applyAssign(fact, n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := st.a.pkg.Info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					var t Taint
+					if len(vs.Values) == 1 && len(vs.Names) > 1 {
+						t = st.exprTaint(fact, vs.Values[0])
+					} else if i < len(vs.Values) {
+						t = st.exprTaint(fact, vs.Values[i])
+					}
+					setTaint(fact, obj, t)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Header only: bind key/value with the collection's taint, plus
+		// map-order taint when ranging a map.
+		t := st.exprTaint(fact, n.X)
+		if st.isMapRange(n) {
+			t |= taintMapOrder
+		}
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := st.lhsObject(id); obj != nil {
+					setTaint(fact, obj, t)
+				}
+			}
+		}
+	}
+}
+
+// applyAssign transfers one assignment.
+func (st *funcState) applyAssign(fact taintFact, n *ast.AssignStmt) {
+	// Right-hand taints, positionally.
+	taintAt := func(i int) Taint {
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+			return st.exprTaint(fact, n.Rhs[0])
+		}
+		if i < len(n.Rhs) {
+			return st.exprTaint(fact, n.Rhs[i])
+		}
+		return 0
+	}
+	for i, lhs := range n.Lhs {
+		t := taintAt(i)
+		switch x := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				continue
+			}
+			obj := st.lhsObject(x)
+			if obj == nil {
+				continue
+			}
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				setTaint(fact, obj, t)
+			} else {
+				// Compound (+=, …): old value contributes.
+				setTaint(fact, obj, fact[obj]|t)
+			}
+		default:
+			// Index/selector/deref target: weak update on the root object —
+			// writing a tainted element taints the container.
+			if t != 0 {
+				if obj := rootObject(st.a.pkg, rootExpr(lhs)); obj != nil {
+					fact[obj] |= t
+				}
+			}
+		}
+	}
+}
+
+// setTaint stores a strong update, dropping clean entries to keep facts
+// small.
+func setTaint(fact taintFact, obj types.Object, t Taint) {
+	if t == 0 {
+		delete(fact, obj)
+	} else {
+		fact[obj] = t
+	}
+}
+
+// lhsObject resolves an assigned identifier whether it defines or uses.
+func (st *funcState) lhsObject(id *ast.Ident) types.Object {
+	if obj := st.a.pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return st.a.pkg.Info.Uses[id]
+}
+
+// rootExpr peels index/star/selector layers down to the base expression.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// exprTaint computes the taint of an expression under fact.
+func (st *funcState) exprTaint(fact taintFact, e ast.Expr) Taint {
+	switch x := ast.Unparen(e).(type) {
+	case nil:
+		return 0
+	case *ast.Ident:
+		if obj := st.a.pkg.Info.Uses[x]; obj != nil {
+			return fact[obj]
+		}
+		return 0
+	case *ast.BasicLit, *ast.FuncLit:
+		return 0
+	case *ast.BinaryExpr:
+		return st.exprTaint(fact, x.X) | st.exprTaint(fact, x.Y)
+	case *ast.UnaryExpr:
+		return st.exprTaint(fact, x.X)
+	case *ast.StarExpr:
+		return st.exprTaint(fact, x.X)
+	case *ast.IndexExpr:
+		return st.exprTaint(fact, x.X) | st.exprTaint(fact, x.Index)
+	case *ast.SliceExpr:
+		return st.exprTaint(fact, x.X)
+	case *ast.SelectorExpr:
+		// Field read: the container's taint. Package-qualified names have
+		// no local root and stay clean.
+		if obj := rootObject(st.a.pkg, x); obj != nil {
+			if t, ok := fact[obj]; ok {
+				return t
+			}
+		}
+		return st.exprTaint(fact, x.X)
+	case *ast.CompositeLit:
+		var t Taint
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				t |= st.exprTaint(fact, kv.Value)
+			} else {
+				t |= st.exprTaint(fact, el)
+			}
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return st.exprTaint(fact, x.X)
+	case *ast.CallExpr:
+		return st.callTaint(fact, x)
+	}
+	return 0
+}
+
+// callTaint computes the taint a call's results carry: source taint for
+// nondeterminism producers, the callee's return summary for in-package
+// functions, and arguments' taint propagated through everything else
+// (formatting, conversion, math).
+func (st *funcState) callTaint(fact taintFact, call *ast.CallExpr) Taint {
+	var t Taint
+	// Type conversions carry their operand.
+	if tv, ok := st.a.pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			t |= st.exprTaint(fact, a)
+		}
+		return t
+	}
+	if src := st.sourceTaint(call); src != 0 {
+		return src
+	}
+	// Sorting launders order taint; the sanitize pass clears the argument
+	// object, and the (void) call itself yields nothing.
+	if isSortCall(st.a.pkg, call) {
+		return 0
+	}
+	for _, a := range call.Args {
+		t |= st.exprTaint(fact, a)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isMethod := st.a.pkg.Info.Selections[sel]; isMethod {
+			t |= st.exprTaint(fact, sel.X)
+		}
+	}
+	if fn := CalleeFunc(st.a.pkg, call); fn != nil && fn.Pkg() == st.a.pkg.Types {
+		if s, ok := st.getSummary(fn).(Taint); ok {
+			t |= s
+		}
+	}
+	return t
+}
+
+// sourceTaint recognizes the three nondeterminism sources.
+func (st *funcState) sourceTaint(call *ast.CallExpr) Taint {
+	obj := calleeObject(st.a.pkg, call.Fun)
+	if obj == nil || obj.Pkg() == nil {
+		return 0
+	}
+	switch obj.Pkg().Path() {
+	case "math/rand", "math/rand/v2", "crypto/rand":
+		return taintRand
+	case "time":
+		if !st.clockFree && (obj.Name() == "Now" || obj.Name() == "Since") {
+			return taintClock
+		}
+	}
+	return 0
+}
+
+// sanitize clears map-order (and any other) taint from collections passed
+// through a sort.
+func (st *funcState) sanitize(fact taintFact, call *ast.CallExpr) {
+	if !isSortCall(st.a.pkg, call) {
+		return
+	}
+	for _, a := range call.Args {
+		if obj := rootObject(st.a.pkg, rootExpr(a)); obj != nil {
+			delete(fact, obj)
+		}
+	}
+}
+
+// isSortCall reports calls into package sort or slices.
+func isSortCall(pkg *Package, call *ast.CallExpr) bool {
+	obj := calleeObject(pkg, call.Fun)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sort" || p == "slices"
+}
+
+// sinkWriters are the method names that append bytes/records to an ordered
+// artifact. fmt.Print* to stdout/stderr is presentation and handled apart.
+var sinkWriters = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteRecord": true, "WriteAll": true, "Encode": true,
+	"WriteHeader": true, "WriteSlot": true, "WriteSummary": true,
+}
+
+// metricsMutators are the internal/metrics value setters.
+var metricsMutators = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "Observe": true,
+}
+
+// checkSink reports tainted arguments reaching a write.
+func (st *funcState) checkSink(fact taintFact, call *ast.CallExpr, report func(token.Pos, Taint, string)) {
+	pkg := st.a.pkg
+	argTaint := func(args []ast.Expr) Taint {
+		var t Taint
+		for _, a := range args {
+			t |= st.exprTaint(fact, a)
+		}
+		return t
+	}
+	var t Taint
+	var sink string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		obj := pkg.Info.Uses[fun.Sel]
+		switch {
+		case sinkWriters[name]:
+			if _, isMethod := pkg.Info.Selections[fun]; !isMethod {
+				return
+			}
+			if isStdStream(pkg, fun.X) {
+				return
+			}
+			t, sink = argTaint(call.Args), name
+		case metricsMutators[name]:
+			s, ok := pkg.Info.Selections[fun]
+			if !ok || !isMetricsType(s.Recv()) {
+				return
+			}
+			t, sink = argTaint(call.Args), "metrics "+name
+		case obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" && name == "WriteFile":
+			if len(call.Args) >= 2 {
+				t, sink = argTaint(call.Args[1:2]), "os.WriteFile"
+			}
+		case obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" && strings.HasPrefix(name, "Fprint"):
+			if len(call.Args) == 0 || isStdStream(pkg, call.Args[0]) {
+				return
+			}
+			t, sink = argTaint(call.Args[1:]), "fmt."+name
+		default:
+			return
+		}
+	default:
+		return
+	}
+	if t == 0 {
+		return
+	}
+	// Map-order effects inside the map loop body are mapiter's rule.
+	for _, span := range st.mapBodies {
+		if call.Pos() >= span.lo && call.Pos() < span.hi {
+			t &^= taintMapOrder
+			break
+		}
+	}
+	if t != 0 {
+		report(call.Pos(), t, sink)
+	}
+}
+
+// isStdStream reports os.Stdout / os.Stderr.
+func isStdStream(pkg *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "os" &&
+		(obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// isMetricsType reports whether t is declared in internal/metrics.
+func isMetricsType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/metrics")
+}
+
+// isMapRange reports whether rs ranges over a map.
+func (st *funcState) isMapRange(rs *ast.RangeStmt) bool {
+	tv, ok := st.a.pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// eachCall visits the calls of one block node, skipping nested function
+// literals (they are analyzed as their own functions).
+func (st *funcState) eachCall(node ast.Node, fn func(*ast.CallExpr)) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPathPackages are the per-slot hot path: every slot of every replication
+// runs through lp/sched/energymgmt/core, so a per-iteration allocation here
+// is multiplied by slots × seeds × sweep cells (ROADMAP item 1's arena-style
+// slice-reuse goal). The fixture package keeps the analyzer honest.
+var HotPathPackages = []string{
+	"internal/lp",
+	"internal/sched",
+	"internal/energymgmt",
+	"internal/core",
+	"testdata/src/hotalloc",
+}
+
+// HotAlloc flags per-iteration allocation sites inside loops of the declared
+// hot-path packages:
+//
+//   - append into a slice declared in the same function without
+//     preallocated capacity (make with a capacity, or a non-empty literal):
+//     growth reallocates and copies log-many times per loop;
+//   - make / new / slice-or-map composite literals inside a loop body: a
+//     fresh allocation every iteration where a hoisted, reused buffer
+//     would do;
+//   - closures (func literals) capturing local state inside a loop: the
+//     capture escapes and allocates per iteration — hoist the closure or
+//     pass state as arguments;
+//   - implicit interface boxing of a concrete value at a call argument
+//     (e.g. a float64 into fmt.Sprintf's ...any): the box is a heap
+//     allocation per call.
+//
+// Error paths are exempt — allocation inside an "if err != nil" branch, a
+// return statement, or a panic argument happens at most once per loop exit,
+// not per iteration. An allocation stored straight into an element or field
+// of an enclosing structure ("c.q[s] = make(...)") is construction of a
+// long-lived object, not churn, and is exempt. Boxing at fmt/log/errors
+// calls is exempt: those calls allocate intrinsically, so the box is not
+// the story. Constant arguments never box observably and are exempt. Test
+// files are skipped; a site that is deliberate (a per-row result matrix,
+// say) carries //lint:allow hotalloc with the reason.
+type HotAlloc struct{}
+
+// Name implements Analyzer.
+func (HotAlloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (HotAlloc) Doc() string {
+	return "per-iteration allocations in hot-path loops (append growth, make, closures, boxing)"
+}
+
+// Check implements Analyzer.
+func (h HotAlloc) Check(pkg *Package) []Finding {
+	if !inScope(pkg.PkgPath, HotPathPackages) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &allocWalker{
+				pkg:    pkg,
+				decls:  sliceDecls(pkg, fd.Body),
+				stored: storedAllocs(fd.Body),
+			}
+			w.walk(fd.Body, 0, 0)
+			out = append(out, w.out...)
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// sliceDecls maps every slice variable declared in the body to whether its
+// backing array was preallocated with capacity. A later re-make with
+// capacity upgrades the entry.
+func sliceDecls(pkg *Package, body *ast.BlockStmt) map[types.Object]bool {
+	decls := make(map[types.Object]bool)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		obj := pkg.Info.Defs[id]
+		if obj == nil {
+			obj = pkg.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		prealloc, declared := preallocates(pkg, rhs)
+		if !declared {
+			return
+		}
+		if prev, ok := decls[obj]; ok {
+			decls[obj] = prev || prealloc
+		} else {
+			decls[obj] = prealloc
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := st.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					record(name, rhs)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || i >= len(st.Rhs) && len(st.Rhs) != 1 {
+					continue
+				}
+				var rhs ast.Expr
+				if i < len(st.Rhs) {
+					rhs = st.Rhs[i]
+				}
+				record(id, rhs)
+			}
+		}
+		return true
+	})
+	return decls
+}
+
+// preallocates classifies a slice variable's defining expression: declared
+// reports whether this expression is a declaration-like form we track at
+// all, prealloc whether it reserves capacity.
+func preallocates(pkg *Package, rhs ast.Expr) (prealloc, declared bool) {
+	if rhs == nil {
+		return false, true // var s []T
+	}
+	switch x := ast.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false, false
+		}
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false, false
+		}
+		// make([]T, n) reserves cap n; make([]T, 0) reserves nothing;
+		// make([]T, n, c) reserves c.
+		if len(x.Args) >= 3 {
+			return !isZeroLit(x.Args[2]), true
+		}
+		if len(x.Args) == 2 {
+			return !isZeroLit(x.Args[1]), true
+		}
+		return false, true
+	case *ast.CompositeLit:
+		return len(x.Elts) > 0, true
+	}
+	return false, false
+}
+
+// isZeroLit reports a literal 0.
+func isZeroLit(e ast.Expr) bool {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && bl.Value == "0"
+}
+
+// storedAllocs marks allocation expressions whose result is stored straight
+// into an element or field of an enclosing structure ("c.q[s] = make(...)"):
+// that is construction of a long-lived object, not per-iteration churn, and
+// the make/literal rules leave it alone.
+func storedAllocs(body *ast.BlockStmt) map[ast.Expr]bool {
+	stored := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			switch ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+				stored[ast.Unparen(as.Rhs[i])] = true
+			}
+		}
+		return true
+	})
+	return stored
+}
+
+// allocWalker walks one function body tracking loop and error-path depth.
+type allocWalker struct {
+	pkg    *Package
+	decls  map[types.Object]bool
+	stored map[ast.Expr]bool
+	out    []Finding
+}
+
+func (w *allocWalker) report(pos ast.Node, msg string) {
+	w.out = append(w.out, Finding{
+		Analyzer: HotAlloc{}.Name(),
+		Pos:      w.pkg.Fset.Position(pos.Pos()),
+		Message:  msg,
+	})
+}
+
+// walk visits a node at the given loop nesting and error-path depth.
+func (w *allocWalker) walk(node ast.Node, loops, errPath int) {
+	switch n := node.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		w.walk(n.Init, loops, errPath)
+		w.walk(n.Cond, loops, errPath)
+		w.walk(n.Post, loops+1, errPath)
+		w.walkList(n.Body.List, loops+1, errPath)
+		return
+	case *ast.RangeStmt:
+		w.walk(n.X, loops, errPath)
+		w.walkList(n.Body.List, loops+1, errPath)
+		return
+	case *ast.IfStmt:
+		w.walk(n.Init, loops, errPath)
+		w.walk(n.Cond, loops, errPath)
+		bump := 0
+		if w.mentionsError(n.Cond) {
+			bump = 1
+		}
+		w.walkList(n.Body.List, loops, errPath+bump)
+		w.walk(n.Else, loops, errPath+bump)
+		return
+	case *ast.ReturnStmt:
+		// Leaving the function: at most once per loop, not per iteration.
+		for _, r := range n.Results {
+			w.walk(r, loops, errPath+1)
+		}
+		return
+	case *ast.FuncLit:
+		if loops > 0 && errPath == 0 && w.captures(n) {
+			w.report(n, "closure captures local state inside a loop, allocating per iteration; hoist it or pass the state as arguments")
+		}
+		// The body runs when called, not per iteration of these loops.
+		w.walkList(n.Body.List, 0, 0)
+		return
+	case *ast.CallExpr:
+		w.call(n, loops, errPath)
+		// Arguments and Fun are visited by call itself.
+		return
+	case *ast.CompositeLit:
+		if loops > 0 && errPath == 0 && !w.stored[n] {
+			if tv, ok := w.pkg.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					w.report(n, "slice literal allocates per loop iteration; hoist the buffer out of the loop and reuse it")
+				case *types.Map:
+					w.report(n, "map literal allocates per loop iteration; hoist it out of the loop and reuse it")
+				}
+			}
+		}
+		for _, el := range n.Elts {
+			w.walk(el, loops, errPath)
+		}
+		return
+	}
+	// Generic descent for everything else.
+	walkChildren(node, func(c ast.Node) { w.walk(c, loops, errPath) })
+}
+
+func (w *allocWalker) walkList(list []ast.Stmt, loops, errPath int) {
+	for _, s := range list {
+		w.walk(s, loops, errPath)
+	}
+}
+
+// call handles the three call-shaped rules: append growth, make/new per
+// iteration, and interface boxing of arguments.
+func (w *allocWalker) call(call *ast.CallExpr, loops, errPath int) {
+	pkg := w.pkg
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if loops > 0 && len(call.Args) > 0 {
+					if obj := rootObject(pkg, rootExpr(call.Args[0])); obj != nil {
+						if prealloc, tracked := w.decls[obj]; tracked && !prealloc {
+							w.report(call, "append to "+obj.Name()+" inside a loop without preallocated capacity; make("+
+								"len 0, cap n) before the loop so growth never reallocates")
+						}
+					}
+				}
+			case "make":
+				if loops > 0 && errPath == 0 && !w.stored[call] {
+					w.report(call, "make inside a loop allocates per iteration; hoist the buffer out of the loop and reuse it")
+				}
+			case "new":
+				if loops > 0 && errPath == 0 && !w.stored[call] {
+					w.report(call, "new inside a loop allocates per iteration; hoist the value out of the loop and reuse it")
+				}
+			case "panic":
+				errPath++ // a panicking iteration is the last one
+			}
+			for _, a := range call.Args {
+				w.walk(a, loops, errPath)
+			}
+			return
+		}
+	}
+	// Type conversions are not calls.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		for _, a := range call.Args {
+			w.walk(a, loops, errPath)
+		}
+		return
+	}
+	if loops > 0 && errPath == 0 {
+		w.checkBoxing(call)
+	}
+	w.walk(call.Fun, loops, errPath)
+	for _, a := range call.Args {
+		w.walk(a, loops, errPath)
+	}
+}
+
+// checkBoxing flags concrete values implicitly converted to interface
+// parameters: each such argument is a heap allocation per call.
+func (w *allocWalker) checkBoxing(call *ast.CallExpr) {
+	pkg := w.pkg
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	// Formatting and error construction allocate intrinsically; flagging each
+	// boxed argument would triple-report one conceptual issue. The actionable
+	// advice there is "move the formatting off the hot path", which the write
+	// analyzers (mapiter, detflow) and profiles cover.
+	if obj := calleeObject(pkg, call.Fun); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt", "log", "errors":
+			return
+		}
+	}
+	if call.Ellipsis.IsValid() {
+		return // f(xs...) passes the slice; nothing boxes here
+	}
+	nParams := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= nParams-1:
+			pt = sig.Params().At(nParams - 1).Type().(*types.Slice).Elem()
+		case i < nParams:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		atv, ok := pkg.Info.Types[arg]
+		if !ok || atv.Type == nil || atv.Value != nil {
+			continue // constants fold; only runtime values box
+		}
+		if !boxes(atv.Type) {
+			continue
+		}
+		w.report(arg, "interface boxing of "+types.TypeString(atv.Type, types.RelativeTo(pkg.Types))+
+			" allocates per loop iteration; keep the hot path monomorphic or move the call off it")
+	}
+}
+
+// boxes reports whether storing a value of type t in an interface
+// allocates: word-sized reference types (pointers, maps, chans, funcs,
+// unsafe pointers) fit the data word directly, everything concrete does
+// not.
+func boxes(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// captures reports whether a func literal references a variable declared
+// outside itself (a closure that must heap-allocate its environment).
+func (w *allocWalker) captures(lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pkg.Info.Uses[id]
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		// Declared before the literal but inside some function: a local of
+		// an enclosing scope. Package-level vars live in static memory.
+		if v.Parent() != nil && v.Parent() != w.pkg.Types.Scope() &&
+			(v.Pos() < lit.Pos() || v.Pos() > lit.End()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsError reports whether a condition reads an error-typed value —
+// the "if err != nil" family.
+func (w *allocWalker) mentionsError(cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := w.pkg.Info.Types[e]; ok && tv.Type != nil && types.Identical(tv.Type, errorType) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

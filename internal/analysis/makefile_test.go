@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMakefileAnalyzersInSync pins the Makefile's ANALYZERS list to
+// analysis.All(): `make lint` must run exactly the suite, in the suite's
+// order, or a new analyzer silently never gates CI.
+func TestMakefileAnalyzersInSync(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(loader.ModuleRoot(), "Makefile"))
+	if err != nil {
+		t.Fatalf("read Makefile: %v", err)
+	}
+	var listed string
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.SplitN(line, "=", 2)
+		if len(fields) == 2 && strings.TrimSpace(fields[0]) == "ANALYZERS" {
+			listed = strings.TrimSpace(fields[1])
+			break
+		}
+	}
+	if listed == "" {
+		t.Fatal("Makefile has no ANALYZERS = ... line")
+	}
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name())
+	}
+	want := strings.Join(names, ",")
+	if listed != want {
+		t.Errorf("Makefile ANALYZERS out of sync with analysis.All()\n got: %s\nwant: %s", listed, want)
+	}
+}

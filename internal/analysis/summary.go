@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FuncInfo couples a declared function with its type object. Analyzers use
+// it to key interprocedural summaries.
+type FuncInfo struct {
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+}
+
+// PackageFuncs returns the package's declared functions (with bodies) in
+// source order.
+func PackageFuncs(pkg *Package) []FuncInfo {
+	var out []FuncInfo
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			out = append(out, FuncInfo{Decl: fd, Obj: obj})
+		}
+	}
+	return out
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it statically
+// invokes — a named function or a method called through a selector. Calls
+// through function values, interfaces without a static method object, and
+// builtins yield nil.
+func CalleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	obj := calleeObject(pkg, call.Fun)
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// Summaries computes a bottom-up summary for every declared function of the
+// package. compute builds one function's summary, reading its callees'
+// summaries through get (nil until computed — the zero summary). Recursion
+// and mutual recursion are handled by iterating to a fixpoint: summaries
+// must therefore be monotone in their callees, and equal must report value
+// equality. The iteration cap (len(funcs)+2 rounds) bounds pathological
+// non-monotone compute functions instead of hanging.
+func Summaries(pkg *Package, compute func(fn FuncInfo, get func(*types.Func) any) any, equal func(a, b any) bool) map[*types.Func]any {
+	funcs := PackageFuncs(pkg)
+	sums := make(map[*types.Func]any, len(funcs))
+	get := func(f *types.Func) any { return sums[f] }
+	for round := 0; round < len(funcs)+2; round++ {
+		changed := false
+		for _, fn := range funcs {
+			next := compute(fn, get)
+			if prev, ok := sums[fn.Obj]; !ok || !equal(prev, next) {
+				sums[fn.Obj] = next
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sums
+}

@@ -1,0 +1,68 @@
+// Package detflow is an analyzer fixture: every line marked
+// "// want detflow" must be reported, and no other line may be.
+package detflow
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"sort"
+	"time"
+)
+
+// jitter draws unseeded randomness; callers inherit the taint through the
+// bottom-up return summary.
+func jitter() int64 {
+	v, err := rand.Int(rand.Reader, big.NewInt(1<<16))
+	if err != nil {
+		return 0
+	}
+	return v.Int64()
+}
+
+// Direct flows: a random draw and a wall-clock read reach buffer writes.
+func Direct(buf *bytes.Buffer) {
+	j := jitter()
+	fmt.Fprintf(buf, "jitter=%d\n", j) // want detflow
+
+	start := time.Now()             //lint:allow wallclock -- fixture: detflow owns the flow, not the read
+	buf.WriteString(start.String()) // want detflow
+}
+
+// Branchy taints only one path; the join keeps the taint alive.
+func Branchy(buf *bytes.Buffer, fast bool) {
+	label := "fixed"
+	if fast {
+		label = fmt.Sprintf("j%d", jitter())
+	}
+	buf.WriteString(label) // want detflow
+}
+
+// Escaped is the flow mapiter cannot see: the order-dependent value leaves
+// the loop and reaches a write later.
+func Escaped(m map[string]int, buf *bytes.Buffer) {
+	last := ""
+	for k := range m {
+		last = k // plain assignment: no in-loop effect for mapiter
+	}
+	buf.WriteString(last) // want detflow
+}
+
+// Laundered is the blessed collect-sort-consume idiom: the sort clears the
+// map-order taint, so the writes are clean.
+func Laundered(m map[string]int, buf *bytes.Buffer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf.WriteString(k)
+	}
+}
+
+// Present prints to stdout: presentation, not a reproducible artifact.
+func Present() {
+	fmt.Printf("jitter=%d\n", jitter())
+}

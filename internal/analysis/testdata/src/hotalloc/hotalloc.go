@@ -1,0 +1,92 @@
+// Package hotalloc is an analyzer fixture: every line marked
+// "// want hotalloc" must be reported, and no other line may be.
+package hotalloc
+
+import "fmt"
+
+// Slot is one scheduling slot's scratch state.
+type Slot struct {
+	ID   int
+	Load float64
+}
+
+// GrowUnbounded appends into a slice declared without capacity: the backing
+// array reallocates log-many times across the loop.
+func GrowUnbounded(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i)) // want hotalloc
+	}
+	return out
+}
+
+// GrowPrealloc reserves capacity up front: append never reallocates.
+func GrowPrealloc(n int) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}
+
+// FreshBuffer allocates a scratch buffer every iteration.
+func FreshBuffer(slots []Slot) float64 {
+	total := 0.0
+	for range slots {
+		buf := make([]float64, 16) // want hotalloc
+		total += buf[0]
+	}
+	return total
+}
+
+// ScratchMap allocates a map per iteration.
+func ScratchMap(slots []Slot) int {
+	total := 0
+	for _, s := range slots {
+		seen := map[int]bool{s.ID: true} // want hotalloc
+		if seen[s.ID] {
+			total++
+		}
+	}
+	return total
+}
+
+// Capturing allocates a closure per iteration to carry loop state.
+func Capturing(slots []Slot) []func() int {
+	fns := make([]func() int, 0, len(slots))
+	for i := range slots {
+		s := &slots[i]
+		fns = append(fns, func() int { return s.ID }) // want hotalloc
+	}
+	return fns
+}
+
+// Boxing converts a concrete float64 into an interface argument every
+// iteration.
+func Boxing(slots []Slot, emit func(...any)) {
+	for _, s := range slots {
+		emit(s.Load) // want hotalloc
+	}
+}
+
+// ErrPath shows the exemption: allocations on the error exit happen at most
+// once per loop, not per iteration.
+func ErrPath(slots []Slot, check func(Slot) error) error {
+	for _, s := range slots {
+		if err := check(s); err != nil {
+			return fmt.Errorf("slot %d: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
+// Hoisted reuses one buffer across iterations: clean.
+func Hoisted(slots []Slot) float64 {
+	buf := make([]float64, 0, len(slots))
+	total := 0.0
+	for _, s := range slots {
+		buf = append(buf, s.Load)
+		total += s.Load
+	}
+	return total + float64(len(buf))
+}

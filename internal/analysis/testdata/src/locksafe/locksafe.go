@@ -1,0 +1,100 @@
+// Package locksafe is an analyzer fixture: every line marked
+// "// want locksafe" must be reported, and no other line may be.
+package locksafe
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bad leaks the lock on the early-return path.
+func (c *counter) Bad(stop bool) int {
+	c.mu.Lock() // want locksafe
+	if stop {
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Send holds the lock across a channel send; the deferred unlock does not
+// help — the lock is held until the send completes.
+func (c *counter) Send(ch chan int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch <- c.n // want locksafe
+}
+
+// wait blocks on a channel receive; callers holding a lock inherit that.
+func wait(ch chan struct{}) {
+	<-ch
+}
+
+// Indirect blocks through an in-package callee while holding the lock.
+func (c *counter) Indirect(ch chan struct{}) {
+	c.mu.Lock()
+	wait(ch) // want locksafe
+	c.mu.Unlock()
+}
+
+// Good releases through defer on every path.
+func (c *counter) Good(stop bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if stop {
+		return -1
+	}
+	return c.n
+}
+
+// Branches unlocks explicitly on each path.
+func (c *counter) Branches(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return -1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// Loopy exercises loop joins: the lock state is identical around the back
+// edge, so nothing is reported.
+func (c *counter) Loopy(items []int) {
+	c.mu.Lock()
+	for _, it := range items {
+		if it < 0 {
+			continue
+		}
+		c.n += it
+	}
+	c.mu.Unlock()
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+// Get pairs RLock with a deferred RUnlock: clean.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// Poll runs a non-blocking select under the read lock: a select with a
+// default clause cannot stall, so holding the lock is fine.
+func (t *table) Poll(ch chan int) {
+	t.mu.RLock()
+	select {
+	case v := <-ch:
+		t.rows["latest"] = v
+	default:
+	}
+	t.mu.RUnlock()
+}

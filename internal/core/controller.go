@@ -813,31 +813,31 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 	for l := range net.Links {
 		actual[l] = make([]float64, S)
 	}
+	remaining := make([]float64, net.NumNodes())
+	// Grant destination-bound flows first: they realize throughput.
+	grant := func(s, l int, link topology.Link) {
+		f := dec3.Flow[l][s]
+		if f <= 0 {
+			return
+		}
+		if f > remaining[link.From] {
+			f = remaining[link.From]
+		}
+		actual[l][s] = f
+		remaining[link.From] -= f
+	}
 	for s := 0; s < S; s++ {
-		remaining := make([]float64, net.NumNodes())
 		for i := range net.Nodes {
 			remaining[i] = c.q[s][i].Backlog()
 		}
-		// Grant destination-bound flows first: they realize throughput.
-		grant := func(l int, link topology.Link) {
-			f := dec3.Flow[l][s]
-			if f <= 0 {
-				return
-			}
-			if f > remaining[link.From] {
-				f = remaining[link.From]
-			}
-			actual[l][s] = f
-			remaining[link.From] -= f
-		}
 		for l, link := range net.Links {
 			if c.isSink(s, link.To) {
-				grant(l, link)
+				grant(s, l, link)
 			}
 		}
 		for l, link := range net.Links {
 			if !c.isSink(s, link.To) {
-				grant(l, link)
+				grant(s, l, link)
 			}
 		}
 	}
@@ -849,9 +849,11 @@ func (c *Controller) Step(src *rng.Source) (*SlotResult, error) {
 		audit = &lyapunov.Audit{}
 		before = c.snapshot()
 	}
+	arrivals := make([]float64, net.NumNodes())
+	services := make([]float64, net.NumNodes())
 	for s := 0; s < S; s++ {
-		arrivals := make([]float64, net.NumNodes())
-		services := make([]float64, net.NumNodes())
+		clear(arrivals)
+		clear(services)
 		for l, link := range net.Links {
 			a := actual[l][s]
 			if a == 0 {

@@ -178,7 +178,7 @@ func Solve(req *Request) (*Decision, error) {
 	}
 
 	dec := &Decision{Nodes: make([]NodeDecision, len(req.Nodes))}
-	var bs []int
+	bs := make([]int, 0, len(req.Nodes))
 	for i, n := range req.Nodes {
 		if n.IsBS {
 			bs = append(bs, i)
@@ -277,6 +277,7 @@ func solveCold(req *Request, dec *Decision, bs []int, pen float64, pMax units.En
 		if n.IsBS {
 			continue
 		}
+		//lint:allow hotalloc -- the one-element node set is keyed into the presolve cache; reusing a buffer would alias cache entries
 		nd, _, iters, err := solveNodes(req, []int{i}, math.Inf(1), pen, false, &nodeCache)
 		if err != nil {
 			return err
@@ -332,7 +333,7 @@ func buildNodesLP(req *Request, nodes []int, budget, pen float64, budgeted bool)
 	inf := math.Inf(1)
 	vs := make(map[int]nodeVars, len(nodes))
 
-	var budgetTerms []lp.Term
+	budgetTerms := make([]lp.Term, 0, 2*len(nodes))
 	for _, i := range nodes {
 		n := req.Nodes[i]
 		gridCap := 0.0

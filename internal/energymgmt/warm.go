@@ -115,9 +115,11 @@ func (w *WarmState) rebuild(req *Request, bs []int, pen, pMax float64) {
 		if n.IsBS {
 			continue
 		}
+		//lint:allow hotalloc -- rebuild is a rare shape-change path and both slices are retained by the warmProg
 		prob, vs := buildNodesLP(req, []int{i}, math.Inf(1), pen, false)
 		w.perNode[i] = &warmProg{
 			prob: prob, ws: lp.NewWarmSolver(prob),
+			//lint:allow hotalloc -- retained: warmProg keeps its node set for the lifetime of the warm state
 			nodes: []int{i}, vs: vs, budgetRow: -1,
 		}
 	}

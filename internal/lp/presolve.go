@@ -55,6 +55,7 @@ func presolve(p *Problem) *presolved {
 		ps.varMap[j] = int(red.AddVar(v.name, v.lo, v.hi, v.cost))
 	}
 	for i, c := range p.cons {
+		//lint:allow hotalloc -- not scratch: AddConstraint retains the slice in the reduced problem
 		terms := make([]Term, 0, len(c.terms))
 		rhs := c.rhs
 		for _, t := range c.terms {

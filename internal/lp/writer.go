@@ -24,11 +24,13 @@ func (p *Problem) WriteLP(w io.Writer) error {
 		}
 	}
 	b.WriteString("\nSubject To\n")
+	coefs := make(map[VarID]float64, len(p.vars))
+	order := make([]VarID, 0, len(p.vars))
 	for i, c := range p.cons {
 		fmt.Fprintf(&b, " c%d:", i)
 		// Accumulate duplicate terms the way the solver does.
-		coefs := map[VarID]float64{}
-		order := []VarID{}
+		clear(coefs)
+		order = order[:0]
 		for _, t := range c.terms {
 			if _, seen := coefs[t.Var]; !seen {
 				order = append(order, t.Var)

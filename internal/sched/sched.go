@@ -25,9 +25,11 @@
 package sched
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"greencell/internal/bip"
@@ -173,7 +175,7 @@ type pair struct {
 
 // enumeratePairs lists the positive-weight (link, band) variables.
 func enumeratePairs(req *Request) []pair {
-	var pairs []pair
+	pairs := make([]pair, 0, len(req.Net.Links))
 	for l, link := range req.Net.Links {
 		if req.Weights[l] <= 0 {
 			continue
@@ -281,6 +283,7 @@ func buildLP(req *Request, pairs []pair) (*lp.Problem, []lp.VarID) {
 		if rhs > 0 {
 			scale = 1 / rhs
 		}
+		//lint:allow hotalloc -- not scratch: AddConstraint retains each SINR row's term slice
 		terms := []lp.Term{{Var: ids[k], Coef: (bigM - gP) * scale}}
 		for k2, pr2 := range pairs {
 			if k2 == k || pr2.band != pr.band {
@@ -328,19 +331,22 @@ func finalize(req *Request, pairs []pair, chosen []bool) *Assignment {
 		}
 	}
 
+	txs := make([]radio.Transmission, 0, len(pairs))
+	caps := make([]float64, 0, len(pairs))
 	for band, acts := range perBand {
 		if len(acts) == 0 {
 			continue
 		}
 		// Sort descending by weight so drops remove the least valuable.
-		sort.Slice(acts, func(a, b int) bool { return acts[a].weight > acts[b].weight })
+		// The comparator takes its operands as parameters so the per-band
+		// loop allocates no capturing closure (hotalloc).
+		slices.SortFunc(acts, func(x, y active) int { return cmp.Compare(y.weight, x.weight) })
 		for len(acts) > 0 {
-			txs := make([]radio.Transmission, len(acts))
-			caps := make([]float64, len(acts))
-			for i, a := range acts {
+			txs, caps = txs[:0], caps[:0]
+			for _, a := range acts {
 				link := net.Links[a.link]
-				txs[i] = radio.Transmission{From: link.From, To: link.To}
-				caps[i] = req.maxPower(link.From)
+				txs = append(txs, radio.Transmission{From: link.From, To: link.To})
+				caps = append(caps, req.maxPower(link.From))
 			}
 			powers, ok := net.Radio.ControlPowers(net.Gains, txs, req.Widths[band], caps)
 			if ok {
@@ -396,7 +402,7 @@ func (SequentialFix) Schedule(req *Request) (*Assignment, error) {
 	// i.e. whether the big-M rows (24) admit the extended schedule. Fixing
 	// only compatible pairs keeps every intermediate LP feasible.
 	compatible := func(k int) bool {
-		var txs []radio.Transmission
+		txs := make([]radio.Transmission, 0, len(pairs)+1)
 		for k2 := range pairs {
 			if chosen[k2] && pairs[k2].band == pairs[k].band {
 				link := req.Net.Links[pairs[k2].link]

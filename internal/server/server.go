@@ -242,6 +242,7 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 	s.order = append(s.order, id)
 	s.cSubmitted.Inc()
 	s.gQueued.Set(s.gQueued.Value() + 1)
+	//lint:allow locksafe -- cannot block: queue capacity was checked above under the same s.mu, and only this path sends
 	s.queue <- j
 	return j.status(), nil
 }
