@@ -6,7 +6,8 @@
 # check plus a gofmt diff check, the units-check golden byte-identity
 # gate, a short fuzz smoke, the fault soak (docs/ROBUSTNESS.md): a
 # long run with every injection site firing at an elevated rate, per-slot
-# invariants on, under the race detector — and bench-json, the benchmark
+# invariants on, under the race detector — the serve and cluster smokes
+# (docs/SERVER.md, docs/CLUSTER.md) — and bench-json, the benchmark
 # trajectory gate (docs/PERFORMANCE.md).
 
 GO ?= go
@@ -16,11 +17,11 @@ FUZZTIME ?= 15s
 # driver's -analyzers selection path; must match analysis.All().
 ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock,detflow,locksafe,hotalloc
 
-.PHONY: check ci build vet lint lint-audit test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke figures clean
+.PHONY: check ci build vet lint lint-audit test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke cluster-smoke figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check lint-audit units-check fuzz soak serve-smoke bench-json
+ci: fmtcheck check lint-audit units-check fuzz soak serve-smoke cluster-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -78,6 +79,16 @@ units-check:
 # verifies the drain leaves it journaled and recoverable on restart.
 serve-smoke:
 	GREENCELL_SERVE_SMOKE=1 $(GO) test -run TestServeSmoke -v ./internal/server
+
+# End-to-end cluster gate (docs/CLUSTER.md): builds greencelld,
+# greencell-coord, and greencellsim, runs a coordinator over three worker
+# daemons, diffs the golden scenario streamed through the coordinator
+# against the committed fixture, SIGKILLs a worker holding a lease
+# mid-job and verifies the re-dispatched merged stream still matches the
+# local golden byte-for-byte, then proves a resubmit is served entirely
+# from the content-addressed cache (zero new dispatches).
+cluster-smoke:
+	GREENCELL_CLUSTER_SMOKE=1 $(GO) test -run TestClusterSmoke -timeout 300s -v ./internal/cluster
 
 figures:
 	$(GO) run ./cmd/figures -out out

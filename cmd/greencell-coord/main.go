@@ -1,0 +1,190 @@
+// Command greencell-coord is the cluster coordinator: it shards simulation
+// jobs seed-by-seed across a fleet of greencelld workers under leases,
+// re-dispatches lost work, caches every completed cell by content address,
+// and serves the same HTTP/JSON API as a single daemon — so greencellsim
+// -submit and sweep -coord scale from one machine to a cluster by changing
+// a URL. See docs/CLUSTER.md for the architecture and failure matrix.
+//
+// Usage:
+//
+//	greencell-coord -fleet http://h1:8080,http://h2:8080 [-addr host:port]
+//	                [-journal path] [-cache-dir path] [-lease-timeout d]
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions get 503, running
+// jobs get -drain-grace to finish, and interrupted jobs stay journaled —
+// the next coordinator resumes them, serving already-finished seeds from
+// the cache and re-dispatching only the remainder.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"greencell/internal/cluster"
+	"greencell/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "greencell-coord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("greencell-coord", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8090", "listen address (use :0 for an ephemeral port)")
+		addrFile  = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+		fleet     = fs.String("fleet", "", "comma-separated greencelld worker base URLs")
+		journal   = fs.String("journal", "greencell-coord.journal.jsonl", "coordinator journal path (empty disables crash recovery)")
+		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache directory (empty keeps results in memory)")
+		queue     = fs.Int("queue-depth", 256, "max concurrently tracked non-terminal jobs before submissions get 503")
+		lease     = fs.Duration("lease-timeout", 2*time.Minute, "per-cell lease deadline; expired leases re-dispatch")
+		poll      = fs.Duration("poll-interval", 100*time.Millisecond, "dispatcher tick: lease polls and dispatch scans")
+		hbEvery   = fs.Duration("heartbeat-interval", time.Second, "worker /readyz probe interval")
+		hbTimeout = fs.Duration("heartbeat-timeout", time.Second, "worker /readyz probe timeout")
+		brkN      = fs.Int("breaker-threshold", 3, "consecutive worker failures before eviction")
+		brkCool   = fs.Duration("breaker-cooldown", 5*time.Second, "how long an evicted worker sits out before a half-open probe")
+		attempts  = fs.Int("max-attempts", 4, "lease attempts per cell before it fails permanently")
+		inflight  = fs.Int("per-worker-inflight", 2, "max leases simultaneously placed on one worker")
+		rpcTries  = fs.Int("rpc-attempts", 4, "attempts per worker RPC (transient failures back off and retry)")
+		rpcTO     = fs.Duration("rpc-timeout", 10*time.Second, "per-attempt timeout on each worker RPC")
+		jitterSd  = fs.Int64("jitter-seed", 1, "seed for retry-backoff jitter (deterministic; decorrelates a fleet of clients)")
+		grace     = fs.Duration("drain-grace", 30*time.Second, "how long a drain lets running jobs finish before interrupting them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var workers []string
+	for _, u := range strings.Split(*fleet, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			workers = append(workers, u)
+		}
+	}
+	if len(workers) == 0 {
+		fmt.Fprintln(os.Stderr, "greencell-coord: warning: empty -fleet; jobs will only complete from cache")
+	}
+
+	// Listen before journal replay (same pattern as greencelld): probes get
+	// an honest not-ready answer while recovery runs, then the real API is
+	// swapped in atomically.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return errors.Join(fmt.Errorf("writing -addr-file: %w", err), ln.Close())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "greencell-coord: listening on %s (fleet %d workers, journal %q)\n", bound, len(workers), *journal)
+
+	var handler atomic.Value // http.Handler
+	handler.Store(bootstrapHandler())
+	hs := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	})}
+	errCh := make(chan error, 1)
+	go serveHTTP(hs, ln, errCh)
+
+	coord, err := cluster.New(cluster.Config{
+		Workers:           workers,
+		JournalPath:       *journal,
+		CacheDir:          *cacheDir,
+		QueueDepth:        *queue,
+		LeaseTimeout:      *lease,
+		PollInterval:      *poll,
+		HeartbeatInterval: *hbEvery,
+		HeartbeatTimeout:  *hbTimeout,
+		BreakerThreshold:  *brkN,
+		BreakerCooldown:   *brkCool,
+		MaxAttempts:       *attempts,
+		PerWorkerInflight: *inflight,
+		RPC: &cluster.RetryPolicy{
+			MaxAttempts:    *rpcTries,
+			AttemptTimeout: *rpcTO,
+			Rand:           rng.New(*jitterSd).Split("coord-rpc-jitter"),
+		},
+	})
+	if err != nil {
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		return errors.Join(err, hs.Shutdown(sctx))
+	}
+	handler.Store(coord.Handler())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		if cerr := coord.Close(); cerr != nil {
+			return fmt.Errorf("serve: %v; close: %w", err, cerr)
+		}
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "greencell-coord: %v: draining (grace %s)\n", sig, *grace)
+		dctx, dcancel := context.WithTimeout(context.Background(), *grace)
+		defer dcancel()
+		derr := coord.Drain(dctx)
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if serr := hs.Shutdown(sctx); serr != nil && derr == nil {
+			derr = serr
+		}
+		fmt.Fprintln(os.Stderr, "greencell-coord: drained")
+		return derr
+	}
+}
+
+// bootstrapHandler serves the pre-replay window: alive but not ready.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		writeBody(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeBody(w, `{"status":"starting"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		writeBody(w, `{"error":"starting: journal replay in progress"}`)
+	})
+	return mux
+}
+
+// writeBody writes a one-line JSON body to a probe response. A failed write
+// means the prober went away; there is nobody left to tell.
+func writeBody(w io.Writer, line string) {
+	//lint:allow droppederr -- a failed probe-response write means the client is gone
+	io.WriteString(w, line+"\n")
+}
+
+// serveHTTP runs the HTTP server and reports its exit; a separate function
+// so the accept loop's goroutine shares nothing mutable with main.
+func serveHTTP(hs *http.Server, ln net.Listener, errCh chan<- error) {
+	err := hs.Serve(ln)
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	errCh <- err
+}

@@ -63,6 +63,7 @@ func run(args []string) (err error) {
 		check      = fs.Bool("check", false, "validate every slot against the paper's per-slot invariants (eqs. (9)-(14), (22), (25), (30))")
 		submitURL  = fs.String("submit", "", "submit as a job to a running greencelld at this base URL (e.g. http://127.0.0.1:8080) instead of simulating locally")
 		replicate  = fs.Int("replications", 0, "with -submit: replicate over this many consecutive seeds starting at -seed")
+		submitTO   = fs.Duration("submit-timeout", 0, "with -submit: overall deadline for the submit/poll/fetch exchange (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +111,7 @@ func run(args []string) (err error) {
 				spec.CheckInvariants = *check
 			case "warmstart":
 				spec.WarmStartLP = *warmStart
-			case "submit", "replications", "json", "metrics":
+			case "submit", "replications", "json", "metrics", "submit-timeout":
 				// Client-side flags, handled below.
 			default:
 				flagErr = errors.Join(flagErr, fmt.Errorf("-%s is not supported with -submit", f.Name))
@@ -119,7 +120,7 @@ func run(args []string) (err error) {
 		if flagErr != nil {
 			return flagErr
 		}
-		return submitJob(*submitURL, spec, *replicate, *jsonOut, *metricsOut)
+		return submitJob(*submitURL, spec, *replicate, *jsonOut, *metricsOut, *submitTO)
 	}
 
 	var sc sim.Scenario

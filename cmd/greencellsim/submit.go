@@ -2,15 +2,21 @@ package main
 
 // The -submit client mode: instead of simulating locally, greencellsim
 // encodes its explicitly-set scenario flags as a sim.ScenarioSpec, POSTs it
-// to a running greencelld, polls the job to completion, and (with -metrics)
-// downloads the streamed metrics. Determinism makes the two paths
-// equivalent: a submitted job's stream is byte-identical to the local run's
-// (the serve-smoke gate checks exactly this).
+// to a running greencelld (or greencell-coord — the APIs are identical),
+// polls the job to completion, and (with -metrics) downloads the streamed
+// metrics. Determinism makes the two paths equivalent: a submitted job's
+// stream is byte-identical to the local run's (the serve-smoke gate checks
+// exactly this).
+//
+// Every API call runs under the shared cluster retry helper: transient
+// failures — connection errors, 5xx, 429 — back off exponentially with
+// jitter and honor Retry-After, so a daemon mid-restart or a briefly full
+// queue costs a pause, not a failed run. -submit-timeout puts a context
+// deadline over the whole exchange.
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +24,8 @@ import (
 	"strings"
 	"time"
 
+	"greencell/internal/cluster"
+	"greencell/internal/rng"
 	"greencell/internal/server"
 	"greencell/internal/sim"
 )
@@ -26,28 +34,55 @@ import (
 // so 100ms keeps the client responsive without hammering the daemon.
 const pollInterval = 100 * time.Millisecond
 
+// submitClient bundles the target URL with the shared retry policy.
+type submitClient struct {
+	base  string
+	retry *cluster.RetryPolicy
+}
+
+func newSubmitClient(base string) *submitClient {
+	return &submitClient{
+		base: strings.TrimSuffix(base, "/"),
+		// Jitter seeded per-process so a fleet of clients retrying the same
+		// daemon decorrelates; the schedule, not the results, depends on it.
+		retry: &cluster.RetryPolicy{
+			AttemptTimeout: 30 * time.Second,
+			Rand:           rng.New(int64(os.Getpid())).Split("submit-jitter"),
+		},
+	}
+}
+
 // submitJob drives one job end to end against the daemon at base.
-func submitJob(base string, spec sim.ScenarioSpec, replications int, jsonOut bool, metricsOut string) error {
-	base = strings.TrimSuffix(base, "/")
+func submitJob(base string, spec sim.ScenarioSpec, replications int, jsonOut bool, metricsOut string, timeout time.Duration) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	cl := newSubmitClient(base)
+
 	body, err := json.Marshal(server.JobRequest{Spec: spec, Replications: replications})
 	if err != nil {
 		return err
 	}
 	var st server.JobStatus
-	if err := doJSON(http.MethodPost, base+"/v1/jobs", body, http.StatusAccepted, &st); err != nil {
+	if err := cl.doJSON(ctx, http.MethodPost, cl.base+"/v1/jobs", body, http.StatusAccepted, &st); err != nil {
 		return fmt.Errorf("submit: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "greencellsim: submitted %s (%d seed(s))\n", st.ID, len(st.Seeds))
 
 	for !st.State.Terminal() {
-		time.Sleep(pollInterval)
-		if err := doJSON(http.MethodGet, base+"/v1/jobs/"+st.ID, nil, http.StatusOK, &st); err != nil {
+		if err := sleepCtx(ctx, pollInterval); err != nil {
+			return fmt.Errorf("poll %s: %w", st.ID, err)
+		}
+		if err := cl.doJSON(ctx, http.MethodGet, cl.base+"/v1/jobs/"+st.ID, nil, http.StatusOK, &st); err != nil {
 			return fmt.Errorf("poll %s: %w", st.ID, err)
 		}
 	}
 
 	if metricsOut != "" {
-		if err := fetchMetrics(base, st.ID, metricsOut); err != nil {
+		if err := cl.fetchMetrics(ctx, st.ID, metricsOut); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
 	}
@@ -67,52 +102,61 @@ func submitJob(base string, spec sim.ScenarioSpec, replications int, jsonOut boo
 	return nil
 }
 
-// doJSON performs one API call, insisting on wantCode and decoding into out.
-func doJSON(method, url string, body []byte, wantCode int, out any) error {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequest(method, url, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode != wantCode {
-		return fmt.Errorf("%s %s: %s: %s", method, url, resp.Status, strings.TrimSpace(string(data)))
-	}
-	return json.Unmarshal(data, out)
+// doJSON performs one API call under the retry policy, insisting on
+// wantCode and decoding into out. Non-wantCode responses become
+// cluster.HTTPError so only genuinely transient ones (5xx, 429) retry.
+func (c *submitClient) doJSON(ctx context.Context, method, url string, body []byte, wantCode int, out any) error {
+	return c.retry.Do(ctx, func(ctx context.Context) error {
+		return cluster.DoJSON(ctx, http.DefaultClient, method, url, body, wantCode, out)
+	}, func(err error) {
+		fmt.Fprintf(os.Stderr, "greencellsim: transient %s failure, retrying: %v\n", method, err)
+	})
 }
 
-// fetchMetrics downloads the job's full metrics stream into path.
-func fetchMetrics(base, id, path string) (err error) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/metrics")
+// fetchMetrics downloads the job's full metrics stream into path. The GET
+// itself is not wrapped in retries once bytes flow (a half-written file
+// must not be mistaken for a stream); only connection establishment
+// retries, via a HEAD-less immediate re-GET on transient failure.
+func (c *submitClient) fetchMetrics(ctx context.Context, id, path string) error {
+	var data []byte
+	err := c.retry.Do(ctx, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/metrics", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return &cluster.HTTPError{Status: resp.StatusCode, Msg: fmt.Sprintf("GET metrics: %s", strings.TrimSpace(string(b)))}
+		}
+		data = b
+		return nil
+	}, func(err error) {
+		fmt.Fprintf(os.Stderr, "greencellsim: transient metrics fetch failure, retrying: %v\n", err)
+	})
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("GET metrics: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	return os.WriteFile(path, data, 0o644)
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() { err = errors.Join(err, f.Close()) }()
-	_, err = io.Copy(f, resp.Body)
-	return err
 }
 
 // printJobText renders the finished job the way a local run prints.

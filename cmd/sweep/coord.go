@@ -1,0 +1,143 @@
+package main
+
+// The -coord client path: instead of running a point's replications
+// locally, sweep encodes the point as a sim.ScenarioSpec, submits its
+// outstanding seeds as one job to a greencell-coord (the daemon API is
+// identical, so a single greencelld works too), polls to completion, and
+// folds the returned per-seed metrics into the same summaries and -resume
+// checkpoints the local path produces. Determinism makes the two paths
+// interchangeable cell by cell, and the coordinator's content-addressed
+// cache makes re-running an interrupted sweep nearly free: every finished
+// (spec, seed) cell is served from cache with zero dispatches.
+//
+// All API calls run under the shared cluster retry helper (transient
+// failures back off with jitter and honor Retry-After).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"greencell/internal/cluster"
+	"greencell/internal/rng"
+	"greencell/internal/server"
+	"greencell/internal/sim"
+)
+
+// coordPollInterval paces job polling; cluster jobs run for seconds to
+// minutes per point.
+const coordPollInterval = 200 * time.Millisecond
+
+type coordClient struct {
+	base  string
+	retry *cluster.RetryPolicy
+}
+
+func newCoordClient(base string) *coordClient {
+	return &coordClient{
+		base: strings.TrimSuffix(base, "/"),
+		retry: &cluster.RetryPolicy{
+			AttemptTimeout: 30 * time.Second,
+			// Per-process jitter seed: decorrelates a fleet of sweep clients
+			// without touching result determinism (results depend only on
+			// the spec and seeds).
+			Rand: rng.New(int64(os.Getpid())).Split("sweep-jitter"),
+		},
+	}
+}
+
+func (c *coordClient) doJSON(ctx context.Context, method, url string, body []byte, wantCode int, out any) error {
+	return c.retry.Do(ctx, func(ctx context.Context) error {
+		return cluster.DoJSON(ctx, http.DefaultClient, method, url, body, wantCode, out)
+	}, func(err error) {
+		fmt.Fprintf(os.Stderr, "sweep: transient %s failure, retrying: %v\n", method, err)
+	})
+}
+
+// runPoint submits one point's outstanding seeds and waits for the result.
+// A terminal job yields (metrics, failed seeds, per-seed errors, nil); a
+// client-side failure (submit rejected, coordinator unreachable after
+// retries) aborts the sweep via the final error.
+func (c *coordClient) runPoint(ctx context.Context, spec sim.ScenarioSpec, todo []int64) ([]sim.SeedMetrics, []int64, []error, error) {
+	if len(todo) == 0 {
+		return nil, nil, nil, nil
+	}
+	body, err := json.Marshal(server.JobRequest{Spec: spec, Seeds: todo})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var st server.JobStatus
+	if err := c.doJSON(ctx, http.MethodPost, c.base+"/v1/jobs", body, http.StatusAccepted, &st); err != nil {
+		return nil, nil, nil, fmt.Errorf("submit: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "sweep: submitted %s (%d seed(s))\n", st.ID, len(todo))
+
+	for !st.State.Terminal() {
+		if err := sleepCtx(ctx, coordPollInterval); err != nil {
+			// Cancelled mid-point: release the cluster job best-effort. Its
+			// finished cells stay cached, so the resumed sweep is cheap.
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			//lint:allow droppederr -- best-effort cancel on Ctrl-C; the job deadline and cache absorb a miss
+			_ = cluster.DoJSON(dctx, http.DefaultClient, http.MethodDelete, c.base+"/v1/jobs/"+st.ID, nil, http.StatusOK, nil)
+			cancel()
+			return nil, nil, []error{fmt.Errorf("job %s: %w", st.ID, err)}, nil
+		}
+		if err := c.doJSON(ctx, http.MethodGet, c.base+"/v1/jobs/"+st.ID, nil, http.StatusOK, &st); err != nil {
+			return nil, nil, nil, fmt.Errorf("poll %s: %w", st.ID, err)
+		}
+	}
+
+	var errs []error
+	if st.State != server.JobDone && st.Error != "" {
+		errs = append(errs, fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error))
+	}
+	if st.Result == nil {
+		return nil, todo, errs, nil
+	}
+	for i, seed := range st.Result.FailedSeeds {
+		msg := "failed"
+		if i < len(st.Result.Errors) {
+			msg = st.Result.Errors[i]
+		}
+		errs = append(errs, fmt.Errorf("seed %d: %s", seed, msg))
+	}
+	return st.Result.Seeds, st.Result.FailedSeeds, errs, nil
+}
+
+// applySpec installs the swept value into a wire spec — the -coord
+// counterpart of applier(), so every parameter the local path sweeps can
+// also be swept remotely.
+func applySpec(spec *sim.ScenarioSpec, param string, v float64) error {
+	switch param {
+	case "users":
+		spec.Users = int(v)
+	case "sessions":
+		spec.Sessions = int(v)
+	case "neighbors":
+		n := int(v)
+		spec.Neighbors = &n
+	case "v":
+		spec.V = v
+	case "lambda":
+		spec.Lambda = v
+	default:
+		return fmt.Errorf("unknown parameter %q", param)
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

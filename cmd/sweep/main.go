@@ -15,6 +15,11 @@
 // to FILE as a JSON line and skipped on the next invocation, so an
 // interrupted sweep (Ctrl-C cancels cooperatively) can pick up where it
 // left off. See docs/ROBUSTNESS.md.
+//
+// With -coord URL, each point runs on a greencell-coord cluster (or a
+// single greencelld) instead of locally: the point becomes one job sharded
+// seed-by-seed across the fleet, and the coordinator's content-addressed
+// cache makes resumed or repeated sweeps nearly free. See docs/CLUSTER.md.
 package main
 
 import (
@@ -54,9 +59,13 @@ func run(args []string) (err error) {
 		out        = fs.String("out", "", "optional TSV output path")
 		metricsPfx = fs.String("metrics", "", "per-point metrics stream prefix: writes <prefix>_<param>_<value>.jsonl (docs/METRICS.md) from one instrumented run per point")
 		resume     = fs.String("resume", "", "JSONL checkpoint file: completed (param, value, seed) cells are appended here and skipped when re-run (docs/ROBUSTNESS.md)")
+		coordURL   = fs.String("coord", "", "run each point on a greencell-coord (or greencelld) at this base URL instead of simulating locally (docs/CLUSTER.md)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *coordURL != "" && *metricsPfx != "" {
+		return errors.New("-metrics is not supported with -coord; fetch the cluster job's /v1/jobs/<id>/metrics stream instead")
 	}
 
 	var vals []float64
@@ -116,17 +125,40 @@ func run(args []string) (err error) {
 			}
 		}
 		var failed []int64
-		for _, o := range sim.RunSeeds(ctx, sc, todo) {
-			if o.Err != nil {
-				failed = append(failed, o.Seed)
-				seedErrs = append(seedErrs, fmt.Errorf("%s=%g: %w", *param, v, o.Err))
-				continue
+		if *coordURL != "" {
+			spec := sim.ScenarioSpec{Slots: *slots, Seed: *seed}
+			if err := applySpec(&spec, *param, v); err != nil {
+				return err
 			}
-			m := sim.MetricsOf(o.Seed, o.Result)
-			ms = append(ms, m)
-			if ckpt != nil {
-				if err := ckpt.Write(cell{Param: *param, Value: v, Metrics: m}); err != nil {
-					return fmt.Errorf("checkpoint: %w", err)
+			got, fseeds, errs, err := newCoordClient(*coordURL).runPoint(ctx, spec, todo)
+			if err != nil {
+				return fmt.Errorf("%s=%g: %w", *param, v, err)
+			}
+			failed = fseeds
+			for _, e := range errs {
+				seedErrs = append(seedErrs, fmt.Errorf("%s=%g: %w", *param, v, e))
+			}
+			for _, m := range got {
+				ms = append(ms, m)
+				if ckpt != nil {
+					if err := ckpt.Write(cell{Param: *param, Value: v, Metrics: m}); err != nil {
+						return fmt.Errorf("checkpoint: %w", err)
+					}
+				}
+			}
+		} else {
+			for _, o := range sim.RunSeeds(ctx, sc, todo) {
+				if o.Err != nil {
+					failed = append(failed, o.Seed)
+					seedErrs = append(seedErrs, fmt.Errorf("%s=%g: %w", *param, v, o.Err))
+					continue
+				}
+				m := sim.MetricsOf(o.Seed, o.Result)
+				ms = append(ms, m)
+				if ckpt != nil {
+					if err := ckpt.Write(cell{Param: *param, Value: v, Metrics: m}); err != nil {
+						return fmt.Errorf("checkpoint: %w", err)
+					}
 				}
 			}
 		}

@@ -14,6 +14,7 @@ import (
 var LockSafePackages = []string{
 	"internal/server",
 	"internal/sim",
+	"internal/cluster",
 	"testdata/src/locksafe",
 }
 

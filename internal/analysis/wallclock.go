@@ -31,6 +31,10 @@ var WallClockAllowedFiles = []string{
 	// greencelld job lifecycle timestamps (created/started/finished); they
 	// surface only in API status responses, never in the metrics stream.
 	"internal/server/job.go",
+	// Cluster coordinator wall time: lease deadlines, breaker cooldowns,
+	// and status timestamps; never enters the merged metrics stream, the
+	// journal, or the cache key.
+	"internal/cluster/clock.go",
 }
 
 // Name implements Analyzer.

@@ -1,0 +1,152 @@
+package cluster
+
+// The content-addressed result cache. A cell — one (ScenarioSpec, seed)
+// replication — is a pure function of its key, so its result can be stored
+// and replayed forever: resubmitted sweeps, re-dispatched leases, and
+// restarted coordinators all hit the cache instead of re-running work.
+//
+// Key derivation (documented in docs/CLUSTER.md): the spec is canonicalized
+// — Preset normalized to its effective label (so "" and "paper" collide as
+// they must) and Seed zeroed (the seed is keyed separately; the per-cell
+// run overrides it anyway) — then compact-JSON encoded (map fields marshal
+// with sorted keys), and the key is
+//
+//	sha256(canonicalSpecJSON || 0x00 || decimal seed)
+//
+// rendered as lowercase hex. The encoding is conservative: two specs that
+// materialize identical scenarios through different knobs (say an explicit
+// neighbors override equal to the preset default) get distinct keys and
+// simply miss — correctness never depends on spec equivalence reasoning.
+//
+// The cache holds each cell's scalar SeedMetrics plus the cell's full
+// NDJSON metrics stream, because serving a cached cell must be
+// byte-identical to running it. With Dir set, blobs live on disk as
+// <dir>/<key>.jsonl (written atomically via rename) and the index is
+// rebuilt from the coordinator journal on restart; without a dir the blobs
+// stay in memory and die with the process.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"greencell/internal/sim"
+)
+
+// CellKey derives the content address of one (spec, seed) cell.
+func CellKey(spec sim.ScenarioSpec, seed int64) (string, error) {
+	c := spec
+	c.Preset = c.Label()
+	c.Seed = 0
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("cluster: encoding spec for cache key: %w", err)
+	}
+	payload := append(b, 0)
+	payload = append(payload, strconv.FormatInt(seed, 10)...)
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cache is the in-process index over the content-addressed store.
+type cache struct {
+	dir string
+
+	mu      sync.Mutex
+	metrics map[string]sim.SeedMetrics
+	blobs   map[string][]byte // memory store when dir == ""
+}
+
+func newCache(dir string) (*cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cluster: cache dir: %w", err)
+		}
+	}
+	return &cache{
+		dir:     dir,
+		metrics: make(map[string]sim.SeedMetrics),
+		blobs:   make(map[string][]byte),
+	}, nil
+}
+
+func (c *cache) blobPath(key string) string {
+	return filepath.Join(c.dir, key+".jsonl")
+}
+
+// put stores a completed cell. The blob is written first (atomically, via a
+// same-directory rename) and the index entry only after, so a crash between
+// the two leaves a harmless orphan blob, never an index entry without its
+// bytes.
+func (c *cache) put(key string, m sim.SeedMetrics, blob []byte) error {
+	if c.dir != "" {
+		tmp, err := os.CreateTemp(c.dir, "put-*")
+		if err != nil {
+			return err
+		}
+		if _, err := tmp.Write(blob); err != nil {
+			return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+		}
+		if err := tmp.Close(); err != nil {
+			return errors.Join(err, os.Remove(tmp.Name()))
+		}
+		if err := os.Rename(tmp.Name(), c.blobPath(key)); err != nil {
+			return errors.Join(err, os.Remove(tmp.Name()))
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics[key] = m
+	if c.dir == "" {
+		c.blobs[key] = blob
+	}
+	return nil
+}
+
+// admit registers a key→metrics pair recovered from the journal. The entry
+// becomes servable only if its blob survives (checked by get), so a journal
+// that outlived its cache directory degrades to a miss, not a lie.
+func (c *cache) admit(key string, m sim.SeedMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.metrics[key]; !ok {
+		c.metrics[key] = m
+	}
+}
+
+// get returns the cell's metrics and stream bytes. It reports a hit only
+// when both are available — a recovered index entry whose blob is gone is
+// a miss and the cell re-runs.
+func (c *cache) get(key string) (sim.SeedMetrics, []byte, bool) {
+	c.mu.Lock()
+	m, ok := c.metrics[key]
+	blob, haveBlob := c.blobs[key]
+	c.mu.Unlock()
+	if !ok {
+		return sim.SeedMetrics{}, nil, false
+	}
+	if c.dir == "" {
+		if !haveBlob {
+			return sim.SeedMetrics{}, nil, false
+		}
+		return m, blob, true
+	}
+	data, err := os.ReadFile(c.blobPath(key))
+	if err != nil {
+		return sim.SeedMetrics{}, nil, false
+	}
+	return m, data, true
+}
+
+// Len reports the number of indexed cells (for status endpoints).
+func (c *cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.metrics)
+}

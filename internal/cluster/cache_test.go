@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"greencell/internal/sim"
+)
+
+func TestCellKeyCanonicalization(t *testing.T) {
+	base := sim.ScenarioSpec{Slots: 8, Seed: 0}
+	k0, err := CellKey(base, 5)
+	if err != nil {
+		t.Fatalf("CellKey: %v", err)
+	}
+
+	// The empty preset and its effective label collide — they materialize
+	// the same scenario.
+	paper := base
+	paper.Preset = "paper"
+	if k, _ := CellKey(paper, 5); k != k0 {
+		t.Fatalf("preset \"\" and %q keys differ: %s vs %s", paper.Label(), k0, k)
+	}
+
+	// The spec's own Seed field is zeroed: the cell's seed is keyed
+	// separately and overrides it.
+	reseeded := base
+	reseeded.Seed = 99
+	if k, _ := CellKey(reseeded, 5); k != k0 {
+		t.Fatal("spec.Seed leaked into the cache key")
+	}
+
+	// Different cell seeds and different specs must not collide.
+	if k, _ := CellKey(base, 6); k == k0 {
+		t.Fatal("distinct seeds share a key")
+	}
+	wider := base
+	wider.Slots = 9
+	if k, _ := CellKey(wider, 5); k == k0 {
+		t.Fatal("distinct specs share a key")
+	}
+}
+
+func TestCacheMemoryPutGet(t *testing.T) {
+	c, err := newCache("")
+	if err != nil {
+		t.Fatalf("newCache: %v", err)
+	}
+	m := sim.SeedMetrics{Seed: 5}
+	blob := []byte("header\nslot\nsummary\n")
+	if err := c.put("k1", m, blob); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	got, b, ok := c.get("k1")
+	if !ok || got.Seed != 5 || !bytes.Equal(b, blob) {
+		t.Fatalf("get: ok=%v metrics=%+v blob=%q", ok, got, b)
+	}
+	if _, _, ok := c.get("k2"); ok {
+		t.Fatal("get of a missing key hit")
+	}
+
+	// An admitted index entry without a blob is a miss, not a lie.
+	c.admit("k3", m)
+	if _, _, ok := c.get("k3"); ok {
+		t.Fatal("admit without a blob served a hit")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCacheDiskSurvivesRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := newCache(dir)
+	if err != nil {
+		t.Fatalf("newCache: %v", err)
+	}
+	m := sim.SeedMetrics{Seed: 7}
+	blob := []byte("stream bytes\n")
+	if err := c.put("k1", m, blob); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// A fresh cache over the same dir has no index until the journal
+	// re-admits the key; then the blob on disk makes it a hit.
+	c2, err := newCache(dir)
+	if err != nil {
+		t.Fatalf("newCache: %v", err)
+	}
+	if _, _, ok := c2.get("k1"); ok {
+		t.Fatal("unadmitted key hit after restart")
+	}
+	c2.admit("k1", m)
+	got, b, ok := c2.get("k1")
+	if !ok || got.Seed != 7 || !bytes.Equal(b, blob) {
+		t.Fatalf("re-admitted get: ok=%v metrics=%+v blob=%q", ok, got, b)
+	}
+
+	// An admitted key whose blob file is gone degrades to a miss.
+	c2.admit("k-gone", m)
+	if _, _, ok := c2.get("k-gone"); ok {
+		t.Fatal("admitted key with no blob file served a hit")
+	}
+}

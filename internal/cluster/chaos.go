@@ -1,0 +1,119 @@
+package cluster
+
+// FaultTransport is the deterministic chaos harness: an http.RoundTripper
+// that injects worker failures underneath the coordinator's retry/breaker
+// machinery. Faults draw from internal/rng sub-streams — one per
+// "METHOD /path" shape, split from a single seed — so the fault schedule
+// for a given RPC shape is a reproducible sequence regardless of how the
+// dispatcher interleaves different calls. Two modes:
+//
+//   - drop: the exchange fails with a synthetic connection error (the
+//     request may or may not have reached the worker — both sides of that
+//     ambiguity occur, which is exactly what the content-addressed cache
+//     has to absorb for exactly-once results);
+//   - 500: the worker answers with a synthetic internal error, exercising
+//     the HTTP-status branch of Transient.
+//
+// The chaos tests run a full cluster job through a faulty transport and
+// assert the merged stream is still byte-identical to the fault-free run.
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"greencell/internal/rng"
+)
+
+// ErrChaosDrop is the synthetic connection failure injected by a drop.
+var ErrChaosDrop = errors.New("chaos: connection dropped")
+
+// FaultTransport injects deterministic faults into worker RPCs.
+type FaultTransport struct {
+	base     http.RoundTripper
+	dropProb float64
+	errProb  float64
+
+	mu      sync.Mutex
+	root    *rng.Source
+	streams map[string]*rng.Source
+
+	drops int
+	errs  int
+}
+
+// NewFaultTransport wraps base (nil = http.DefaultTransport) with faults:
+// each exchange is dropped with probability dropProb and answered with a
+// synthetic 500 with probability errProb, drawn from sub-streams of seed.
+func NewFaultTransport(base http.RoundTripper, seed int64, dropProb, errProb float64) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FaultTransport{
+		base:     base,
+		dropProb: dropProb,
+		errProb:  errProb,
+		root:     rng.New(seed),
+		streams:  make(map[string]*rng.Source),
+	}
+}
+
+// decide draws this exchange's fate from the request shape's sub-stream.
+func (t *FaultTransport) decide(req *http.Request) (drop, fail bool) {
+	shape := req.Method + " " + req.URL.Path
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.streams[shape]
+	if s == nil {
+		s = t.root.Split(shape)
+		t.streams[shape] = s
+	}
+	if t.dropProb > 0 && s.Bernoulli(t.dropProb) {
+		t.drops++
+		return true, false
+	}
+	if t.errProb > 0 && s.Bernoulli(t.errProb) {
+		t.errs++
+		return false, true
+	}
+	return false, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, fail := t.decide(req)
+	if drop {
+		if req.Body != nil {
+			//lint:allow droppederr -- RoundTripper contract requires closing the body; the injected drop is the outcome under test
+			req.Body.Close()
+		}
+		return nil, ErrChaosDrop
+	}
+	if fail {
+		if req.Body != nil {
+			//lint:allow droppederr -- RoundTripper contract requires closing the body; the injected 500 is the outcome under test
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(strings.NewReader("chaos: synthetic worker error\n")),
+			Request:    req,
+		}, nil
+	}
+	return t.base.RoundTrip(req)
+}
+
+// Faults reports the injected (drops, synthetic 500s) so tests can assert
+// the chaos actually fired.
+func (t *FaultTransport) Faults() (drops, errs int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops, t.errs
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestFaultTransportDeterministic: two transports with the same seed and
+// probabilities produce identical fault schedules, per request shape,
+// regardless of how the shapes interleave — the property that makes chaos
+// runs reproducible.
+func TestFaultTransportDeterministic(t *testing.T) {
+	shapes := []struct{ method, path string }{
+		{"POST", "/v1/jobs"},
+		{"GET", "/v1/jobs/job-000001"},
+		{"GET", "/readyz"},
+	}
+	draw := func(ft *FaultTransport, order []int) [][2]bool {
+		var out [][2]bool
+		for _, i := range order {
+			req := httptest.NewRequest(shapes[i].method, "http://w"+shapes[i].path, nil)
+			drop, fail := ft.decide(req)
+			out = append(out, [2]bool{drop, fail})
+		}
+		return out
+	}
+
+	// Same interleaving: schedules identical.
+	order := []int{0, 1, 2, 1, 0, 2, 2, 1, 0, 0, 1, 2, 0, 1, 2, 1, 1, 0}
+	a := draw(NewFaultTransport(nil, 42, 0.3, 0.3), order)
+	b := draw(NewFaultTransport(nil, 42, 0.3, 0.3), order)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identically seeded transports: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	// Different interleaving: each shape's own sequence is unchanged,
+	// because every shape draws from its own sub-stream.
+	perShape := func(res [][2]bool, ord []int, shape int) [][2]bool {
+		var out [][2]bool
+		for i, s := range ord {
+			if s == shape {
+				out = append(out, res[i])
+			}
+		}
+		return out
+	}
+	// The same per-shape draw counts as order (6×0, 7×1, 5×2), grouped
+	// instead of interleaved.
+	order2 := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2}
+	c := draw(NewFaultTransport(nil, 42, 0.3, 0.3), order2)
+	for shape := range shapes {
+		sa, sc := perShape(a, order, shape), perShape(c, order2, shape)
+		if len(sa) != len(sc) {
+			t.Fatalf("shape %d drawn %d vs %d times", shape, len(sa), len(sc))
+		}
+		for i := range sa {
+			if sa[i] != sc[i] {
+				t.Fatalf("shape %d draw %d depends on interleaving: %v vs %v", shape, i, sa[i], sc[i])
+			}
+		}
+	}
+
+	// A different seed produces a different schedule (over enough draws).
+	d := draw(NewFaultTransport(nil, 43, 0.3, 0.3), order)
+	same := true
+	for i := range a {
+		if a[i] != d[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical fault schedules")
+	}
+
+	drops, errs := 0, 0
+	for _, r := range a {
+		if r[0] {
+			drops++
+		}
+		if r[1] {
+			errs++
+		}
+	}
+	gd, ge := func() (int, int) {
+		ft := NewFaultTransport(nil, 42, 0.3, 0.3)
+		draw(ft, order)
+		return ft.Faults()
+	}()
+	if gd != drops || ge != errs {
+		t.Fatalf("Faults() = (%d, %d), want (%d, %d)", gd, ge, drops, errs)
+	}
+}

@@ -1,0 +1,32 @@
+package cluster
+
+// Exported client-side helpers: the greencellsim -submit and sweep -coord
+// clients speak to a daemon or coordinator through the same HTTP/JSON
+// exchange the coordinator uses against its workers, so they share one
+// implementation (and with it the HTTPError → Transient classification the
+// retry policy keys on).
+
+import (
+	"context"
+	"net/http"
+)
+
+// DoJSON performs one JSON API exchange: non-wantCode responses become
+// *HTTPError (carrying the status and any Retry-After hint) so
+// RetryPolicy.Do retries exactly the transient ones. hc nil uses
+// http.DefaultClient.
+func DoJSON(ctx context.Context, hc *http.Client, method, url string, body []byte, wantCode int, out any) error {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return rpcJSON(ctx, hc, method, url, body, wantCode, out)
+}
+
+// GetBytes performs one GET returning the raw body (a metrics stream),
+// with the same error classification as DoJSON.
+func GetBytes(ctx context.Context, hc *http.Client, url string) ([]byte, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return rpcBytes(ctx, hc, url)
+}

@@ -1,0 +1,13 @@
+package cluster
+
+// This file owns the package's only wall-clock reads and is on
+// analysis.WallClockAllowedFiles (the same arrangement as
+// internal/server/job.go). Wall time drives lease deadlines, circuit
+// cooldowns, and API status timestamps — operational state only. It never
+// enters the metrics stream, the journal, or the content-addressed cache,
+// all of which stay pure functions of (spec, seed).
+
+import "time"
+
+// now is the package's single wall-clock read.
+func now() time.Time { return time.Now() }

@@ -1,0 +1,168 @@
+package cluster
+
+// The coordinator's HTTP API deliberately mirrors the daemon's
+// (internal/server/http.go): the same POST/GET/DELETE /v1/jobs shapes and
+// the same NDJSON metrics stream, so greencellsim -submit and sweep -coord
+// point at either a single daemon or a whole cluster without changing
+// anything but the URL. On top of the daemon surface it adds GET
+// /v1/workers (the pool's health) and the /healthz-vs-/readyz split:
+// liveness is always 200, readiness goes 503 once a drain begins.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"greencell/internal/server"
+)
+
+// maxRequestBody bounds POST bodies; a job request is a small spec.
+const maxRequestBody = 1 << 20
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST   /v1/jobs              submit a job (server.JobRequest) → 202 JobStatus
+//	GET    /v1/jobs              list jobs in submission order
+//	GET    /v1/jobs/{id}         one job's status, per-seed progress, result
+//	DELETE /v1/jobs/{id}         cancel a running job
+//	GET    /v1/jobs/{id}/metrics merged seed-ordered NDJSON metrics stream
+//	GET    /v1/workers           worker pool health (breaker state, inflight)
+//	GET    /healthz              liveness: always 200 while the process serves
+//	GET    /readyz               readiness: 503 once draining
+//	GET    /metrics              Prometheus text exposition (coord_* counters)
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", c.handleStream)
+	mux.HandleFunc("GET /v1/workers", c.handleWorkers)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /readyz", c.handleReadyz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if _, err := w.Write(append(data, '\n')); err != nil {
+		return // client went away; nothing useful to do
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		}
+		writeJSON(w, ae.code, map[string]string{"error": ae.msg})
+		return
+	}
+	writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		writeErr(w, &apiError{code: 400, msg: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	if len(body) > maxRequestBody {
+		writeErr(w, &apiError{code: 413, msg: "request body exceeds 1 MiB"})
+		return
+	}
+	var req server.JobRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, &apiError{code: 400, msg: fmt.Sprintf("decoding job request: %v", err)})
+		return
+	}
+	st, err := c.Submit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": c.Jobs()})
+}
+
+func (c *Coordinator) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := c.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c.mu.Lock()
+	_, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		writeErr(w, &apiError{code: 404, msg: fmt.Sprintf("no such job %q", id)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := c.Stream(r.Context(), id, w); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			writeErr(w, err)
+		}
+		return // mid-stream failures (client gone, ctx done) just end it
+	}
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":     c.WorkerStatuses(),
+		"cache_cells": c.CacheLen(),
+	})
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if c.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := c.WriteMetrics(w); err != nil {
+		return // client went away mid-write
+	}
+}

@@ -1,0 +1,106 @@
+package cluster
+
+// mergeLog assembles a job's merged metrics stream: one complete per-seed
+// NDJSON blob (header, slot records, summary — exactly the bytes the worker
+// streamed) per cell, emitted strictly in ascending seed order regardless
+// of the order cells finish in. The merged stream of seeds s₁<s₂<…<sₙ is
+// therefore byte-identical (after timing canonicalization) to running each
+// seed locally with a Recorder and concatenating the outputs — the cluster
+// determinism contract the chaos tests and cluster-smoke gate enforce.
+//
+// Readers follow the log live, recordLog-style (internal/server/stream.go):
+// they park on a wake channel that is closed and replaced on every put.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+)
+
+type mergeLog struct {
+	seeds []int64 // ascending emission order, fixed at creation
+
+	mu     sync.Mutex
+	wake   chan struct{}
+	blobs  map[int64][]byte
+	closed bool
+}
+
+func newMergeLog(seeds []int64) *mergeLog {
+	ordered := make([]int64, len(seeds))
+	copy(ordered, seeds)
+	// Seeds arrive validated-unique from JobRequest.Normalize; sort them
+	// here so the emission order never depends on request order.
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j] < ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	return &mergeLog{
+		seeds: ordered,
+		wake:  make(chan struct{}),
+		blobs: make(map[int64][]byte),
+	}
+}
+
+// put stores one completed cell's stream bytes and wakes followers.
+// Idempotent: a re-dispatched cell that races its predecessor keeps the
+// first blob (both are byte-identical by determinism anyway).
+func (l *mergeLog) put(seed int64, blob []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.blobs[seed]; ok || l.closed {
+		return
+	}
+	l.blobs[seed] = blob
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// close ends the stream: followers emit what is available (in order,
+// skipping seeds that never produced a blob — failed cells) and return.
+func (l *mergeLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.wake)
+	}
+}
+
+// stream writes the merged stream into w: each seed's blob in ascending
+// seed order, blocking on not-yet-finished cells until the log closes.
+func (l *mergeLog) stream(ctx context.Context, w io.Writer) error {
+	flusher, _ := w.(http.Flusher)
+	for _, seed := range l.seeds {
+		for {
+			l.mu.Lock()
+			blob, ok := l.blobs[seed]
+			closed := l.closed
+			wake := l.wake
+			l.mu.Unlock()
+			if ok {
+				if _, err := w.Write(blob); err != nil {
+					return err
+				}
+				if flusher != nil {
+					flusher.Flush()
+				}
+				break
+			}
+			if closed {
+				// Terminal without a blob: the cell failed (or the job was
+				// cancelled); its seed is absent from the merged stream,
+				// matching a local run whose seed errored.
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-wake:
+			}
+		}
+	}
+	return nil
+}

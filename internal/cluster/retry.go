@@ -1,0 +1,197 @@
+package cluster
+
+// Shared RPC retry machinery: jittered exponential backoff with capped
+// attempts and a per-attempt timeout. The coordinator wraps every worker
+// RPC in a RetryPolicy, and the greencellsim/sweep clients reuse the same
+// helper for their submit/poll calls (the ISSUE-8 "share the retry helper"
+// contract). Retries fire only for transient failures — connection errors
+// and 5xx/429 responses — so a 400 from a bad spec still fails immediately.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"greencell/internal/rng"
+)
+
+// HTTPError is a non-2xx response surfaced as an error, keeping the status
+// code so Transient can classify it. RetryAfter carries the server's
+// Retry-After hint in seconds (0 = none): Do stretches its backoff to at
+// least that long, so a 503 queue-full submit waits the server-suggested
+// second instead of hammering at the base delay.
+type HTTPError struct {
+	Status     int
+	Msg        string
+	RetryAfter int
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("HTTP %d: %s", e.Status, e.Msg)
+}
+
+// Transient reports whether err is worth retrying: anything that is not an
+// HTTP response (connection refused, reset, timeout, …) plus the retryable
+// statuses — 5xx (worker restarting, queue full → 503) and 429. Context
+// cancellation is never transient: the caller gave up.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500 || he.Status == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// RetryPolicy is a jittered exponential backoff schedule. The zero value is
+// usable: Defaulted() fills every unset knob.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total tries (first call included). Default 4.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter delay after the first failure; each
+	// further failure multiplies it by Multiplier up to MaxDelay.
+	// Defaults: 50ms base, 2s cap, ×2.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter widens each delay uniformly into [d·(1−Jitter), d·(1+Jitter)]
+	// so a fleet of clients retrying the same dead worker decorrelates.
+	// Default 0.2. Jitter draws from Rand; with Rand nil the delay is the
+	// deterministic midpoint (no jitter), which tests rely on.
+	Jitter float64
+	// Rand is the jitter source (internal/rng keeps it seedable and
+	// deterministic under test). Guarded internally; nil disables jitter.
+	Rand *rng.Source
+	// AttemptTimeout bounds each individual attempt with a context
+	// deadline; 0 leaves the parent context's deadline in charge.
+	AttemptTimeout time.Duration
+
+	// randMu guards Rand: policies are shared across the coordinator's
+	// per-worker goroutines.
+	randMu sync.Mutex
+}
+
+// Defaulted returns a copy with every unset field at its default.
+func (p *RetryPolicy) Defaulted() *RetryPolicy {
+	q := &RetryPolicy{
+		MaxAttempts:    p.MaxAttempts,
+		BaseDelay:      p.BaseDelay,
+		MaxDelay:       p.MaxDelay,
+		Multiplier:     p.Multiplier,
+		Jitter:         p.Jitter,
+		Rand:           p.Rand,
+		AttemptTimeout: p.AttemptTimeout,
+	}
+	if q.MaxAttempts <= 0 {
+		q.MaxAttempts = 4
+	}
+	if q.BaseDelay <= 0 {
+		q.BaseDelay = 50 * time.Millisecond
+	}
+	if q.MaxDelay <= 0 {
+		q.MaxDelay = 2 * time.Second
+	}
+	if q.Multiplier < 1 {
+		q.Multiplier = 2
+	}
+	if q.Jitter == 0 {
+		q.Jitter = 0.2
+	}
+	return q
+}
+
+// Delay returns the backoff before attempt n+1 (n = completed attempts,
+// n ≥ 1), jittered when a Rand is set.
+func (p *RetryPolicy) Delay(n int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Rand != nil && p.Jitter > 0 {
+		p.randMu.Lock()
+		u := p.Rand.Float64()
+		p.randMu.Unlock()
+		d *= 1 - p.Jitter + 2*p.Jitter*u
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// Do runs op with retries: transient failures back off and try again until
+// MaxAttempts or ctx is done; the final error is returned annotated with
+// the attempt count. onRetry (optional) observes each retry — the
+// coordinator counts them into coord_rpc_retries_total.
+func (p *RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error, onRetry func(err error)) error {
+	pol := p.Defaulted()
+	var last error
+	for attempt := 1; ; attempt++ {
+		actx := ctx
+		var cancel context.CancelFunc
+		if pol.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		}
+		last = op(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if last == nil {
+			return nil
+		}
+		// A per-attempt timeout surfaces as context.DeadlineExceeded from
+		// inside the op; that is transient as long as the parent lives.
+		attemptTimedOut := ctx.Err() == nil &&
+			(errors.Is(last, context.DeadlineExceeded) || errors.Is(last, context.Canceled))
+		if !Transient(last) && !attemptTimedOut {
+			return last
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("after %d attempt(s): %w", attempt, last)
+		}
+		if attempt >= pol.MaxAttempts {
+			return fmt.Errorf("after %d attempt(s): %w", attempt, last)
+		}
+		if onRetry != nil {
+			onRetry(last)
+		}
+		d := pol.Delay(attempt)
+		var he *HTTPError
+		if errors.As(last, &he) && he.RetryAfter > 0 {
+			if ra := time.Duration(he.RetryAfter) * time.Second; ra > d {
+				d = ra
+			}
+		}
+		if err := sleepCtx(ctx, d); err != nil {
+			return fmt.Errorf("after %d attempt(s): %w", attempt, last)
+		}
+	}
+}
+
+// sleepCtx sleeps d or returns ctx's error early, never holding a timer
+// past its use.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

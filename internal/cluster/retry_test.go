@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"greencell/internal/rng"
+)
+
+func TestTransientClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"context canceled", context.Canceled, false},
+		{"context deadline", context.DeadlineExceeded, false},
+		{"wrapped cancel", fmt.Errorf("poll: %w", context.Canceled), false},
+		{"connection error", errors.New("connection refused"), true},
+		{"HTTP 400", &HTTPError{Status: 400}, false},
+		{"HTTP 404", &HTTPError{Status: 404}, false},
+		{"HTTP 429", &HTTPError{Status: http.StatusTooManyRequests}, true},
+		{"HTTP 500", &HTTPError{Status: 500}, true},
+		{"HTTP 503", &HTTPError{Status: 503}, true},
+		{"wrapped 503", fmt.Errorf("submit: %w", &HTTPError{Status: 503}), true},
+	}
+	for _, tc := range cases {
+		if got := Transient(tc.err); got != tc.want {
+			t.Errorf("Transient(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDelayGrowthAndBounds(t *testing.T) {
+	// No Rand: deterministic midpoints — base, base·2, … capped at MaxDelay.
+	p := (&RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 40 * time.Millisecond, Multiplier: 2}).Defaulted()
+	for n, want := range map[int]time.Duration{
+		1: 10 * time.Millisecond,
+		2: 20 * time.Millisecond,
+		3: 40 * time.Millisecond,
+		4: 40 * time.Millisecond, // capped
+	} {
+		if got := p.Delay(n); got != want {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, want)
+		}
+	}
+
+	// With Rand: jittered into [d(1−j), d(1+j)], still capped.
+	pj := (&RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.2, Rand: rng.New(1).Split("jitter-test")}).Defaulted()
+	for i := 0; i < 100; i++ {
+		d := pj.Delay(1)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("jittered Delay(1) = %v outside [80ms, 120ms]", d)
+		}
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	calls, retries := 0, 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		if calls < 3 {
+			return &HTTPError{Status: 503}
+		}
+		return nil
+	}, func(error) { retries++ })
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if calls != 3 || retries != 2 {
+		t.Fatalf("calls %d retries %d, want 3 / 2", calls, retries)
+	}
+}
+
+func TestDoStopsOnPermanentError(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return &HTTPError{Status: 400, Msg: "bad spec"}
+	}, nil)
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != 400 {
+		t.Fatalf("err = %v, want the HTTP 400 through unchanged", err)
+	}
+	if calls != 1 {
+		t.Fatalf("a permanent error was retried %d times", calls)
+	}
+}
+
+func TestDoExhaustsMaxAttempts(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		return errors.New("connection refused")
+	}, nil)
+	if err == nil || calls != 3 {
+		t.Fatalf("err %v after %d calls, want failure after exactly 3", err, calls)
+	}
+}
+
+// TestDoAttemptTimeoutIsTransient: an op that blows its per-attempt
+// deadline is retried (the parent is still alive), and each attempt gets a
+// fresh deadline.
+func TestDoAttemptTimeoutIsTransient(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, AttemptTimeout: 20 * time.Millisecond}
+	calls := 0
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	}, nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if calls != 3 {
+		t.Fatalf("attempt timeouts drove %d calls, want 3", calls)
+	}
+}
+
+// TestDoParentCancelStopsRetrying: once the caller's context dies, Do
+// returns instead of burning the remaining attempts.
+func TestDoParentCancelStopsRetrying(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 100, BaseDelay: 5 * time.Millisecond}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := p.Do(ctx, func(ctx context.Context) error {
+		calls++
+		cancel()
+		return errors.New("connection refused")
+	}, nil)
+	if err == nil {
+		t.Fatal("Do succeeded after parent cancel")
+	}
+	if calls != 1 {
+		t.Fatalf("Do kept calling (%d) after the parent context died", calls)
+	}
+}
+
+// TestDoHonorsRetryAfter: a 503 carrying Retry-After stretches the backoff
+// to at least the server's hint instead of the (much shorter) base delay.
+func TestDoHonorsRetryAfter(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Second}
+	start := time.Now()
+	err := p.Do(context.Background(), func(ctx context.Context) error {
+		return &HTTPError{Status: 503, Msg: "queue full", RetryAfter: 1}
+	}, nil)
+	if err == nil {
+		t.Fatal("Do succeeded")
+	}
+	if took := time.Since(start); took < time.Second {
+		t.Fatalf("retry waited only %v; the Retry-After second was ignored", took)
+	}
+}

@@ -1,0 +1,338 @@
+package cluster_test
+
+// The cluster-smoke gate (make cluster-smoke): an end-to-end exercise of
+// the real binaries. It builds greencelld, greencell-coord, and
+// greencellsim, starts a coordinator over a fleet of three daemons, and
+// proves the ISSUE-8 acceptance criteria across real process boundaries:
+//
+//  1. `greencellsim -submit` against the coordinator streams metrics
+//     byte-identical to the committed golden fixture;
+//  2. a worker SIGKILLed while holding a lease is evicted, its cell
+//     re-dispatched, and the multi-seed merged stream still matches the
+//     locally computed golden byte-for-byte;
+//  3. resubmitting the same job is served entirely from the
+//     content-addressed cache — coord_dispatches_total unchanged, one
+//     cache hit per seed, and the exact same merged bytes.
+//
+// Gated behind GREENCELL_CLUSTER_SMOKE=1 because it builds binaries and
+// forks processes — too heavy for the default `go test ./...` sweep.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"greencell/internal/metrics"
+	"greencell/internal/server"
+	"greencell/internal/sim"
+)
+
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("GREENCELL_CLUSTER_SMOKE") != "1" {
+		t.Skip("set GREENCELL_CLUSTER_SMOKE=1 (or run `make cluster-smoke`) to run the cluster smoke")
+	}
+	bin := t.TempDir()
+	build := func(name, pkg string) string {
+		out := filepath.Join(bin, name)
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		cmd.Dir = "../.." // module root
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", pkg, err, b)
+		}
+		return out
+	}
+	daemon := build("greencelld", "./cmd/greencelld")
+	coordBin := build("greencell-coord", "./cmd/greencell-coord")
+	client := build("greencellsim", "./cmd/greencellsim")
+
+	work := t.TempDir()
+
+	waitAddr := func(addrFile string, what string) string {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			data, err := os.ReadFile(addrFile)
+			if err == nil && len(bytes.TrimSpace(data)) > 0 {
+				return "http://" + strings.TrimSpace(string(data))
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never wrote its address file", what)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	startProc := func(name string, args ...string) *exec.Cmd {
+		t.Helper()
+		cmd := exec.Command(name, args...)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %s: %v", name, err)
+		}
+		t.Cleanup(func() {
+			if cmd.ProcessState == nil {
+				if err := cmd.Process.Kill(); err == nil {
+					if werr := cmd.Wait(); werr != nil {
+						t.Logf("%s wait after kill: %v", name, werr)
+					}
+				}
+			}
+		})
+		return cmd
+	}
+
+	// Three workers, then the coordinator over them.
+	var fleet []string
+	var workers []*exec.Cmd
+	for i := 0; i < 3; i++ {
+		addrFile := filepath.Join(work, fmt.Sprintf("w%d.addr", i))
+		cmd := startProc(daemon,
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-journal", filepath.Join(work, fmt.Sprintf("w%d.journal.jsonl", i)),
+			"-drain-grace", "200ms")
+		workers = append(workers, cmd)
+		fleet = append(fleet, waitAddr(addrFile, fmt.Sprintf("worker %d", i)))
+	}
+	coordAddr := filepath.Join(work, "coord.addr")
+	startProc(coordBin,
+		"-addr", "127.0.0.1:0",
+		"-addr-file", coordAddr,
+		"-fleet", strings.Join(fleet, ","),
+		"-journal", filepath.Join(work, "coord.journal.jsonl"),
+		"-cache-dir", filepath.Join(work, "cache"),
+		"-poll-interval", "50ms",
+		"-heartbeat-interval", "100ms",
+		"-breaker-cooldown", "500ms",
+		"-max-attempts", "8",
+		"-drain-grace", "200ms")
+	base := waitAddr(coordAddr, "coordinator")
+
+	// Phase 1: the golden scenario through the real client, against the
+	// coordinator, diffed against the committed fixture.
+	streamFile := filepath.Join(work, "stream.jsonl")
+	sub := exec.Command(client,
+		"-preset", "paper", "-slots", "12", "-seed", "1",
+		"-submit", base, "-metrics", streamFile)
+	if b, err := sub.CombinedOutput(); err != nil {
+		t.Fatalf("greencellsim -submit: %v\n%s", err, b)
+	}
+	streamed, err := os.ReadFile(streamFile)
+	if err != nil {
+		t.Fatalf("reading streamed metrics: %v", err)
+	}
+	got, err := metrics.CanonicalizeJSONL(streamed)
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	golden, err := os.ReadFile("../sim/testdata/golden_metrics.jsonl")
+	if err != nil {
+		t.Fatalf("reading golden fixture: %v", err)
+	}
+	if !bytes.Equal(got, golden) {
+		t.Fatalf("coordinator stream differs from the golden fixture (%d vs %d bytes)", len(got), len(golden))
+	}
+
+	// Phase 2: SIGKILL a leased worker mid-job; the merged multi-seed
+	// stream must still match the local golden.
+	spec := sim.ScenarioSpec{Slots: 400, Seed: 9}
+	body, err := json.Marshal(server.JobRequest{Spec: spec, Replications: 3})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST job: %v", err)
+	}
+	var st server.JobStatus
+	smokeDecode(t, resp, &st)
+	jobID := st.ID
+
+	// Find a worker holding a lease (inflight > 0) and SIGKILL it.
+	type workerView struct {
+		Workers []struct {
+			ID       int    `json:"id"`
+			BaseURL  string `json:"base_url"`
+			Inflight int    `json:"inflight"`
+		} `json:"workers"`
+	}
+	victim := -1
+	deadline := time.Now().Add(30 * time.Second)
+	for victim < 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no worker ever held a lease")
+		}
+		r, err := http.Get(base + "/v1/workers")
+		if err != nil {
+			t.Fatalf("GET workers: %v", err)
+		}
+		var wv workerView
+		smokeDecode(t, r, &wv)
+		for _, w := range wv.Workers {
+			if w.Inflight > 0 {
+				victim = w.ID
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := workers[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker %d: %v", victim, err)
+	}
+	t.Logf("cluster-smoke: SIGKILLed worker %d mid-job", victim)
+
+	for !st.State.Terminal() {
+		if time.Now().After(deadline.Add(90 * time.Second)) {
+			t.Fatalf("job never finished after the worker kill: %+v", st)
+		}
+		time.Sleep(50 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + jobID)
+		if err != nil {
+			t.Fatalf("GET job: %v", err)
+		}
+		smokeDecode(t, r, &st)
+	}
+	if st.State != server.JobDone {
+		t.Fatalf("job ended %s (%s), want done despite the killed worker", st.State, st.Error)
+	}
+
+	merged := smokeStream(t, base, jobID)
+	localGolden := smokeGolden(t, spec, st.Seeds)
+	if !bytes.Equal(merged, localGolden) {
+		t.Fatalf("merged stream after SIGKILL differs from local golden (%d vs %d bytes)", len(merged), len(localGolden))
+	}
+	if v := promCounter(t, base, "coord_worker_evictions_total"); v < 1 {
+		t.Fatalf("coord_worker_evictions_total = %v, want ≥ 1", v)
+	}
+	if v := promCounter(t, base, "coord_redispatches_total"); v < 1 {
+		t.Fatalf("coord_redispatches_total = %v, want ≥ 1 after the kill", v)
+	}
+
+	// Phase 3: resubmit — all cache, zero new dispatches.
+	dispatchesBefore := promCounter(t, base, "coord_dispatches_total")
+	hitsBefore := promCounter(t, base, "coord_cache_hits_total")
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST resubmit: %v", err)
+	}
+	var st2 server.JobStatus
+	smokeDecode(t, resp, &st2)
+	for !st2.State.Terminal() {
+		time.Sleep(50 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st2.ID)
+		if err != nil {
+			t.Fatalf("GET resubmit: %v", err)
+		}
+		smokeDecode(t, r, &st2)
+	}
+	if st2.State != server.JobDone {
+		t.Fatalf("resubmit ended %s (%s)", st2.State, st2.Error)
+	}
+	if v := promCounter(t, base, "coord_dispatches_total"); v != dispatchesBefore {
+		t.Fatalf("resubmit dispatched: %v → %v, want unchanged", dispatchesBefore, v)
+	}
+	if v := promCounter(t, base, "coord_cache_hits_total"); v != hitsBefore+3 {
+		t.Fatalf("resubmit cache hits: %v → %v, want +3", hitsBefore, v)
+	}
+	if again := smokeStream(t, base, st2.ID); !bytes.Equal(again, merged) {
+		t.Fatal("cached resubmit stream differs from the original merged stream")
+	}
+	fmt.Printf("cluster-smoke: golden byte-identical; worker %d killed and repaired; resubmit 100%% cache\n", victim)
+}
+
+// smokeGolden computes the local multi-seed golden: canonicalized
+// per-seed Recorder streams concatenated in ascending seed order.
+func smokeGolden(t *testing.T, spec sim.ScenarioSpec, seeds []int64) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	for _, seed := range seeds {
+		sc, err := spec.Scenario()
+		if err != nil {
+			t.Fatalf("Scenario: %v", err)
+		}
+		sc.Seed = seed
+		var buf bytes.Buffer
+		rec := sim.NewRecorder(metrics.NewJSONLWriter(&buf), sim.HeaderFor(sc, spec.Label()))
+		rec.Attach(&sc, false)
+		if _, err := sim.Run(sc); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if err := rec.Close(); err != nil {
+			t.Fatalf("Recorder.Close: %v", err)
+		}
+		c, err := metrics.CanonicalizeJSONL(buf.Bytes())
+		if err != nil {
+			t.Fatalf("canonicalize: %v", err)
+		}
+		out.Write(c)
+	}
+	return out.Bytes()
+}
+
+// smokeStream fetches and canonicalizes a job's merged metrics stream.
+func smokeStream(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	c, err := metrics.CanonicalizeJSONL(data)
+	if err != nil {
+		t.Fatalf("canonicalize stream: %v", err)
+	}
+	return c
+}
+
+// promCounter scrapes one counter off the coordinator's /metrics.
+func promCounter(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading /metrics: %v", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("parsing %s value %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s absent from /metrics:\n%s", name, data)
+	return 0
+}
+
+func smokeDecode(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	if resp.StatusCode >= 300 {
+		t.Fatalf("HTTP %s: %s", resp.Status, data)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decoding %s: %v", data, err)
+	}
+}

@@ -22,8 +22,10 @@ const SchemaName = "greencell.metrics"
 // lp_basis_invalidations_total of the warm-started LP engine
 // (docs/PERFORMANCE.md) — emitted only by runs with warm-starting on,
 // so cold streams are byte-compatible with version 2 apart from this
-// version field.
-const SchemaVersion = 3
+// version field; 4 registered the cluster coordinator's serving-level
+// coord_* counters (docs/CLUSTER.md) — slot records and summaries are
+// unchanged, so v4 streams differ from v3 only in this version field.
+const SchemaVersion = 4
 
 // Header is the first record of every metrics stream: it pins the schema
 // version and the run's identifying parameters, so a stream is

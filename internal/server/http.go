@@ -12,9 +12,12 @@ import (
 
 // apiError is an error with an HTTP status; handlers render it as the
 // {"error": ...} body with that status. Non-apiError failures are 500s.
+// retryAfter > 0 adds a Retry-After header (seconds) — the backpressure
+// hint on 503 queue-full responses.
 type apiError struct {
-	code int
-	msg  string
+	code       int
+	msg        string
+	retryAfter int
 }
 
 func (e *apiError) Error() string { return e.msg }
@@ -29,7 +32,8 @@ const maxRequestBody = 1 << 20
 //	GET    /v1/jobs/{id}         one job's status, progress, and result
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/jobs/{id}/metrics live NDJSON metrics stream (?from_slot=N)
-//	GET    /healthz              liveness probe
+//	GET    /healthz              liveness probe (always 200 while serving)
+//	GET    /readyz               readiness probe (503 while draining)
 //	GET    /metrics              Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -39,6 +43,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -62,6 +67,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func writeErr(w http.ResponseWriter, err error) {
 	var ae *apiError
 	if errors.As(err, &ae) {
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(ae.retryAfter))
+		}
 		writeJSON(w, ae.code, map[string]string{"error": ae.msg})
 		return
 	}
@@ -147,7 +155,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is pure liveness: 200 as long as the process serves, even
+// mid-drain — restarting a deliberately draining daemon would defeat the
+// drain. Readiness (take this instance out of rotation) is /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 once draining (stop routing new work
+// here). The pre-replay window is covered one level up — cmd/greencelld
+// serves a bootstrap 503 /readyz until journal replay completes, so a
+// probing coordinator never routes leases at a daemon still recovering.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
@@ -155,7 +174,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -61,8 +61,11 @@ type JobRequest struct {
 // split into multiple jobs.
 const maxSeedsPerJob = 4096
 
-// normalize validates the request and returns the resolved seed list.
-func (r *JobRequest) normalize() ([]int64, error) {
+// Normalize validates the request and returns the resolved seed list. It
+// is exported because the cluster coordinator (internal/cluster) applies
+// the exact same validation to requests before sharding them, so a request
+// the coordinator accepts is one every worker accepts too.
+func (r *JobRequest) Normalize() ([]int64, error) {
 	if err := r.Spec.Validate(); err != nil {
 		return nil, err
 	}

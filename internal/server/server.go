@@ -176,7 +176,7 @@ func (s *Server) recover(path string) ([]*Job, error) {
 			fmt.Fprintf(os.Stderr, "greencelld: journal: job %s has no submitted event; skipping\n", id)
 			continue
 		}
-		seeds, err := f.req.normalize()
+		seeds, err := f.req.Normalize()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "greencelld: journal: job %s no longer validates (%v); skipping\n", id, err)
 			continue
@@ -215,7 +215,7 @@ func (s *Server) recover(path string) ([]*Job, error) {
 
 // Submit validates, journals, and enqueues a job, returning its status.
 func (s *Server) Submit(req JobRequest) (JobStatus, error) {
-	seeds, err := req.normalize()
+	seeds, err := req.Normalize()
 	if err != nil {
 		return JobStatus{}, &apiError{code: 400, msg: err.Error()}
 	}
@@ -230,7 +230,10 @@ func (s *Server) Submit(req JobRequest) (JobStatus, error) {
 		return JobStatus{}, &apiError{code: 503, msg: "server is draining; not accepting jobs"}
 	}
 	if len(s.queue) == cap(s.queue) {
-		return JobStatus{}, &apiError{code: 503, msg: "job queue is full"}
+		// Retry-After: the queue drains at job granularity, so a short
+		// client-side pause is the right unit; the submit clients honor it
+		// inside their shared backoff helper.
+		return JobStatus{}, &apiError{code: 503, msg: "job queue is full", retryAfter: 1}
 	}
 	s.nextID++
 	id := jobID(s.nextID)
