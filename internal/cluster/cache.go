@@ -11,9 +11,13 @@ package cluster
 // run overrides it anyway) — then compact-JSON encoded (map fields marshal
 // with sorted keys), and the key is
 //
-//	sha256(canonicalSpecJSON || 0x00 || decimal seed)
+//	sha256(decimal metrics.SchemaVersion || 0x00 || canonicalSpecJSON || 0x00 || decimal seed)
 //
-// rendered as lowercase hex. The encoding is conservative: two specs that
+// rendered as lowercase hex. The schema version leads the payload because
+// the cache outlives binary upgrades: a schema bump changes a cell's stream
+// byte-for-byte, so entries written under the old schema must miss and
+// re-run instead of being merged into new-schema streams.
+// The encoding is conservative: two specs that
 // materialize identical scenarios through different knobs (say an explicit
 // neighbors override equal to the preset default) get distinct keys and
 // simply miss — correctness never depends on spec equivalence reasoning.
@@ -36,6 +40,7 @@ import (
 	"strconv"
 	"sync"
 
+	"greencell/internal/metrics"
 	"greencell/internal/sim"
 )
 
@@ -48,7 +53,11 @@ func CellKey(spec sim.ScenarioSpec, seed int64) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("cluster: encoding spec for cache key: %w", err)
 	}
-	payload := append(b, 0)
+	payload := make([]byte, 0, len(b)+16)
+	payload = append(payload, strconv.Itoa(metrics.SchemaVersion)...)
+	payload = append(payload, 0)
+	payload = append(payload, b...)
+	payload = append(payload, 0)
 	payload = append(payload, strconv.FormatInt(seed, 10)...)
 	sum := sha256.Sum256(payload)
 	return hex.EncodeToString(sum[:]), nil

@@ -556,7 +556,23 @@ func (c *Coordinator) Cancel(id string) (server.JobStatus, error) {
 		cancel()
 	}
 	<-done
-	return c.Job(id)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !j.state.Terminal() {
+		// The dispatcher already exited without a terminal event — a drain
+		// (or bare interruption) re-queued the job for the next restart. The
+		// user's DELETE must still stick: journal the terminal event and
+		// finalize here, or the job would silently resume after a restart.
+		j.state = server.JobCancelled
+		j.errMsg = "cancelled"
+		j.finishedAt = now()
+		j.result = c.buildResult(j)
+		c.cCancelled.Inc()
+		if err := c.journal.append(journalEntry{Event: "cancelled", ID: j.ID, Error: j.errMsg}); err != nil {
+			fmt.Fprintf(os.Stderr, "greencell-coord: journal: %v\n", err)
+		}
+	}
+	return c.jobStatus(j), nil
 }
 
 // Stream writes the job's merged, seed-ordered metrics stream into w,

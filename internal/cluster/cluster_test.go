@@ -411,6 +411,47 @@ func TestClusterDrainResumesFromJournal(t *testing.T) {
 	}
 }
 
+// TestCancelAfterDrainRequeue: a zero-grace drain re-queues an interrupted
+// job with its dispatcher gone (done already closed). A user DELETE landing
+// on that job must still be a real cancel — terminal state, counted — not a
+// silent no-op that reports 200 with the job still queued for resumption.
+func TestCancelAfterDrainRequeue(t *testing.T) {
+	urls, _ := startWorkers(t, 2)
+	c := newTestCoord(t, fastCfg(urls))
+
+	req := server.JobRequest{Spec: slowishSpec(3), Replications: 2}
+	st, err := c.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	drained, err := c.Job(st.ID)
+	if err != nil {
+		t.Fatalf("Job after drain: %v", err)
+	}
+	if drained.State != server.JobQueued {
+		t.Fatalf("after drain the job is %s, want queued (the re-queue precondition)", drained.State)
+	}
+
+	got, err := c.Cancel(st.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if got.State != server.JobCancelled {
+		t.Fatalf("Cancel returned state %s, want cancelled", got.State)
+	}
+	if after, err := c.Job(st.ID); err != nil || after.State != server.JobCancelled {
+		t.Fatalf("job after cancel: %+v, %v — the DELETE did not stick", after, err)
+	}
+	if cv := c.CounterValues(); cv["coord_jobs_cancelled_total"] != 1 {
+		t.Fatalf("cancelled counter %v, want 1", cv["coord_jobs_cancelled_total"])
+	}
+}
+
 // TestClusterChaosByteIdentity runs a job through the fault-injecting
 // transport — every worker RPC, heartbeat included, subject to
 // deterministic drops and synthetic 500s — and asserts the retry/breaker

@@ -74,59 +74,99 @@ type RetryPolicy struct {
 	// deadline; 0 leaves the parent context's deadline in charge.
 	AttemptTimeout time.Duration
 
-	// randMu guards Rand: policies are shared across the coordinator's
-	// per-worker goroutines.
+	// randMu guards Rand: one policy is shared across the coordinator's
+	// per-job dispatcher goroutines, so every jitter draw must lock the
+	// shared instance's mutex — never a copy's.
 	randMu sync.Mutex
 }
 
-// Defaulted returns a copy with every unset field at its default.
+// retryKnobs is a snapshot of a policy's plain parameters with defaults
+// applied. Do works from a snapshot instead of a policy copy so that the
+// jitter draw always goes through the original policy's mutex: copying the
+// policy would pair a fresh mutex with the still-shared Rand and race.
+type retryKnobs struct {
+	maxAttempts    int
+	baseDelay      time.Duration
+	maxDelay       time.Duration
+	multiplier     float64
+	jitter         float64
+	attemptTimeout time.Duration
+}
+
+func (p *RetryPolicy) knobs() retryKnobs {
+	k := retryKnobs{
+		maxAttempts:    p.MaxAttempts,
+		baseDelay:      p.BaseDelay,
+		maxDelay:       p.MaxDelay,
+		multiplier:     p.Multiplier,
+		jitter:         p.Jitter,
+		attemptTimeout: p.AttemptTimeout,
+	}
+	if k.maxAttempts <= 0 {
+		k.maxAttempts = 4
+	}
+	if k.baseDelay <= 0 {
+		k.baseDelay = 50 * time.Millisecond
+	}
+	if k.maxDelay <= 0 {
+		k.maxDelay = 2 * time.Second
+	}
+	if k.multiplier < 1 {
+		k.multiplier = 2
+	}
+	if k.jitter == 0 {
+		k.jitter = 0.2
+	}
+	return k
+}
+
+// Defaulted returns a copy with every unset field at its default. The copy
+// has its own jitter mutex while sharing Rand, so use either the copy or
+// the original across goroutines — not both.
 func (p *RetryPolicy) Defaulted() *RetryPolicy {
-	q := &RetryPolicy{
-		MaxAttempts:    p.MaxAttempts,
-		BaseDelay:      p.BaseDelay,
-		MaxDelay:       p.MaxDelay,
-		Multiplier:     p.Multiplier,
-		Jitter:         p.Jitter,
+	k := p.knobs()
+	return &RetryPolicy{
+		MaxAttempts:    k.maxAttempts,
+		BaseDelay:      k.baseDelay,
+		MaxDelay:       k.maxDelay,
+		Multiplier:     k.multiplier,
+		Jitter:         k.jitter,
 		Rand:           p.Rand,
-		AttemptTimeout: p.AttemptTimeout,
+		AttemptTimeout: k.attemptTimeout,
 	}
-	if q.MaxAttempts <= 0 {
-		q.MaxAttempts = 4
-	}
-	if q.BaseDelay <= 0 {
-		q.BaseDelay = 50 * time.Millisecond
-	}
-	if q.MaxDelay <= 0 {
-		q.MaxDelay = 2 * time.Second
-	}
-	if q.Multiplier < 1 {
-		q.Multiplier = 2
-	}
-	if q.Jitter == 0 {
-		q.Jitter = 0.2
-	}
-	return q
 }
 
 // Delay returns the backoff before attempt n+1 (n = completed attempts,
-// n ≥ 1), jittered when a Rand is set.
+// n ≥ 1), jittered when a Rand is set. Safe for concurrent use: the jitter
+// draw locks the receiver's mutex.
 func (p *RetryPolicy) Delay(n int) time.Duration {
-	d := float64(p.BaseDelay)
+	return p.delay(retryKnobs{
+		baseDelay:  p.BaseDelay,
+		maxDelay:   p.MaxDelay,
+		multiplier: p.Multiplier,
+		jitter:     p.Jitter,
+	}, n)
+}
+
+// delay computes the backoff from the given knobs, drawing jitter from the
+// receiver's Rand under its mutex.
+func (p *RetryPolicy) delay(k retryKnobs, n int) time.Duration {
+	d := float64(k.baseDelay)
 	for i := 1; i < n; i++ {
-		d *= p.Multiplier
-		if d >= float64(p.MaxDelay) {
-			d = float64(p.MaxDelay)
+		d *= k.multiplier
+		if d >= float64(k.maxDelay) {
+			d = float64(k.maxDelay)
 			break
 		}
 	}
-	if p.Rand != nil && p.Jitter > 0 {
+	if p.Rand != nil && k.jitter > 0 {
 		p.randMu.Lock()
 		u := p.Rand.Float64()
 		p.randMu.Unlock()
-		d *= 1 - p.Jitter + 2*p.Jitter*u
+		d *= 1 - k.jitter + 2*k.jitter*u
 	}
-	if d > float64(p.MaxDelay) {
-		d = float64(p.MaxDelay)
+	if d > float64(k.maxDelay) {
+		d = float64(k.maxDelay)
 	}
 	return time.Duration(d)
 }
@@ -136,13 +176,13 @@ func (p *RetryPolicy) Delay(n int) time.Duration {
 // the attempt count. onRetry (optional) observes each retry — the
 // coordinator counts them into coord_rpc_retries_total.
 func (p *RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error, onRetry func(err error)) error {
-	pol := p.Defaulted()
+	k := p.knobs()
 	var last error
 	for attempt := 1; ; attempt++ {
 		actx := ctx
 		var cancel context.CancelFunc
-		if pol.AttemptTimeout > 0 {
-			actx, cancel = context.WithTimeout(ctx, pol.AttemptTimeout)
+		if k.attemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, k.attemptTimeout)
 		}
 		last = op(actx)
 		if cancel != nil {
@@ -161,13 +201,13 @@ func (p *RetryPolicy) Do(ctx context.Context, op func(ctx context.Context) error
 		if ctx.Err() != nil {
 			return fmt.Errorf("after %d attempt(s): %w", attempt, last)
 		}
-		if attempt >= pol.MaxAttempts {
+		if attempt >= k.maxAttempts {
 			return fmt.Errorf("after %d attempt(s): %w", attempt, last)
 		}
 		if onRetry != nil {
 			onRetry(last)
 		}
-		d := pol.Delay(attempt)
+		d := p.delay(k, attempt)
 		var he *HTTPError
 		if errors.As(last, &he) && he.RetryAfter > 0 {
 			if ra := time.Duration(he.RetryAfter) * time.Second; ra > d {

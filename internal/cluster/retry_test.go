@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
 
@@ -142,6 +143,37 @@ func TestDoParentCancelStopsRetrying(t *testing.T) {
 	if calls != 1 {
 		t.Fatalf("Do kept calling (%d) after the parent context died", calls)
 	}
+}
+
+// TestDoSharedJitteredPolicyConcurrent drives one jittered policy from many
+// goroutines — the coordinator installs a single policy used by every job
+// dispatcher, so concurrent jitter draws must serialize on the shared
+// instance's mutex. The race detector is the assertion.
+func TestDoSharedJitteredPolicyConcurrent(t *testing.T) {
+	p := &RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+		Jitter:      0.2,
+		Rand:        rng.New(1).Split("shared-jitter"),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				err := p.Do(context.Background(), func(ctx context.Context) error {
+					return &HTTPError{Status: 503}
+				}, nil)
+				if err == nil {
+					t.Error("Do succeeded on an always-503 op")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestDoHonorsRetryAfter: a 503 carrying Retry-After stretches the backoff

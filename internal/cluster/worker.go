@@ -171,6 +171,12 @@ func rpcJSON(ctx context.Context, hc *http.Client, method, url string, body []by
 	return json.Unmarshal(data, out)
 }
 
+// maxStreamBytes caps one cell's metrics stream fetch. A stream past the
+// cap must fail loudly: a silently truncated blob would be cached,
+// journaled, and merged as a complete cell, corrupting the merged stream
+// for that key permanently.
+const maxStreamBytes = 256 << 20
+
 // rpcBytes performs one GET returning the raw body (the metrics stream).
 func rpcBytes(ctx context.Context, hc *http.Client, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -182,7 +188,7 @@ func rpcBytes(ctx context.Context, hc *http.Client, url string) ([]byte, error) 
 		return nil, err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxStreamBytes+1))
 	if err != nil {
 		return nil, err
 	}
@@ -192,6 +198,9 @@ func rpcBytes(ctx context.Context, hc *http.Client, url string) ([]byte, error) 
 			Msg:        fmt.Sprintf("GET %s: %s", url, strings.TrimSpace(string(data))),
 			RetryAfter: retryAfterSeconds(resp),
 		}
+	}
+	if len(data) > maxStreamBytes {
+		return nil, fmt.Errorf("GET %s: stream exceeds the %d MiB cap", url, maxStreamBytes>>20)
 	}
 	return data, nil
 }
