@@ -15,13 +15,13 @@ FUZZTIME ?= 15s
 
 # The full analyzer suite, spelled out so `make lint` exercises the
 # driver's -analyzers selection path; must match analysis.All().
-ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock,detflow,locksafe,hotalloc
+ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock,detflow,locksafe,hotalloc,resleak,ctxflow,errcmp
 
-.PHONY: check ci build vet lint lint-audit test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke cluster-smoke figures clean
+.PHONY: check ci build vet lint lint-audit lint-sarif test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke cluster-smoke figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check lint-audit units-check fuzz soak serve-smoke cluster-smoke bench-json
+ci: fmtcheck check lint-audit lint-sarif units-check fuzz soak serve-smoke cluster-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,12 @@ lint:
 # lines they cover, so suppressions are pruned with the code they excused.
 lint-audit:
 	$(GO) run ./cmd/greencell-lint -audit-suppressions ./...
+
+# Machine-readable lint log for code-review upload (SARIF 2.1.0); the run
+# both gates (exit 1 on findings) and leaves the log in out/.
+lint-sarif:
+	@mkdir -p out
+	$(GO) run ./cmd/greencell-lint -sarif -analyzers $(ANALYZERS) ./... > out/lint.sarif
 
 test:
 	$(GO) test ./...
@@ -54,7 +60,7 @@ bench:
 
 # Benchmark trajectory gate (docs/PERFORMANCE.md): smoke-runs every
 # trajectory benchmark once to prove the harness still parses, validates
-# the committed BENCH_6.json, and fails on a >20% ns/op regression
+# the committed BENCH_9.json, and fails on a >20% ns/op regression
 # between its last two trajectory points. Record a new point with:
 #   go run ./cmd/benchtrend -label <point-label>
 bench-json:

@@ -50,6 +50,7 @@ func run(args []string) error {
 		fleet     = fs.String("fleet", "", "comma-separated greencelld worker base URLs")
 		journal   = fs.String("journal", "greencell-coord.journal.jsonl", "coordinator journal path (empty disables crash recovery)")
 		cacheDir  = fs.String("cache-dir", "", "content-addressed result cache directory (empty keeps results in memory)")
+		cacheMax  = fs.Int64("cache-max-bytes", 0, "total result-cache blob bytes before LRU eviction (0 = uncapped)")
 		queue     = fs.Int("queue-depth", 256, "max concurrently tracked non-terminal jobs before submissions get 503")
 		lease     = fs.Duration("lease-timeout", 2*time.Minute, "per-cell lease deadline; expired leases re-dispatch")
 		poll      = fs.Duration("poll-interval", 100*time.Millisecond, "dispatcher tick: lease polls and dispatch scans")
@@ -104,6 +105,7 @@ func run(args []string) error {
 		Workers:           workers,
 		JournalPath:       *journal,
 		CacheDir:          *cacheDir,
+		CacheMaxBytes:     *cacheMax,
 		QueueDepth:        *queue,
 		LeaseTimeout:      *lease,
 		PollInterval:      *poll,
@@ -183,7 +185,7 @@ func writeBody(w io.Writer, line string) {
 // so the accept loop's goroutine shares nothing mutable with main.
 func serveHTTP(hs *http.Server, ln net.Listener, errCh chan<- error) {
 	err := hs.Serve(ln)
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
 	}
 	errCh <- err

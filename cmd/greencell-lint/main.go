@@ -3,15 +3,16 @@
 //
 // Usage:
 //
-//	greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]
+//	greencell-lint [-json] [-sarif] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]
 //
 // Patterns are package directories, "/..."-suffixed for recursion; the
 // default "./..." walks the whole module. Packages type-check in parallel
 // (-parallel bounds the fan-out; 1 forces a serial load). -analyzers picks
 // a comma-separated subset of the suite by name; the default runs all of
 // it. -timings adds load and per-analyzer wall time on stderr. Findings
-// print as file:line:col: analyzer: message (or as a JSON array with
-// -json) and any finding makes the exit status 1. Suppress an intentional
+// print as file:line:col: analyzer: message (as a JSON array with -json,
+// or as a SARIF 2.1.0 log with -sarif for code-review upload endpoints)
+// and any finding makes the exit status 1. Suppress an intentional
 // violation with an inline "//lint:allow <analyzer> -- reason" comment.
 // -audit-suppressions inverts the run: instead of findings it reports
 // //lint:allow annotations whose analyzer no longer fires on the lines they
@@ -21,6 +22,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,13 +47,14 @@ func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("greencell-lint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
 	noTests := fs.Bool("no-tests", false, "skip _test.go files")
 	names := fs.String("analyzers", "", "comma-separated analyzer subset (default: the full suite)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "packages to type-check concurrently (1 = serial)")
 	timings := fs.Bool("timings", false, "report load and per-analyzer wall time on stderr")
 	audit := fs.Bool("audit-suppressions", false, "report stale //lint:allow annotations instead of findings")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: greencell-lint [-json] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]")
+		fmt.Fprintln(os.Stderr, "usage: greencell-lint [-json] [-sarif] [-no-tests] [-analyzers a,b] [-parallel n] [-timings] [-audit-suppressions] [patterns ...]")
 		fs.PrintDefaults()
 		fmt.Fprintln(os.Stderr, "analyzers:")
 		for _, a := range analysis.All() {
@@ -59,10 +62,13 @@ func run(args []string) (int, error) {
 		}
 	}
 	if err := fs.Parse(args); err != nil {
-		if err == flag.ErrHelp {
+		if errors.Is(err, flag.ErrHelp) {
 			return 0, nil
 		}
 		return 2, nil
+	}
+	if *jsonOut && *sarifOut {
+		return 0, fmt.Errorf("-json and -sarif are mutually exclusive")
 	}
 	analyzers, err := selectAnalyzers(*names)
 	if err != nil {
@@ -153,7 +159,14 @@ func run(args []string) (int, error) {
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(analysis.SARIFReport(findings, analyzers)); err != nil {
+			return 0, err
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -162,7 +175,7 @@ func run(args []string) (int, error) {
 		if err := enc.Encode(findings); err != nil {
 			return 0, err
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}

@@ -146,7 +146,7 @@ func writeBody(w io.Writer, line string) {
 // so the accept loop's goroutine shares nothing mutable with main.
 func serveHTTP(hs *http.Server, ln net.Listener, errCh chan<- error) {
 	err := hs.Serve(ln)
-	if err == http.ErrServerClosed {
+	if errors.Is(err, http.ErrServerClosed) {
 		err = nil
 	}
 	errCh <- err

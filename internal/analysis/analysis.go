@@ -58,6 +58,7 @@ func All() []Analyzer {
 		NoRawRand{}, NoFloatEq{}, DroppedErr{}, UnguardedGo{},
 		UnitMix{}, MapIter{}, WallClock{},
 		DetFlow{}, LockSafe{}, HotAlloc{},
+		ResLeak{}, CtxFlow{}, ErrCmp{},
 	}
 }
 

@@ -452,3 +452,180 @@ func TestForwardDataflowLoopFixpoint(t *testing.T) {
 		t.Error("dead block should keep the Bottom fact")
 	}
 }
+
+func TestBackwardDataflowBranchJoin(t *testing.T) {
+	c := buildBody(t, `
+	a()
+	if cond() {
+		b()
+	}
+	d()`)
+	out := BackwardDataflow(c, map[string]bool{}, callSetFlow())
+	at := out[blockCalling(t, c, "a")]
+	if at == nil {
+		t.Fatal("entry block cannot reach Exit?")
+	}
+	got := at.(map[string]bool)
+	if !got["d"] {
+		t.Error("exit fact at the entry block missing d (it lies ahead on every path)")
+	}
+	if !got["b"] {
+		t.Error("join is a union: the then-branch call lies ahead on one path and should survive")
+	}
+	// a() and the if condition live in the entry block itself (the if
+	// contributes its Cond to the current block): own nodes are the
+	// transfer's business, not the block's exit fact.
+	if got["a"] || got["cond"] {
+		t.Errorf("a block's own nodes leaked into its exit fact: %v", got)
+	}
+}
+
+func TestBackwardDataflowLoopFixpoint(t *testing.T) {
+	c := buildBody(t, `
+	for x() {
+		y()
+	}
+	z()`)
+	out := BackwardDataflow(c, map[string]bool{}, callSetFlow())
+	at := out[blockCalling(t, c, "y")]
+	if at == nil {
+		t.Fatal("loop body cannot reach Exit?")
+	}
+	got := at.(map[string]bool)
+	if !got["x"] || !got["z"] {
+		t.Errorf("loop body's exit fact lost the path out: got %v, want x and z", got)
+	}
+	if !got["y"] {
+		t.Errorf("loop fixpoint lost the back edge: got %v, want y (another pass lies ahead)", got)
+	}
+}
+
+func TestBackwardDataflowUnreachableExit(t *testing.T) {
+	// A block that cannot reach Exit (an infinite loop's body) keeps the
+	// Bottom fact: no path ahead means no obligations ahead.
+	c := buildBody(t, `
+	a()
+	for {
+		y()
+	}`)
+	out := BackwardDataflow(c, map[string]bool{}, callSetFlow())
+	if out[blockCalling(t, c, "y")] != nil {
+		t.Error("infinite-loop body should keep the Bottom fact (it never reaches Exit)")
+	}
+	if out[blockCalling(t, c, "a")] != nil {
+		t.Error("the prologue only flows into the infinite loop; it should stay Bottom too")
+	}
+}
+
+func TestBackwardDataflowPanicReachesExit(t *testing.T) {
+	// Terminators (panic, os.Exit) edge to Exit, so a panicking branch is
+	// reverse-reachable and carries facts; analyzers that exempt dying
+	// paths do so in their Transfer, not via missing edges.
+	c := buildBody(t, `
+	a()
+	if cond() {
+		panic(x())
+	}
+	d()`)
+	out := BackwardDataflow(c, map[string]bool{}, callSetFlow())
+	if out[blockCalling(t, c, "x")] == nil {
+		t.Fatal("the panic block edges to Exit and must carry a fact")
+	}
+	at := out[blockCalling(t, c, "a")]
+	if at == nil {
+		t.Fatal("entry block cannot reach Exit?")
+	}
+	if got := at.(map[string]bool); !got["d"] {
+		t.Errorf("fallthrough path lost: got %v, want d ahead of the entry block", got)
+	}
+}
+
+func TestCFGDeferInLoopStaysInBody(t *testing.T) {
+	// Defer registration is a plain node of the block it appears in — the
+	// loop body — not hoisted to the function's exit; resleak relies on
+	// this when it discharges obligations at the DeferStmt.
+	c := buildBody(t, `
+	for i := 0; i < n; i++ {
+		f := open(i)
+		defer release(f)
+		use(f)
+	}
+	done()`)
+	acquire := blockCalling(t, c, "open")
+	deferBlk := blockWith(t, c, "defer", func(n ast.Node) bool {
+		_, ok := n.(*ast.DeferStmt)
+		return ok
+	})
+	if acquire != deferBlk {
+		t.Error("the deferred release should sit in the same body block as the acquire")
+	}
+	if !reaches(deferBlk, acquire) {
+		t.Error("loop body should reach itself via the back edge")
+	}
+	if !reaches(deferBlk, c.Exit) {
+		t.Error("loop body should reach Exit through the loop condition")
+	}
+}
+
+func TestCFGRecoverBlock(t *testing.T) {
+	// A deferred recover closure is one opaque node: its body is not
+	// spliced into the enclosing CFG, and the panic after it still
+	// terminates its block straight to Exit.
+	c := buildBody(t, `
+	defer func() {
+		if recover() != nil {
+			cleanup()
+		}
+	}()
+	work()
+	panic(boom())`)
+	if blk := blockCalling(t, c, "cleanup"); !hasSucc(blk, func(b *Block) bool { return b == c.Exit }) {
+		// cleanup lives inside the DeferStmt's FuncLit, so the "block
+		// calling cleanup" is the registration block itself.
+		deferBlk := blockWith(t, c, "defer", func(n ast.Node) bool {
+			_, ok := n.(*ast.DeferStmt)
+			return ok
+		})
+		if blk != deferBlk {
+			t.Error("recover closure should stay inside the DeferStmt node")
+		}
+	}
+	panicBlk := blockCalling(t, c, "boom")
+	if !hasSucc(panicBlk, func(b *Block) bool { return b == c.Exit }) {
+		t.Error("panic should edge its block straight to Exit")
+	}
+}
+
+func TestCFGGotoBackwardIntoReleasedRegion(t *testing.T) {
+	// A backward goto re-enters a region whose handle was already
+	// released on the fall-through path: the CFG must carry the back
+	// edge so backward flow sees another use() pass ahead of release().
+	c := buildBody(t, `
+	f := open()
+L:
+	use(f)
+	if cond() {
+		goto L
+	}
+	release(f)`)
+	useBlk := blockCalling(t, c, "use")
+	gotoBlk := blockWith(t, c, "goto", func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	if !hasSucc(gotoBlk, func(b *Block) bool { return b == useBlk }) {
+		t.Error("goto L should edge back to the labeled block")
+	}
+	out := BackwardDataflow(c, map[string]bool{}, callSetFlow())
+	at := out[useBlk]
+	if at == nil {
+		t.Fatal("labeled block cannot reach Exit?")
+	}
+	got := at.(map[string]bool)
+	if !got["release"] {
+		t.Errorf("fall-through path lost: got %v, want release ahead", got)
+	}
+	if !got["use"] {
+		t.Errorf("goto back edge lost: got %v, want use ahead (another pass)", got)
+	}
+}

@@ -62,6 +62,81 @@ func ForwardDataflow(c *CFG, entry Fact, f Flow) map[*Block]Fact {
 	return in
 }
 
+// BackwardDataflow solves the problem to a fixpoint against the edge
+// direction and returns the fact at the EXIT of every block (Transfer of a
+// block's own nodes not yet applied; Transfer receives the exit fact and
+// pushes it against execution order, so implementations iterate b.Nodes back
+// to front). The worklist runs in reverse postorder of the reversed graph,
+// rooted at Exit, so loop-free code converges in one pass.
+//
+// The solve works on the reverse-reachability view: every way out of a
+// function — returns, fall-off-the-end, and panic/os.Exit/log.Fatal
+// terminators — edges into the synthetic Exit block, so all of those paths
+// carry facts (an analyzer that wants to exempt process-death paths detects
+// the terminator node in its Transfer). Blocks from which Exit is not
+// reachable at all — the body of a `for {}` with no break, statements parked
+// after a terminator — keep Bottom, exactly as dead blocks do forward.
+func BackwardDataflow(c *CFG, exit Fact, f Flow) map[*Block]Fact {
+	out := make(map[*Block]Fact, len(c.Blocks))
+	for _, b := range c.Blocks {
+		out[b] = f.Bottom()
+	}
+	out[c.Exit] = exit
+
+	order := reversePostorderToExit(c)
+
+	// Deterministic worklist, mirroring ForwardDataflow: a boolean per block
+	// plus repeated sweeps in an order that visits a block after its
+	// successors on acyclic paths.
+	dirty := make(map[*Block]bool, len(order))
+	for _, b := range order {
+		dirty[b] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if !dirty[b] {
+				continue
+			}
+			dirty[b] = false
+			in := f.Transfer(b, out[b])
+			for _, p := range b.Preds {
+				joined := f.Join(out[p], in)
+				if !f.Equal(out[p], joined) {
+					out[p] = joined
+					dirty[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// reversePostorderToExit lists the blocks that reach Exit in reverse
+// postorder of the predecessor graph rooted at Exit: each block comes after
+// its original-graph successors except across loop back edges.
+func reversePostorderToExit(c *CFG) []*Block {
+	seen := make(map[*Block]bool, len(c.Blocks))
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, p := range b.Preds {
+			dfs(p)
+		}
+		post = append(post, b)
+	}
+	dfs(c.Exit)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
 // reversePostorder lists the live blocks in reverse postorder from Entry.
 func reversePostorder(c *CFG) []*Block {
 	seen := make(map[*Block]bool, len(c.Blocks))

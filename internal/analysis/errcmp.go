@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp reports sentinel errors compared with == / != or matched in a
+// switch: the serving layer annotates errors on every boundary (fmt.Errorf
+// %w in the retry helper, journal recovery, RPC plumbing), so an identity
+// comparison against a sentinel silently stops matching the moment anyone
+// wraps. errors.Is is required.
+//
+// A sentinel is a package-level error variable — ours (sched.ErrInfeasible)
+// or the standard library's (http.ErrServerClosed, flag.ErrHelp). Exempt:
+// nil checks (the normal idiom), comparisons where neither side is a
+// sentinel (err == tc.wantErr table lookups stay reviewable), and the
+// other analyzers' fixtures.
+type ErrCmp struct{}
+
+// Name implements Analyzer.
+func (ErrCmp) Name() string { return "errcmp" }
+
+// Doc implements Analyzer.
+func (ErrCmp) Doc() string {
+	return "sentinel errors compared with == / != / switch; use errors.Is so wrapped errors still match"
+}
+
+// Check implements Analyzer.
+func (e ErrCmp) Check(pkg *Package) []Finding {
+	if foreignFixture(pkg.PkgPath, "testdata/src/errcmp") {
+		return nil
+	}
+	var out []Finding
+	report := func(pos token.Pos, msg string) {
+		out = append(out, Finding{Analyzer: e.Name(), Pos: pkg.Fset.Position(pos), Message: msg})
+	}
+	inspect(pkg, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			if x.Op != token.EQL && x.Op != token.NEQ {
+				return true
+			}
+			if isNilExpr(pkg, x.X) || isNilExpr(pkg, x.Y) {
+				return true
+			}
+			name := sentinelErr(pkg, x.X)
+			if name == "" {
+				name = sentinelErr(pkg, x.Y)
+			}
+			if name == "" || !isErrorExpr(pkg, x.X) || !isErrorExpr(pkg, x.Y) {
+				return true
+			}
+			report(x.OpPos, "sentinel "+name+" compared with "+x.Op.String()+
+				"; wrapped errors never match — use errors.Is(err, "+name+")")
+		case *ast.SwitchStmt:
+			if x.Tag == nil || !isErrorExpr(pkg, x.Tag) {
+				return true
+			}
+			for _, clause := range x.Body.List {
+				cc, ok := clause.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, ce := range cc.List {
+					if name := sentinelErr(pkg, ce); name != "" {
+						report(ce.Pos(), "switch case matches sentinel "+name+
+							" by identity; wrapped errors never match — use an if/else chain with errors.Is")
+					}
+				}
+			}
+		}
+		return true
+	})
+	SortFindings(out)
+	return out
+}
+
+// sentinelErr reports the source form of an expression that names a
+// package-level error variable, "" otherwise.
+func sentinelErr(pkg *Package, e ast.Expr) string {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pkg.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = pkg.Info.Uses[x.Sel]
+	default:
+		return ""
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !implementsError(v.Type()) {
+		return ""
+	}
+	return exprString(e)
+}
+
+// isErrorExpr reports whether an expression's type satisfies error.
+func isErrorExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return implementsError(tv.Type)
+}
+
+// isNilExpr reports the predeclared nil.
+func isNilExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	iface, ok := errorType.Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

@@ -1,0 +1,786 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ResLeak is the CFG-path resource discipline checker: a handle acquired on
+// a path — an *os.File, an *http.Response (its Body), a *time.Ticker/Timer,
+// or an in-package type with a Close/Stop method (journal and cache handles)
+// — must reach a release on EVERY path out of the function that uses it.
+// The analysis runs BACKWARD over the CFG: the fact at a program point
+// describes the paths ahead, so the verdict for an acquire site is simply
+// the fact flowing into it.
+//
+// An obligation is discharged by:
+//
+//   - a release: v.Close() / v.Stop() (also resp.Body.Close() — releasing
+//     through a field discharges the root handle), directly or deferred
+//     (a "defer v.Close()" or a release inside a deferred closure);
+//   - an ownership transfer: returning the handle (or a composite holding
+//     it), storing it into a field/index/package variable or a composite
+//     literal, sending it on a channel, aliasing it to another name (the
+//     alias carries the obligation), or capturing it in a function literal
+//     or goroutine (the closure owns it now);
+//   - an interprocedural release or transfer: passing the handle to an
+//     in-package function whose summary (computed bottom-up through
+//     Summaries) says it releases or takes ownership of that parameter.
+//     In-package functions that RETURN fresh handles — directly or wrapped
+//     in a struct — propagate the obligation to their callers the same way.
+//
+// The analysis is a may-analysis gated on use: a path that exits without a
+// release is a leak only if the handle was USED on it first. That is what
+// keeps the idiomatic error guard clean — after "f, err := os.Open(p);
+// if err != nil { return err }" the error path abandons f unused, and the
+// acquire is judged by the success paths only. The dual limitation: a
+// handle that is acquired and never used anywhere is not reported.
+//
+// Paths that die — panic, os.Exit, log.Fatal, runtime.Goexit — are exempt:
+// explicit closes cannot run there, defers are the tool. Test files and
+// foreign analyzer fixtures are skipped.
+type ResLeak struct{}
+
+// Name implements Analyzer.
+func (ResLeak) Name() string { return "resleak" }
+
+// Doc implements Analyzer.
+func (ResLeak) Doc() string {
+	return "resource handles used on a path that can exit without Close/Stop or an ownership transfer"
+}
+
+// resState is the backward may-state of one tracked handle at a program
+// point, describing the paths AHEAD of it. A missing map entry is the
+// default at every function exit: some release-free path ahead reaches an
+// exit, but the handle is never used on it (the "acquire failed" shape).
+type resState uint8
+
+const (
+	// resSafe: every path ahead releases the handle or transfers its
+	// ownership before exiting.
+	resSafe resState = iota
+	// resLeak: some path ahead uses the handle and then exits without a
+	// release or transfer — the definitive leak.
+	resLeak
+)
+
+// resFact maps tracked objects to their state; nil is Bottom.
+type resFact map[types.Object]resState
+
+func (f resFact) clone() resFact {
+	out := make(resFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// resGet reads interprocedural summaries; it abstracts over the fixpoint
+// accessor inside Summaries and the finished map outside it.
+type resGet func(*types.Func) any
+
+// resParamEffect records what a function does with one parameter.
+type resParamEffect struct {
+	releases  bool // the parameter reaches a Close/Stop in the callee
+	transfers bool // the callee takes ownership (stores/returns/sends it)
+}
+
+// resSummary is one function's interprocedural acquire/release/transfer
+// behavior.
+type resSummary struct {
+	recv   resParamEffect
+	params []resParamEffect
+	// fresh names, per result index, the resource kind the caller becomes
+	// responsible for ("" = not a resource).
+	fresh []string
+}
+
+func resSummaryEqual(a, b any) bool {
+	sa, sb := a.(resSummary), b.(resSummary)
+	if sa.recv != sb.recv || len(sa.params) != len(sb.params) || len(sa.fresh) != len(sb.fresh) {
+		return false
+	}
+	for i := range sa.params {
+		if sa.params[i] != sb.params[i] {
+			return false
+		}
+	}
+	for i := range sa.fresh {
+		if sa.fresh[i] != sb.fresh[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Check implements Analyzer.
+func (r ResLeak) Check(pkg *Package) []Finding {
+	if foreignFixture(pkg.PkgPath, "testdata/src/resleak") {
+		return nil
+	}
+	sums := resSummaries(pkg)
+	get := func(f *types.Func) any { return sums[f] }
+	var out []Finding
+	funcBodies(pkg, func(name string, node ast.Node, body *ast.BlockStmt) {
+		if isTestFile(pkg, node) {
+			return
+		}
+		out = append(out, r.checkFunc(pkg, body, get)...)
+	})
+	SortFindings(out)
+	return out
+}
+
+// checkFunc solves the backward leak dataflow over one function and reports
+// at the acquire sites whose below-fact says "used then leaked ahead".
+func (r ResLeak) checkFunc(pkg *Package, body *ast.BlockStmt, get resGet) []Finding {
+	cfg := BuildCFG(body)
+	flow := Flow{
+		Bottom: func() Fact { return nil },
+		Join: func(a, b Fact) Fact {
+			if a == nil {
+				return b
+			}
+			if b == nil {
+				return a
+			}
+			return joinRes(a.(resFact), b.(resFact))
+		},
+		Equal: func(a, b Fact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			if a == nil {
+				return true
+			}
+			fa, fb := a.(resFact), b.(resFact)
+			if len(fa) != len(fb) {
+				return false
+			}
+			for k, v := range fa {
+				if bv, ok := fb[k]; !ok || bv != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(b *Block, out Fact) Fact {
+			if out == nil {
+				return nil
+			}
+			cur := out.(resFact).clone()
+			for i := len(b.Nodes) - 1; i >= 0; i-- {
+				cur = applyResNode(pkg, cur, b.Nodes[i], get, nil)
+				if cur == nil {
+					return nil
+				}
+			}
+			return cur
+		},
+	}
+	exitFacts := BackwardDataflow(cfg, resFact{}, flow)
+
+	var out []Finding
+	seen := make(map[string]bool)
+	report := func(pos token.Pos, kind string) {
+		p := pkg.Fset.Position(pos)
+		key := kind + "@" + p.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, Finding{
+			Analyzer: r.Name(),
+			Pos:      p,
+			Message: kind + " acquired here is used and then leaked on some path to a function exit; " +
+				"release it on every path (defer the Close/Stop) or transfer ownership",
+		})
+	}
+	for _, b := range cfg.Blocks {
+		fact := exitFacts[b]
+		if fact == nil {
+			continue
+		}
+		cur := fact.(resFact).clone()
+		for i := len(b.Nodes) - 1; i >= 0; i-- {
+			cur = applyResNode(pkg, cur, b.Nodes[i], get, report)
+			if cur == nil {
+				break
+			}
+		}
+	}
+	SortFindings(out)
+	return out
+}
+
+// joinRes is the path union. Per key: a leak on either side survives; safe
+// survives only when BOTH sides are safe; safe joined with the default
+// (release-free but unused ahead) drops back to the default.
+func joinRes(a, b resFact) resFact {
+	out := make(resFact)
+	for k, v := range a {
+		if v == resLeak {
+			out[k] = resLeak
+		} else if bv, ok := b[k]; ok && bv == resSafe {
+			out[k] = resSafe
+		}
+	}
+	for k, v := range b {
+		if v == resLeak {
+			out[k] = resLeak
+		}
+	}
+	return out
+}
+
+// applyResNode pushes the fact backward through one node, mutating and
+// returning it (nil = the path dies here and contributes nothing upstream).
+// When report is set, acquire bindings whose below-state is resLeak are
+// flagged.
+func applyResNode(pkg *Package, fact resFact, node ast.Node, get resGet, report func(token.Pos, string)) resFact {
+	if st, ok := node.(ast.Stmt); ok && terminates(st) {
+		// panic / os.Exit / log.Fatal / runtime.Goexit: the path dies, the
+		// obligation with it. Join treats nil as identity, so this path
+		// contributes nothing to the fact upstream.
+		return nil
+	}
+
+	scan := node             // subtree scanned for uses/releases/transfers
+	exclude := identSet(nil) // binding-target idents: killed, not used
+	var transferred []types.Object
+
+	switch n := node.(type) {
+	case *ast.SelectStmt:
+		// Choice point only; the comm statements live in the clause blocks.
+		return fact
+	case *ast.DeferStmt:
+		for _, obj := range deferResReleases(pkg, n, get) {
+			fact[obj] = resSafe
+		}
+		return fact
+	case *ast.GoStmt:
+		// The goroutine takes ownership of every handle it mentions.
+		for _, obj := range trackedIdentUses(pkg, n) {
+			fact[obj] = resSafe
+		}
+		return fact
+	case *ast.RangeStmt:
+		// Header only (BuildCFG convention): the ranged expression is the
+		// use; the key/value idents are bindings.
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				killBinding(pkg, fact, id, exclude)
+			}
+		}
+		scan = ast.Node(n.X)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			transferred = append(transferred, transferRoots(pkg, res)...)
+		}
+	case *ast.AssignStmt:
+		transferred = applyResBinding(pkg, fact, n.Lhs, n.Rhs, get, report, exclude)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, id := range vs.Names {
+					lhs[i] = id
+				}
+				transferred = append(transferred, applyResBinding(pkg, fact, lhs, vs.Values, get, report, exclude)...)
+			}
+		}
+	}
+
+	uses, released := scanResNode(pkg, scan, exclude, get, &transferred)
+	for _, obj := range uses {
+		if _, ok := fact[obj]; !ok {
+			fact[obj] = resLeak
+		}
+	}
+	for _, obj := range released {
+		fact[obj] = resSafe
+	}
+	for _, obj := range transferred {
+		fact[obj] = resSafe
+	}
+	return fact
+}
+
+// identSet tracks binding idents excluded from the use scan.
+func identSet(ids []*ast.Ident) map[*ast.Ident]bool {
+	out := make(map[*ast.Ident]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}
+
+// killBinding removes a bound object from the fact: above the binding the
+// entry describes a dead value.
+func killBinding(pkg *Package, fact resFact, id *ast.Ident, exclude map[*ast.Ident]bool) {
+	exclude[id] = true
+	if obj := identObj(pkg, id); obj != nil {
+		delete(fact, obj)
+	}
+}
+
+// applyResBinding handles one assignment/declaration: report acquires whose
+// handle leaks ahead, kill the bound names, and surface RHS roots whose
+// obligation moves into the binding (aliases and container stores). Returns
+// the transferred roots.
+func applyResBinding(pkg *Package, fact resFact, lhs, rhs []ast.Expr, get resGet, report func(token.Pos, string), exclude map[*ast.Ident]bool) []types.Object {
+	if report != nil && len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			for i, kind := range acquireResults(pkg, call, get) {
+				if i >= len(lhs) {
+					continue
+				}
+				id, ok := ast.Unparen(lhs[i]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := identObj(pkg, id); obj != nil && fact[obj] == resLeak {
+					report(call.Pos(), kind)
+				}
+			}
+		}
+	}
+	var transferred []types.Object
+	for _, r := range rhs {
+		// The obligation follows the value into its new home: an alias, a
+		// field, an index, a package variable, a composite.
+		transferred = append(transferred, transferRoots(pkg, r)...)
+	}
+	for _, l := range lhs {
+		if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+			killBinding(pkg, fact, id, exclude)
+		}
+	}
+	return transferred
+}
+
+// scanResNode collects the tracked-handle uses and releases of one node,
+// appending closure captures and composite stores to transferred. Function
+// literal interiors count as captures, not uses.
+func scanResNode(pkg *Package, node ast.Node, exclude map[*ast.Ident]bool, get resGet, transferred *[]types.Object) (uses, released []types.Object) {
+	if node == nil {
+		return nil, nil
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			*transferred = append(*transferred, trackedIdentUses(pkg, x.Body)...)
+			return false
+		case *ast.CompositeLit:
+			*transferred = append(*transferred, trackedIdentUses(pkg, x)...)
+		case *ast.SendStmt:
+			*transferred = append(*transferred, transferRoots(pkg, x.Value)...)
+		case *ast.CallExpr:
+			released = append(released, resReleaseTargets(pkg, x, get)...)
+		case *ast.Ident:
+			if exclude[x] {
+				return true
+			}
+			if obj := pkg.Info.Uses[x]; obj != nil && trackableObj(pkg, obj) {
+				uses = append(uses, obj)
+			}
+		}
+		return true
+	})
+	return uses, released
+}
+
+// trackedIdentUses lists every tracked-handle object mentioned under node.
+func trackedIdentUses(pkg *Package, node ast.Node) []types.Object {
+	var out []types.Object
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pkg.Info.Uses[id]; obj != nil && trackableObj(pkg, obj) {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// transferRoots lists the tracked objects whose ownership an expression
+// hands off when the expression's value escapes the frame: the handle
+// itself, the handle behind &/selector/index chains, or the handles inside
+// a composite literal. Call results transfer nothing — their arguments are
+// uses.
+func transferRoots(pkg *Package, e ast.Expr) []types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[x]; obj != nil && trackableObj(pkg, obj) {
+			return []types.Object{obj}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return transferRoots(pkg, x.X)
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		if obj := baseIdentObj(pkg, e); obj != nil && trackableObj(pkg, obj) {
+			return []types.Object{obj}
+		}
+	case *ast.CompositeLit:
+		return trackedIdentUses(pkg, x)
+	}
+	return nil
+}
+
+// resReleaseTargets lists the handles one call discharges: the base of a
+// .Close()/.Stop() method receiver, and arguments (or the receiver) of
+// in-package callees whose summary releases or takes ownership of them.
+func resReleaseTargets(pkg *Package, call *ast.CallExpr, get resGet) []types.Object {
+	var out []types.Object
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if isSel && (sel.Sel.Name == "Close" || sel.Sel.Name == "Stop") {
+		if _, isMethod := pkg.Info.Selections[sel]; isMethod {
+			if obj := baseIdentObj(pkg, sel.X); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	callee := CalleeFunc(pkg, call)
+	if callee == nil || callee.Pkg() != pkg.Types {
+		return out
+	}
+	s, ok := get(callee).(resSummary)
+	if !ok {
+		return out
+	}
+	if isSel && (s.recv.releases || s.recv.transfers) {
+		if obj := baseIdentObj(pkg, sel.X); obj != nil {
+			out = append(out, obj)
+		}
+	}
+	for i, arg := range call.Args {
+		if i < len(s.params) && (s.params[i].releases || s.params[i].transfers) {
+			if obj := baseIdentObj(pkg, arg); obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// deferResReleases lists the handles a defer discharges: a direct deferred
+// release call, or releases inside a deferred closure.
+func deferResReleases(pkg *Package, d *ast.DeferStmt, get resGet) []types.Object {
+	out := resReleaseTargets(pkg, d.Call, get)
+	if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				out = append(out, resReleaseTargets(pkg, call, get)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// acquireResults maps result indices of a call to the resource kind they
+// carry: the std acquire functions plus in-package functions whose summary
+// returns fresh handles.
+func acquireResults(pkg *Package, call *ast.CallExpr, get resGet) map[int]string {
+	obj := calleeObject(pkg, call.Fun)
+	fn, _ := obj.(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		switch fn.Name() {
+		case "Open", "Create", "OpenFile", "CreateTemp":
+			return map[int]string{0: "os.File"}
+		}
+	case "time":
+		switch fn.Name() {
+		case "NewTicker":
+			return map[int]string{0: "time.Ticker"}
+		case "NewTimer":
+			return map[int]string{0: "time.Timer"}
+		}
+	case "net/http":
+		// Get/Post/Head/PostForm/Do — anything whose first result is an
+		// *http.Response whose Body the caller must close.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() > 0 {
+			if kind, ok := trackableType(pkg, sig.Results().At(0).Type()); ok && kind == "http.Response" {
+				return map[int]string{0: kind}
+			}
+		}
+	}
+	if fn.Pkg() == pkg.Types {
+		if s, ok := get(fn).(resSummary); ok {
+			out := make(map[int]string)
+			for i, kind := range s.fresh {
+				if kind != "" {
+					out[i] = kind
+				}
+			}
+			if len(out) > 0 {
+				return out
+			}
+		}
+	}
+	return nil
+}
+
+// resSummaries computes the package's acquire/release/transfer summaries
+// bottom-up over the call graph.
+func resSummaries(pkg *Package) map[*types.Func]any {
+	return Summaries(pkg, func(fn FuncInfo, get func(*types.Func) any) any {
+		return computeResSummary(pkg, fn, get)
+	}, resSummaryEqual)
+}
+
+func computeResSummary(pkg *Package, fn FuncInfo, get resGet) resSummary {
+	sig := fn.Obj.Type().(*types.Signature)
+	s := resSummary{
+		params: make([]resParamEffect, sig.Params().Len()),
+		fresh:  make([]string, sig.Results().Len()),
+	}
+	paramIndex := make(map[types.Object]int, sig.Params().Len())
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIndex[sig.Params().At(i)] = i
+	}
+	var recvObj types.Object
+	if sig.Recv() != nil {
+		recvObj = sig.Recv()
+	}
+	mark := func(obj types.Object, set func(*resParamEffect)) {
+		if obj == nil {
+			return
+		}
+		if obj == recvObj {
+			set(&s.recv)
+			return
+		}
+		if i, ok := paramIndex[obj]; ok {
+			set(&s.params[i])
+		}
+	}
+	release := func(e *resParamEffect) { e.releases = true }
+	transfer := func(e *resParamEffect) { e.transfers = true }
+
+	// Locally acquired handles, for the freshness of returns. Purely
+	// syntactic; the in-package freshness reads callee summaries, so the
+	// Summaries fixpoint propagates wrapper chains.
+	acquired := make(map[types.Object]string)
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for i, kind := range acquireResults(pkg, call, get) {
+			if i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := identObj(pkg, id); obj != nil {
+					acquired[obj] = kind
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Releases count inside function literals too: deferred
+			// closures are the idiomatic close-with-error-check shape.
+			for _, obj := range resReleaseTargets(pkg, x, get) {
+				mark(obj, release)
+			}
+		case *ast.CompositeLit:
+			for _, obj := range trackedIdentUses(pkg, x) {
+				mark(obj, transfer)
+			}
+		case *ast.SendStmt:
+			for _, obj := range transferRoots(pkg, x.Value) {
+				mark(obj, transfer)
+			}
+		case *ast.GoStmt:
+			for _, obj := range trackedIdentUses(pkg, x) {
+				mark(obj, transfer)
+			}
+		case *ast.AssignStmt:
+			for i := range x.Lhs {
+				if _, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok {
+					continue // aliasing inside the callee stays local
+				}
+				// A store through a field/index/package variable moves
+				// ownership out of the frame.
+				for _, r := range x.Rhs {
+					for _, obj := range transferRoots(pkg, r) {
+						mark(obj, transfer)
+					}
+				}
+				break
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				for _, obj := range transferRoots(pkg, res) {
+					mark(obj, transfer)
+				}
+			}
+			nres := len(s.fresh)
+			if len(x.Results) == 1 && nres >= 1 {
+				if call, ok := ast.Unparen(x.Results[0]).(*ast.CallExpr); ok {
+					for i, kind := range acquireResults(pkg, call, get) {
+						if i < nres {
+							s.fresh[i] = kind
+						}
+					}
+				}
+			}
+			if len(x.Results) == nres {
+				for i, res := range x.Results {
+					if kind := freshKind(pkg, res, acquired); kind != "" {
+						s.fresh[i] = kind
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// freshKind reports the resource kind a return expression hands the caller:
+// a locally acquired handle, or a trackable composite wrapping one.
+func freshKind(pkg *Package, e ast.Expr, acquired map[types.Object]string) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[x]; obj != nil {
+			return acquired[obj]
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return freshKind(pkg, x.X, acquired)
+		}
+	case *ast.CompositeLit:
+		holds := false
+		ast.Inspect(x, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil && acquired[obj] != "" {
+					holds = true
+				}
+			}
+			return !holds
+		})
+		if holds {
+			if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+				if kind, ok := trackableType(pkg, tv.Type); ok {
+					return kind
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// trackableObj reports whether obj is a variable holding a tracked handle.
+func trackableObj(pkg *Package, obj types.Object) bool {
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	_, ok := trackableType(pkg, obj.Type())
+	return ok
+}
+
+// trackableType names the resource kind of a type (behind pointers): the
+// std handle types plus in-package types with a Close/Stop method.
+func trackableType(pkg *Package, t types.Type) (string, bool) {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	o := named.Obj()
+	if o.Pkg() == nil {
+		return "", false
+	}
+	switch {
+	case o.Pkg().Path() == "os" && o.Name() == "File":
+		return "os.File", true
+	case o.Pkg().Path() == "time" && (o.Name() == "Ticker" || o.Name() == "Timer"):
+		return "time." + o.Name(), true
+	case o.Pkg().Path() == "net/http" && o.Name() == "Response":
+		return "http.Response", true
+	case o.Pkg() == pkg.Types && hasReleaseMethod(named):
+		return o.Name(), true
+	}
+	return "", false
+}
+
+// hasReleaseMethod reports a Close or Stop in the pointer method set.
+func hasReleaseMethod(named *types.Named) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if name := ms.At(i).Obj().Name(); name == "Close" || name == "Stop" {
+			return true
+		}
+	}
+	return false
+}
+
+// baseIdentObj peels selector/index/star/paren chains down to the base
+// identifier's object: the handle a "resp.Body.Close()" discharges is resp.
+func baseIdentObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pkg.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// identObj resolves an identifier in either definition or use position.
+func identObj(pkg *Package, id *ast.Ident) types.Object {
+	if obj := pkg.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return pkg.Info.Uses[id]
+}
+
+// foreignFixture reports whether pkgPath is an analyzer fixture other than
+// own: fixtures intentionally violate each other's rules.
+func foreignFixture(pkgPath, own string) bool {
+	return strings.Contains(pkgPath, "testdata/src/") && !inScope(pkgPath, []string{own})
+}
+
+// isTestFile reports whether a node's file is a _test.go file.
+func isTestFile(pkg *Package, node ast.Node) bool {
+	return strings.HasSuffix(pkg.Fset.Position(node.Pos()).Filename, "_test.go")
+}

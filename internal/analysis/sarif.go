@@ -1,0 +1,128 @@
+package analysis
+
+import "path/filepath"
+
+// SARIF 2.1.0 output (the OASIS static-analysis interchange format), built
+// on encoding/json alone: the subset of the schema that code-review UIs
+// consume — one run, the driver's rule table, and one result per finding
+// with a physical location. Paths are emitted with forward slashes and
+// SRCROOT as the uriBaseId, so a log produced from a module-relative run
+// resolves against any checkout.
+
+// SARIFLog is the top-level sarifLog object.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one analysis run: the tool and its results.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver describes greencell-lint and its rule table.
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer: id and short description.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFMessage is a text carrier.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+// SARIFLocation wraps the physical location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is artifact + region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation names the file, relative to SRCROOT.
+type SARIFArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+// SARIFRegion is the 1-based start position.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// sarifDocsURI points reviewers at the rule documentation.
+const sarifDocsURI = "https://github.com/greencell/greencell/blob/main/docs/ANALYSIS.md"
+
+// SARIFReport renders findings as a one-run SARIF 2.1.0 log. The rule table
+// lists exactly the analyzers that ran (so a clean run still documents what
+// was checked), in suite order; every finding is a "warning"-level result —
+// the exit status, not the level, is the gate.
+func SARIFReport(findings []Finding, analyzers []Analyzer) SARIFLog {
+	rules := make([]SARIFRule, 0, len(analyzers))
+	index := make(map[string]int, len(analyzers))
+	for i, a := range analyzers {
+		rules = append(rules, SARIFRule{ID: a.Name(), ShortDescription: SARIFMessage{Text: a.Doc()}})
+		index[a.Name()] = i
+	}
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := index[f.Analyzer]
+		if !ok {
+			// A finding from an analyzer outside the table (merged logs):
+			// append its rule on demand.
+			idx = len(rules)
+			index[f.Analyzer] = idx
+			rules = append(rules, SARIFRule{ID: f.Analyzer, ShortDescription: SARIFMessage{Text: f.Analyzer}})
+		}
+		results = append(results, SARIFResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: idx,
+			Level:     "warning",
+			Message:   SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{
+						URI:       filepath.ToSlash(f.File),
+						URIBaseID: "SRCROOT",
+					},
+					Region: SARIFRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "greencell-lint", InformationURI: sarifDocsURI, Rules: rules}},
+			Results: results,
+		}},
+	}
+}

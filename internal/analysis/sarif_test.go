@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSARIFFormatPinned pins the emitted SARIF 2.1.0 byte format: external
+// consumers (code-review upload endpoints) parse this, so field names,
+// ordering, and the schema header may only change deliberately.
+func TestSARIFFormatPinned(t *testing.T) {
+	findings := []Finding{
+		{
+			Analyzer: "resleak",
+			File:     "internal/cluster/cache.go",
+			Line:     42,
+			Col:      7,
+			Message:  "os.File acquired here is leaked",
+		},
+		{
+			Analyzer: "errcmp",
+			File:     "cmd/greencelld/main.go",
+			Line:     9,
+			Col:      3,
+			Message:  "sentinel compared with ==",
+		},
+	}
+	analyzers := []Analyzer{ResLeak{}, ErrCmp{}}
+	got, err := json.MarshalIndent(SARIFReport(findings, analyzers), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.TrimSpace(`
+{
+  "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+  "version": "2.1.0",
+  "runs": [
+    {
+      "tool": {
+        "driver": {
+          "name": "greencell-lint",
+          "informationUri": "https://github.com/greencell/greencell/blob/main/docs/ANALYSIS.md",
+          "rules": [
+            {
+              "id": "resleak",
+              "shortDescription": {
+                "text": "` + ResLeak{}.Doc() + `"
+              }
+            },
+            {
+              "id": "errcmp",
+              "shortDescription": {
+                "text": "` + ErrCmp{}.Doc() + `"
+              }
+            }
+          ]
+        }
+      },
+      "results": [
+        {
+          "ruleId": "resleak",
+          "ruleIndex": 0,
+          "level": "warning",
+          "message": {
+            "text": "os.File acquired here is leaked"
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "internal/cluster/cache.go",
+                  "uriBaseId": "SRCROOT"
+                },
+                "region": {
+                  "startLine": 42,
+                  "startColumn": 7
+                }
+              }
+            }
+          ]
+        },
+        {
+          "ruleId": "errcmp",
+          "ruleIndex": 1,
+          "level": "warning",
+          "message": {
+            "text": "sentinel compared with =="
+          },
+          "locations": [
+            {
+              "physicalLocation": {
+                "artifactLocation": {
+                  "uri": "cmd/greencelld/main.go",
+                  "uriBaseId": "SRCROOT"
+                },
+                "region": {
+                  "startLine": 9,
+                  "startColumn": 3
+                }
+              }
+            }
+          ]
+        }
+      ]
+    }
+  ]
+}`)
+	if string(got) != want {
+		t.Errorf("SARIF format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestSARIFEmptyRun: a clean run still carries the full rule table and an
+// empty (not null) results array.
+func TestSARIFEmptyRun(t *testing.T) {
+	log := SARIFReport(nil, All())
+	if len(log.Runs) != 1 {
+		t.Fatalf("want 1 run, got %d", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if len(run.Tool.Driver.Rules) != len(All()) {
+		t.Errorf("rule table should list the whole suite: got %d, want %d",
+			len(run.Tool.Driver.Rules), len(All()))
+	}
+	b, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"results":null`) {
+		t.Error("results must marshal as [] on a clean run, not null")
+	}
+}
+
+// TestSARIFForeignRule: merged logs may carry findings from analyzers
+// outside the run's table; the rule is appended on demand.
+func TestSARIFForeignRule(t *testing.T) {
+	log := SARIFReport([]Finding{{Analyzer: "other", File: "a.go", Line: 1, Col: 1, Message: "m"}},
+		[]Analyzer{ResLeak{}})
+	run := log.Runs[0]
+	if len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("want the foreign rule appended, got %d rules", len(run.Tool.Driver.Rules))
+	}
+	if run.Results[0].RuleIndex != 1 {
+		t.Errorf("foreign finding should point at the appended rule, got index %d", run.Results[0].RuleIndex)
+	}
+}

@@ -1,0 +1,112 @@
+// Package ctxflow is an analyzer fixture: every line marked
+// "// want ctxflow" must be reported, and no other line may be.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// rpc stands in for a blocking round-trip that accepts a context.
+func rpc(ctx context.Context, addr string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// RebaseBeforeRPC discards the caller's ctx and then blocks: cancellation
+// can no longer reach the round-trip.
+func RebaseBeforeRPC(ctx context.Context, addr string) error {
+	dctx, cancel := context.WithTimeout(context.Background(), timeout()) // want ctxflow
+	defer cancel()
+	return rpc(dctx, addr)
+}
+
+// DerivedIsFine threads the caller's ctx through the derived timeout.
+func DerivedIsFine(ctx context.Context, addr string) error {
+	dctx, cancel := context.WithTimeout(ctx, timeout())
+	defer cancel()
+	return rpc(dctx, addr)
+}
+
+// RebaseAfterBlocking roots a fresh context with nothing blocking ahead —
+// stashing a detached context for later bookkeeping is exempt.
+func RebaseAfterBlocking(ctx context.Context, addr string, sink *context.Context) error {
+	err := rpc(ctx, addr)
+	*sink = context.Background()
+	return err
+}
+
+// TODOFeedsBlockingSameStatement: the rebase feeds the blocking call in the
+// same statement.
+func TODOFeedsBlockingSameStatement(ctx context.Context, addr string) error {
+	return rpc(context.TODO(), addr) // want ctxflow
+}
+
+// LoopWithoutDone dispatches blocking sends forever without consulting ctx:
+// a cancelled context never stops it.
+func LoopWithoutDone(ctx context.Context, ch chan int) {
+	for i := 0; ; i++ { // want ctxflow
+		ch <- i
+	}
+}
+
+// LoopWithDone selects on ctx.Done alongside the dispatch: clean.
+func LoopWithDone(ctx context.Context, ch chan int) {
+	for i := 0; ; i++ {
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// LoopThreadsCtx passes ctx into the blocking call each pass: the callee
+// observes cancellation, so the loop terminates with it.
+func LoopThreadsCtx(ctx context.Context, addrs []string) error {
+	for _, addr := range addrs {
+		if err := rpc(ctx, addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RangeOverChannel is the worker-loop contract: the producer closing the
+// channel is the cancellation signal, so no ctx check is required.
+func RangeOverChannel(ctx context.Context, jobs chan string) {
+	for range jobs {
+		work()
+	}
+}
+
+// NoCtxParam roots its own context legitimately: constructors and Close
+// methods are out of scope.
+func NoCtxParam(ch chan struct{}) context.Context {
+	ctx := context.Background()
+	<-ch
+	return ctx
+}
+
+// OpLiteral: a function literal declaring its own ctx parameter is its own
+// function — the rebase inside it is flagged against the literal.
+func OpLiteral(ctx context.Context, addr string) func() error {
+	return func() error {
+		op := func(ctx context.Context) error {
+			return rpc(context.Background(), addr) // want ctxflow
+		}
+		return op(ctx)
+	}
+}
+
+func timeout() time.Duration { return time.Millisecond }
+
+func work() {}

@@ -1,0 +1,72 @@
+// Package errcmp is an analyzer fixture: every line marked
+// "// want errcmp" must be reported, and no other line may be.
+package errcmp
+
+import (
+	"errors"
+	"os"
+)
+
+// ErrBoom is a package-level sentinel: identity comparisons against it
+// break as soon as a caller wraps it with fmt.Errorf("...: %w", err).
+var ErrBoom = errors.New("boom")
+
+// ErrQuiet is a second sentinel for the switch cases.
+var ErrQuiet = errors.New("quiet")
+
+// IdentityEq compares with ==: flagged.
+func IdentityEq(err error) bool {
+	return err == ErrBoom // want errcmp
+}
+
+// IdentityNeq compares with !=: flagged.
+func IdentityNeq(err error) bool {
+	return err != ErrBoom // want errcmp
+}
+
+// StdlibSentinel: standard-library sentinels are sentinels too.
+func StdlibSentinel(err error) bool {
+	return err == os.ErrNotExist // want errcmp
+}
+
+// SwitchSentinels matches sentinels by identity in a switch: each case
+// expression is flagged.
+func SwitchSentinels(err error) int {
+	switch err {
+	case ErrBoom: // want errcmp
+		return 1
+	case ErrQuiet: // want errcmp
+		return 2
+	case nil:
+		return 0
+	}
+	return 3
+}
+
+// NilChecks are the normal control-flow idiom: exempt.
+func NilChecks(err error) bool {
+	if err == nil {
+		return true
+	}
+	return err != nil && false
+}
+
+// UsesIs is the required form: exempt.
+func UsesIs(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+
+// LocalComparison: neither side is package-level, so table-driven
+// err == tc.wantErr checks stay reviewable.
+func LocalComparison(err error) bool {
+	wantErr := errors.New("local")
+	return err == wantErr
+}
+
+// NotAnError: package-level non-error variables are untouched.
+var Mode = "fast"
+
+// ModeIsFast compares plain values: exempt.
+func ModeIsFast(m string) bool {
+	return m == Mode
+}

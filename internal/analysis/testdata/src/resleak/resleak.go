@@ -1,0 +1,192 @@
+// Package resleak is an analyzer fixture: every line marked
+// "// want resleak" must be reported, and no other line may be.
+package resleak
+
+import (
+	"errors"
+	"os"
+	"time"
+)
+
+// Leak reads the file and returns without ever closing it.
+func Leak(path string) (int, error) {
+	f, err := os.Open(path) // want resleak
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// EarlyReturn closes on the happy path but leaks on the read-error branch:
+// the handle was used there, so that path must release it too.
+func EarlyReturn(path string) error {
+	f, err := os.Open(path) // want resleak
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Deferred discharges the obligation for every later path, including the
+// read-error return.
+func Deferred(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	return f.Read(buf)
+}
+
+// ErrGuard is the idiomatic acquire shape: the error path abandons the
+// handle unused (it is not a real handle there), and stays clean.
+func ErrGuard(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Transferred hands the handle itself to the caller: the caller owns the
+// close.
+func Transferred(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// holder wraps a handle; Close makes it a tracked in-package resource.
+type holder struct{ f *os.File }
+
+// Close releases the held handle.
+func (h *holder) Close() error { return h.f.Close() }
+
+// Stored parks the handle in a struct the caller receives: ownership
+// transfers into the composite.
+func Stored(path string) (*holder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{f: f}, nil
+}
+
+// HelperLeak acquires through the in-package wrapper Transferred — the
+// freshness summary propagates the obligation — and leaks it on the
+// stat-error path.
+func HelperLeak(path string) error {
+	f, err := Transferred(path) // want resleak
+	if err != nil {
+		return err
+	}
+	if _, err := f.Stat(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// closeQuiet is an in-package releaser: passing a handle to it discharges
+// the obligation.
+func closeQuiet(f *os.File) error { return f.Close() }
+
+// ReleasedViaHelper releases on both paths through the in-package helper.
+func ReleasedViaHelper(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Stat(); err != nil {
+		return errors.Join(err, closeQuiet(f))
+	}
+	return closeQuiet(f)
+}
+
+// TickerLoop rebinds the ticker every iteration: each pass abandons the
+// previous, still-running ticker.
+func TickerLoop(ch chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		t := time.NewTicker(time.Millisecond) // want resleak
+		select {
+		case <-t.C:
+		case <-ch:
+		}
+	}
+}
+
+// StoppedLoop stops the ticker before rebinding: clean.
+func StoppedLoop(ch chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		t := time.NewTicker(time.Millisecond)
+		select {
+		case <-t.C:
+		case <-ch:
+		}
+		t.Stop()
+	}
+}
+
+// DeferredTimer is the sleepCtx shape: a deferred Stop discharges the
+// timer on every path out.
+func DeferredTimer(done chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-done:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// consume closes what it is given; the goroutine owns the handle.
+func consume(f *os.File) {
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+}
+
+// HandedToGoroutine transfers ownership into the spawned goroutine.
+func HandedToGoroutine(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	go consume(f)
+	return nil
+}
+
+// PanicPath: paths that die (panic, os.Exit, log.Fatal) are exempt — an
+// explicit close cannot run there; defers are the tool for panic safety.
+func PanicPath(path string) []byte {
+	f, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, 16)
+	if _, err := f.Read(buf); err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	return buf
+}
+
+// Aliased moves the obligation to the alias, which is closed: clean.
+func Aliased(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	g := f
+	return g.Close()
+}

@@ -28,13 +28,24 @@ package cluster
 // <dir>/<key>.jsonl (written atomically via rename) and the index is
 // rebuilt from the coordinator journal on restart; without a dir the blobs
 // stay in memory and die with the process.
+//
+// The store is size-capped: with maxBytes > 0, inserting past the cap
+// evicts least-recently-used cells (hits refresh recency) until the total
+// blob size fits again. The newest entry is never evicted — a single blob
+// larger than the cap is admitted and the cache simply runs over budget
+// until the next insert — because evicting what was just computed would
+// guarantee a recompute on the very next resubmit. Evicted cells are
+// deleted blob-and-index and later lookups simply miss and re-run; the
+// coordinator surfaces the churn as coord_cache_evictions_total.
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -65,23 +76,32 @@ func CellKey(spec sim.ScenarioSpec, seed int64) (string, error) {
 
 // cache is the in-process index over the content-addressed store.
 type cache struct {
-	dir string
+	dir      string
+	maxBytes int64 // 0 = uncapped
 
 	mu      sync.Mutex
 	metrics map[string]sim.SeedMetrics
 	blobs   map[string][]byte // memory store when dir == ""
+	sizes   map[string]int64  // per-key blob bytes
+	total   int64             // sum of sizes
+	lru     *list.List        // front = most recently used; values are keys
+	elems   map[string]*list.Element
 }
 
-func newCache(dir string) (*cache, error) {
+func newCache(dir string, maxBytes int64) (*cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("cluster: cache dir: %w", err)
 		}
 	}
 	return &cache{
-		dir:     dir,
-		metrics: make(map[string]sim.SeedMetrics),
-		blobs:   make(map[string][]byte),
+		dir:      dir,
+		maxBytes: maxBytes,
+		metrics:  make(map[string]sim.SeedMetrics),
+		blobs:    make(map[string][]byte),
+		sizes:    make(map[string]int64),
+		lru:      list.New(),
+		elems:    make(map[string]*list.Element),
 	}, nil
 }
 
@@ -89,24 +109,25 @@ func (c *cache) blobPath(key string) string {
 	return filepath.Join(c.dir, key+".jsonl")
 }
 
-// put stores a completed cell. The blob is written first (atomically, via a
-// same-directory rename) and the index entry only after, so a crash between
-// the two leaves a harmless orphan blob, never an index entry without its
-// bytes.
-func (c *cache) put(key string, m sim.SeedMetrics, blob []byte) error {
+// put stores a completed cell and returns how many older cells were
+// evicted to fit it under the byte cap. The blob is written first
+// (atomically, via a same-directory rename) and the index entry only
+// after, so a crash between the two leaves a harmless orphan blob, never
+// an index entry without its bytes.
+func (c *cache) put(key string, m sim.SeedMetrics, blob []byte) (int, error) {
 	if c.dir != "" {
 		tmp, err := os.CreateTemp(c.dir, "put-*")
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if _, err := tmp.Write(blob); err != nil {
-			return errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
+			return 0, errors.Join(err, tmp.Close(), os.Remove(tmp.Name()))
 		}
 		if err := tmp.Close(); err != nil {
-			return errors.Join(err, os.Remove(tmp.Name()))
+			return 0, errors.Join(err, os.Remove(tmp.Name()))
 		}
 		if err := os.Rename(tmp.Name(), c.blobPath(key)); err != nil {
-			return errors.Join(err, os.Remove(tmp.Name()))
+			return 0, errors.Join(err, os.Remove(tmp.Name()))
 		}
 	}
 	c.mu.Lock()
@@ -115,27 +136,42 @@ func (c *cache) put(key string, m sim.SeedMetrics, blob []byte) error {
 	if c.dir == "" {
 		c.blobs[key] = blob
 	}
-	return nil
+	c.track(key, int64(len(blob)))
+	return c.evictOver(), nil
 }
 
-// admit registers a key→metrics pair recovered from the journal. The entry
-// becomes servable only if its blob survives (checked by get), so a journal
-// that outlived its cache directory degrades to a miss, not a lie.
-func (c *cache) admit(key string, m sim.SeedMetrics) {
+// admit registers a key→metrics pair recovered from the journal, returning
+// eviction count like put. The entry becomes servable only if its blob
+// survives (checked by get), so a journal that outlived its cache
+// directory degrades to a miss, not a lie. Disk-mode sizes come from the
+// surviving blob file; an entry with no blob weighs nothing.
+func (c *cache) admit(key string, m sim.SeedMetrics) int {
+	var size int64
+	if c.dir != "" {
+		if fi, err := os.Stat(c.blobPath(key)); err == nil {
+			size = fi.Size()
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.metrics[key]; !ok {
-		c.metrics[key] = m
+	if _, ok := c.metrics[key]; ok {
+		return 0
 	}
+	c.metrics[key] = m
+	c.track(key, size)
+	return c.evictOver()
 }
 
-// get returns the cell's metrics and stream bytes. It reports a hit only
-// when both are available — a recovered index entry whose blob is gone is
-// a miss and the cell re-runs.
+// get returns the cell's metrics and stream bytes, refreshing the key's
+// recency. It reports a hit only when both are available — a recovered
+// index entry whose blob is gone is a miss and the cell re-runs.
 func (c *cache) get(key string) (sim.SeedMetrics, []byte, bool) {
 	c.mu.Lock()
 	m, ok := c.metrics[key]
 	blob, haveBlob := c.blobs[key]
+	if e := c.elems[key]; e != nil {
+		c.lru.MoveToFront(e)
+	}
 	c.mu.Unlock()
 	if !ok {
 		return sim.SeedMetrics{}, nil, false
@@ -151,6 +187,45 @@ func (c *cache) get(key string) (sim.SeedMetrics, []byte, bool) {
 		return sim.SeedMetrics{}, nil, false
 	}
 	return m, data, true
+}
+
+// track records (or refreshes) a key's size and recency. Callers hold c.mu.
+func (c *cache) track(key string, size int64) {
+	if e, ok := c.elems[key]; ok {
+		c.total += size - c.sizes[key]
+		c.sizes[key] = size
+		c.lru.MoveToFront(e)
+		return
+	}
+	c.sizes[key] = size
+	c.total += size
+	c.elems[key] = c.lru.PushFront(key)
+}
+
+// evictOver drops least-recently-used cells until the store fits the byte
+// cap again, never touching the most recent entry. Callers hold c.mu.
+func (c *cache) evictOver() int {
+	if c.maxBytes <= 0 {
+		return 0
+	}
+	evicted := 0
+	for c.total > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		key := back.Value.(string)
+		c.lru.Remove(back)
+		delete(c.elems, key)
+		c.total -= c.sizes[key]
+		delete(c.sizes, key)
+		delete(c.metrics, key)
+		delete(c.blobs, key)
+		if c.dir != "" {
+			if err := os.Remove(c.blobPath(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+				fmt.Fprintf(os.Stderr, "greencell-coord: cache: evicting %s: %v\n", key, err)
+			}
+		}
+		evicted++
+	}
+	return evicted
 }
 
 // Len reports the number of indexed cells (for status endpoints).

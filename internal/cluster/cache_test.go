@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"bytes"
+	"errors"
+	"io/fs"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -43,13 +46,13 @@ func TestCellKeyCanonicalization(t *testing.T) {
 }
 
 func TestCacheMemoryPutGet(t *testing.T) {
-	c, err := newCache("")
+	c, err := newCache("", 0)
 	if err != nil {
 		t.Fatalf("newCache: %v", err)
 	}
 	m := sim.SeedMetrics{Seed: 5}
 	blob := []byte("header\nslot\nsummary\n")
-	if err := c.put("k1", m, blob); err != nil {
+	if _, err := c.put("k1", m, blob); err != nil {
 		t.Fatalf("put: %v", err)
 	}
 	got, b, ok := c.get("k1")
@@ -72,19 +75,19 @@ func TestCacheMemoryPutGet(t *testing.T) {
 
 func TestCacheDiskSurvivesRestart(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "cache")
-	c, err := newCache(dir)
+	c, err := newCache(dir, 0)
 	if err != nil {
 		t.Fatalf("newCache: %v", err)
 	}
 	m := sim.SeedMetrics{Seed: 7}
 	blob := []byte("stream bytes\n")
-	if err := c.put("k1", m, blob); err != nil {
+	if _, err := c.put("k1", m, blob); err != nil {
 		t.Fatalf("put: %v", err)
 	}
 
 	// A fresh cache over the same dir has no index until the journal
 	// re-admits the key; then the blob on disk makes it a hit.
-	c2, err := newCache(dir)
+	c2, err := newCache(dir, 0)
 	if err != nil {
 		t.Fatalf("newCache: %v", err)
 	}
@@ -101,5 +104,85 @@ func TestCacheDiskSurvivesRestart(t *testing.T) {
 	c2.admit("k-gone", m)
 	if _, _, ok := c2.get("k-gone"); ok {
 		t.Fatal("admitted key with no blob file served a hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := newCache("", 25)
+	if err != nil {
+		t.Fatalf("newCache: %v", err)
+	}
+	m := sim.SeedMetrics{}
+	ten := []byte("0123456789")
+	for _, k := range []string{"k1", "k2"} {
+		n, err := c.put(k, m, ten)
+		if err != nil || n != 0 {
+			t.Fatalf("put %s: evicted %d, err %v; want 0, nil", k, n, err)
+		}
+	}
+
+	// A hit refreshes recency: k1 becomes most recent, so the third put
+	// pushes out k2, not k1.
+	if _, _, ok := c.get("k1"); !ok {
+		t.Fatal("k1 missing before eviction")
+	}
+	n, err := c.put("k3", m, ten)
+	if err != nil {
+		t.Fatalf("put k3: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("put k3 evicted %d, want 1", n)
+	}
+	if _, _, ok := c.get("k2"); ok {
+		t.Fatal("k2 should have been evicted (least recently used)")
+	}
+	if _, _, ok := c.get("k1"); !ok {
+		t.Fatal("k1 was refreshed by the hit and must survive")
+	}
+	if _, _, ok := c.get("k3"); !ok {
+		t.Fatal("k3 was just inserted and must survive")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+
+	// A single blob over the cap is still admitted (evicting everything
+	// else): the newest entry is never its own victim.
+	n, err = c.put("big", m, []byte("this blob is way over the twenty-five byte cap"))
+	if err != nil {
+		t.Fatalf("put big: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("put big evicted %d, want 2", n)
+	}
+	if _, _, ok := c.get("big"); !ok {
+		t.Fatal("oversized newest entry must survive")
+	}
+}
+
+func TestCacheLRUEvictionDisk(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := newCache(dir, 15)
+	if err != nil {
+		t.Fatalf("newCache: %v", err)
+	}
+	m := sim.SeedMetrics{}
+	ten := []byte("0123456789")
+	if _, err := c.put("k1", m, ten); err != nil {
+		t.Fatalf("put k1: %v", err)
+	}
+	if n, err := c.put("k2", m, ten); err != nil || n != 1 {
+		t.Fatalf("put k2: evicted %d, err %v; want 1, nil", n, err)
+	}
+	// The evicted blob file is deleted with its index entry, so a journal
+	// re-admit later degrades to a miss and the cell re-runs.
+	if _, statErr := os.Stat(c.blobPath("k1")); !errors.Is(statErr, fs.ErrNotExist) {
+		t.Fatalf("evicted blob still on disk: %v", statErr)
+	}
+	if got := c.admit("k1", m); got != 0 {
+		t.Fatalf("re-admit of a gone blob evicted %d, want 0 (it weighs nothing)", got)
+	}
+	if _, _, ok := c.get("k1"); ok {
+		t.Fatal("re-admitted evicted key served a hit without its blob")
 	}
 }

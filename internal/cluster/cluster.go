@@ -51,6 +51,10 @@ type Config struct {
 	// CacheDir is the content-addressed stream store. Empty keeps blobs in
 	// memory: the cache then serves resubmits within this process only.
 	CacheDir string
+	// CacheMaxBytes caps the total blob bytes the cache holds; inserting
+	// past the cap evicts least-recently-used cells (blob and index), which
+	// then simply re-run on their next lookup. 0 leaves the store uncapped.
+	CacheMaxBytes int64
 	// QueueDepth bounds concurrently tracked non-terminal jobs; submits
 	// beyond it get 503 with a Retry-After. Default 256.
 	QueueDepth int
@@ -210,6 +214,7 @@ type Coordinator struct {
 	cRedispatches  *metrics.Counter
 	cLeaseExpiries *metrics.Counter
 	cCacheHits     *metrics.Counter
+	cCacheEvicts   *metrics.Counter
 	cRPCRetries    *metrics.Counter
 	cEvictions     *metrics.Counter
 	gActive        *metrics.Gauge
@@ -224,7 +229,7 @@ type Coordinator struct {
 // was non-terminal), and starts the worker heartbeat loops.
 func New(cfg Config) (*Coordinator, error) {
 	cfg = cfg.defaulted()
-	cch, err := newCache(cfg.CacheDir)
+	cch, err := newCache(cfg.CacheDir, cfg.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +258,7 @@ func New(cfg Config) (*Coordinator, error) {
 	c.cRedispatches = c.reg.Counter("coord_redispatches_total", "leases", "leases re-placed after a lease expiry, worker loss, or worker-side interruption")
 	c.cLeaseExpiries = c.reg.Counter("coord_lease_expiries_total", "leases", "leases that hit their deadline before the cell completed")
 	c.cCacheHits = c.reg.Counter("coord_cache_hits_total", "cells", "cells served from the content-addressed result cache")
+	c.cCacheEvicts = c.reg.Counter("coord_cache_evictions_total", "cells", "cells evicted from the result cache by the size cap (LRU)")
 	c.cRPCRetries = c.reg.Counter("coord_rpc_retries_total", "calls", "worker RPC attempts retried after a transient failure")
 	c.cEvictions = c.reg.Counter("coord_worker_evictions_total", "evictions", "circuit-breaker evictions of unhealthy workers")
 	c.gActive = c.reg.Gauge("coord_jobs_active", "jobs", "jobs currently tracked and non-terminal")
@@ -329,7 +335,9 @@ func (c *Coordinator) recover(path string) ([]*Job, error) {
 		f := byID[id]
 		// Cells feed the cache index regardless of the job's fate.
 		for _, ce := range f.cells {
-			c.cache.admit(ce.Key, *ce.Metrics)
+			if n := c.cache.admit(ce.Key, *ce.Metrics); n > 0 {
+				c.cCacheEvicts.Add(float64(n))
+			}
 		}
 		if f.req == nil {
 			fmt.Fprintf(os.Stderr, "greencell-coord: journal: job %s has no submitted event; skipping\n", id)
@@ -646,6 +654,11 @@ func (c *Coordinator) Drain(ctx context.Context) error {
 	for _, cancel := range cancels {
 		cancel()
 	}
+	// Each job was just cancelled, so these waits are bounded by the jobs'
+	// own unwinding; cutting them short on ctx expiry would return while
+	// finishJob is still journaling. The ctx bounds the grace period above,
+	// not the teardown.
+	//lint:allow ctxflow -- bounded post-cancel teardown; abandoning it would race the journal
 	for _, d := range waits {
 		<-d
 	}

@@ -615,3 +615,68 @@ func TestCoordinatorHTTPAPI(t *testing.T) {
 		t.Fatalf("healthz after drain: %d, want 200 (liveness is not readiness)", resp.StatusCode)
 	}
 }
+
+// TestClusterCacheEvictionRecompute caps the result cache to a single
+// byte: every completed cell immediately evicts its predecessors, so a
+// resubmit of the same job cannot be served from cache and must re-run
+// (re-dispatch) the evicted cells — and the recomputed merged stream is
+// still byte-identical, because a cell is a pure function of its key.
+func TestClusterCacheEvictionRecompute(t *testing.T) {
+	urls, _ := startWorkers(t, 2)
+	cfg := fastCfg(urls)
+	cfg.CacheMaxBytes = 1
+	c := newTestCoord(t, cfg)
+	defer func() {
+		if err := c.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+
+	req := server.JobRequest{Spec: tinySpec(5), Replications: 3}
+	st, err := c.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st = waitCoord(t, c, st.ID, func(st server.JobStatus) bool { return st.State.Terminal() }, "terminal")
+	if st.State != server.JobDone {
+		t.Fatalf("job ended %s (%s), want done", st.State, st.Error)
+	}
+	golden := goldenMerged(t, req.Spec, st.Seeds)
+	if got := mergedStream(t, c, st.ID); !bytes.Equal(got, golden) {
+		t.Fatalf("merged stream differs from local golden")
+	}
+
+	cv := c.CounterValues()
+	if cv["coord_dispatches_total"] != 3 {
+		t.Fatalf("first run dispatched %v cells, want 3", cv["coord_dispatches_total"])
+	}
+	// Each completed cell's put evicts the previous cell: at least two
+	// evictions for three cells, and at most one survivor.
+	if cv["coord_cache_evictions_total"] < 2 {
+		t.Fatalf("evictions = %v, want >= 2 under a 1-byte cap", cv["coord_cache_evictions_total"])
+	}
+	if n := c.CacheLen(); n > 1 {
+		t.Fatalf("CacheLen = %d, want <= 1 under a 1-byte cap", n)
+	}
+
+	// Resubmit: the evicted cells miss and recompute — at least two new
+	// dispatches — and the stream still matches the golden byte-for-byte.
+	st2, err := c.Submit(req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	st2 = waitCoord(t, c, st2.ID, func(st server.JobStatus) bool { return st.State.Terminal() }, "terminal")
+	if st2.State != server.JobDone {
+		t.Fatalf("resubmit ended %s (%s)", st2.State, st2.Error)
+	}
+	cv = c.CounterValues()
+	if cv["coord_dispatches_total"] < 5 {
+		t.Fatalf("resubmit was served from a cache that should have evicted: %v total dispatches, want >= 5", cv["coord_dispatches_total"])
+	}
+	if cv["coord_cache_hits_total"] > 1 {
+		t.Fatalf("cache hits = %v, want <= 1 (at most the lone survivor)", cv["coord_cache_hits_total"])
+	}
+	if got := mergedStream(t, c, st2.ID); !bytes.Equal(got, golden) {
+		t.Fatalf("recomputed merged stream differs from golden")
+	}
+}

@@ -387,11 +387,15 @@ func (c *Coordinator) collectCell(ctx context.Context, j *Job, a action, st serv
 	}
 
 	key := a.cl.key
-	if perr := c.cache.put(key, m, blob); perr != nil {
+	evicted, perr := c.cache.put(key, m, blob)
+	if perr != nil {
 		fmt.Fprintf(os.Stderr, "greencell-coord: cache: %v\n", perr)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if evicted > 0 {
+		c.cCacheEvicts.Add(float64(evicted))
+	}
 	if a.cl.state != cellLeased || a.cl.wjob != a.wjob {
 		return
 	}
@@ -503,6 +507,10 @@ func (c *Coordinator) finishJob(ctx context.Context, j *Job) {
 	// Release outstanding leases best-effort; the worker-side deadline is
 	// the backstop when these DELETEs cannot land.
 	for _, a := range leased {
+		// The job ctx is already cancelled/expired by the time we get here —
+		// deriving from it would kill the very DELETE that releases the
+		// lease. A fresh bounded context is the point.
+		//lint:allow ctxflow -- post-cancel best-effort lease release; the job ctx is already dead
 		dctx, cancel := context.WithTimeout(context.Background(), c.rpcTimeout())
 		//lint:allow droppederr -- best-effort lease release; the worker-side job deadline is the backstop
 		_ = rpcJSON(dctx, c.hc, http.MethodDelete, a.w.base+"/v1/jobs/"+a.wjob, nil, http.StatusOK, nil)

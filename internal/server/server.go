@@ -551,6 +551,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	for _, c := range cancels {
 		c()
 	}
+	// Each job was just cancelled, so these waits are bounded by the jobs'
+	// own unwinding; cutting them short on ctx expiry would return while
+	// the drain bookkeeping is mid-write. The ctx bounds the grace period
+	// above, not the teardown.
+	//lint:allow ctxflow -- bounded post-cancel teardown; abandoning it would race the journal
 	for _, d := range waits {
 		<-d
 	}

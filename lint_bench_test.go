@@ -1,0 +1,39 @@
+// BenchmarkLintRepo tracks the analyzer suite's end-to-end cost on the
+// benchmark trajectory (docs/PERFORMANCE.md): one iteration type-checks the
+// serving layer — the packages the flow-sensitive analyzers (detflow,
+// locksafe, resleak, ctxflow) actually dig into — and runs every analyzer
+// over it, the same work `make lint` does per package. The load is inside
+// the timed loop on purpose: parsing and type-checking dominate real lint
+// wall time, and an analyzer that forces extra type-checker work should
+// show up here, not hide behind a cached loader.
+package greencell_test
+
+import (
+	"testing"
+
+	"greencell/internal/analysis"
+)
+
+func BenchmarkLintRepo(b *testing.B) {
+	dirs := []string{"internal/analysis", "internal/cluster", "internal/server"}
+	var findings int
+	for i := 0; i < b.N; i++ {
+		loader, err := analysis.NewLoader(".")
+		if err != nil {
+			b.Fatalf("NewLoader: %v", err)
+		}
+		var pkgs []*analysis.Package
+		for _, dir := range dirs {
+			got, err := loader.LoadDir(dir)
+			if err != nil {
+				b.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			pkgs = append(pkgs, got...)
+		}
+		findings = len(analysis.Run(pkgs, analysis.All()))
+	}
+	// The lint gate holds the repo finding-free; a nonzero count here means
+	// the benchmark corpus drifted, not that the benchmark should pass.
+	b.ReportMetric(float64(findings), "findings/op")
+	b.ReportMetric(float64(len(analysis.All())), "analyzers")
+}
