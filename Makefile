@@ -17,11 +17,11 @@ FUZZTIME ?= 15s
 # driver's -analyzers selection path; must match analysis.All().
 ANALYZERS = norawrand,nofloateq,droppederr,unguardedgo,unitmix,mapiter,wallclock,detflow,locksafe,hotalloc,resleak,ctxflow,errcmp
 
-.PHONY: check ci build vet lint lint-audit lint-sarif test race fuzz soak bench bench-json fmt fmtcheck units-check serve-smoke cluster-smoke figures clean
+.PHONY: check ci build vet lint lint-audit lint-sarif test race fuzz soak bench bench-json fmt fmtcheck units-check dist-check serve-smoke cluster-smoke figures clean
 
 check: build vet lint race
 
-ci: fmtcheck check lint-audit lint-sarif units-check fuzz soak serve-smoke cluster-smoke bench-json
+ci: fmtcheck check lint-audit lint-sarif units-check dist-check fuzz soak serve-smoke cluster-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,7 @@ race:
 
 fuzz:
 	$(GO) test -run=FuzzScenario -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) ./internal/sim
+	$(GO) test -run=FuzzNetworkRunner -fuzz=FuzzNetworkRunner -fuzztime=$(FUZZTIME) ./internal/sim
 
 soak:
 	$(GO) test -race -run='TestFaultSoak|TestFaultEverySite' -v ./internal/sim
@@ -78,6 +79,14 @@ fmtcheck:
 #   go test ./internal/sim -run MetricsGoldenByteIdentity -update
 units-check:
 	$(GO) test ./internal/sim -run MetricsGoldenByteIdentity
+
+# Distributed-controller gate (docs/DISTRIBUTED.md): the fidelity check —
+# a perfect-network distributed run must be byte-identical to the
+# monolithic golden fixture — plus the 1000-slot 5%-loss soak with
+# per-node invariants on and bit-identical reruns asserted.
+dist-check:
+	$(GO) test ./internal/sim -run 'TestDistPerfectMatchesMonolith|TestDistFidelityGolden|TestDistLossSoak|TestDistPartition' -v
+	$(GO) test ./internal/machine
 
 # End-to-end daemon gate (docs/SERVER.md): builds greencelld and
 # greencellsim, submits the golden scenario over HTTP, diffs the streamed

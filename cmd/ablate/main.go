@@ -21,6 +21,10 @@
 //	             single-BS model, and the state-space blowup.
 //	radios     — multi-radio base stations (extension of constraint (22)).
 //	uplink     — mixed uplink/downlink traffic (anycast uplink extension).
+//	dist       — the distributed message-passing controller vs the
+//	             monolith across control-plane loss rates: how far cost,
+//	             delivery, and staleness degrade as the coordinator's
+//	             view drifts (docs/DISTRIBUTED.md).
 //
 // Usage:
 //
@@ -74,6 +78,7 @@ func run(args []string) error {
 		"dp":          dpStudy,
 		"radios":      radiosStudy,
 		"uplink":      uplinkStudy,
+		"dist":        distStudy,
 	}
 	if *study != "all" {
 		f, ok := studies[*study]
@@ -82,7 +87,7 @@ func run(args []string) error {
 		}
 		return f(*slots)
 	}
-	for _, name := range []string{"scheduler", "gate", "tradeoff", "storage", "diurnal", "energyaware", "capacity", "shadowing", "hotspot", "horizon", "dp", "radios", "uplink"} {
+	for _, name := range []string{"scheduler", "gate", "tradeoff", "storage", "diurnal", "energyaware", "capacity", "shadowing", "hotspot", "horizon", "dp", "radios", "uplink", "dist"} {
 		if err := studies[name](*slots); err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -326,6 +331,41 @@ func uplinkStudy(slots int) error {
 		}
 		fmt.Printf("uplink=%d  cost=%.6g  admitted=%.0f  delivered=%.0f\n",
 			up, res.AvgEnergyCost, res.AdmittedPkts, res.DeliveredPkts)
+	}
+	return nil
+}
+
+// distStudy runs the distributed controller against the monolith across
+// control-plane loss rates. At loss 0 the two rows are identical by the
+// fidelity gate; rising loss makes the coordinator decide on stale node
+// views, and the gap between its believed delivery and the nodes' ground
+// truth is the price of distribution.
+func distStudy(slots int) error {
+	fmt.Println("== distributed controller (docs/DISTRIBUTED.md): fidelity and graceful degradation vs loss")
+	fmt.Printf("%-12s %10s %10s %12s %12s %10s %10s\n",
+		"controller", "loss", "cost", "believed", "delivered", "stale", "degraded")
+	mono := greencell.PaperScenario()
+	mono.Slots = slots
+	mono.KeepTraces = false
+	res, err := greencell.Run(mono)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %10.6g %12.0f %12.0f %10s %10d\n",
+		"monolith", "-", res.AvgEnergyCost, res.DeliveredPkts, res.DeliveredPkts, "-", res.DegradedSlots)
+	for _, loss := range []float64{0, 0.02, 0.05, 0.1, 0.2} {
+		sc := greencell.PaperScenario()
+		sc.Slots = slots
+		sc.KeepTraces = false
+		sc.Dist = true
+		sc.NetLoss = loss
+		res, err := greencell.Run(sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %10.2f %10.6g %12.0f %12.0f %10d %10d\n",
+			"distributed", loss, res.AvgEnergyCost, res.DeliveredPkts,
+			res.Net.TrueDeliveredPkts, res.Net.StaleSlots, res.DegradedSlots)
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"greencell/internal/core"
@@ -64,6 +65,13 @@ func run(args []string) (err error) {
 		submitURL  = fs.String("submit", "", "submit as a job to a running greencelld at this base URL (e.g. http://127.0.0.1:8080) instead of simulating locally")
 		replicate  = fs.Int("replications", 0, "with -submit: replicate over this many consecutive seeds starting at -seed")
 		submitTO   = fs.Duration("submit-timeout", 0, "with -submit: overall deadline for the submit/poll/fetch exchange (0 = none)")
+		dist       = fs.Bool("dist", false, "run the distributed message-passing controller over a simulated network (docs/DISTRIBUTED.md)")
+		netLoss    = fs.Float64("net-loss", 0, "with -dist: control-message loss probability in [0,1]")
+		netLat     = fs.Float64("net-latency", 0, "with -dist: control-message delay probability in [0,1]")
+		netLatMax  = fs.Int("net-latency-max", 0, "with -dist: max extra delay ticks of a delayed message (<1 reads as 1)")
+		netDup     = fs.Float64("net-dup", 0, "with -dist: control-message duplication probability in [0,1]")
+		netReorder = fs.Int("net-reorder", 0, "with -dist: within-tick delivery reorder window")
+		netPart    = fs.String("net-partition", "", "with -dist: comma-separated node IDs held offline for the whole run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -111,6 +119,25 @@ func run(args []string) (err error) {
 				spec.CheckInvariants = *check
 			case "warmstart":
 				spec.WarmStartLP = *warmStart
+			case "dist":
+				spec.Dist = *dist
+			case "net-loss":
+				spec.NetLoss = *netLoss
+			case "net-latency":
+				spec.NetLatency = *netLat
+			case "net-latency-max":
+				spec.NetLatencyMax = *netLatMax
+			case "net-dup":
+				spec.NetDup = *netDup
+			case "net-reorder":
+				spec.NetReorder = *netReorder
+			case "net-partition":
+				ids, perr := parseNodeList(*netPart)
+				if perr != nil {
+					flagErr = errors.Join(flagErr, perr)
+					return
+				}
+				spec.NetPartition = ids
 			case "submit", "replications", "json", "metrics", "submit-timeout":
 				// Client-side flags, handled below.
 			default:
@@ -150,6 +177,23 @@ func run(args []string) (err error) {
 		sc.Faults = &cfg
 	} else if *faults < 0 {
 		return fmt.Errorf("-faults must be in [0,1], got %g", *faults)
+	}
+	sc.Dist = *dist
+	sc.NetLoss = *netLoss
+	sc.NetLatency = *netLat
+	sc.NetLatencyMax = *netLatMax
+	sc.NetDup = *netDup
+	sc.NetReorder = *netReorder
+	if *netPart != "" {
+		ids, perr := parseNodeList(*netPart)
+		if perr != nil {
+			return perr
+		}
+		sc.NetPartition = ids
+	}
+	if !*dist && (sc.NetLoss != 0 || sc.NetLatency != 0 || sc.NetLatencyMax != 0 ||
+		sc.NetDup != 0 || sc.NetReorder != 0 || sc.NetPartition != nil) {
+		return fmt.Errorf("-net-* flags require -dist")
 	}
 
 	switch *arch {
@@ -272,6 +316,15 @@ func run(args []string) (err error) {
 		fmt.Printf("degraded slots:      %d/%d (max streak %d): %s\n",
 			res.DegradedSlots, sc.Slots, res.MaxDegradedStreak, causeBreakdown(res.DegradedByCause))
 	}
+	if res.Net != nil {
+		n := res.Net
+		fmt.Printf("network:             %d msgs (%d dropped, %d delayed, %d duped, %d late), %d data transfers\n",
+			n.MsgsSent, n.MsgsDropped, n.MsgsDelayed, n.MsgsDuped, n.MsgsLate, n.DataMsgs)
+		fmt.Printf("coordination:        %d stale views over %d slots, %d missed commands, %d node clamps\n",
+			n.StaleViews, n.StaleSlots, n.MissedCmds, n.NodeClamps)
+		fmt.Printf("ground truth:        %.0f pkts delivered, %.4g Wh deficit (coordinator saw %.0f pkts, %.4g Wh)\n",
+			n.TrueDeliveredPkts, n.TrueDeficitWh.Wh(), res.DeliveredPkts, res.DeficitWh)
+	}
 	if res.DataBacklogBSTrace != nil {
 		tail := len(res.DataBacklogBSTrace) / 2
 		fmt.Printf("backlog tail slope:  BS %.3f pkts/slot, users %.3f pkts/slot\n",
@@ -288,6 +341,24 @@ func run(args []string) (err error) {
 			b.Lower, b.Upper, res.B, res.B/sc.V)
 	}
 	return nil
+}
+
+// parseNodeList parses the -net-partition value: comma-separated
+// non-negative node IDs.
+func parseNodeList(s string) ([]int, error) {
+	var ids []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("-net-partition: %q is not a non-negative node ID", part)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
 }
 
 // causeBreakdown renders a cause→count map in deterministic (sorted)

@@ -8,11 +8,12 @@ import (
 
 // CtxFlowPackages scopes ctxflow to the long-running serving layer, where a
 // dropped context turns cancellation into a wedge: the daemon and the
-// cluster coordinator plumbing. The fixture package keeps the analyzer
-// honest under test.
+// cluster coordinator plumbing, and the distributed controller. The
+// fixture package keeps the analyzer honest under test.
 var CtxFlowPackages = []string{
 	"internal/server",
 	"internal/cluster",
+	"internal/machine",
 	"testdata/src/ctxflow",
 }
 

@@ -9,12 +9,14 @@ import (
 )
 
 // LockSafePackages scopes locksafe to the packages where a stuck or leaked
-// mutex takes the serving layer down: the daemon and the replication
-// machinery. The fixture package keeps the analyzer honest under test.
+// mutex takes the serving layer down: the daemon, the replication
+// machinery, and the distributed controller. The fixture package keeps
+// the analyzer honest under test.
 var LockSafePackages = []string{
 	"internal/server",
 	"internal/sim",
 	"internal/cluster",
+	"internal/machine",
 	"testdata/src/locksafe",
 }
 

@@ -514,6 +514,30 @@ func (c *Controller) VirtualBacklog(l int) float64 { return c.h[l].Backlog() }
 // BatteryLevel returns x_i(t).
 func (c *Controller) BatteryLevel(node int) units.Energy { return c.batteries[node].Level() }
 
+// ImportNodeView overwrites the controller's stored state for one node —
+// its per-session data queues and its battery level — with externally
+// observed values. The distributed coordinator (internal/machine,
+// docs/DISTRIBUTED.md) uses it to replace its per-slot predictions with
+// gossiped ground truth before deciding; under a perfect network the
+// imported values equal the predictions bitwise, so the import is
+// invisible to the fidelity gate. The virtual link queues H and the
+// shifted-battery bookkeeping derive from the imported level on the next
+// Step, so no other state needs touching.
+func (c *Controller) ImportNodeView(node int, backlogs []float64, batteryWh units.Energy) error {
+	if node < 0 || node >= c.cfg.Net.NumNodes() {
+		return fmt.Errorf("%w: ImportNodeView node %d", ErrConfig, node)
+	}
+	if len(backlogs) != len(c.q) {
+		return fmt.Errorf("%w: ImportNodeView got %d session backlogs, want %d",
+			ErrConfig, len(backlogs), len(c.q))
+	}
+	for s := range c.q {
+		c.q[s][node].Set(backlogs[s])
+	}
+	c.batteries[node].Reset(batteryWh)
+	return nil
+}
+
 // ShiftedLevel returns z_i(t) = x_i(t) − V·γ_max − d_i^max.
 func (c *Controller) ShiftedLevel(node int) units.Energy {
 	return units.Wh(c.batteries[node].Level().Wh() - c.cfg.V*c.gammaMax.PerWh() -

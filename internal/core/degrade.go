@@ -93,18 +93,36 @@ func (c *Controller) safeRouting() *routing.Decision {
 // cloning the affected slice first: environments like FixedEnvironment
 // hand out shared backing arrays that must never be mutated.
 func (c *Controller) injectObs(obs *Observation) {
-	inj := c.cfg.Faults
+	injectObsFaults(c.cfg.Faults, c.slot, obs)
+}
+
+// injectObsFaults is injectObs decoupled from the controller, shared
+// with PrepareObservation.
+func injectObsFaults(inj *faultinject.Injector, slot int, obs *Observation) {
 	if inj == nil {
 		return
 	}
-	if len(obs.RenewWh) > 0 && inj.Fires(faultinject.ObsRenewableNaN, c.slot) {
+	if len(obs.RenewWh) > 0 && inj.Fires(faultinject.ObsRenewableNaN, slot) {
 		obs.RenewWh = append([]units.Energy(nil), obs.RenewWh...)
-		obs.RenewWh[inj.Index(faultinject.ObsRenewableNaN, c.slot, len(obs.RenewWh))] = units.Wh(math.NaN())
+		obs.RenewWh[inj.Index(faultinject.ObsRenewableNaN, slot, len(obs.RenewWh))] = units.Wh(math.NaN())
 	}
-	if len(obs.Widths) > 0 && inj.Fires(faultinject.ObsWidthInf, c.slot) {
+	if len(obs.Widths) > 0 && inj.Fires(faultinject.ObsWidthInf, slot) {
 		obs.Widths = append([]units.Bandwidth(nil), obs.Widths...)
-		obs.Widths[inj.Index(faultinject.ObsWidthInf, c.slot, len(obs.Widths))] = units.Hz(math.Inf(1))
+		obs.Widths[inj.Index(faultinject.ObsWidthInf, slot, len(obs.Widths))] = units.Hz(math.Inf(1))
 	}
+}
+
+// PrepareObservation applies the injector's observation faults and the
+// standard repair to obs, exactly as Controller.Step does before
+// solving. The distributed runner (internal/machine) uses it so the
+// physical ground truth it distributes to nodes degrades the same way
+// the monolith's inputs do; the corruption is idempotent — re-applying
+// it to already-repaired values re-zeroes the same indices — so the
+// coordinator's embedded Step may apply it again without divergence. It
+// reports whether anything was repaired (the CauseObs condition).
+func PrepareObservation(inj *faultinject.Injector, slot int, obs *Observation) bool {
+	injectObsFaults(inj, slot, obs)
+	return sanitizeObs(obs)
 }
 
 // sanitizeObs repairs non-finite or negative band widths and renewable

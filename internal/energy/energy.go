@@ -136,6 +136,20 @@ func (b *Battery) Spec() BatterySpec { return b.spec }
 // Level returns the current stored energy x_i(t).
 func (b *Battery) Level() units.Energy { return b.level }
 
+// Reset overwrites the stored level with an externally observed value,
+// clamped into [0, CapacityWh] (NaN reads as empty) — the distributed
+// coordinator's view import (docs/DISTRIBUTED.md), where a gossiped
+// battery reading replaces the coordinator's prediction.
+func (b *Battery) Reset(levelWh units.Energy) {
+	if !(levelWh > 0) { // catches negatives and NaN
+		levelWh = 0
+	}
+	if levelWh > b.spec.CapacityWh {
+		levelWh = b.spec.CapacityWh
+	}
+	b.level = levelWh
+}
+
 // ChargeHeadroom returns the largest admissible charge this slot:
 // min(c_max, (x_max − x)/η_c) — paper eq. (11), with losses the stored
 // amount is η_c·c so more input fits.

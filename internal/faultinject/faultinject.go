@@ -50,6 +50,19 @@ const (
 	// it and every stage falls back to its safe action. The spike is
 	// virtual — nothing sleeps — so soaks stay fast and bit-identical.
 	Latency Site = "latency"
+	// NetDrop is a slot-wide control-plane outage of the distributed
+	// runner's simulated network (internal/machine): every control
+	// message sent during a firing slot is dropped. The monolithic
+	// controller never consults the network sites.
+	NetDrop Site = "net_drop"
+	// NetDelay delays every control message of a firing slot by
+	// 1+Index(NetDelay, slot, maxDelay) extra ticks — enough to make
+	// gossip miss its decide round, so the slot decides stale.
+	NetDelay Site = "net_delay"
+	// NetDup delivers a duplicate of every control message of a firing
+	// slot. The protocol's stamp-based merges are idempotent, so NetDup
+	// must never degrade a slot — a property the soak asserts.
+	NetDup Site = "net_dup"
 )
 
 // Sites returns every injection site in a fixed order.
@@ -57,6 +70,7 @@ func Sites() []Site {
 	return []Site{
 		S1Infeasible, S1IterLimit, S2Fail, S3Fail,
 		S4Infeasible, S4IterLimit, ObsRenewableNaN, ObsWidthInf, Latency,
+		NetDrop, NetDelay, NetDup,
 	}
 }
 
@@ -137,6 +151,14 @@ func (in *Injector) Fires(site Site, slot int) bool {
 		return false
 	}
 	return in.root.Split(fmt.Sprintf("%s#%d", site, slot)).Bernoulli(p)
+}
+
+// Active reports whether the site has a positive firing probability —
+// static reachability, not a firing decision. The distributed runner
+// uses it to decide whether a run can ever leave the ideal-network
+// fidelity path.
+func (in *Injector) Active(site Site) bool {
+	return in != nil && in.probs[site] > 0
 }
 
 // Index picks a deterministic target index in [0, n) for a firing at the

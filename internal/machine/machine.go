@@ -1,0 +1,81 @@
+// Package machine restructures the paper's controller as per-node
+// message-passing state machines over a deterministic simulated network
+// (ROADMAP item 4, docs/DISTRIBUTED.md). Where core.Controller is a
+// global per-slot function with perfect state visibility, this package
+// gives every node its own NodeMachine — carrying the node's real queues
+// Q_i^s and battery x_i — and a CoordinatorMachine that re-derives the
+// S1–S4 decisions from received (and possibly stale) state gossip. The
+// two controller architectures are tied together by a fidelity gate:
+// under a perfect network (zero loss, zero latency) a distributed run
+// produces slot decisions and metrics byte-identical to the monolithic
+// controller, so every deviation measured under a lossy network is
+// attributable to imperfect information alone.
+//
+// The Machine interface follows the mpcutil machine/network-runner
+// pattern: a machine exposes its identity, an optional set of bootstrap
+// messages, and a Handle transition that consumes one message and emits
+// the messages it causes. Machines never share memory and never see a
+// clock; all interaction flows through the Network runner, whose
+// per-edge delivery draws are sub-streamed from the run seed so that
+// loss, latency, duplication, and reordering are pure functions of
+// (seed, edge, slot).
+package machine
+
+// NodeID identifies a machine on the simulated network. Node machines
+// use their topology node index; the coordinator uses NumNodes (one past
+// the last node).
+type NodeID int
+
+// Message is one unit of traffic between machines. Concrete message
+// types (messages.go) are immutable once sent: a sender must not retain
+// or mutate slices it has handed to the network, because delivery may be
+// delayed or duplicated arbitrarily far into the future.
+type Message interface {
+	// From is the sending machine.
+	From() NodeID
+	// To is the destination machine.
+	To() NodeID
+}
+
+// Machine is one participant of the distributed controller: it has an
+// identity, may emit bootstrap messages, and reacts to each delivered
+// message with follow-up messages. Handle must be deterministic — the
+// network runner's delivery schedule is the only source of variation in
+// a run.
+type Machine interface {
+	// ID returns the machine's network identity.
+	ID() NodeID
+	// InitialMessages returns the messages the machine sends before the
+	// first slot begins (nil for the built-in machines, which are driven
+	// entirely by runner-injected observations and phase marks).
+	InitialMessages() []Message
+	// Handle consumes one delivered message and returns the messages it
+	// triggers (nil when none).
+	Handle(msg Message) []Message
+}
+
+// OfflineMachine stands in for a dead or partitioned node: it swallows
+// every message and emits nothing, so the rest of the system experiences
+// the node exactly as a total, permanent communication failure. The
+// coordinator keeps deciding from its last gossip (or the initial
+// state), and every such slot counts as a stale view.
+type OfflineMachine struct {
+	// Node is the identity the offline machine occupies.
+	Node NodeID
+}
+
+// ID implements Machine.
+func (m OfflineMachine) ID() NodeID { return m.Node }
+
+// InitialMessages implements Machine.
+func (OfflineMachine) InitialMessages() []Message { return nil }
+
+// Handle implements Machine.
+func (OfflineMachine) Handle(Message) []Message { return nil }
+
+// CauseNetStale is the degradation cause recorded on slots the
+// coordinator decided with at least one stale node view (no gossip with
+// the current slot's stamp had arrived by decide time). It joins the
+// core.Cause* vocabulary in SlotResult.DegradedCauses and the
+// degraded_cause_net_stale_total summary counter.
+const CauseNetStale = "net_stale"

@@ -1,0 +1,184 @@
+package machine
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"greencell/internal/rng"
+)
+
+// testMsg is a minimal control-plane message for fabric tests.
+type testMsg struct {
+	header
+	n int
+}
+
+// sender emits a burst of testMsgs at Start and nothing after.
+type sender struct {
+	id    NodeID
+	to    NodeID
+	burst int
+}
+
+func (s *sender) ID() NodeID { return s.id }
+
+func (s *sender) InitialMessages() []Message {
+	out := make([]Message, 0, s.burst)
+	for i := 0; i < s.burst; i++ {
+		out = append(out, testMsg{header: header{from: s.id, to: s.to}, n: i})
+	}
+	return out
+}
+
+func (s *sender) Handle(Message) []Message { return nil }
+
+// receiver logs every delivery in arrival order.
+type receiver struct {
+	id  NodeID
+	got []string
+}
+
+func (r *receiver) ID() NodeID                 { return r.id }
+func (r *receiver) InitialMessages() []Message { return nil }
+
+func (r *receiver) Handle(msg Message) []Message {
+	m := msg.(testMsg)
+	r.got = append(r.got, fmt.Sprintf("%d:%d", m.From(), m.n))
+	return nil
+}
+
+// runBurst drives one slot of the fabric: two senders feeding one
+// receiver under the given model, returning the receiver's arrival log.
+func runBurst(t *testing.T, model DeliveryModel, seed int64, bursts [2]int) []string {
+	t.Helper()
+	rcv := &receiver{id: 0}
+	machines := []Machine{
+		rcv,
+		&sender{id: 1, to: 0, burst: bursts[0]},
+		&sender{id: 2, to: 0, burst: bursts[1]},
+	}
+	net, err := NewNetwork(model, nil, nil, rng.New(seed).Split("net"), machines)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	net.BeginSlot(0)
+	net.Start()
+	for i := 0; i < 12; i++ { // generous horizon for max delays
+		net.Advance()
+	}
+	if err := net.Err(); err != nil {
+		t.Fatalf("fabric error: %v", err)
+	}
+	return rcv.got
+}
+
+// TestDeliverySchedulePure checks the core determinism contract: for a
+// fixed (seed, model), the delivery schedule — who arrives, in what
+// order — is identical across runs, and a different seed perturbs it.
+func TestDeliverySchedulePure(t *testing.T) {
+	model := DeliveryModel{LossProb: 0.3, DelayProb: 0.3, MaxDelayTicks: 3, DupProb: 0.2, ReorderWindow: 2}
+	a := runBurst(t, model, 42, [2]int{20, 20})
+	b := runBurst(t, model, 42, [2]int{20, 20})
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different schedule:\n a: %v\n b: %v", a, b)
+	}
+	if len(a) == 0 || len(a) == 40 {
+		t.Errorf("model at 30%% loss delivered %d/40 — drew nothing?", len(a))
+	}
+	c := runBurst(t, model, 43, [2]int{20, 20})
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("seeds 42 and 43 produced the identical lossy schedule")
+	}
+}
+
+// TestEdgeStreamIsolation checks the per-edge sub-streaming claim: the
+// fate of edge 1→0's messages cannot depend on how much traffic edge
+// 2→0 carries, because each edge draws from its own Split stream.
+func TestEdgeStreamIsolation(t *testing.T) {
+	model := DeliveryModel{LossProb: 0.4}
+	keep := func(log []string) []string {
+		var out []string
+		for _, s := range log {
+			if s[0] == '1' {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	quiet := keep(runBurst(t, model, 7, [2]int{15, 0}))
+	busy := keep(runBurst(t, model, 7, [2]int{15, 30}))
+	if !reflect.DeepEqual(quiet, busy) {
+		t.Errorf("edge 2>0 traffic shifted edge 1>0 deliveries:\nquiet: %v\n busy: %v", quiet, busy)
+	}
+}
+
+// TestIdealModelDrawsNothing checks the fast path: a perfect network
+// delivers everything, in send order, next tick.
+func TestIdealModelDrawsNothing(t *testing.T) {
+	got := runBurst(t, DeliveryModel{}, 1, [2]int{3, 2})
+	want := []string{"1:0", "1:1", "1:2", "2:0", "2:1"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ideal delivery = %v, want %v", got, want)
+	}
+}
+
+// TestDeliveryModelValidate rejects out-of-range parameters.
+func TestDeliveryModelValidate(t *testing.T) {
+	for _, m := range []DeliveryModel{
+		{LossProb: -0.1},
+		{LossProb: 1.1},
+		{DelayProb: 2},
+		{DupProb: -1},
+		{MaxDelayTicks: -1},
+		{ReorderWindow: -1},
+	} {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid model", m)
+		}
+	}
+	if err := (DeliveryModel{LossProb: 1, DelayProb: 1, MaxDelayTicks: 5, DupProb: 1, ReorderWindow: 3}).Validate(); err != nil {
+		t.Errorf("Validate rejected a legal model: %v", err)
+	}
+}
+
+// TestOfflineMachineSwallows checks a dead node neither speaks nor
+// answers.
+func TestOfflineMachineSwallows(t *testing.T) {
+	om := OfflineMachine{Node: 3}
+	if om.ID() != 3 {
+		t.Errorf("ID = %d", om.ID())
+	}
+	if msgs := om.InitialMessages(); msgs != nil {
+		t.Errorf("offline machine speaks at start: %v", msgs)
+	}
+	if out := om.Handle(testMsg{header: header{from: 0, to: 3}}); out != nil {
+		t.Errorf("offline machine answered: %v", out)
+	}
+}
+
+// TestNetworkRejectsBadWiring checks constructor and routing errors.
+func TestNetworkRejectsBadWiring(t *testing.T) {
+	src := rng.New(1)
+	if _, err := NewNetwork(DeliveryModel{LossProb: 2}, nil, nil, src, nil); err == nil {
+		t.Errorf("invalid model accepted")
+	}
+	if _, err := NewNetwork(DeliveryModel{}, nil, nil, src, []Machine{&receiver{id: 5}}); err == nil {
+		t.Errorf("mis-indexed machine accepted")
+	}
+	if _, err := NewNetwork(DeliveryModel{}, nil, nil, src, []Machine{nil}); err == nil {
+		t.Errorf("nil machine accepted")
+	}
+	net, err := NewNetwork(DeliveryModel{}, nil, nil, src, []Machine{
+		&sender{id: 0, to: 9, burst: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	net.BeginSlot(0)
+	net.Start()
+	net.Advance()
+	if net.Err() == nil {
+		t.Errorf("message to unknown machine went unnoticed")
+	}
+}

@@ -1,0 +1,146 @@
+package machine
+
+import "greencell/internal/units"
+
+// header carries the routing pair shared by every message type. The
+// fields are unexported so only this package constructs messages, which
+// keeps the From/To pair consistent with how the runner routed them.
+type header struct {
+	from, to NodeID
+}
+
+// From implements Message.
+func (h header) From() NodeID { return h.from }
+
+// To implements Message.
+func (h header) To() NodeID { return h.to }
+
+// phase orders the four protocol rounds of one slot. A node advances its
+// phase when it handles the matching mark, and uses it to reject
+// commands that arrive after their point of use (counted as late).
+type phase int
+
+const (
+	phaseObserve phase = iota
+	phaseDecide
+	phaseExecute
+	phaseSettle
+)
+
+// phaseMark is the runner's synchronization pulse: it is injected
+// directly (never through the lossy fabric) and tells a machine which
+// protocol round of the slot has begun.
+type phaseMark struct {
+	header
+	Slot  int
+	Phase phase
+}
+
+// LocalObs is the runner's physical observation for one node at the
+// start of a slot: the node's renewable harvest R_i(t) and grid
+// connectivity ω_i(t). It is injected directly — a node always knows its
+// own environment — and triggers the node's StateGossip.
+type LocalObs struct {
+	header
+	Slot      int
+	RenewWh   units.Energy
+	Connected bool
+}
+
+// SpectrumObs is the runner's sensed band widths W_m(t) for the slot,
+// injected directly to the coordinator (centralized spectrum sensing).
+type SpectrumObs struct {
+	header
+	Slot   int
+	Widths []units.Bandwidth
+}
+
+// StateGossip is a node's state report entering a slot, sent over the
+// lossy fabric to the coordinator: per-session data backlogs, battery
+// level, the slot's local observation, and monotone cumulative counters
+// (delivery, clamps, deficit) that survive loss because any later gossip
+// subsumes earlier ones. Slot stamps order gossip: the coordinator
+// applies only reports newer than what it has already imported.
+type StateGossip struct {
+	header
+	Slot             int
+	Q                []float64
+	BatteryWh        units.Energy
+	RenewWh          units.Energy
+	Connected        bool
+	CumDeliveredPkts float64
+	CumDeficitWh     units.Energy
+	CumClamps        int
+	CumMissedCmds    int
+}
+
+// ScheduleGrant carries the slot's S1 decision restricted to one node's
+// out-links: which band each link won and its activity α. It is
+// informational at the node (transmission energy is commanded through
+// EnergyCommand); nodes record it for reporting.
+type ScheduleGrant struct {
+	header
+	Slot     int
+	Links    []int
+	Bands    []int
+	Activity []float64
+}
+
+// AdmissionOffer carries the slot's S2 admissions k_s(t) for the
+// sessions sourced at the destination node this slot.
+type AdmissionOffer struct {
+	header
+	Slot      int
+	Sessions  []int
+	AdmitPkts []float64
+}
+
+// FlowUpdate carries the slot's S3 routed flows μ_ij^s(t) on one node's
+// out-links, in the node's out-link order. The node executes them
+// clamped against its true backlogs, reproducing the monolith's
+// grant-loop arithmetic exactly (node.go documents the ordering
+// contract).
+type FlowUpdate struct {
+	header
+	Slot     int
+	Links    []int
+	FlowPkts [][]float64
+}
+
+// EnergyCommand carries one node's S4 energy split for the slot, plus
+// the commanded demand E_i(t) so the node can account its true deficit.
+// Nodes apply it through the physical clamps of node.go: a command
+// computed from a stale view may exceed the node's real renewable,
+// battery headroom, or grid connectivity.
+type EnergyCommand struct {
+	header
+	Slot           int
+	RenewToDemand  units.Energy
+	RenewToBattery units.Energy
+	GridToDemand   units.Energy
+	GridToBattery  units.Energy
+	DischargeWh    units.Energy
+	DeficitWh      units.Energy
+	DemandWh       units.Energy
+}
+
+// EnergyPrice broadcasts the slot's marginal grid price V·f'(P) — the
+// price signal a real deployment would publish for demand response.
+type EnergyPrice struct {
+	header
+	Slot    int
+	PriceWh units.Price
+}
+
+// PacketTransfer ships the executed per-session packets of one link from
+// its transmitter to its receiver. It is data-plane traffic: the
+// simulated radio either delivers a slot's transmission or it does not,
+// and the S1 schedule already models the link, so transfers ride the
+// fabric reliably (next tick, no loss) — only control-plane messages see
+// the delivery model.
+type PacketTransfer struct {
+	header
+	Slot int
+	Link int
+	Pkts []float64
+}

@@ -24,8 +24,12 @@ const SchemaName = "greencell.metrics"
 // so cold streams are byte-compatible with version 2 apart from this
 // version field; 4 registered the cluster coordinator's serving-level
 // coord_* counters (docs/CLUSTER.md) — slot records and summaries are
-// unchanged, so v4 streams differ from v3 only in this version field.
-const SchemaVersion = 4
+// unchanged, so v4 streams differ from v3 only in this version field;
+// 5 registered the distributed controller's net_* summary counters
+// (docs/DISTRIBUTED.md) — emitted only by distributed runs over a
+// non-ideal network, so monolithic and perfect-network streams differ
+// from v4 only in this version field.
+const SchemaVersion = 5
 
 // Header is the first record of every metrics stream: it pins the schema
 // version and the run's identifying parameters, so a stream is

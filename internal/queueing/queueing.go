@@ -16,6 +16,17 @@ type Queue struct {
 // Backlog returns the current queue length Q(t).
 func (q *Queue) Backlog() float64 { return q.backlog }
 
+// Set overwrites the backlog with an externally observed value —
+// the distributed coordinator's view import (docs/DISTRIBUTED.md).
+// Negative or NaN values clamp to zero, matching the queueing law's
+// domain.
+func (q *Queue) Set(backlog float64) {
+	if !(backlog > 0) { // catches negatives and NaN
+		backlog = 0
+	}
+	q.backlog = backlog
+}
+
 // Step applies one slot of the queueing law with service b(t) and arrival
 // a(t), returning the amount actually drained, min(Q(t), b(t)) — useful for
 // throughput accounting. Negative inputs are treated as zero.

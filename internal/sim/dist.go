@@ -1,0 +1,57 @@
+// The distributed runner: sim's entry point into the message-passing
+// controller of internal/machine (docs/DISTRIBUTED.md). DistRun is Run's
+// sibling — same Scenario, same Result, same aggregation loop — with the
+// monolithic Controller.Step replaced by the four-round slot protocol of
+// machine.Deployment. Under the zero-valued delivery model the two are
+// byte-identical (the fidelity gate, enforced by `make dist-check`);
+// under loss, latency, duplication, reordering, or partition, the run
+// remains a pure function of (seed, delivery model) and Result.Net
+// reports how far the coordinator's belief drifted from node truth.
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"greencell/internal/machine"
+)
+
+// DistRun executes the scenario on the distributed controller.
+func DistRun(sc Scenario) (*Result, error) {
+	return DistRunCtx(context.Background(), sc)
+}
+
+// DistRunCtx is DistRun with cooperative cancellation.
+func DistRunCtx(ctx context.Context, sc Scenario) (*Result, error) {
+	sc.Dist = true
+	if sc.TrackDelay {
+		return nil, fmt.Errorf("%w: TrackDelay is unsupported with Dist (per-packet FIFOs cannot follow view imports)", ErrScenario)
+	}
+	cfg, _, tm, err := buildConfig(sc)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := machine.NewDeployment(machine.Config{
+		Core:    cfg,
+		Traffic: tm,
+		Seed:    sc.Seed,
+		Model: machine.DeliveryModel{
+			LossProb:      sc.NetLoss,
+			DelayProb:     sc.NetLatency,
+			MaxDelayTicks: sc.NetLatencyMax,
+			DupProb:       sc.NetDup,
+			ReorderWindow: sc.NetReorder,
+		},
+		Offline: sc.NetPartition,
+		Hook:    sc.NetHook,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrScenario, err)
+	}
+	res, err := collect(ctx, sc, tm, dep.Controller(), dep.Step)
+	if err != nil {
+		return nil, err
+	}
+	res.Net = dep.Report()
+	return res, nil
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"greencell/internal/machine"
+	"greencell/internal/metrics"
+)
+
+// TestDistPerfectMatchesMonolith is the fidelity gate at the Result
+// level: a distributed run over a perfect network must be
+// reflect.DeepEqual to the monolithic run of the same scenario and seed
+// — every aggregate, every degradation flag, bit for bit.
+func TestDistPerfectMatchesMonolith(t *testing.T) {
+	sc := Paper()
+	sc.Slots = 25
+	sc.Seed = 11
+	sc.KeepTraces = true
+	sc.CheckInvariants = true
+
+	mono, err := Run(sc)
+	if err != nil {
+		t.Fatalf("monolith: %v", err)
+	}
+	sc.Dist = true
+	dist, err := Run(sc)
+	if err != nil {
+		t.Fatalf("dist: %v", err)
+	}
+	if dist.Net == nil {
+		t.Fatalf("distributed run carries no NetReport")
+	}
+	net := dist.Net
+	dist.Net = nil
+	if !reflect.DeepEqual(mono, dist) {
+		t.Errorf("perfect-network distributed result differs from monolith:\nmono: %+v\ndist: %+v", mono, dist)
+	}
+	if net.MsgsDropped != 0 || net.MsgsDelayed != 0 || net.MsgsDuped != 0 ||
+		net.MsgsLate != 0 || net.MissedCmds != 0 || net.StaleViews != 0 ||
+		net.StaleSlots != 0 || net.NodeClamps != 0 {
+		t.Errorf("perfect network perturbed messages: %+v", *net)
+	}
+	if net.MsgsSent == 0 || net.DataMsgs == 0 {
+		t.Errorf("no traffic on the control or data plane: %+v", *net)
+	}
+	if net.TrueDeliveredPkts != mono.DeliveredPkts {
+		t.Errorf("node-truth delivery %v != monolith view %v", net.TrueDeliveredPkts, mono.DeliveredPkts)
+	}
+}
+
+// TestDistFidelityGolden extends the gate through the metrics layer: the
+// canonicalized stream of a perfect-network distributed run must be
+// byte-identical to the monolith's golden fixture. This is what
+// `make dist-check` enforces in CI.
+func TestDistFidelityGolden(t *testing.T) {
+	sc := Paper()
+	sc.Slots = 12
+	sc.Seed = 1
+	sc.KeepTraces = false
+	sc.Dist = true
+	var buf bytes.Buffer
+	rec := NewRecorder(metrics.NewJSONLWriter(&buf), HeaderFor(sc, "paper"))
+	rec.Attach(&sc, false)
+	if _, err := Run(sc); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Recorder.Close: %v", err)
+	}
+	got, err := metrics.CanonicalizeJSONL(buf.Bytes())
+	if err != nil {
+		t.Fatalf("canonicalize: %v", err)
+	}
+	want, err := os.ReadFile("testdata/golden_metrics.jsonl")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		gl, wl := strings.Split(string(got), "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("distributed stream differs from monolithic golden at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("distributed stream differs from golden in length: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+// TestDistLossSoak is the degradation soak of docs/DISTRIBUTED.md: 1000
+// slots at 5% control-plane loss with per-node invariant checking on.
+// The run must complete with the network visibly lossy, the coordinator
+// visibly stale, and a rerun bit-identical — degraded operation is still
+// a pure function of (seed, delivery model).
+func TestDistLossSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	sc := Paper()
+	sc.Slots = 1000
+	sc.Seed = 3
+	sc.KeepTraces = false
+	sc.CheckInvariants = true
+	sc.Dist = true
+	sc.NetLoss = 0.05
+
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if res.Net.MsgsDropped == 0 {
+		t.Errorf("5%% loss over 1000 slots dropped nothing: %+v", *res.Net)
+	}
+	if res.Net.StaleSlots == 0 || res.DegradedByCause[machine.CauseNetStale] != res.Net.StaleSlots {
+		t.Errorf("stale decisions not surfaced as degradation: net=%+v byCause=%v",
+			*res.Net, res.DegradedByCause)
+	}
+	if res.Net.TrueDeliveredPkts <= 0 {
+		t.Errorf("no ground-truth delivery under 5%% loss: %+v", *res.Net)
+	}
+
+	rerun, err := Run(sc)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if !reflect.DeepEqual(res, rerun) {
+		t.Errorf("lossy run is not deterministic: rerun differs")
+	}
+}
+
+// TestDistLossyMetricsCounters checks the net_* summary counters of
+// schema v5 appear on a lossy run and agree with the NetReport.
+func TestDistLossyMetricsCounters(t *testing.T) {
+	sc := Paper()
+	sc.Slots = 40
+	sc.Seed = 5
+	sc.KeepTraces = false
+	sc.Dist = true
+	sc.NetLoss = 0.1
+	var buf bytes.Buffer
+	rec := NewRecorder(metrics.NewJSONLWriter(&buf), HeaderFor(sc, "paper"))
+	rec.Attach(&sc, false)
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Recorder.Close: %v", err)
+	}
+	snap := rec.Registry().Snapshot()
+	for name, want := range map[string]int{
+		"net_msgs_sent_total":    res.Net.MsgsSent,
+		"net_msgs_dropped_total": res.Net.MsgsDropped,
+		"net_missed_cmds_total":  res.Net.MissedCmds,
+		"net_stale_views_total":  res.Net.StaleViews,
+	} {
+		got, ok := snap[name]
+		if !ok {
+			t.Errorf("summary missing %s", name)
+			continue
+		}
+		if got != float64(want) {
+			t.Errorf("%s = %v, NetReport says %d", name, got, want)
+		}
+	}
+}
+
+// TestDistPartition runs with one node offline: the coordinator must
+// decide on a stale view of it every slot, flagging every slot degraded
+// with cause net_stale, while the run itself still completes.
+func TestDistPartition(t *testing.T) {
+	sc := Paper()
+	sc.Slots = 30
+	sc.Seed = 2
+	sc.KeepTraces = false
+	sc.Dist = true
+	sc.NetPartition = []int{3}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if res.Net.StaleSlots != sc.Slots {
+		t.Errorf("offline node stale on %d/%d slots", res.Net.StaleSlots, sc.Slots)
+	}
+	if res.DegradedByCause[machine.CauseNetStale] != sc.Slots {
+		t.Errorf("degradation causes = %v, want %d net_stale", res.DegradedByCause, sc.Slots)
+	}
+}
+
+// TestDistRejectsTrackDelay pins the documented limitation: per-packet
+// delay FIFOs cannot follow coordinator view imports, so Dist+TrackDelay
+// is an ErrScenario, not a silently wrong run.
+func TestDistRejectsTrackDelay(t *testing.T) {
+	sc := Paper()
+	sc.Slots = 5
+	sc.Dist = true
+	sc.TrackDelay = true
+	if _, err := Run(sc); !errors.Is(err, ErrScenario) {
+		t.Fatalf("Dist+TrackDelay: got %v, want ErrScenario", err)
+	}
+}
+
+// FuzzNetworkRunner drives the distributed runner across the delivery-
+// model parameter space: any valid model must yield a run that completes
+// and reruns bit-identically, and a zero model must match the monolith.
+func FuzzNetworkRunner(f *testing.F) {
+	f.Add(int64(1), 0.0, 0.0, uint8(0), 0.0, uint8(0))
+	f.Add(int64(2), 0.05, 0.0, uint8(0), 0.0, uint8(0))
+	f.Add(int64(3), 0.0, 0.3, uint8(2), 0.0, uint8(1))
+	f.Add(int64(4), 0.2, 0.2, uint8(3), 0.2, uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, loss, delay float64, maxDelay uint8, dup float64, reorder uint8) {
+		clamp := func(p float64) float64 {
+			if !(p > 0) {
+				return 0
+			}
+			if p > 1 {
+				return 1
+			}
+			return p
+		}
+		sc := Paper()
+		sc.Slots = 6
+		sc.Seed = seed
+		sc.KeepTraces = false
+		sc.CheckInvariants = true
+		sc.Dist = true
+		sc.NetLoss = clamp(loss)
+		sc.NetLatency = clamp(delay)
+		sc.NetLatencyMax = int(maxDelay % 4)
+		sc.NetDup = clamp(dup)
+		sc.NetReorder = int(reorder % 4)
+
+		res, err := Run(sc)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		rerun, err := Run(sc)
+		if err != nil {
+			t.Fatalf("rerun: %v", err)
+		}
+		if !reflect.DeepEqual(res, rerun) {
+			t.Fatalf("rerun differs for model loss=%v delay=%v/%d dup=%v reorder=%d",
+				sc.NetLoss, sc.NetLatency, sc.NetLatencyMax, sc.NetDup, sc.NetReorder)
+		}
+		if sc.NetLoss == 0 && sc.NetLatency == 0 && sc.NetDup == 0 {
+			mono := sc
+			mono.Dist = false
+			want, err := Run(mono)
+			if err != nil {
+				t.Fatalf("monolith: %v", err)
+			}
+			res.Net = nil
+			if !reflect.DeepEqual(want, res) {
+				t.Fatalf("perfect-network run differs from monolith")
+			}
+		}
+	})
+}

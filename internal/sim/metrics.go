@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"greencell/internal/core"
+	"greencell/internal/machine"
 	"greencell/internal/metrics"
 	"greencell/internal/sched"
 )
@@ -48,6 +49,15 @@ type Recorder struct {
 	cDegraded *metrics.Counter
 	hStreak   *metrics.Histogram
 	streak    int
+
+	// Network-fabric aggregates of a distributed run (docs/DISTRIBUTED.md).
+	// They register lazily, on the first non-ideal SlotNetStats: a
+	// perfect-network distributed run carries Ideal == true every slot and
+	// therefore emits a summary byte-identical to the monolith's — the
+	// fidelity gate extends through the metrics stream.
+	cNetSent, cNetDropped, cNetDelayed, cNetDuped *metrics.Counter
+	cNetData, cNetLate, cNetMissed                *metrics.Counter
+	cNetStale, cNetClamps                         *metrics.Counter
 
 	// pending is the S1 solve observed since the last slot flush; the
 	// scheduler runs inside Controller.Step, before the SlotHook fires.
@@ -227,6 +237,46 @@ func (r *Recorder) SlotHook(sr *core.SlotResult) {
 	}
 }
 
+// NetHook aggregates one slot of network-fabric statistics from a
+// distributed run; wire it as Scenario.NetHook (Attach does so). Ideal
+// slots — zero-valued delivery model, no offline nodes, no injected net
+// faults — register nothing, so a perfect-network distributed stream
+// stays byte-identical to the monolith's golden fixture.
+func (r *Recorder) NetHook(st machine.SlotNetStats) {
+	if st.Ideal {
+		return
+	}
+	if r.cNetSent == nil {
+		r.cNetSent = r.reg.Counter("net_msgs_sent_total", "msgs",
+			"control messages handed to the simulated network")
+		r.cNetDropped = r.reg.Counter("net_msgs_dropped_total", "msgs",
+			"control messages lost by the delivery model")
+		r.cNetDelayed = r.reg.Counter("net_msgs_delayed_total", "msgs",
+			"control messages delivered at least one tick late")
+		r.cNetDuped = r.reg.Counter("net_msgs_duped_total", "msgs",
+			"duplicate control-message deliveries")
+		r.cNetData = r.reg.Counter("net_data_msgs_total", "msgs",
+			"data-plane packet transfers (reliable, next tick)")
+		r.cNetLate = r.reg.Counter("net_msgs_late_total", "msgs",
+			"commands discarded by nodes for arriving past their use-by round")
+		r.cNetMissed = r.reg.Counter("net_missed_cmds_total", "cmds",
+			"node-slots that executed without a fresh energy command")
+		r.cNetStale = r.reg.Counter("net_stale_views_total", "views",
+			"node views the coordinator decided on without current-slot gossip")
+		r.cNetClamps = r.reg.Counter("net_node_clamps_total", "clamps",
+			"command components clamped by nodes against local truth")
+	}
+	r.cNetSent.Add(float64(st.Sent))
+	r.cNetDropped.Add(float64(st.Dropped))
+	r.cNetDelayed.Add(float64(st.Delayed))
+	r.cNetDuped.Add(float64(st.Duped))
+	r.cNetData.Add(float64(st.DataMsgs))
+	r.cNetLate.Add(float64(st.Late))
+	r.cNetMissed.Add(float64(st.MissedCmds))
+	r.cNetStale.Add(float64(st.StaleViews))
+	r.cNetClamps.Add(float64(st.NodeClamps))
+}
+
 // Err returns the first write error seen so far (nil if none).
 func (r *Recorder) Err() error { return r.err }
 
@@ -269,6 +319,14 @@ func (r *Recorder) Attach(sc *Scenario, compareGap bool) {
 		}
 	} else {
 		sc.SlotHook = r.SlotHook
+	}
+	if prev := sc.NetHook; prev != nil {
+		sc.NetHook = func(st machine.SlotNetStats) {
+			prev(st)
+			r.NetHook(st)
+		}
+	} else {
+		sc.NetHook = r.NetHook
 	}
 }
 

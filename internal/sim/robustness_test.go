@@ -11,6 +11,7 @@ import (
 
 	"greencell/internal/core"
 	"greencell/internal/faultinject"
+	"greencell/internal/machine"
 )
 
 // faultScenario is the base configuration of the robustness tests: the
@@ -29,7 +30,10 @@ func faultScenario(slots int) Scenario {
 // checks the degradation contract stage by stage: every slot completes,
 // is marked degraded with exactly the expected cause label, and still
 // satisfies the paper's per-slot constraints (the invariant checker runs
-// inside Run and would fail the run otherwise).
+// inside Run and would fail the run otherwise). The net_* sites only
+// exist on the distributed runner's fabric (docs/DISTRIBUTED.md); their
+// cases run with Dist set, and net_dup is the deliberate odd one out —
+// duplicate delivery must never degrade anything.
 func TestFaultEverySite(t *testing.T) {
 	cases := []struct {
 		site  faultinject.Site
@@ -37,21 +41,29 @@ func TestFaultEverySite(t *testing.T) {
 		// needDeadline: the latency site only bites when the slot has a
 		// wall-clock budget to consume.
 		needDeadline bool
+		// dist: the site lives in the distributed fabric, not the monolith.
+		dist bool
+		// noDegrade: the site must leave every slot healthy.
+		noDegrade bool
 	}{
-		{faultinject.S1Infeasible, core.CauseS1Infeasible, false},
-		{faultinject.S1IterLimit, core.CauseS1IterLimit, false},
-		{faultinject.S2Fail, core.CauseS2Fault, false},
-		{faultinject.S3Fail, core.CauseS3Fault, false},
-		{faultinject.S4Infeasible, core.CauseS4Infeasible, false},
-		{faultinject.S4IterLimit, core.CauseS4IterLimit, false},
-		{faultinject.ObsRenewableNaN, core.CauseObs, false},
-		{faultinject.ObsWidthInf, core.CauseObs, false},
-		{faultinject.Latency, core.CauseLatency, true},
+		{site: faultinject.S1Infeasible, cause: core.CauseS1Infeasible},
+		{site: faultinject.S1IterLimit, cause: core.CauseS1IterLimit},
+		{site: faultinject.S2Fail, cause: core.CauseS2Fault},
+		{site: faultinject.S3Fail, cause: core.CauseS3Fault},
+		{site: faultinject.S4Infeasible, cause: core.CauseS4Infeasible},
+		{site: faultinject.S4IterLimit, cause: core.CauseS4IterLimit},
+		{site: faultinject.ObsRenewableNaN, cause: core.CauseObs},
+		{site: faultinject.ObsWidthInf, cause: core.CauseObs},
+		{site: faultinject.Latency, cause: core.CauseLatency, needDeadline: true},
+		{site: faultinject.NetDrop, cause: machine.CauseNetStale, dist: true},
+		{site: faultinject.NetDelay, cause: machine.CauseNetStale, dist: true},
+		{site: faultinject.NetDup, dist: true, noDegrade: true},
 	}
 	for _, tc := range cases {
 		t.Run(string(tc.site), func(t *testing.T) {
 			const slots = 5
 			sc := faultScenario(slots)
+			sc.Dist = tc.dist
 			sc.Faults = &faultinject.Config{
 				Probability: map[faultinject.Site]float64{tc.site: 1},
 			}
@@ -62,14 +74,23 @@ func TestFaultEverySite(t *testing.T) {
 			}
 			var causes []string
 			sc.SlotHook = func(sr *core.SlotResult) {
-				if !sr.Degraded {
-					t.Errorf("slot %d not marked degraded", sr.Slot)
+				if sr.Degraded == tc.noDegrade {
+					t.Errorf("slot %d degraded = %v, want %v", sr.Slot, sr.Degraded, !tc.noDegrade)
 				}
 				causes = append(causes, sr.DegradedCauses...)
 			}
 			res, err := Run(sc)
 			if err != nil {
 				t.Fatalf("run with %s at p=1: %v", tc.site, err)
+			}
+			if tc.noDegrade {
+				if res.DegradedSlots != 0 {
+					t.Errorf("DegradedSlots = %d, want 0 (causes: %v)", res.DegradedSlots, causes)
+				}
+				if res.Net == nil || res.Net.MsgsDuped == 0 {
+					t.Errorf("net_dup at p=1 duplicated nothing: %+v", res.Net)
+				}
+				return
 			}
 			if res.DegradedSlots != slots {
 				t.Errorf("DegradedSlots = %d, want %d", res.DegradedSlots, slots)
@@ -85,6 +106,9 @@ func TestFaultEverySite(t *testing.T) {
 				if c != tc.cause {
 					t.Errorf("unexpected cause %q (want only %q)", c, tc.cause)
 				}
+			}
+			if tc.dist && (res.Net == nil || res.Net.StaleSlots != slots) {
+				t.Errorf("NetReport stale slots = %+v, want %d", res.Net, slots)
 			}
 		})
 	}

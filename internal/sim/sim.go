@@ -17,6 +17,7 @@ import (
 	"greencell/internal/energy"
 	"greencell/internal/faultinject"
 	"greencell/internal/invariant"
+	"greencell/internal/machine"
 	"greencell/internal/queueing"
 	"greencell/internal/rng"
 	"greencell/internal/sched"
@@ -136,6 +137,32 @@ type Scenario struct {
 	// Budget bounds each slot's solve work (iteration caps, wall-clock
 	// deadline); see core.SolveBudget. The zero value imposes none.
 	Budget core.SolveBudget `json:"budget,omitempty"`
+
+	// Dist runs the distributed controller (internal/machine,
+	// docs/DISTRIBUTED.md) instead of the monolith: per-node machines
+	// exchanging typed messages over a simulated network whose delivery
+	// model the Net* fields parameterize. Under the zero-valued (perfect)
+	// model the run is byte-identical to the monolith — the fidelity
+	// gate.
+	Dist bool `json:"dist,omitempty"`
+	// NetLoss is the per-message control-plane loss probability.
+	NetLoss float64 `json:"net_loss,omitempty"`
+	// NetLatency is the per-message delay probability; a delayed message
+	// arrives 1..NetLatencyMax protocol ticks late (0 reads as 1).
+	NetLatency    float64 `json:"net_latency,omitempty"`
+	NetLatencyMax int     `json:"net_latency_max,omitempty"`
+	// NetDup is the per-message duplication probability.
+	NetDup float64 `json:"net_dup,omitempty"`
+	// NetReorder jitters within-tick delivery order by up to this many
+	// sequence positions.
+	NetReorder int `json:"net_reorder,omitempty"`
+	// NetPartition lists node IDs replaced by machine.OfflineMachine —
+	// dead nodes the coordinator never hears from again.
+	NetPartition []int `json:"net_partition,omitempty"`
+	// NetHook, when non-nil, observes every slot's network statistics
+	// (message counts, stale views, node clamps). Recorder.Attach chains
+	// it to feed the net_* summary counters.
+	NetHook func(machine.SlotNetStats) `json:"-"`
 }
 
 // Paper returns the scenario of the paper's Section VI: its topology and
@@ -191,6 +218,13 @@ type Result struct {
 	FinalDataBacklogBS, FinalDataBacklogUsers float64
 	FinalBatteryWhBS, FinalBatteryWhUsers     units.Energy
 
+	// Net reports a distributed run's network statistics and ground
+	// truth (nil for monolithic runs). The headline metrics above are
+	// the coordinator's view — the embedded controller computes them —
+	// while Net's True* fields are physical node-side truth; under a
+	// perfect network the two coincide exactly.
+	Net *machine.NetReport
+
 	// DegradedSlots counts slots where at least one stage fell back to
 	// its safe action (docs/ROBUSTNESS.md); DegradedByCause breaks the
 	// count down per cause label (nil when no slot degraded).
@@ -224,14 +258,16 @@ func (r *Result) StableDataBacklog(demandPktsPerSlot float64) bool {
 // ErrScenario reports an invalid scenario.
 var ErrScenario = errors.New("sim: invalid scenario")
 
-// Build materializes the scenario's network, traffic, and controller so
-// callers (tests, benchmarks) can inspect them before running.
-func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, error) {
+// buildConfig materializes the scenario's network, traffic model, and
+// controller configuration — everything short of constructing a
+// controller. Build feeds it to core.New; the distributed runner
+// (dist.go) feeds it to machine.NewDeployment instead.
+func buildConfig(sc Scenario) (core.Config, *topology.Network, *traffic.Model, error) {
 	if sc.Slots <= 0 {
-		return nil, nil, nil, fmt.Errorf("%w: Slots = %d", ErrScenario, sc.Slots)
+		return core.Config{}, nil, nil, fmt.Errorf("%w: Slots = %d", ErrScenario, sc.Slots)
 	}
 	if sc.NumSessions <= 0 {
-		return nil, nil, nil, fmt.Errorf("%w: NumSessions = %d", ErrScenario, sc.NumSessions)
+		return core.Config{}, nil, nil, fmt.Errorf("%w: NumSessions = %d", ErrScenario, sc.NumSessions)
 	}
 	src := rng.New(sc.Seed)
 
@@ -243,7 +279,7 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 	}
 	net, err := topology.Build(tcfg, src.Split("topology"))
 	if err != nil {
-		return nil, nil, nil, err
+		return core.Config{}, nil, nil, err
 	}
 	tm := traffic.PaperSessions(sc.NumSessions, net.Users(), sc.SlotSeconds, src.Split("traffic"))
 	if sc.UplinkSessions > 0 {
@@ -265,10 +301,10 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 	if sc.Faults != nil {
 		inj, err = faultinject.New(rng.New(sc.Seed).Split("faults"), *sc.Faults)
 		if err != nil {
-			return nil, nil, nil, err
+			return core.Config{}, nil, nil, err
 		}
 	}
-	ctrl, err := core.New(core.Config{
+	return core.Config{
 		Net:         net,
 		Traffic:     tm,
 		V:           sc.V,
@@ -284,7 +320,17 @@ func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, er
 		Check:       check,
 		Faults:      inj,
 		Budget:      sc.Budget,
-	})
+	}, net, tm, nil
+}
+
+// Build materializes the scenario's network, traffic, and controller so
+// callers (tests, benchmarks) can inspect them before running.
+func Build(sc Scenario) (*core.Controller, *topology.Network, *traffic.Model, error) {
+	cfg, net, tm, err := buildConfig(sc)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctrl, err := core.New(cfg)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -298,13 +344,26 @@ func Run(sc Scenario) (*Result, error) {
 
 // RunCtx is Run with cooperative cancellation: the slot loop checks ctx
 // between slots and returns ctx's error (and no Result) once cancelled.
+// Scenarios with Dist set run on the distributed controller (dist.go).
 func RunCtx(ctx context.Context, sc Scenario) (*Result, error) {
+	if sc.Dist {
+		return DistRunCtx(ctx, sc)
+	}
 	ctrl, _, tm, err := Build(sc)
 	if err != nil {
 		return nil, err
 	}
 	slotSrc := rng.New(sc.Seed).Split("slots")
+	return collect(ctx, sc, tm, ctrl, func() (*core.SlotResult, error) {
+		return ctrl.Step(slotSrc)
+	})
+}
 
+// collect drives the slot loop through step and aggregates the run's
+// metrics — shared verbatim by the monolithic and distributed runners,
+// so the two architectures are aggregated identically.
+func collect(ctx context.Context, sc Scenario, tm *traffic.Model, ctrl *core.Controller,
+	step func() (*core.SlotResult, error)) (*Result, error) {
 	res := &Result{B: ctrl.B()}
 	costT := queueing.NewTracker(sc.KeepTraces)
 	penT := queueing.NewTracker(sc.KeepTraces)
@@ -322,7 +381,7 @@ func RunCtx(ctx context.Context, sc Scenario) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("slot %d: %w", t, err)
 		}
-		sr, err := ctrl.Step(slotSrc)
+		sr, err := step()
 		if err != nil {
 			return nil, err
 		}

@@ -60,6 +60,21 @@ type ScenarioSpec struct {
 	// SlotDeadlineMS is the per-slot wall-clock solve deadline.
 	BudgetIters    int   `json:"budget_iters,omitempty"`
 	SlotDeadlineMS int64 `json:"slot_deadline_ms,omitempty"`
+
+	// Dist switches to the distributed message-passing controller
+	// (docs/DISTRIBUTED.md); the Net* knobs parameterize its simulated
+	// control-plane delivery model and are meaningful only with Dist set.
+	Dist bool `json:"dist,omitempty"`
+	// NetLoss/NetLatency/NetDup are per-message perturbation
+	// probabilities in [0,1]; NetLatencyMax bounds the extra delay ticks
+	// of a delayed message; NetReorder jitters within-tick delivery
+	// order; NetPartition lists node IDs taken offline for the whole run.
+	NetLoss       float64 `json:"net_loss,omitempty"`
+	NetLatency    float64 `json:"net_latency,omitempty"`
+	NetLatencyMax int     `json:"net_latency_max,omitempty"`
+	NetDup        float64 `json:"net_dup,omitempty"`
+	NetReorder    int     `json:"net_reorder,omitempty"`
+	NetPartition  []int   `json:"net_partition,omitempty"`
 }
 
 // ErrSpec reports an invalid ScenarioSpec; the wrapped message names the
@@ -168,6 +183,32 @@ func (s ScenarioSpec) Validate() error {
 	if s.SlotDeadlineMS < 0 {
 		return specErr("slot_deadline_ms", "must be non-negative, got %d", s.SlotDeadlineMS)
 	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"net_loss", s.NetLoss}, {"net_latency", s.NetLatency}, {"net_dup", s.NetDup}} {
+		if p.v < 0 || p.v > 1 {
+			return specErr(p.name, "must be in [0,1], got %g", p.v)
+		}
+	}
+	if s.NetLatencyMax < 0 {
+		return specErr("net_latency_max", "must be non-negative, got %d", s.NetLatencyMax)
+	}
+	if s.NetReorder < 0 {
+		return specErr("net_reorder", "must be non-negative, got %d", s.NetReorder)
+	}
+	for _, id := range s.NetPartition {
+		if id < 0 {
+			return specErr("net_partition", "node IDs must be non-negative, got %d", id)
+		}
+	}
+	if !s.Dist && (s.NetLoss != 0 || s.NetLatency != 0 || s.NetLatencyMax != 0 ||
+		s.NetDup != 0 || s.NetReorder != 0 || len(s.NetPartition) != 0) {
+		return specErr("dist", "net_* knobs require dist: true")
+	}
+	if s.Dist && s.TrackDelay {
+		return specErr("dist", "track_delay is unsupported with the distributed runner")
+	}
 	return nil
 }
 
@@ -236,6 +277,15 @@ func (s ScenarioSpec) Scenario() (Scenario, error) {
 	sc.Budget = core.SolveBudget{
 		MaxLPIterations: s.BudgetIters,
 		SlotDeadline:    time.Duration(s.SlotDeadlineMS) * time.Millisecond,
+	}
+	sc.Dist = sc.Dist || s.Dist
+	sc.NetLoss = s.NetLoss
+	sc.NetLatency = s.NetLatency
+	sc.NetLatencyMax = s.NetLatencyMax
+	sc.NetDup = s.NetDup
+	sc.NetReorder = s.NetReorder
+	if len(s.NetPartition) != 0 {
+		sc.NetPartition = append([]int(nil), s.NetPartition...)
 	}
 	sc.KeepTraces = false
 	return sc, nil

@@ -197,3 +197,62 @@ func TestSpecFaultsAndBudget(t *testing.T) {
 		t.Fatalf("SlotDeadline = %v, want 40ms", sc.Budget.SlotDeadline)
 	}
 }
+
+// TestSpecDistRoundTrip: the distributed-runner knobs survive the wire,
+// materialize onto the Scenario, and are validated — net_* knobs without
+// dist, out-of-range probabilities, and dist+track_delay all fail with
+// the offending field named.
+func TestSpecDistRoundTrip(t *testing.T) {
+	spec := ScenarioSpec{
+		Preset:        "paper",
+		Slots:         20,
+		Dist:          true,
+		NetLoss:       0.05,
+		NetLatency:    0.1,
+		NetLatencyMax: 2,
+		NetDup:        0.01,
+		NetReorder:    1,
+		NetPartition:  []int{3, 5},
+	}
+	data, err := EncodeSpec(spec)
+	if err != nil {
+		t.Fatalf("EncodeSpec: %v", err)
+	}
+	back, err := DecodeSpec(data)
+	if err != nil {
+		t.Fatalf("DecodeSpec: %v", err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", spec, back)
+	}
+	sc, err := spec.Scenario()
+	if err != nil {
+		t.Fatalf("Scenario: %v", err)
+	}
+	if !sc.Dist || sc.NetLoss != 0.05 || sc.NetLatency != 0.1 || sc.NetLatencyMax != 2 ||
+		sc.NetDup != 0.01 || sc.NetReorder != 1 || !reflect.DeepEqual(sc.NetPartition, []int{3, 5}) {
+		t.Errorf("spec did not materialize onto the scenario: %+v", sc)
+	}
+
+	for field, bad := range map[string]ScenarioSpec{
+		"net_loss":        {Dist: true, NetLoss: 1.5},
+		"net_latency":     {Dist: true, NetLatency: -0.1},
+		"net_dup":         {Dist: true, NetDup: 2},
+		"net_latency_max": {Dist: true, NetLatencyMax: -1},
+		"net_reorder":     {Dist: true, NetReorder: -2},
+		"net_partition":   {Dist: true, NetPartition: []int{-1}},
+		"dist":            {NetLoss: 0.1}, // net_* without dist
+	} {
+		err := bad.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid spec accepted: %+v", field, bad)
+			continue
+		}
+		if !errors.Is(err, ErrSpec) || !strings.Contains(err.Error(), field) {
+			t.Errorf("%s: error %q does not name the field", field, err)
+		}
+	}
+	if err := (ScenarioSpec{Dist: true, TrackDelay: true}).Validate(); err == nil {
+		t.Errorf("dist+track_delay accepted")
+	}
+}
